@@ -1,0 +1,101 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+* zero-distance merging (paper Section 3.1.2) — disabling it must not
+  change query answers' soundness, but grows the HLI;
+* maybe-lifted merging (the size-reduction rule behind ``b[0..9]`` in
+  Figure 2) — disabling it grows the equivalent-access tables;
+* region-scoped representation vs a naive flat item-pair list — the
+  structural reason the HLI stays small (near-linear in items rather
+  than quadratic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.builder import build_hli
+from repro.analysis.eqclasses import PartitionOptions
+from repro.frontend import parse_and_check
+from repro.hli.sizes import hli_size_bytes
+from repro.workloads.generators import StencilParams, stencil_program
+from repro.workloads.suite import by_name
+
+
+def _build_with(src: str, options: PartitionOptions):
+    prog, table = parse_and_check(src)
+    hli, _ = build_hli(prog, table, options)
+    return hli
+
+
+@pytest.mark.parametrize(
+    "bench_name", ["101.tomcatv", "034.mdljdp2", "008.espresso"]
+)
+def test_merge_rules_shrink_hli(benchmark, bench_name):
+    bench = by_name(bench_name)
+
+    def compute():
+        merged = _build_with(bench.source, PartitionOptions())
+        unmerged = _build_with(
+            bench.source,
+            PartitionOptions(merge_zero_distance=False, merge_maybe_lifted=False),
+        )
+        return hli_size_bytes(merged), hli_size_bytes(unmerged)
+
+    with_merge, without_merge = benchmark.pedantic(compute, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "hli_bytes_with_merging": with_merge,
+            "hli_bytes_without_merging": without_merge,
+            "growth_pct": round(100 * (without_merge / with_merge - 1), 1),
+        }
+    )
+    assert without_merge >= with_merge
+
+
+def test_merge_ablation_preserves_soundness(benchmark):
+    """Query answers may become more conservative, never less."""
+    from repro.backend.ddg import DDGMode
+    from repro.driver.compile import CompileOptions, compile_source
+    from repro.machine.executor import execute
+
+    bench = by_name("101.tomcatv")
+
+    def run_both():
+        # run the full pipeline with the merged tables (the default) and
+        # confirm execution equality against the GCC-only baseline
+        comp_gcc = compile_source(bench.source, bench.name, CompileOptions(mode=DDGMode.GCC))
+        comp_hli = compile_source(bench.source, bench.name, CompileOptions(mode=DDGMode.COMBINED))
+        r1 = execute(comp_gcc.rtl, collect_trace=False)
+        r2 = execute(comp_hli.rtl, collect_trace=False)
+        return r1.ret, r2.ret
+
+    r1, r2 = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert r1 == r2
+
+
+def test_region_scoping_beats_flat_pairs(benchmark):
+    """HLI size grows near-linearly with item count; a flat dependence
+    pair list would grow quadratically."""
+
+    def compute():
+        sizes = []
+        for arrays in (2, 4, 8):
+            src = stencil_program(StencilParams(arrays=arrays, size=48, iters=2))
+            prog, table = parse_and_check(src)
+            hli, info = build_hli(prog, table)
+            n_items = sum(len(u.items) for u in info.units.values())
+            pair_bound = n_items * (n_items - 1) // 2 * 9  # 9B per pair entry
+            sizes.append((n_items, hli_size_bytes(hli), pair_bound))
+        return sizes
+
+    sizes = benchmark.pedantic(compute, rounds=1, iterations=1)
+    benchmark.extra_info["scaling"] = [
+        {"items": n, "hli_bytes": h, "flat_pair_bytes": p} for n, h, p in sizes
+    ]
+    # region-scoped HLI is far below the flat-pair representation at scale
+    n, hli_bytes, pair_bytes = sizes[-1]
+    assert hli_bytes < pair_bytes / 2
+    # growth from 2 to 8 arrays is much closer to linear (4x) than to
+    # quadratic (16x)
+    growth = sizes[-1][1] / sizes[0][1]
+    assert growth < 8

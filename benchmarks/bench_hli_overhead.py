@@ -1,0 +1,64 @@
+"""HLI machinery micro-benchmarks: query throughput and import cost.
+
+Not a paper table, but the paper's Section 3.2.1 argues the design is
+cheap for the back-end ("a hash table is constructed ... to allow GCC
+quick access").  These benchmarks keep the claim honest in this
+implementation: query latency, mapping cost, and binary decode cost are
+measured on the largest workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.backend.mapping import map_function
+from repro.hli.binio import decode_hli, encode_hli
+from repro.hli.query import HLIQuery
+from repro.workloads.suite import by_name
+
+
+@pytest.fixture(scope="module")
+def big_compilation():
+    bench = by_name("034.mdljdp2")
+    return compile_source(bench.source, bench.name, CompileOptions(schedule=False))
+
+
+def test_query_equiv_acc_throughput(benchmark, big_compilation):
+    entry = big_compilation.hli.entry("forces")
+    query = HLIQuery(entry)
+    items = [iid for iid, _ in entry.line_table.all_items()]
+    pairs = list(itertools.islice(itertools.combinations(items, 2), 2000))
+
+    def run():
+        count = 0
+        for a, b in pairs:
+            if query.get_equiv_acc(a, b).value != "none":
+                count += 1
+        return count
+
+    hits = benchmark(run)
+    benchmark.extra_info.update({"pairs": len(pairs), "dependent_pairs": hits})
+    assert hits > 0
+
+
+def test_query_index_construction(benchmark, big_compilation):
+    entry = big_compilation.hli.entry("forces")
+    query = benchmark(HLIQuery, entry)
+    assert query.item_home(1) is not None
+
+
+def test_line_table_mapping_cost(benchmark, big_compilation):
+    fn = big_compilation.rtl.functions["forces"]
+    entry = big_compilation.hli.entry("forces")
+    stats = benchmark(map_function, fn, entry)
+    assert stats.unmapped == 0
+
+
+def test_binary_decode_cost(benchmark, big_compilation):
+    data = encode_hli(big_compilation.hli)
+    decoded = benchmark(decode_hli, data)
+    assert set(decoded.entries) == set(big_compilation.hli.entries)
+    benchmark.extra_info["hli_bytes"] = len(data)

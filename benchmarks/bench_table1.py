@@ -1,0 +1,57 @@
+"""Table 1 — benchmark program characteristics.
+
+Regenerates, per benchmark: code size (lines), HLI size, and HLI bytes
+per source line; plus the int/fp means.  The paper's headline (fp
+programs carry roughly twice the HLI per line of int programs, because
+they have more memory references per line) is asserted, and every row is
+attached to the benchmark record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.hli.sizes import size_report
+from repro.workloads.suite import BENCHMARKS, float_benchmarks, integer_benchmarks
+
+
+def _row(bench):
+    comp = compile_source(bench.source, bench.name, CompileOptions(schedule=False))
+    return size_report(comp.hli, bench.source)
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+def test_table1_row(benchmark, bench):
+    rep = benchmark(_row, bench)
+    benchmark.extra_info.update(
+        {
+            "suite": bench.suite,
+            "code_lines": rep.code_lines,
+            "hli_bytes": rep.hli_bytes,
+            "hli_bytes_per_line": round(rep.bytes_per_line, 2),
+            "paper_bytes_per_line": bench.paper.hli_per_line,
+        }
+    )
+    assert rep.hli_bytes > 0
+
+
+def test_table1_means(benchmark):
+    def compute():
+        def mean(benches):
+            vals = [_row(b).bytes_per_line for b in benches]
+            return sum(vals) / len(vals)
+
+        return mean(integer_benchmarks()), mean(float_benchmarks())
+
+    int_mean, fp_mean = benchmark.pedantic(compute, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "int_mean_bytes_per_line": round(int_mean, 1),
+            "fp_mean_bytes_per_line": round(fp_mean, 1),
+            "paper_int_mean": 13,
+            "paper_fp_mean": 27,
+        }
+    )
+    # the paper's shape: fp programs need more HLI per line than int
+    assert fp_mean > int_mean

@@ -1,0 +1,63 @@
+"""Table 2 (columns 1-6) — dependence tests in the first scheduling pass.
+
+For every benchmark, builds the scheduler's DDG under the Figure 5
+combination and records: total dependence queries, queries per source
+line, GCC-yes / HLI-yes / combined-yes percentages, and the reduction in
+dependence edges.  This *is* the paper's Figure 5 code path: the
+benchmark times DDG construction with both analyzers consulted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.backend.ddg import DDGMode
+from repro.hli.sizes import size_report
+from repro.workloads.suite import BENCHMARKS, float_benchmarks, integer_benchmarks
+
+
+def _stats(bench):
+    comp = compile_source(bench.source, bench.name, CompileOptions(mode=DDGMode.COMBINED))
+    return comp.total_dep_stats(), size_report(comp.hli, bench.source)
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+def test_table2_row(benchmark, bench):
+    stats, rep = benchmark(_stats, bench)
+    total = max(stats.total_tests, 1)
+    benchmark.extra_info.update(
+        {
+            "total_tests": stats.total_tests,
+            "tests_per_line": round(stats.total_tests / rep.code_lines, 2),
+            "gcc_yes_pct": round(100 * stats.gcc_yes / total, 1),
+            "hli_yes_pct": round(100 * stats.hli_yes / total, 1),
+            "combined_yes_pct": round(100 * stats.combined_yes / total, 1),
+            "reduction_pct": round(100 * stats.reduction, 1),
+            "paper_reduction_pct": bench.paper.reduction_pct,
+        }
+    )
+    # Figure 5 invariant: combined = AND of the two analyzers
+    assert stats.combined_yes <= min(stats.gcc_yes, stats.hli_yes)
+
+
+def test_table2_means(benchmark):
+    def compute():
+        def mean_reduction(benches):
+            vals = [_stats(b)[0].reduction for b in benches]
+            return 100 * sum(vals) / len(vals)
+
+        return mean_reduction(integer_benchmarks()), mean_reduction(float_benchmarks())
+
+    int_mean, fp_mean = benchmark.pedantic(compute, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "int_mean_reduction_pct": round(int_mean, 1),
+            "fp_mean_reduction_pct": round(fp_mean, 1),
+            "paper_int_mean_pct": 48,
+            "paper_fp_mean_pct": 54,
+        }
+    )
+    # headline shape: both substantial, fp at least as large as int
+    assert int_mean > 30
+    assert fp_mean > 50

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark in this directory regenerates one of the paper's tables
+or figures (see DESIGN.md's experiment index).  pytest-benchmark provides
+the timing envelope; the *measured statistics* — edge reductions, HLI
+sizes, speedups — are attached to each benchmark's ``extra_info`` so
+``--benchmark-json`` output carries the full reproduction record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.backend.ddg import DDGMode
+from repro.workloads.suite import BENCHMARKS
+
+
+@pytest.fixture(scope="session")
+def compiled_suite():
+    """All benchmarks compiled once under the combined mode."""
+    out = {}
+    for b in BENCHMARKS:
+        out[b.name] = compile_source(
+            b.source, b.name, CompileOptions(mode=DDGMode.COMBINED)
+        )
+    return out

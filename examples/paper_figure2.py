@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure 2: regions and equivalent access classes.
+
+Compiles the exact example program from the paper and prints the region
+tree with its equivalent access classes, alias table, and LCDD table —
+the same structure the figure draws.
+
+Run:  python examples/paper_figure2.py
+"""
+
+from repro import CompileOptions, compile_source
+from repro.hli.tables import RefModKey, RegionType
+
+SOURCE = """\
+int a[10];
+int b[10];
+int sum;
+
+void foo() {
+    int i, j;
+    for (i = 0; i < 10; i++) {
+        sum = sum + a[i];
+    }
+    for (i = 0; i < 10; i++) {
+        a[i] = b[0] + 1;
+        for (j = 1; j < 10; j++) {
+            b[j] = b[j] + b[j-1];
+            a[i] = a[i] + sum;
+        }
+    }
+}
+"""
+
+
+def main() -> None:
+    print(SOURCE)
+    comp = compile_source(SOURCE, "fig2.c", CompileOptions(schedule=False))
+    entry = comp.hli.entry("foo")
+
+    print("Line table (item ID, access type per source line):")
+    for line in sorted(entry.line_table.entries):
+        items = entry.line_table.entries[line].items
+        rendered = "  ".join(f"{{{iid}:{t.name.lower()}}}" for iid, t in items)
+        print(f"  line {line:2d}:  {rendered}")
+    print()
+
+    def show(region_id: int, indent: int = 0) -> None:
+        r = entry.regions[region_id]
+        pad = "  " * indent
+        kind = "procedure" if r.region_type is RegionType.UNIT else "loop"
+        print(f"{pad}Region {r.region_id} ({kind}, lines {r.line_start}..{r.line_end}):")
+        for c in r.eq_classes:
+            tag = "" if c.equiv_type.name == "DEFINITE" else "  (maybe)"
+            members = c.member_items + [f"<class {x}>" for x in c.member_classes]
+            print(f"{pad}  eq class {c.class_id}: {c.label:8s} members={members}{tag}")
+        for a in r.alias_entries:
+            print(f"{pad}  alias: classes {sorted(a.class_ids)}")
+        for d in r.lcdd_entries:
+            dist = d.distance if d.distance is not None else "?"
+            print(
+                f"{pad}  LCDD: {d.src_class} -> {d.dst_class} "
+                f"[{d.dep_type.name.lower()}] distance {dist}"
+            )
+        for m in r.refmod_entries:
+            key = "call" if m.key_kind is RefModKey.CALL_ITEM else "subregion"
+            print(f"{pad}  REF/MOD {key} {m.key_id}: ref={m.ref_classes} mod={m.mod_classes}")
+        for sub in r.sub_region_ids:
+            show(sub, indent + 1)
+
+    show(entry.root_region_id)
+
+    print()
+    print("Compare with the paper's Figure 2:")
+    print("  Region 1 partitions everything into {sum, a[0..9], b[0..9]};")
+    print("  Region 3 keeps b[0] separate from the merged (maybe) b class,")
+    print("  related through the alias table; the j loop carries the")
+    print("  b[j] -> b[j-1] dependence at distance 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a program through the full HLI pipeline.
+
+Walks the paper's Figure 3 flow end to end:
+
+  MiniC source -> front-end analysis -> HLI file
+              -> back-end lowering  -> HLI import/mapping
+              -> scheduling with/without HLI -> machine-model timing
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CompileOptions, compile_source
+from repro.backend.ddg import DDGMode
+from repro.hli.writer import format_hli
+from repro.machine.executor import execute
+from repro.machine.pipeline import R4600Model
+from repro.machine.superscalar import R10000Model
+
+SOURCE = """\
+double u[400];
+double w[400];
+double v[400];
+
+int main() {
+    int i, t;
+    double s1, s2;
+    for (i = 0; i < 400; i++) {
+        u[i] = 0.01 * i;
+        w[i] = 1.0;
+        v[i] = 0.5;
+    }
+    s1 = 0.0;
+    s2 = 0.0;
+    for (t = 0; t < 4; t++) {
+        for (i = 1; i < 399; i++) {
+            w[i] = w[i] * 0.99 + u[i];
+            s1 = s1 + u[i-1] * v[i];
+            s2 = s2 + u[i+1] * v[i-1];
+        }
+    }
+    return (s1 + s2) > 0.0;
+}
+"""
+
+
+def main() -> None:
+    print("=== 1. Compile with the Figure 5 combined dependence mode ===")
+    comp = compile_source(SOURCE, "sweep.c", CompileOptions(mode=DDGMode.COMBINED))
+
+    print("\n--- The generated HLI file (line table + region tables) ---")
+    print(format_hli(comp.hli))
+
+    stats = comp.total_dep_stats()
+    print("--- Dependence statistics (first scheduling pass) ---")
+    print(f"  total memory dependence queries : {stats.total_tests}")
+    print(f"  GCC local analyzer answers yes  : {stats.gcc_yes}")
+    print(f"  HLI answers yes                 : {stats.hli_yes}")
+    print(f"  combined (AND) answers yes      : {stats.combined_yes}")
+    print(f"  dependence edge reduction       : {stats.reduction * 100:.0f}%")
+
+    print("\n=== 2. Execute both schedules and time them ===")
+    cycles = {}
+    for mode in (DDGMode.GCC, DDGMode.COMBINED):
+        c = compile_source(SOURCE, "sweep.c", CompileOptions(mode=mode))
+        res = execute(c.rtl)
+        cycles[mode.value] = (
+            R4600Model().time(res.trace).cycles,
+            R10000Model().time(res.trace).cycles,
+        )
+        print(f"  mode={mode.value:9s} ret={res.ret} "
+              f"R4600={cycles[mode.value][0]} cyc  R10000={cycles[mode.value][1]} cyc")
+
+    for mi, name in ((0, "R4600"), (1, "R10000")):
+        sp = cycles["gcc"][mi] / cycles["combined"][mi]
+        print(f"  {name} speedup from HLI scheduling: {sp:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Domain scenario: why HLI matters for scientific stencil codes.
+
+This is the workload class the paper's evaluation is built around
+(tomcatv/swim-like relaxation kernels).  The script compiles a 2-D
+Jacobi relaxation three ways — GCC-only dependence info, HLI-only, and
+the Figure 5 combination — shows the dependence-edge reduction, dumps a
+scheduled basic block so the instruction reordering is visible, and
+times all three on both machine models.
+
+Run:  python examples/stencil_scheduling.py
+"""
+
+from repro import CompileOptions, compile_source
+from repro.backend.cfg import build_cfg
+from repro.backend.ddg import DDGMode
+from repro.machine.executor import execute
+from repro.machine.pipeline import R4600Model
+from repro.machine.superscalar import R10000Model
+
+SOURCE = """\
+double grid[1024];
+double next[1024];
+
+int main() {
+    int i, j, sweep;
+    for (i = 0; i < 32; i++) {
+        for (j = 0; j < 32; j++) {
+            grid[i * 32 + j] = 0.25 * i - 0.125 * j;
+        }
+    }
+    for (sweep = 0; sweep < 4; sweep++) {
+        for (i = 1; i < 31; i++) {
+            for (j = 1; j < 31; j++) {
+                next[i * 32 + j] = 0.25 * (grid[i * 32 + j - 1]
+                    + grid[i * 32 + j + 1]
+                    + grid[(i - 1) * 32 + j]
+                    + grid[(i + 1) * 32 + j]);
+            }
+        }
+        for (i = 1; i < 31; i++) {
+            for (j = 1; j < 31; j++) {
+                grid[i * 32 + j] = next[i * 32 + j];
+            }
+        }
+    }
+    return grid[16 * 32 + 16] < 1000.0;
+}
+"""
+
+
+def biggest_block(comp):
+    fn = comp.rtl.functions["main"]
+    return max(build_cfg(fn).blocks, key=lambda b: len(b.insns))
+
+
+def main() -> None:
+    print("2-D Jacobi relaxation, compiled under three dependence modes\n")
+
+    timings = {}
+    for mode in (DDGMode.GCC, DDGMode.HLI, DDGMode.COMBINED):
+        comp = compile_source(SOURCE, "jacobi.c", CompileOptions(mode=mode))
+        stats = comp.total_dep_stats()
+        res = execute(comp.rtl)
+        t4600 = R4600Model().time(res.trace)
+        t10k = R10000Model().time(res.trace)
+        timings[mode.value] = (t4600.cycles, t10k.cycles)
+        print(
+            f"mode={mode.value:9s} queries={stats.total_tests:3d} "
+            f"gcc_yes={stats.gcc_yes:2d} hli_yes={stats.hli_yes:2d} "
+            f"combined_yes={stats.combined_yes:2d} | ret={res.ret} "
+            f"R4600={t4600.cycles} R10000={t10k.cycles}"
+        )
+        if mode is DDGMode.COMBINED:
+            print(f"\ndependence-edge reduction: {stats.reduction * 100:.0f}%")
+
+    print("\nspeedups (GCC schedule / HLI-combined schedule):")
+    for idx, machine in ((0, "R4600"), (1, "R10000")):
+        sp = timings["gcc"][idx] / timings["combined"][idx]
+        print(f"  {machine}: {sp:.3f}x")
+
+    # Show the scheduler's freedom: dump the hottest block both ways.
+    print("\n--- hottest basic block, GCC-only schedule ---")
+    comp_gcc = compile_source(SOURCE, "jacobi.c", CompileOptions(mode=DDGMode.GCC))
+    for insn in biggest_block(comp_gcc).insns[:18]:
+        print("   ", insn)
+    print("\n--- hottest basic block, HLI-combined schedule ---")
+    comp_hli = compile_source(SOURCE, "jacobi.c", CompileOptions(mode=DDGMode.COMBINED))
+    for insn in biggest_block(comp_hli).insns[:18]:
+        print("   ", insn)
+    print("\nNote how loads from grid[] migrate above the next[] store once")
+    print("the HLI proves the two arrays (and neighbouring columns) disjoint.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "High-Level Information: An Approach for
+Integrating Front-End and Back-End Compilers" (Cho et al., ICPP 1998).
+
+Packages:
+
+* :mod:`repro.frontend`  — MiniC lexer/parser/semantic analysis (the
+  "SUIF parser" substitute);
+* :mod:`repro.analysis`  — region trees, ITEMGEN, dependence/alias/REF-MOD
+  analyses, HLI table construction (TBLCONST);
+* :mod:`repro.hli`       — the HLI format: tables, serialization, query
+  and maintenance APIs;
+* :mod:`repro.backend`   — RTL lowering, HLI import/mapping, CSE, LICM,
+  unrolling, and the basic-block list scheduler (the "GCC" substitute);
+* :mod:`repro.machine`   — functional executor plus R4600-like and
+  R10000-like timing models;
+* :mod:`repro.workloads` — SPEC-shaped MiniC benchmark programs;
+* :mod:`repro.driver`    — end-to-end compilation/timing drivers and the
+  table-regeneration reports.
+"""
+
+__version__ = "1.0.0"
+
+from .driver.compile import Compilation, CompileOptions, compile_source
+
+__all__ = ["Compilation", "CompileOptions", "compile_source", "__version__"]

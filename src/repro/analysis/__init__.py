@@ -1,0 +1,77 @@
+"""Front-end program analysis (the reproduction's "SUIF" side).
+
+Sub-modules:
+
+* :mod:`~repro.analysis.regions` — hierarchical region trees and canonical
+  loop recognition;
+* :mod:`~repro.analysis.items` — ITEMGEN: canonical memory-access
+  enumeration and item generation;
+* :mod:`~repro.analysis.subscripts` — affine subscript forms;
+* :mod:`~repro.analysis.depend` — ZIV/SIV/GCD/Banerjee dependence tests;
+* :mod:`~repro.analysis.alias` — Andersen-style points-to analysis;
+* :mod:`~repro.analysis.refmod` — interprocedural REF/MOD side effects;
+* :mod:`~repro.analysis.eqclasses` — equivalent access class partitioning;
+* :mod:`~repro.analysis.builder` — TBLCONST: full HLI table construction.
+"""
+
+from .alias import TOP, HeapObject, PointsToResult, analyze_points_to
+from .builder import FrontEndInfo, HLIBuilder, UnitInfo, build_hli
+from .depend import (
+    DepResult,
+    LoopCarried,
+    MemberRef,
+    intra_iteration_relation,
+    loop_carried_dependence,
+    may_overlap,
+)
+from .items import (
+    Access,
+    AccessKind,
+    AccessRole,
+    ItemGenerator,
+    MemoryItem,
+    NUM_ARG_REGS,
+    SymbolicRef,
+    symbolic_ref,
+    walk_rvalue,
+    walk_stmt_accesses,
+)
+from .refmod import EffectSet, analyze_refmod
+from .regions import LoopInfo, Region, RegionKind, RegionTreeBuilder, recognize_loop
+from .subscripts import Affine, affine_of
+
+__all__ = [
+    "TOP",
+    "HeapObject",
+    "PointsToResult",
+    "analyze_points_to",
+    "FrontEndInfo",
+    "HLIBuilder",
+    "UnitInfo",
+    "build_hli",
+    "DepResult",
+    "LoopCarried",
+    "MemberRef",
+    "intra_iteration_relation",
+    "loop_carried_dependence",
+    "may_overlap",
+    "Access",
+    "AccessKind",
+    "AccessRole",
+    "ItemGenerator",
+    "MemoryItem",
+    "NUM_ARG_REGS",
+    "SymbolicRef",
+    "symbolic_ref",
+    "walk_rvalue",
+    "walk_stmt_accesses",
+    "EffectSet",
+    "analyze_refmod",
+    "LoopInfo",
+    "Region",
+    "RegionKind",
+    "RegionTreeBuilder",
+    "recognize_loop",
+    "Affine",
+    "affine_of",
+]

@@ -1,0 +1,584 @@
+"""Array data-dependence tests (the front-end's analytical core).
+
+Implements the classic battery the paper's front-end relies on:
+
+* **ZIV** (zero index variable) — constant-vs-constant subscripts;
+* **strong SIV** — equal induction coefficients, exact integer distance;
+* **weak/MIV fallback** — GCD test plus Banerjee-style bound checking
+  when loop bounds are constant.
+
+Two public entry points mirror how the HLI tables are built
+(Section 3.1.2):
+
+* :func:`intra_iteration_relation` — do two references touch the same
+  location *within one iteration*?  Feeds zero-distance merging and the
+  alias table.
+* :func:`loop_carried_dependence` — is there a dependence *across*
+  iterations of a given loop, and at what distance?  Feeds the LCDD table.
+
+All tests are conservative: they return ``MAYBE`` whenever subscripts are
+non-affine, contain symbols modified inside the loop, or bounds are
+unknown.  Property tests check soundness against brute-force enumeration.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..frontend.symbols import Symbol
+from .items import SymbolicRef
+from .regions import Region, RegionKind
+from .subscripts import Affine
+
+
+class DepResult(enum.Enum):
+    """Three-valued dependence verdict."""
+
+    NONE = "none"  # provably independent
+    DEF = "definite"  # provably dependent
+    MAYBE = "maybe"  # cannot prove either way
+
+    def __bool__(self) -> bool:  # truthy = "must assume dependence"
+        return self is not DepResult.NONE
+
+
+@dataclass(frozen=True)
+class LoopCarried:
+    """Result of a loop-carried dependence test.
+
+    ``distance`` is in iterations, always positive, with the direction
+    normalized '>' (earlier to later iteration, paper Section 2.2.3):
+    ``src_first`` tells whether the *first* argument is the source (the
+    earlier-iteration access).  ``distance`` is ``None`` for MAYBE results
+    with unknown distance.
+    """
+
+    result: DepResult
+    distance: Optional[int] = None
+    src_first: bool = True
+    #: ZIV-equal dimensions depend at *every* distance; such results
+    #: constrain nothing when combining dimensions.
+    any_distance: bool = False
+
+
+NO_DEP = LoopCarried(DepResult.NONE)
+
+
+# ---------------------------------------------------------------------------
+# Invariance helpers
+# ---------------------------------------------------------------------------
+
+
+def _form_symbols_ok(form: Affine, loop: Region, extra_vars: set[Symbol]) -> bool:
+    """True if every symbol in ``form`` is either an allowed induction
+    variable or invariant inside ``loop``."""
+    for sym in form.symbols():
+        if sym in extra_vars:
+            continue
+        if sym in loop.modified_scalars:
+            return False
+    return True
+
+
+def _enclosing_induction_vars(region: Region) -> set[Symbol]:
+    out: set[Symbol] = set()
+    for r in region.enclosing_loops():
+        if r.loop is not None and r.loop.var is not None:
+            out.add(r.loop.var)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Single-dimension tests
+# ---------------------------------------------------------------------------
+
+
+def _dim_loop_carried(
+    f1: Optional[Affine], f2: Optional[Affine], loop: Region
+) -> LoopCarried:
+    """Loop-carried test for one subscript dimension w.r.t. ``loop``.
+
+    Returns the per-dimension verdict; ``distance=None`` with DEF means
+    "dependent at every distance" (ZIV-equal case).
+    """
+    info = loop.loop
+    if f1 is None or f2 is None:
+        return LoopCarried(DepResult.MAYBE)
+    if info is None or not info.is_canonical:
+        # Unrecognized loop: cannot reason about iteration spacing.
+        diff = f1 - f2
+        if diff.is_constant and diff.const != 0 and f1.key() != f2.key():
+            # Same symbolic shape offset by a nonzero constant COULD still
+            # collide across iterations of an unknown loop -> MAYBE.
+            return LoopCarried(DepResult.MAYBE)
+        return LoopCarried(DepResult.MAYBE)
+    var = info.var
+    assert var is not None and info.step is not None
+    step = info.step
+    if step == 0:
+        return LoopCarried(DepResult.MAYBE)
+
+    allowed = _enclosing_induction_vars(loop)
+    if not (_form_symbols_ok(f1, loop, allowed) and _form_symbols_ok(f2, loop, allowed)):
+        return LoopCarried(DepResult.MAYBE)
+
+    a1, a2 = f1.coeff(var), f2.coeff(var)
+    r1, r2 = f1.drop(var), f2.drop(var)
+    rdiff = r1 - r2  # must equal a2*i2 - a1*i1 ... see below
+
+    # Outer-loop induction variables take the same value in both accesses
+    # (we test one loop at a time with '=' directions outside), so they
+    # cancel only if their coefficients match.
+    if not rdiff.is_constant:
+        # Symbolic difference: if identical symbol parts the constant decides;
+        # handled above by is_constant. Otherwise unknown.
+        return LoopCarried(DepResult.MAYBE)
+    c = rdiff.const  # r1 - r2
+
+    # Solve a1*i(k) + r1 = a2*i(k+d) + r2, i(k) = L0 + step*k.
+    if a1 == 0 and a2 == 0:
+        # ZIV: same location every iteration iff c == 0.
+        if c == 0:
+            return LoopCarried(DepResult.DEF, distance=1, any_distance=True)
+        return NO_DEP
+    if a1 == a2:
+        # Strong SIV: a*(i1 - i2) = -c  ->  i2 - i1 = c / a.
+        a = a1
+        if c % a != 0:
+            return NO_DEP
+        delta_i = c // a  # i2 - i1
+        if delta_i % step != 0:
+            return NO_DEP
+        d = delta_i // step  # iterations from ref1 to ref2
+        if d == 0:
+            return NO_DEP  # loop-independent, not carried
+        trip = info.trip_count()
+        if trip is not None and abs(d) >= trip:
+            return NO_DEP
+        if d > 0:
+            return LoopCarried(DepResult.DEF, distance=d, src_first=True)
+        return LoopCarried(DepResult.DEF, distance=-d, src_first=False)
+
+    # Weak SIV / general: GCD test on a1*i1 - a2*i2 = -c.
+    g = math.gcd(abs(a1), abs(a2))
+    if g and c % g != 0:
+        return NO_DEP
+    # Banerjee-style bounds when the iteration space is fully known.
+    rng = info.iteration_range()
+    if rng is not None:
+        vals = list(rng)
+        if not vals:
+            return NO_DEP
+        lo_i, hi_i = min(vals), max(vals)
+
+        def bounds(coeff: int) -> tuple[int, int]:
+            lo = coeff * (lo_i if coeff >= 0 else hi_i)
+            hi = coeff * (hi_i if coeff >= 0 else lo_i)
+            return lo, hi
+
+        lo1, hi1 = bounds(a1)
+        lo2, hi2 = bounds(a2)
+        # a1*i1 - a2*i2 ranges over [lo1 - hi2, hi1 - lo2]
+        if not (lo1 - hi2 <= -c <= hi1 - lo2):
+            return NO_DEP
+    return LoopCarried(DepResult.MAYBE)
+
+
+def _dim_intra_iteration(
+    f1: Optional[Affine],
+    f2: Optional[Affine],
+    region: Region,
+    stable: Optional[bool] = None,
+) -> DepResult:
+    """Same-location test for one dimension with all loop variables fixed.
+
+    ``stable`` asserts that every non-induction symbol holds the *same
+    value* at both references (proven by invariance or by equal
+    modification epochs).  Without stability no definite conclusion —
+    equal or disjoint — is sound, because the symbol may change between
+    the two accesses within one iteration.
+    """
+    if f1 is None or f2 is None:
+        return DepResult.MAYBE
+    allowed = _enclosing_induction_vars(region)
+    if stable is None:
+        stable = _form_symbols_ok(f1, region, allowed) and _form_symbols_ok(
+            f2, region, allowed
+        )
+    diff = f1 - f2
+    if diff.is_constant:
+        if not stable:
+            return DepResult.MAYBE
+        return DepResult.DEF if diff.const == 0 else DepResult.NONE
+    # Symbol terms remain: e.g. b[0] vs b[j].  If the leftover equation
+    # has a solution inside known bounds the locations may coincide.  The
+    # region's own induction variable is stable by definition (it only
+    # steps between iterations).
+    if stable and region.kind is RegionKind.LOOP and region.loop is not None:
+        info = region.loop
+        if (
+            info.var is not None
+            and set(diff.symbols()) == {info.var}
+            and info.iteration_range() is not None
+        ):
+            a = diff.coeff(info.var)
+            c = diff.const
+            rng = info.iteration_range()
+            assert rng is not None
+            # a*i + c == 0 for some i in range?
+            if a != 0 and (-c) % a == 0 and (-c) // a in rng:
+                return DepResult.MAYBE  # coincide at one iteration
+            if a != 0:
+                return DepResult.NONE
+    return DepResult.MAYBE
+
+
+# ---------------------------------------------------------------------------
+# Reference-level tests
+# ---------------------------------------------------------------------------
+
+
+def _comparable(ref1: SymbolicRef, ref2: SymbolicRef) -> bool:
+    """Can the affine machinery say anything about this pair?
+
+    Requires the same non-pointer base symbol and matching dimensionality;
+    everything else is the alias analysis' problem.
+    """
+    if ref1.base is None or ref2.base is None:
+        return False
+    if ref1.base is not ref2.base:
+        return False
+    if ref1.is_deref or ref2.is_deref:
+        return False
+    if len(ref1.subscripts) != len(ref2.subscripts):
+        return False
+    if ref1.field_name != ref2.field_name:
+        return False
+    return True
+
+
+def loop_carried_dependence(
+    ref1: SymbolicRef, ref2: SymbolicRef, loop: Region
+) -> LoopCarried:
+    """Loop-carried dependence between two same-base array/scalar refs.
+
+    Conservative MAYBE for anything the affine machinery cannot handle.
+    Scalars (no subscripts) on the same base are dependent at distance 1.
+    """
+    if not _comparable(ref1, ref2):
+        return LoopCarried(DepResult.MAYBE)
+    if not ref1.subscripts:
+        return LoopCarried(DepResult.DEF, distance=1, any_distance=True)
+    per_dim = [
+        _dim_loop_carried(f1, f2, loop)
+        for f1, f2 in zip(ref1.subscripts, ref2.subscripts)
+    ]
+    if any(d.result is DepResult.NONE for d in per_dim):
+        return NO_DEP
+    if all(d.result is DepResult.DEF for d in per_dim):
+        # Combine distances: ZIV-equal dims are wildcards (dependent at
+        # every distance); constrained dims must agree on one distance.
+        fixed = [(d.distance, d.src_first) for d in per_dim if not d.any_distance]
+        if not fixed:
+            return LoopCarried(DepResult.DEF, distance=1, any_distance=True)
+        first = fixed[0]
+        if all(f == first for f in fixed[1:]):
+            return LoopCarried(DepResult.DEF, distance=first[0], src_first=first[1])
+        return NO_DEP  # inconsistent required distances
+    return LoopCarried(DepResult.MAYBE)
+
+
+def intra_iteration_relation(
+    ref1: SymbolicRef, ref2: SymbolicRef, region: Region
+) -> DepResult:
+    """Do the refs touch the same location within a single iteration of
+    ``region`` (or a single execution, for unit regions)?"""
+    if not _comparable(ref1, ref2):
+        return DepResult.MAYBE
+    if not ref1.subscripts:
+        return DepResult.DEF
+    verdicts = [
+        _dim_intra_iteration(f1, f2, region)
+        for f1, f2 in zip(ref1.subscripts, ref2.subscripts)
+    ]
+    if any(v is DepResult.NONE for v in verdicts):
+        return DepResult.NONE
+    if all(v is DepResult.DEF for v in verdicts):
+        return DepResult.DEF
+    return DepResult.MAYBE
+
+
+# ---------------------------------------------------------------------------
+# Class-level tests (lifted references with free inner-loop variables)
+# ---------------------------------------------------------------------------
+#
+# When a sub-region's equivalence class is lifted into an enclosing region R,
+# its references represent the locations touched over ALL iterations of the
+# loops between the reference's home region and R.  Those induction
+# variables are therefore *existentially quantified, independently per
+# side*, in any overlap question asked at R.
+
+
+@dataclass(frozen=True)
+class MemberRef:
+    """A reference plus its home region, as carried inside an eq class."""
+
+    ref: SymbolicRef
+    is_store: bool
+    home: Region
+    #: modification-epoch snapshot from the originating item (see
+    #: :class:`repro.analysis.items.MemoryItem.epochs`)
+    epochs: tuple[tuple[int, int], ...] = ()
+
+
+def _pair_stable(
+    m1: "MemberRef",
+    m2: "MemberRef",
+    f1: Affine,
+    f2: Affine,
+    region: Region,
+    allowed: set[Symbol],
+) -> bool:
+    """Do both references observe the same value of every symbol in
+    ``f1``/``f2``, within one iteration of ``region``?
+
+    A symbol qualifies if it is an allowed induction variable, is never
+    modified inside ``region``, or — for two *immediate* items of
+    ``region`` — both items carry the same modification epoch for it
+    (no assignment between the two accesses).
+    """
+    e1 = dict(m1.epochs)
+    e2 = dict(m2.epochs)
+    both_immediate = m1.home is region and m2.home is region
+    for sym in set(f1.symbols()) | set(f2.symbols()):
+        if sym in allowed:
+            continue
+        if sym not in region.modified_scalars:
+            continue
+        if not both_immediate:
+            return False
+        c1, c2 = e1.get(sym.uid), e2.get(sym.uid)
+        if c1 is None or c2 is None or c1 != c2 or c1 < 0:
+            return False
+    return True
+
+
+def _free_vars_inside(home: Region, outer: Region) -> dict[Symbol, Optional[range]]:
+    """Induction vars of loops strictly inside ``outer`` enclosing ``home``.
+
+    Maps each variable to its concrete iteration range when known
+    (``None`` = unknown range).
+    """
+    out: dict[Symbol, Optional[range]] = {}
+    for r in home.ancestors():
+        if r is outer:
+            break
+        if r.kind is RegionKind.LOOP and r.loop is not None and r.loop.var is not None:
+            out[r.loop.var] = r.loop.iteration_range()
+    return out
+
+
+def _split_form(
+    form: Affine, free: dict[Symbol, Optional[range]]
+) -> tuple[list[tuple[int, Optional[range]]], Affine]:
+    """Split into (free-variable instances, fixed remainder)."""
+    instances: list[tuple[int, Optional[range]]] = []
+    fixed = form
+    for var, rng in free.items():
+        c = form.coeff(var)
+        if c != 0:
+            instances.append((c, rng))
+            fixed = fixed.drop(var)
+    return instances, fixed
+
+
+def may_overlap(m1: MemberRef, m2: MemberRef, region: Region) -> DepResult:
+    """May the two (possibly lifted) references touch a common location
+    within one iteration of ``region``?
+
+    ``DEF`` means the accessed location *sets* are provably identical and
+    non-trivially so (used for the zero-distance merge rule); ``NONE``
+    means provably disjoint; anything else is ``MAYBE``.
+    """
+    r1, r2 = m1.ref, m2.ref
+    if not _comparable(r1, r2):
+        return DepResult.MAYBE
+    if not r1.subscripts:
+        return DepResult.DEF  # same scalar
+    free1 = _free_vars_inside(m1.home, region)
+    free2 = _free_vars_inside(m2.home, region)
+    allowed = _enclosing_induction_vars(region) | set(free1) | set(free2)
+    verdicts: list[DepResult] = []
+    for f1, f2 in zip(r1.subscripts, r2.subscripts):
+        if f1 is None or f2 is None:
+            verdicts.append(DepResult.MAYBE)
+            continue
+        if not _pair_stable(m1, m2, f1, f2, region, allowed):
+            verdicts.append(DepResult.MAYBE)
+            continue
+        inst1, fixed1 = _split_form(f1, free1)
+        inst2, fixed2 = _split_form(f2, free2)
+        fixed_diff = fixed1 - fixed2
+        if not inst1 and not inst2:
+            verdicts.append(_dim_intra_iteration(f1, f2, region, stable=True))
+            continue
+        # Identical forms over identical free structure => identical sets.
+        if (
+            f1.key() == f2.key()
+            and set(free1) == set(free2)
+            and all(free1[v] == free2[v] for v in free1)
+        ):
+            verdicts.append(DepResult.DEF)
+            continue
+        if not fixed_diff.is_constant:
+            verdicts.append(DepResult.MAYBE)
+            continue
+        c = fixed_diff.const
+        # GCD test over all free instances (independent unknowns).
+        coeffs = [a for a, _ in inst1] + [a for a, _ in inst2]
+        g = 0
+        for a in coeffs:
+            g = math.gcd(g, abs(a))
+        if g and c % g != 0:
+            verdicts.append(DepResult.NONE)
+            continue
+        # Banerjee bounds when every free range is known.
+        ranges_known = all(r is not None for _, r in inst1 + inst2)
+        if ranges_known:
+            lo = hi = 0
+            for sign, insts in ((1, inst1), (-1, inst2)):
+                for a, rng in insts:
+                    assert rng is not None
+                    if len(rng) == 0:
+                        lo, hi = 1, 0  # empty loop: no accesses at all
+                        break
+                    vals = (a * sign * rng[0], a * sign * rng[-1])
+                    lo += min(vals)
+                    hi += max(vals)
+            if lo > hi or not (lo <= -c <= hi):
+                verdicts.append(DepResult.NONE)
+                continue
+        verdicts.append(DepResult.MAYBE)
+    if any(v is DepResult.NONE for v in verdicts):
+        return DepResult.NONE
+    if all(v is DepResult.DEF for v in verdicts):
+        return DepResult.DEF
+    return DepResult.MAYBE
+
+
+def class_loop_carried(m1: MemberRef, m2: MemberRef, loop: Region) -> LoopCarried:
+    """Loop-carried dependence between possibly-lifted member references.
+
+    Exact distances are only produced for non-lifted (immediate) pairs —
+    lifted pairs degrade to DEF-any-distance / MAYBE / NONE.
+    """
+    free1 = _free_vars_inside(m1.home, loop)
+    free2 = _free_vars_inside(m2.home, loop)
+
+    def uses_free(ref: SymbolicRef, free: dict) -> bool:
+        return any(
+            f is not None and f.coeff(v) != 0 for f in ref.subscripts for v in free
+        )
+
+    # Inner-loop variables that never appear in the subscripts are inert:
+    # fall back to the exact single-loop tests.
+    if not uses_free(m1.ref, free1) and not uses_free(m2.ref, free2):
+        return loop_carried_dependence(m1.ref, m2.ref, loop)
+    r1, r2 = m1.ref, m2.ref
+    if not _comparable(r1, r2):
+        return LoopCarried(DepResult.MAYBE)
+    if not r1.subscripts:
+        return LoopCarried(DepResult.DEF, distance=1, any_distance=True)
+    info = loop.loop
+    var = info.var if info is not None else None
+    # Identical location sets that do not shift with the loop variable are
+    # re-touched every iteration.
+    identical = all(
+        (f1 is not None and f2 is not None and f1.key() == f2.key())
+        for f1, f2 in zip(r1.subscripts, r2.subscripts)
+    ) and set(free1) == set(free2)
+    if identical and var is not None:
+        uses_var = any(
+            f1 is not None and f1.coeff(var) != 0 for f1 in r1.subscripts
+        )
+        allowed = _enclosing_induction_vars(loop) | set(free1) | set(free2)
+        invariant = all(
+            f is not None and _form_symbols_ok(f, loop, allowed)
+            for f in r1.subscripts
+        )
+        if not invariant:
+            return LoopCarried(DepResult.MAYBE)
+        if not uses_var:
+            return LoopCarried(DepResult.DEF, distance=1, any_distance=True)
+        # Shifts with var but free inner vars may still collide across
+        # iterations (e.g. a[i+j]): conservative.
+        return LoopCarried(DepResult.MAYBE)
+    # General lifted case: use the overlap machinery ignoring the iteration
+    # constraint; treat the loop variable as one more independent free pair.
+    fake_free = dict(free1)
+    fake_free2 = dict(free2)
+    if var is not None and info is not None:
+        rng = info.iteration_range()
+        fake_free[var] = rng
+        fake_free2[var] = rng
+    m1x = MemberRef(ref=r1, is_store=m1.is_store, home=m1.home)
+    m2x = MemberRef(ref=r2, is_store=m2.is_store, home=m2.home)
+    verdict = _overlap_with_free(m1x, m2x, loop, fake_free, fake_free2)
+    if verdict is DepResult.NONE:
+        return NO_DEP
+    return LoopCarried(DepResult.MAYBE)
+
+
+def _overlap_with_free(
+    m1: MemberRef,
+    m2: MemberRef,
+    region: Region,
+    free1: dict[Symbol, Optional[range]],
+    free2: dict[Symbol, Optional[range]],
+) -> DepResult:
+    """Overlap test with caller-supplied free variable sets."""
+    r1, r2 = m1.ref, m2.ref
+    if not _comparable(r1, r2):
+        return DepResult.MAYBE
+    if not r1.subscripts:
+        return DepResult.DEF
+    allowed = _enclosing_induction_vars(region) | set(free1) | set(free2)
+    for f1, f2 in zip(r1.subscripts, r2.subscripts):
+        if f1 is None or f2 is None:
+            continue
+        if not (
+            _form_symbols_ok(f1, region, allowed) and _form_symbols_ok(f2, region, allowed)
+        ):
+            continue
+        inst1, fixed1 = _split_form(f1, free1)
+        inst2, fixed2 = _split_form(f2, free2)
+        fixed_diff = fixed1 - fixed2
+        if not fixed_diff.is_constant:
+            continue
+        c = fixed_diff.const
+        coeffs = [a for a, _ in inst1] + [a for a, _ in inst2]
+        if not coeffs:
+            if c != 0:
+                return DepResult.NONE
+            continue
+        g = 0
+        for a in coeffs:
+            g = math.gcd(g, abs(a))
+        if g and c % g != 0:
+            return DepResult.NONE
+        if all(r is not None for _, r in inst1 + inst2):
+            lo = hi = 0
+            for sign, insts in ((1, inst1), (-1, inst2)):
+                for a, rng in insts:
+                    assert rng is not None
+                    if len(rng) == 0:
+                        return DepResult.NONE
+                    vals = (a * sign * rng[0], a * sign * rng[-1])
+                    lo += min(vals)
+                    hi += max(vals)
+            if not (lo <= -c <= hi):
+                return DepResult.NONE
+    return DepResult.MAYBE

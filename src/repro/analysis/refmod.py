@@ -1,0 +1,159 @@
+"""Interprocedural REF/MOD side-effect analysis.
+
+For every function we compute the sets of abstract memory objects it may
+*reference* (read) and *modify* (write), transitively through the call
+graph.  The HLI call REF/MOD table (paper Section 2.2.4) is derived from
+these sets, letting the back-end move memory operations across calls and
+purge CSE tables selectively (paper Figure 4).
+
+Effects are expressed over:
+
+* named symbols (globals, statics, address-taken locals, arrays);
+* :data:`~repro.analysis.alias.TOP` meaning "any addressable object"
+  (used for external functions and unanalyzable stores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import ast_nodes as ast
+from ..frontend.semantic import PURE_EXTERNALS
+from ..frontend.symbols import Symbol, SymbolTable
+from .alias import TOP, PointsToResult
+from .items import (
+    Access,
+    AccessKind,
+    AccessRole,
+    SymbolicRef,
+    ref_for_access,
+    walk_stmt_accesses,
+)
+
+
+@dataclass
+class EffectSet:
+    """REF and MOD object sets for one function."""
+
+    ref: set = field(default_factory=set)
+    mod: set = field(default_factory=set)
+
+    @property
+    def clobbers_all(self) -> bool:
+        return TOP in self.mod
+
+    @property
+    def reads_all(self) -> bool:
+        return TOP in self.ref
+
+    def union_update(self, other: "EffectSet") -> bool:
+        """Merge ``other`` in; True if anything changed."""
+        before = (len(self.ref), len(self.mod))
+        self.ref |= other.ref
+        self.mod |= other.mod
+        return (len(self.ref), len(self.mod)) != before
+
+
+def _objects_of_ref(ref: SymbolicRef | None, pts: PointsToResult) -> set:
+    """Abstract objects a symbolic reference may touch."""
+    if ref is None or ref.base is None:
+        return {TOP}
+    if ref.is_deref:
+        return pts.targets(ref.base) or {TOP}
+    return {ref.base}
+
+
+class RefModAnalysis:
+    """Fixpoint REF/MOD computation over the call graph."""
+
+    def __init__(
+        self, program: ast.Program, table: SymbolTable, pts: PointsToResult
+    ) -> None:
+        self.program = program
+        self.table = table
+        self.pts = pts
+        self.effects: dict[str, EffectSet] = {}
+        self._local_effects: dict[str, EffectSet] = {}
+        self._callees: dict[str, set[str]] = {}
+
+    def run(self) -> dict[str, EffectSet]:
+        for fn in self.program.functions:
+            self._local_effects[fn.name] = self._local(fn)
+            self.effects[fn.name] = EffectSet(
+                ref=set(self._local_effects[fn.name].ref),
+                mod=set(self._local_effects[fn.name].mod),
+            )
+        # external functions
+        for name, fsym in self.table.functions.items():
+            if fsym.external:
+                if name in PURE_EXTERNALS:
+                    self.effects[name] = EffectSet()
+                else:
+                    self.effects[name] = EffectSet(ref={TOP}, mod={TOP})
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.program.functions:
+                mine = self.effects[fn.name]
+                for callee in self._callees.get(fn.name, ()):  # includes externals
+                    callee_eff = self.effects.get(callee)
+                    if callee_eff is None:
+                        callee_eff = EffectSet(ref={TOP}, mod={TOP})
+                    if mine.union_update(callee_eff):
+                        changed = True
+        return self.effects
+
+    # -- per-function local effects -------------------------------------------
+
+    def _local(self, fn: ast.FuncDef) -> EffectSet:
+        eff = EffectSet()
+        callees: set[str] = set()
+        assert fn.body is not None
+        for stmt in ast.walk_stmts(fn.body):
+            for acc in walk_stmt_accesses(stmt):
+                self._record(acc, eff)
+                if acc.role is AccessRole.CALLSITE and isinstance(acc.node, ast.Call):
+                    callees.add(acc.node.callee)
+        self._callees[fn.name] = callees
+        # Local non-escaping variables are invisible to callers: drop them.
+        eff.ref = {o for o in eff.ref if self._visible(o, fn)}
+        eff.mod = {o for o in eff.mod if self._visible(o, fn)}
+        return eff
+
+    def _record(self, acc: Access, eff: EffectSet) -> None:
+        if acc.kind is AccessKind.CALL:
+            return
+        if acc.role in (AccessRole.STACK_ARG, AccessRole.ENTRY_PARAM):
+            return  # arg-area traffic is call-sequence private
+        objs = _objects_of_ref(ref_for_access(acc), self.pts)
+        if acc.kind is AccessKind.LOAD:
+            eff.ref |= objs
+        else:
+            eff.mod |= objs
+
+    def _visible(self, obj, fn: ast.FuncDef) -> bool:
+        """Is ``obj`` observable outside ``fn``?
+
+        Globals, statics, heap objects, TOP, and anything reachable through
+        parameters are visible; purely local storage is not.  We keep
+        address-taken locals (their address may have been passed out) and
+        all heap objects.
+        """
+        if obj is TOP:
+            return True
+        if not isinstance(obj, Symbol):
+            return True  # HeapObject
+        from ..frontend.symbols import StorageClass
+
+        if obj.storage in (StorageClass.GLOBAL, StorageClass.STATIC):
+            return True
+        if obj.storage is StorageClass.PARAM:
+            return True  # array/pointer params name caller storage
+        return obj.address_taken
+
+
+def analyze_refmod(
+    program: ast.Program, table: SymbolTable, pts: PointsToResult
+) -> dict[str, EffectSet]:
+    """Compute transitive REF/MOD sets for every function (and externals)."""
+    return RefModAnalysis(program, table, pts).run()

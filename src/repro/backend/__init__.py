@@ -1,0 +1,54 @@
+"""Back-end compiler (the reproduction's "GCC" side).
+
+Lowers the typed AST to an RTL-like IR, imports and maps HLI, and runs
+the optimization passes the paper instruments: CSE, loop-invariant code
+motion, loop unrolling, and basic-block instruction scheduling.
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .ddg import DDG, DDGBuilder, DDGMode, DepStats
+from .deps import LocalDependenceTest, may_conflict
+from .lowering import FunctionLowering, ProgramLowering, lower_program
+from .mapping import MapStats, map_function
+from .rtl import Insn, MemRef, Opcode, Reg, RTLFunction, RTLProgram, new_reg
+from .scheduler import ScheduleResult, schedule_block, schedule_function
+from .cse import CSEStats, run_cse
+from .licm import LICMStats, run_licm
+from .unroll import UnrollStats, run_unroll
+from .swp import LoopPipelineReport, MIIResult, analyze_loop_pipelining
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "DDG",
+    "DDGBuilder",
+    "DDGMode",
+    "DepStats",
+    "LocalDependenceTest",
+    "may_conflict",
+    "FunctionLowering",
+    "ProgramLowering",
+    "lower_program",
+    "MapStats",
+    "map_function",
+    "Insn",
+    "MemRef",
+    "Opcode",
+    "Reg",
+    "RTLFunction",
+    "RTLProgram",
+    "new_reg",
+    "ScheduleResult",
+    "schedule_block",
+    "schedule_function",
+    "CSEStats",
+    "run_cse",
+    "LICMStats",
+    "run_licm",
+    "UnrollStats",
+    "run_unroll",
+    "LoopPipelineReport",
+    "MIIResult",
+    "analyze_loop_pipelining",
+]

@@ -1,0 +1,102 @@
+"""Basic blocks and control-flow graph over the RTL chain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .rtl import BRANCH_OPS, Insn, Opcode, RTLFunction
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``insns`` includes the leading LABEL (if any) and the trailing branch
+    (if any); the scheduler pins both in place.
+    """
+
+    index: int
+    insns: list[Insn] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    @property
+    def label(self) -> Optional[str]:
+        if self.insns and self.insns[0].op is Opcode.LABEL:
+            return self.insns[0].label
+        return None
+
+    def body(self) -> list[Insn]:
+        """Schedulable instructions: without leading label / trailing branch."""
+        out = list(self.insns)
+        if out and out[0].op is Opcode.LABEL:
+            out = out[1:]
+        if out and out[-1].op in BRANCH_OPS:
+            out = out[:-1]
+        return out
+
+    def __iter__(self) -> Iterator[Insn]:
+        return iter(self.insns)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function."""
+
+    blocks: list[BasicBlock] = field(default_factory=list)
+
+    def flatten(self) -> list[Insn]:
+        """Back to a linear instruction chain."""
+        out: list[Insn] = []
+        for b in self.blocks:
+            out.extend(b.insns)
+        return out
+
+
+def build_cfg(fn: RTLFunction) -> CFG:
+    """Split ``fn.insns`` into basic blocks and wire successor edges."""
+    insns = fn.insns
+    leaders: set[int] = {0} if insns else set()
+    label_at: dict[str, int] = {}
+    for idx, insn in enumerate(insns):
+        if insn.op is Opcode.LABEL and insn.label is not None:
+            leaders.add(idx)
+            label_at[insn.label] = idx
+        if insn.op in BRANCH_OPS and idx + 1 < len(insns):
+            leaders.add(idx + 1)
+
+    ordered = sorted(leaders)
+    cfg = CFG()
+    start_of_block: dict[int, int] = {}
+    for bidx, start in enumerate(ordered):
+        end = ordered[bidx + 1] if bidx + 1 < len(ordered) else len(insns)
+        block = BasicBlock(index=bidx, insns=insns[start:end])
+        cfg.blocks.append(block)
+        start_of_block[start] = bidx
+
+    # Successor edges.
+    for bidx, block in enumerate(cfg.blocks):
+        if not block.insns:
+            continue
+        last = block.insns[-1]
+        if last.op is Opcode.J and last.label is not None:
+            target = label_at.get(last.label)
+            if target is not None:
+                block.succs.append(start_of_block[target])
+        elif last.op in (Opcode.BEQZ, Opcode.BNEZ):
+            if last.label is not None:
+                target = label_at.get(last.label)
+                if target is not None:
+                    block.succs.append(start_of_block[target])
+            if bidx + 1 < len(cfg.blocks):
+                block.succs.append(bidx + 1)
+        elif last.op is Opcode.RET:
+            pass
+        else:
+            if bidx + 1 < len(cfg.blocks):
+                block.succs.append(bidx + 1)
+    for block in cfg.blocks:
+        for s in block.succs:
+            cfg.blocks[s].preds.append(block.index)
+    return cfg

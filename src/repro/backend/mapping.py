@@ -1,0 +1,72 @@
+"""Importing HLI into the back-end: line-table → RTL mapping (Section 3.2.1).
+
+The back-end walks its instruction chain, groups memory references (and
+calls) by annotated source line, and matches them *positionally* against
+the per-line item lists of the HLI line table — exactly the mapping the
+paper describes as "straightforward since the ITEMGEN phase in the
+front-end follows the GCC rules for memory reference generation".
+
+A reference whose line has a count or access-type mismatch is left
+unmapped (``hli_item = None``); downstream queries then answer UNKNOWN
+and the back-end falls back to its own conservative analysis — the
+paper's "unknown dependence types" escape hatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hli.tables import HLIEntry, ItemType
+from .rtl import Insn, Opcode, RTLFunction
+
+
+@dataclass
+class MapStats:
+    """Outcome of mapping one function."""
+
+    mapped: int = 0
+    unmapped: int = 0
+    mismatched_lines: list[int] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.mapped + self.unmapped
+
+
+def _expected_type(insn: Insn) -> ItemType:
+    if insn.op is Opcode.CALL:
+        return ItemType.CALL
+    assert insn.mem is not None
+    return ItemType.STORE if insn.mem.is_store else ItemType.LOAD
+
+
+def map_function(fn: RTLFunction, entry: HLIEntry) -> MapStats:
+    """Annotate every memory reference / call in ``fn`` with its HLI item.
+
+    Returns mapping statistics.  Mutates ``insn.hli_item``.
+    """
+    stats = MapStats()
+    by_line: dict[int, list[Insn]] = {}
+    for insn in fn.insns:
+        if insn.mem is not None or insn.op is Opcode.CALL:
+            insn.hli_item = None
+            by_line.setdefault(insn.line, []).append(insn)
+
+    for line, insns in by_line.items():
+        items = entry.line_table.items_on_line(line)
+        if len(items) != len(insns):
+            stats.mismatched_lines.append(line)
+            stats.unmapped += len(insns)
+            continue
+        ok = all(
+            _expected_type(insn) is item_type
+            for insn, (_, item_type) in zip(insns, items)
+        )
+        if not ok:
+            stats.mismatched_lines.append(line)
+            stats.unmapped += len(insns)
+            continue
+        for insn, (item_id, _) in zip(insns, items):
+            insn.hli_item = item_id
+            stats.mapped += 1
+    return stats

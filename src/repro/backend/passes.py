@@ -1,0 +1,52 @@
+"""Optimization pass orchestration for the compilation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cse import CSEStats, run_cse
+from .ddg import DDGMode
+from .licm import LICMStats, run_licm
+from .unroll import UnrollStats, run_unroll
+
+
+@dataclass
+class OptStats:
+    """Aggregated per-program optimization statistics."""
+
+    cse: CSEStats = field(default_factory=CSEStats)
+    licm: LICMStats = field(default_factory=LICMStats)
+    unroll: UnrollStats = field(default_factory=UnrollStats)
+
+
+def run_optimizations(result, opts) -> OptStats:
+    """Run the requested passes over every function of a compilation.
+
+    Pass order mirrors GCC: unroll first (it needs pristine line-table
+    mappings), then CSE, then LICM, and the driver schedules afterwards.
+    HLI usage follows ``opts.mode`` (GCC mode = no HLI in the passes).
+    """
+    stats = OptStats()
+    use_hli = opts.mode is not DDGMode.GCC
+    for name, fn in result.rtl.functions.items():
+        query = result.queries.get(name) if use_hli else None
+        entry = result.hli.entries.get(name)
+        if opts.unroll > 1:
+            s = run_unroll(
+                fn,
+                opts.unroll,
+                query=result.queries.get(name),
+                entry=entry,
+            )
+            stats.unroll.merge(s)
+        if opts.cse:
+            stats.cse.merge(run_cse(fn, use_hli=use_hli, query=query, entry=entry))
+        if opts.licm:
+            stats.licm.merge(run_licm(fn, use_hli=use_hli, query=query, entry=entry))
+        # table mutations invalidate the cached query indices
+        if entry is not None and (opts.unroll > 1 or opts.cse or opts.licm):
+            from ..hli.query import HLIQuery
+
+            result.queries[name] = HLIQuery(entry)
+    result.opt_stats = stats
+    return stats

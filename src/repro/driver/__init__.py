@@ -1,0 +1,12 @@
+"""End-to-end drivers: compilation pipeline, timing comparisons, reports."""
+
+from .compile import Compilation, CompileOptions, compile_source
+from .timing import BenchTiming, time_benchmark
+
+__all__ = [
+    "Compilation",
+    "CompileOptions",
+    "compile_source",
+    "BenchTiming",
+    "time_benchmark",
+]

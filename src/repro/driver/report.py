@@ -1,0 +1,175 @@
+"""Command-line report generator: regenerates the paper's tables.
+
+Usage::
+
+    hli-report table1     # Table 1: program characteristics / HLI sizes
+    hli-report table2     # Table 2: dependence-test statistics
+    hli-report speedups   # Table 2 (last two columns): machine-model speedups
+    hli-report all        # everything
+
+Each report prints the measured values side by side with the numbers
+published in the paper, so shape agreement is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..backend.ddg import DDGMode
+from ..hli.sizes import size_report
+from ..workloads.suite import BENCHMARKS, BenchmarkSpec
+from .compile import CompileOptions, compile_source
+from .timing import time_benchmark
+
+
+def _geomean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    prod = 1.0
+    for v in values:
+        prod *= max(v, 1e-12)
+    return prod ** (1.0 / len(values))
+
+
+def report_table1(out=None) -> None:
+    """Table 1: code size, HLI size, HLI bytes per line."""
+    out = out if out is not None else sys.stdout
+    out.write("Table 1 — Benchmark program characteristics\n")
+    out.write(
+        f"{'Benchmark':14s} {'Suite':7s} {'lines':>6s} {'HLI(B)':>7s} "
+        f"{'B/line':>7s} {'paper B/line':>13s}\n"
+    )
+    int_ratios: list[float] = []
+    fp_ratios: list[float] = []
+    for b in BENCHMARKS:
+        comp = compile_source(b.source, b.name, CompileOptions(schedule=False))
+        rep = size_report(comp.hli, b.source)
+        (fp_ratios if b.is_float else int_ratios).append(rep.bytes_per_line)
+        out.write(
+            f"{b.name:14s} {b.suite:7s} {rep.code_lines:6d} {rep.hli_bytes:7d} "
+            f"{rep.bytes_per_line:7.1f} {b.paper.hli_per_line:13d}\n"
+        )
+    out.write(
+        f"{'int mean':14s} {'':7s} {'':6s} {'':7s} "
+        f"{sum(int_ratios)/len(int_ratios):7.1f} {13:13d}\n"
+    )
+    out.write(
+        f"{'fp mean':14s} {'':7s} {'':6s} {'':7s} "
+        f"{sum(fp_ratios)/len(fp_ratios):7.1f} {27:13d}\n"
+    )
+
+
+def report_table2(out=None) -> None:
+    """Table 2 (columns 1-6): dependence query statistics per benchmark."""
+    out = out if out is not None else sys.stdout
+    out.write("Table 2 — Dependence tests in the first scheduling pass\n")
+    out.write(
+        f"{'Benchmark':14s} {'tests':>6s} {'t/line':>7s} {'GCC%':>6s} {'HLI%':>6s} "
+        f"{'comb%':>6s} {'red%':>6s} {'paper red%':>11s}\n"
+    )
+    int_red: list[float] = []
+    fp_red: list[float] = []
+    for b in BENCHMARKS:
+        comp = compile_source(b.source, b.name, CompileOptions(mode=DDGMode.COMBINED))
+        s = comp.total_dep_stats()
+        rep = size_report(comp.hli, b.source)
+        per_line = s.total_tests / rep.code_lines if rep.code_lines else 0.0
+        pct = lambda n: 100.0 * n / s.total_tests if s.total_tests else 0.0  # noqa: E731
+        (fp_red if b.is_float else int_red).append(s.reduction * 100)
+        out.write(
+            f"{b.name:14s} {s.total_tests:6d} {per_line:7.2f} {pct(s.gcc_yes):6.1f} "
+            f"{pct(s.hli_yes):6.1f} {pct(s.combined_yes):6.1f} "
+            f"{s.reduction*100:6.1f} {b.paper.reduction_pct:11d}\n"
+        )
+    out.write(
+        f"{'int mean':14s} {'':6s} {'':7s} {'':6s} {'':6s} {'':6s} "
+        f"{sum(int_red)/len(int_red):6.1f} {48:11d}\n"
+    )
+    out.write(
+        f"{'fp mean':14s} {'':6s} {'':7s} {'':6s} {'':6s} {'':6s} "
+        f"{sum(fp_red)/len(fp_red):6.1f} {54:11d}\n"
+    )
+
+
+def report_speedups(out=None, benches: list[BenchmarkSpec] | None = None) -> None:
+    """Table 2 (columns 7-8): R4600 / R10000 speedups from HLI scheduling."""
+    out = out if out is not None else sys.stdout
+    out.write("Table 2 — Execution speedups (GCC-only schedule vs HLI schedule)\n")
+    out.write(
+        f"{'Benchmark':14s} {'R4600':>7s} {'paper':>6s} {'R10000':>7s} {'paper':>6s}"
+        f" {'results':>8s}\n"
+    )
+    sp4600: list[float] = []
+    sp10000: list[float] = []
+    for b in benches if benches is not None else BENCHMARKS:
+        t = time_benchmark(b)
+        sp4600.append(t.speedup_r4600)
+        sp10000.append(t.speedup_r10000)
+        out.write(
+            f"{b.name:14s} {t.speedup_r4600:7.3f} {b.paper.speedup_r4600:6.2f} "
+            f"{t.speedup_r10000:7.3f} {b.paper.speedup_r10000:6.2f} "
+            f"{'match' if t.results_match else 'DIFFER':>8s}\n"
+        )
+    out.write(
+        f"{'geomean':14s} {_geomean(sp4600):7.3f} {'':6s} {_geomean(sp10000):7.3f}\n"
+    )
+
+
+def report_swp(out=None) -> None:
+    """Extension: LCDD-driven software-pipelining MII headroom."""
+    out = out if out is not None else sys.stdout
+    from ..backend.swp import analyze_loop_pipelining
+    from ..hli.query import HLIQuery
+
+    out.write("Software pipelining — MII bounds (conservative vs LCDD)\n")
+    out.write(
+        f"{'Benchmark':14s} {'loops':>6s} {'gcc MII sum':>12s} {'hli MII sum':>12s}"
+        f" {'headroom':>9s}\n"
+    )
+    for b in BENCHMARKS:
+        if not b.is_float:
+            continue
+        comp = compile_source(b.source, b.name, CompileOptions(schedule=False))
+        rows = []
+        for fname, fn in comp.rtl.functions.items():
+            entry = comp.hli.entries.get(fname)
+            if entry is None:
+                continue
+            rows.extend(analyze_loop_pipelining(fn, HLIQuery(entry)))
+        if not rows:
+            continue
+        gcc_sum = sum(r.gcc.mii for r in rows)
+        hli_sum = sum(r.hli.mii for r in rows)
+        out.write(
+            f"{b.name:14s} {len(rows):6d} {gcc_sum:12d} {hli_sum:12d}"
+            f" {gcc_sum / max(hli_sum, 1):9.2f}\n"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hli-report", description="Regenerate the paper's tables."
+    )
+    parser.add_argument(
+        "report",
+        choices=["table1", "table2", "speedups", "swp", "all"],
+        help="which table to regenerate",
+    )
+    args = parser.parse_args(argv)
+    if args.report in ("table1", "all"):
+        report_table1()
+        print()
+    if args.report in ("table2", "all"):
+        report_table2()
+        print()
+    if args.report in ("swp", "all"):
+        report_swp()
+        print()
+    if args.report in ("speedups", "all"):
+        report_speedups()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Timing comparisons: GCC-only vs HLI-combined schedules on both machines.
+
+Regenerates the last two columns of the paper's Table 2: each benchmark
+is compiled twice (``gcc`` mode and ``combined`` mode), executed
+functionally to obtain a dynamic trace, and the trace is timed on the
+R4600-like and R10000-like models.  Speedup = GCC cycles / HLI cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backend.ddg import DDGMode, DepStats
+from ..machine.executor import execute
+from ..machine.latencies import r4600_latency, r10000_latency
+from ..machine.pipeline import R4600Model
+from ..machine.superscalar import R10000Model
+from ..workloads.suite import BenchmarkSpec
+from .compile import CompileOptions, compile_source
+
+
+@dataclass
+class BenchTiming:
+    """Timing outcome of one benchmark under both machines."""
+
+    name: str
+    ret_gcc: object
+    ret_hli: object
+    cycles_r4600_gcc: int
+    cycles_r4600_hli: int
+    cycles_r10000_gcc: int
+    cycles_r10000_hli: int
+    dynamic_insns: int
+    stats: DepStats
+
+    @property
+    def speedup_r4600(self) -> float:
+        return self.cycles_r4600_gcc / self.cycles_r4600_hli if self.cycles_r4600_hli else 1.0
+
+    @property
+    def speedup_r10000(self) -> float:
+        return self.cycles_r10000_gcc / self.cycles_r10000_hli if self.cycles_r10000_hli else 1.0
+
+    @property
+    def results_match(self) -> bool:
+        return self.ret_gcc == self.ret_hli
+
+
+def time_benchmark(spec: BenchmarkSpec) -> BenchTiming:
+    """Compile + execute + time one benchmark under both modes.
+
+    Each machine's run uses a schedule tuned with that machine's latency
+    table (as ``-mcpu`` tuning would); the dependence information — GCC
+    local analysis vs the Figure 5 combination — is the only other
+    variable between the compared runs.
+    """
+    cycles: dict[tuple[str, str], int] = {}
+    rets: dict[str, object] = {}
+    dyn = 0
+    stats: DepStats | None = None
+    machines = (
+        ("r4600", r4600_latency, R4600Model()),
+        ("r10000", r10000_latency, R10000Model()),
+    )
+    for mach_name, lat, model in machines:
+        for mode in (DDGMode.GCC, DDGMode.COMBINED):
+            comp = compile_source(
+                spec.source, spec.name, CompileOptions(mode=mode, latency=lat)
+            )
+            res = execute(comp.rtl, spec.entry, input_text=spec.input_text)
+            timing = model.time(res.trace)
+            cycles[(mach_name, mode.value)] = timing.cycles
+            rets[mode.value] = res.ret
+            dyn = timing.instructions
+            if stats is None and mode is DDGMode.COMBINED:
+                stats = comp.total_dep_stats()
+    assert stats is not None
+    return BenchTiming(
+        name=spec.name,
+        ret_gcc=rets["gcc"],
+        ret_hli=rets["combined"],
+        cycles_r4600_gcc=cycles[("r4600", "gcc")],
+        cycles_r4600_hli=cycles[("r4600", "combined")],
+        cycles_r10000_gcc=cycles[("r10000", "gcc")],
+        cycles_r10000_hli=cycles[("r10000", "combined")],
+        dynamic_insns=dyn,
+        stats=stats,
+    )

@@ -1,0 +1,82 @@
+"""MiniC front-end: lexer, parser, type system, and semantic analysis.
+
+This package is the reproduction's stand-in for the SUIF parser: it turns
+C-subset source text into a typed, line-annotated AST that the analysis
+package (:mod:`repro.analysis`) consumes to build HLI.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes
+from .errors import (
+    CompileError,
+    LexError,
+    LoweringError,
+    ParseError,
+    SemanticError,
+    SourcePos,
+)
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse
+from .semantic import SemanticAnalyzer, analyze
+from .source import SourceFile
+from .symbols import FunctionSymbol, Scope, StorageClass, Symbol, SymbolTable
+from .typesys import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    FunctionType,
+    PointerType,
+    ScalarType,
+    StructType,
+    Type,
+)
+
+
+def parse_and_check(text: str, filename: str = "<input>"):
+    """Parse and semantically analyze MiniC source.
+
+    Returns ``(program, symbol_table)``; raises :class:`CompileError` on
+    any front-end failure.
+    """
+    program = parse(text, filename)
+    table = analyze(program)
+    return program, table
+
+
+__all__ = [
+    "ast_nodes",
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "LoweringError",
+    "SourcePos",
+    "SourceFile",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "SemanticAnalyzer",
+    "analyze",
+    "parse_and_check",
+    "Symbol",
+    "FunctionSymbol",
+    "SymbolTable",
+    "Scope",
+    "StorageClass",
+    "Type",
+    "ScalarType",
+    "PointerType",
+    "ArrayType",
+    "StructType",
+    "FunctionType",
+    "INT",
+    "FLOAT",
+    "DOUBLE",
+    "CHAR",
+    "VOID",
+]

@@ -1,0 +1,511 @@
+"""Reference AST interpreter for MiniC.
+
+A direct tree-walking evaluator, fully independent of the RTL back-end
+and the machine executor.  Its purpose is differential testing: the same
+program run through ``interp`` and through lowering+execution must
+produce identical observable results, which checks the whole compile
+chain against a second implementation of the language semantics.
+
+Semantics mirror the modelled machine: 32-bit wrap-around integers,
+C-style truncating division, byte-addressed memory for arrays/pointers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import ast_nodes as ast
+from .symbols import StorageClass, Symbol
+from .typesys import ArrayType, PointerType, StructType, Type
+
+
+class InterpError(Exception):
+    """Runtime fault in the reference interpreter."""
+
+
+class _Return(Exception):
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Exit(Exception):
+    def __init__(self, code: int) -> None:
+        self.code = code
+
+
+def _s32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def _cdiv(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+@dataclass
+class InterpResult:
+    """Observable outcome of one interpreted run."""
+
+    ret: object = None
+    output: list[str] = field(default_factory=list)
+    steps: int = 0
+
+
+class Interpreter:
+    """Tree-walking evaluator over a checked program."""
+
+    def __init__(
+        self, program: ast.Program, input_text: str = "", max_steps: int = 10_000_000
+    ) -> None:
+        self.program = program
+        self.input = input_text
+        self.input_pos = 0
+        self.max_steps = max_steps
+        self.steps = 0
+        self.output: list[str] = []
+        #: storage for memory-resident objects: base address -> bytearray-like
+        self.memory: dict[int, object] = {}
+        #: symbol uid -> base address for memory-resident variables
+        self.addr_of: dict[int, int] = {}
+        self._next_addr = 0x1000
+        self._heap_next = 0x4000000
+        self._rand_state = 12345
+        #: register-promoted scalars live in per-frame dicts
+        self._globals_frame: dict[int, object] = {}
+        for decl in program.globals:
+            if isinstance(decl.symbol, Symbol):
+                self._alloc(decl.symbol)
+                if decl.init is not None:
+                    val = self._eval(decl.init, self._globals_frame)
+                    self._write(self.addr_of[decl.symbol.uid], val)
+
+    # -- storage ------------------------------------------------------------
+
+    def _alloc(self, sym: Symbol) -> int:
+        addr = self.addr_of.get(sym.uid)
+        if addr is None:
+            size = max(sym.ty.size(), 1)
+            addr = self._next_addr
+            self._next_addr += (size + 7) // 8 * 8
+            self.addr_of[sym.uid] = addr
+        return addr
+
+    def _read(self, addr: int, is_float: bool = False):
+        return self.memory.get(addr, 0.0 if is_float else 0)
+
+    def _write(self, addr: int, value) -> None:
+        self.memory[addr] = value
+
+    # -- entry --------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: tuple = ()) -> InterpResult:
+        try:
+            ret = self._call(entry, list(args))
+        except _Exit as e:
+            ret = e.code
+        return InterpResult(ret=ret, output=self.output, steps=self.steps)
+
+    def _call(self, name: str, args: list):
+        builtin = _BUILTINS.get(name)
+        if builtin is not None:
+            return builtin(self, args)
+        try:
+            fn = self.program.function(name)
+        except KeyError:
+            raise InterpError(f"call to unknown function '{name}'") from None
+        frame: dict[int, object] = {}
+        for p, a in zip(fn.params, args):
+            if isinstance(p.symbol, Symbol):
+                if p.symbol.in_memory and not p.symbol.ty.is_array:
+                    addr = self._alloc(p.symbol)
+                    self._write(addr, a)
+                else:
+                    frame[p.symbol.uid] = a
+        try:
+            assert fn.body is not None
+            self._exec_block(fn.body, frame)
+        except _Return as r:
+            return r.value
+        return 0
+
+    # -- statements --------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpError("step limit exceeded")
+
+    def _exec_block(self, block: ast.Block, frame) -> None:
+        for s in block.stmts:
+            self._exec(s, frame)
+
+    def _exec(self, stmt: ast.Stmt, frame) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, frame)
+        elif isinstance(stmt, ast.DeclGroup):
+            for d in stmt.decls:
+                self._exec(d, frame)
+        elif isinstance(stmt, ast.VarDecl):
+            sym = stmt.symbol
+            if not isinstance(sym, Symbol):
+                return
+            init = self._eval(stmt.init, frame) if stmt.init is not None else None
+            if sym.in_memory and not sym.ty.is_array:
+                addr = self._alloc(sym)
+                if init is not None:
+                    self._write(addr, self._coerce(init, sym.ty))
+            elif sym.ty.is_array or isinstance(sym.ty, StructType):
+                self._alloc(sym)
+            else:
+                frame[sym.uid] = (
+                    self._coerce(init, sym.ty) if init is not None else 0
+                )
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._eval(stmt.expr, frame)
+        elif isinstance(stmt, ast.If):
+            if self._truthy(self._eval(stmt.cond, frame)):
+                if stmt.then is not None:
+                    self._exec(stmt.then, frame)
+            elif stmt.otherwise is not None:
+                self._exec(stmt.otherwise, frame)
+        elif isinstance(stmt, ast.While):
+            while self._truthy(self._eval(stmt.cond, frame)):
+                self._tick()
+                try:
+                    if stmt.body is not None:
+                        self._exec(stmt.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.DoWhile):
+            while True:
+                self._tick()
+                try:
+                    if stmt.body is not None:
+                        self._exec(stmt.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if not self._truthy(self._eval(stmt.cond, frame)):
+                    break
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._exec(stmt.init, frame)
+            while stmt.cond is None or self._truthy(self._eval(stmt.cond, frame)):
+                self._tick()
+                try:
+                    if stmt.body is not None:
+                        self._exec(stmt.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if stmt.step is not None:
+                    self._eval(stmt.step, frame)
+        elif isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value, frame) if stmt.value is not None else 0
+            raise _Return(value)
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        else:  # pragma: no cover
+            raise InterpError(f"unknown statement {type(stmt).__name__}")
+
+    # -- lvalues ----------------------------------------------------------------
+
+    def _address(self, e: ast.Expr, frame) -> int:
+        if isinstance(e, ast.Name):
+            sym = e.symbol
+            assert isinstance(sym, Symbol)
+            return self._alloc(sym)
+        if isinstance(e, ast.Index):
+            assert e.base is not None and e.index is not None
+            bty = e.base.ty
+            if bty is not None and bty.is_array:
+                base = self._address(e.base, frame)
+            else:
+                base = int(self._eval(e.base, frame))
+            idx = int(self._eval(e.index, frame))
+            stride = max(e.ty.size(), 1) if e.ty is not None else 4
+            return base + idx * stride
+        if isinstance(e, ast.FieldAccess):
+            assert e.base is not None
+            if e.arrow:
+                base = int(self._eval(e.base, frame))
+                st = e.base.ty.pointee if isinstance(e.base.ty, PointerType) else None
+            else:
+                base = self._address(e.base, frame)
+                st = e.base.ty
+            off = st.field_offset(e.fieldname) if isinstance(st, StructType) else 0
+            return base + off
+        if isinstance(e, ast.Unary) and e.op is ast.UnaryOp.DEREF:
+            assert e.operand is not None
+            return int(self._eval(e.operand, frame))
+        raise InterpError(f"no address for {type(e).__name__}")
+
+    def _load_lvalue(self, e: ast.Expr, frame):
+        if isinstance(e, ast.Name):
+            sym = e.symbol
+            assert isinstance(sym, Symbol)
+            if sym.in_memory and not sym.ty.is_array:
+                return self._read(self.addr_of.get(sym.uid, self._alloc(sym)),
+                                  sym.ty.is_float)
+            if sym.ty.is_array or isinstance(sym.ty, StructType):
+                return self._alloc(sym)
+            if sym.uid in frame:
+                return frame[sym.uid]
+            if sym.storage in (StorageClass.GLOBAL, StorageClass.STATIC):
+                return self._read(self._alloc(sym), sym.ty.is_float)
+            return 0
+        addr = self._address(e, frame)
+        is_float = e.ty is not None and e.ty.is_float
+        return self._read(addr, is_float)
+
+    def _store_lvalue(self, e: ast.Expr, frame, value) -> None:
+        value = self._coerce(value, e.ty)
+        if isinstance(e, ast.Name):
+            sym = e.symbol
+            assert isinstance(sym, Symbol)
+            if sym.in_memory and not sym.ty.is_array:
+                self._write(self._alloc(sym), value)
+            else:
+                frame[sym.uid] = value
+            return
+        self._write(self._address(e, frame), value)
+
+    # -- expressions --------------------------------------------------------------
+
+    @staticmethod
+    def _truthy(v) -> bool:
+        return v != 0
+
+    def _coerce(self, value, ty: Optional[Type]):
+        if ty is None:
+            return value
+        if ty.is_float:
+            return float(value)
+        if ty.is_integer:
+            return _s32(int(value))
+        return value
+
+    def _eval(self, e: ast.Expr, frame):
+        self._tick()
+        if isinstance(e, ast.IntLit):
+            return e.value
+        if isinstance(e, ast.FloatLit):
+            return e.value
+        if isinstance(e, ast.StringLit):
+            return e.value
+        if isinstance(e, (ast.Name, ast.Index, ast.FieldAccess)):
+            val = self._load_lvalue(e, frame)
+            if e.ty is not None and e.ty.is_array:
+                # arrays decay to addresses when used as values
+                if isinstance(e, ast.Name):
+                    return val
+                return self._address(e, frame)
+            return val
+        if isinstance(e, ast.Unary):
+            return self._eval_unary(e, frame)
+        if isinstance(e, ast.Binary):
+            return self._eval_binary(e, frame)
+        if isinstance(e, ast.Conditional):
+            if self._truthy(self._eval(e.cond, frame)):
+                return self._eval(e.then, frame)
+            return self._eval(e.otherwise, frame)
+        if isinstance(e, ast.Call):
+            args = [self._eval(a, frame) for a in e.args]
+            return self._call(e.callee, args)
+        if isinstance(e, ast.Assign):
+            value = self._eval(e.value, frame)
+            if e.op is not ast.AssignOp.ASSIGN:
+                old = self._load_lvalue(e.target, frame)
+                value = self._apply_binop(
+                    {"+=": ast.BinOp.ADD, "-=": ast.BinOp.SUB,
+                     "*=": ast.BinOp.MUL, "/=": ast.BinOp.DIV}[e.op.value],
+                    old,
+                    value,
+                    e.target.ty,
+                )
+            self._store_lvalue(e.target, frame, value)
+            return self._coerce(value, e.target.ty)
+        if isinstance(e, ast.IncDec):
+            old = self._load_lvalue(e.target, frame)
+            step = 1
+            if isinstance(e.target.ty, PointerType):
+                step = max(e.target.ty.pointee.size(), 1)
+            new = self._apply_binop(
+                ast.BinOp.ADD if e.increment else ast.BinOp.SUB,
+                old,
+                step,
+                e.target.ty,
+            )
+            self._store_lvalue(e.target, frame, new)
+            return new if e.prefix else old
+        raise InterpError(f"unknown expression {type(e).__name__}")
+
+    def _eval_unary(self, e: ast.Unary, frame):
+        assert e.operand is not None
+        if e.op is ast.UnaryOp.DEREF:
+            addr = int(self._eval(e.operand, frame))
+            return self._read(addr, e.ty is not None and e.ty.is_float)
+        if e.op is ast.UnaryOp.ADDR:
+            return self._address(e.operand, frame)
+        v = self._eval(e.operand, frame)
+        if e.op is ast.UnaryOp.NEG:
+            return -v if isinstance(v, float) else _s32(-int(v))
+        if e.op is ast.UnaryOp.NOT:
+            return 0 if self._truthy(v) else 1
+        return _s32(~int(v))
+
+    def _eval_binary(self, e: ast.Binary, frame):
+        assert e.lhs is not None and e.rhs is not None
+        op = e.op
+        if op is ast.BinOp.AND:
+            if not self._truthy(self._eval(e.lhs, frame)):
+                return 0
+            return 1 if self._truthy(self._eval(e.rhs, frame)) else 0
+        if op is ast.BinOp.OR:
+            if self._truthy(self._eval(e.lhs, frame)):
+                return 1
+            return 1 if self._truthy(self._eval(e.rhs, frame)) else 0
+        lhs = self._eval(e.lhs, frame)
+        rhs = self._eval(e.rhs, frame)
+        # pointer arithmetic scaling
+        lty, rty = e.lhs.ty, e.rhs.ty
+        if lty is not None and (lty.is_pointer or lty.is_array) and rty is not None and rty.is_integer:
+            rhs = int(rhs) * self._pointee(lty)
+        elif rty is not None and (rty.is_pointer or rty.is_array) and lty is not None and lty.is_integer:
+            lhs = int(lhs) * self._pointee(rty)
+        return self._apply_binop(op, lhs, rhs, e.ty)
+
+    @staticmethod
+    def _pointee(ty: Type) -> int:
+        if isinstance(ty, PointerType):
+            return max(ty.pointee.size(), 1)
+        if isinstance(ty, ArrayType):
+            return max(ty.element.size(), 1)
+        return 1
+
+    def _apply_binop(self, op: ast.BinOp, lhs, rhs, ty: Optional[Type]):
+        is_float = isinstance(lhs, float) or isinstance(rhs, float)
+        if op is ast.BinOp.ADD:
+            r = lhs + rhs
+        elif op is ast.BinOp.SUB:
+            r = lhs - rhs
+        elif op is ast.BinOp.MUL:
+            r = lhs * rhs
+        elif op is ast.BinOp.DIV:
+            if is_float:
+                r = lhs / rhs if rhs != 0 else math.inf
+            else:
+                if rhs == 0:
+                    raise InterpError("integer division by zero")
+                r = _cdiv(int(lhs), int(rhs))
+        elif op is ast.BinOp.MOD:
+            if rhs == 0:
+                raise InterpError("integer modulo by zero")
+            r = int(lhs) - _cdiv(int(lhs), int(rhs)) * int(rhs)
+        elif op is ast.BinOp.LT:
+            return 1 if lhs < rhs else 0
+        elif op is ast.BinOp.GT:
+            return 1 if lhs > rhs else 0
+        elif op is ast.BinOp.LE:
+            return 1 if lhs <= rhs else 0
+        elif op is ast.BinOp.GE:
+            return 1 if lhs >= rhs else 0
+        elif op is ast.BinOp.EQ:
+            return 1 if lhs == rhs else 0
+        elif op is ast.BinOp.NE:
+            return 1 if lhs != rhs else 0
+        elif op is ast.BinOp.BITAND:
+            r = int(lhs) & int(rhs)
+        elif op is ast.BinOp.BITOR:
+            r = int(lhs) | int(rhs)
+        elif op is ast.BinOp.BITXOR:
+            r = int(lhs) ^ int(rhs)
+        elif op is ast.BinOp.SHL:
+            r = int(lhs) << (int(rhs) & 31)
+        elif op is ast.BinOp.SHR:
+            r = int(lhs) >> (int(rhs) & 31)
+        else:  # pragma: no cover
+            raise InterpError(f"unknown op {op}")
+        if is_float and op in (ast.BinOp.ADD, ast.BinOp.SUB, ast.BinOp.MUL, ast.BinOp.DIV):
+            return float(r)
+        return _s32(int(r))
+
+    # -- builtins -----------------------------------------------------------------
+
+    def _getchar(self) -> int:
+        if self.input_pos >= len(self.input):
+            return -1
+        c = ord(self.input[self.input_pos])
+        self.input_pos += 1
+        return c
+
+    def _rand(self) -> int:
+        self._rand_state = (self._rand_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._rand_state
+
+
+def _b_printf(itp: Interpreter, args):
+    fmt = args[0] if args else ""
+    try:
+        rendered = str(fmt) % tuple(args[1:]) if args[1:] else str(fmt)
+    except (TypeError, ValueError):
+        rendered = " ".join(str(a) for a in args)
+    itp.output.append(rendered)
+    return len(rendered)
+
+
+def _b_malloc(itp: Interpreter, args):
+    addr = itp._heap_next
+    itp._heap_next += max(8, (int(args[0]) + 7) // 8 * 8)
+    return addr
+
+
+_BUILTINS = {
+    "printf": _b_printf,
+    "putchar": lambda itp, a: (itp.output.append(chr(int(a[0]) & 0xFF)), int(a[0]))[1],
+    "getchar": lambda itp, a: itp._getchar(),
+    "exit": lambda itp, a: (_ for _ in ()).throw(_Exit(int(a[0]) if a else 0)),
+    "malloc": _b_malloc,
+    "free": lambda itp, a: 0,
+    "rand": lambda itp, a: itp._rand(),
+    "abs": lambda itp, a: abs(int(a[0])),
+    "sqrt": lambda itp, a: math.sqrt(abs(float(a[0]))),
+    "fabs": lambda itp, a: abs(float(a[0])),
+    "sin": lambda itp, a: math.sin(float(a[0])),
+    "cos": lambda itp, a: math.cos(float(a[0])),
+    "exp": lambda itp, a: math.exp(min(float(a[0]), 700.0)),
+    "log": lambda itp, a: math.log(abs(float(a[0])) + 1e-300),
+    "pow": lambda itp, a: math.pow(float(a[0]), float(a[1])),
+}
+
+
+def interpret(
+    program: ast.Program,
+    entry: str = "main",
+    args: tuple = (),
+    input_text: str = "",
+    max_steps: int = 10_000_000,
+) -> InterpResult:
+    """Run the reference interpreter over a checked program."""
+    return Interpreter(program, input_text=input_text, max_steps=max_steps).run(
+        entry, args
+    )

@@ -1,0 +1,214 @@
+"""MiniC pretty-printer.
+
+Renders an AST back to compilable source.  Used for diagnostics and for
+the parser round-trip property: ``parse(print(parse(src)))`` must yield
+a structurally identical program.
+"""
+
+from __future__ import annotations
+
+import io
+
+from . import ast_nodes as ast
+from .typesys import ArrayType, PointerType, StructType, Type
+
+_PRECEDENCE: dict[ast.BinOp, int] = {
+    ast.BinOp.OR: 1,
+    ast.BinOp.AND: 2,
+    ast.BinOp.BITOR: 3,
+    ast.BinOp.BITXOR: 4,
+    ast.BinOp.BITAND: 5,
+    ast.BinOp.EQ: 6,
+    ast.BinOp.NE: 6,
+    ast.BinOp.LT: 7,
+    ast.BinOp.GT: 7,
+    ast.BinOp.LE: 7,
+    ast.BinOp.GE: 7,
+    ast.BinOp.SHL: 8,
+    ast.BinOp.SHR: 8,
+    ast.BinOp.ADD: 9,
+    ast.BinOp.SUB: 9,
+    ast.BinOp.MUL: 10,
+    ast.BinOp.DIV: 10,
+    ast.BinOp.MOD: 10,
+}
+
+
+def _base_and_suffix(ty: Type) -> tuple[str, str]:
+    """Split a type into declaration base and array suffix."""
+    stars = ""
+    while isinstance(ty, PointerType):
+        stars += "*"
+        ty = ty.pointee
+    if isinstance(ty, ArrayType):
+        dims = "".join(f"[{d}]" for d in ty.dims)
+        return f"{ty.element}{('' if not stars else ' ' + stars)}", dims
+    if isinstance(ty, StructType):
+        return f"struct {ty.name}{('' if not stars else ' ' + stars)}", ""
+    return f"{ty}{('' if not stars else ' ' + stars)}", ""
+
+
+def format_type_decl(name: str, ty: Type) -> str:
+    base, suffix = _base_and_suffix(ty)
+    sep = "" if base.endswith("*") else " "
+    return f"{base}{sep}{name}{suffix}"
+
+
+class Printer:
+    """Render AST nodes to source text."""
+
+    def __init__(self) -> None:
+        self.out = io.StringIO()
+        self.indent = 0
+
+    def _line(self, text: str) -> None:
+        self.out.write("    " * self.indent + text + "\n")
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, e: ast.Expr, parent_prec: int = 0) -> str:
+        if isinstance(e, ast.IntLit):
+            return str(e.value)
+        if isinstance(e, ast.FloatLit):
+            text = repr(float(e.value))
+            return text if ("." in text or "e" in text or "inf" in text or "nan" in text) else text + ".0"
+        if isinstance(e, ast.StringLit):
+            escaped = e.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n").replace("\t", "\\t")
+            return f'"{escaped}"'
+        if isinstance(e, ast.Name):
+            return e.ident
+        if isinstance(e, ast.Unary):
+            inner = self.expr(e.operand, 11)
+            return f"{e.op.value}{inner}"
+        if isinstance(e, ast.Binary):
+            prec = _PRECEDENCE[e.op]
+            lhs = self.expr(e.lhs, prec)
+            rhs = self.expr(e.rhs, prec + 1)
+            text = f"{lhs} {e.op.value} {rhs}"
+            return f"({text})" if prec < parent_prec else text
+        if isinstance(e, ast.Conditional):
+            text = (
+                f"{self.expr(e.cond, 1)} ? {self.expr(e.then)} : "
+                f"{self.expr(e.otherwise, 1)}"
+            )
+            return f"({text})" if parent_prec > 0 else text
+        if isinstance(e, ast.Index):
+            return f"{self.expr(e.base, 12)}[{self.expr(e.index)}]"
+        if isinstance(e, ast.FieldAccess):
+            op = "->" if e.arrow else "."
+            return f"{self.expr(e.base, 12)}{op}{e.fieldname}"
+        if isinstance(e, ast.Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{e.callee}({args})"
+        if isinstance(e, ast.Assign):
+            return f"{self.expr(e.target, 12)} {e.op.value} {self.expr(e.value)}"
+        if isinstance(e, ast.IncDec):
+            op = "++" if e.increment else "--"
+            inner = self.expr(e.target, 12)
+            return f"{op}{inner}" if e.prefix else f"{inner}{op}"
+        raise TypeError(f"cannot print {type(e).__name__}")  # pragma: no cover
+
+    # -- statements ------------------------------------------------------------
+
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.Block):
+            self._line("{")
+            self.indent += 1
+            for sub in s.stmts:
+                self.stmt(sub)
+            self.indent -= 1
+            self._line("}")
+        elif isinstance(s, ast.DeclGroup):
+            for d in s.decls:
+                self.stmt(d)
+        elif isinstance(s, ast.VarDecl):
+            decl = format_type_decl(s.name, s.ty)
+            static = "static " if s.is_static else ""
+            if s.init is not None:
+                self._line(f"{static}{decl} = {self.expr(s.init)};")
+            else:
+                self._line(f"{static}{decl};")
+        elif isinstance(s, ast.ExprStmt):
+            self._line(f"{self.expr(s.expr)};" if s.expr else ";")
+        elif isinstance(s, ast.If):
+            self._line(f"if ({self.expr(s.cond)})")
+            self._braced(s.then)
+            if s.otherwise is not None:
+                self._line("else")
+                self._braced(s.otherwise)
+        elif isinstance(s, ast.While):
+            self._line(f"while ({self.expr(s.cond)})")
+            self._braced(s.body)
+        elif isinstance(s, ast.DoWhile):
+            self._line("do")
+            self._braced(s.body)
+            self._line(f"while ({self.expr(s.cond)});")
+        elif isinstance(s, ast.For):
+            init = self._for_init(s.init)
+            cond = self.expr(s.cond) if s.cond is not None else ""
+            step = self.expr(s.step) if s.step is not None else ""
+            self._line(f"for ({init}; {cond}; {step})")
+            self._braced(s.body)
+        elif isinstance(s, ast.Return):
+            if s.value is not None:
+                self._line(f"return {self.expr(s.value)};")
+            else:
+                self._line("return;")
+        elif isinstance(s, ast.Break):
+            self._line("break;")
+        elif isinstance(s, ast.Continue):
+            self._line("continue;")
+        else:  # pragma: no cover
+            raise TypeError(f"cannot print {type(s).__name__}")
+
+    def _for_init(self, init: ast.Stmt | None) -> str:
+        if init is None:
+            return ""
+        if isinstance(init, ast.ExprStmt) and init.expr is not None:
+            return self.expr(init.expr)
+        if isinstance(init, ast.VarDecl):
+            decl = format_type_decl(init.name, init.ty)
+            if init.init is not None:
+                return f"{decl} = {self.expr(init.init)}"
+            return decl
+        raise TypeError("unsupported for-init")  # pragma: no cover
+
+    def _braced(self, body: ast.Stmt | None) -> None:
+        if body is None:
+            self._line("{ }")
+            return
+        if isinstance(body, ast.Block):
+            self.stmt(body)
+        else:
+            self._line("{")
+            self.indent += 1
+            self.stmt(body)
+            self.indent -= 1
+            self._line("}")
+
+    # -- top level --------------------------------------------------------------
+
+    def program(self, prog: ast.Program) -> str:
+        for sd in prog.structs:
+            self._line(f"struct {sd.name} {{")
+            self.indent += 1
+            for fname, fty in sd.fields:
+                self._line(f"{format_type_decl(fname, fty)};")
+            self.indent -= 1
+            self._line("};")
+        for g in prog.globals:
+            self.stmt(g)
+        for fn in prog.functions:
+            ret, _ = _base_and_suffix(fn.ret) if fn.ret is not None else ("void", "")
+            params = ", ".join(
+                format_type_decl(p.name, p.ty) for p in fn.params
+            ) or "void"
+            static = "static " if fn.is_static else ""
+            self._line(f"{static}{ret} {fn.name}({params})")
+            self.stmt(fn.body)
+        return self.out.getvalue()
+
+
+def pretty(prog: ast.Program) -> str:
+    """Render a program AST back to MiniC source."""
+    return Printer().program(prog)

@@ -1,0 +1,77 @@
+"""Source-file abstraction used by the lexer and diagnostics.
+
+The HLI line table keys everything on *source line numbers* (Section 2.1 of
+the paper), so both the front-end and the back-end must agree on a single
+line-numbered view of the program.  :class:`SourceFile` is that view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SourceFile:
+    """An in-memory source file with line-indexed access.
+
+    Attributes
+    ----------
+    text:
+        The full program text.
+    filename:
+        Name used in diagnostics and in the HLI entry header.
+    """
+
+    text: str
+    filename: str = "<input>"
+    _lines: list[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._lines = self.text.splitlines()
+
+    @property
+    def num_lines(self) -> int:
+        """Number of physical lines in the file."""
+        return len(self._lines)
+
+    def line(self, lineno: int) -> str:
+        """Return the text of 1-based line ``lineno`` (empty string if out of range)."""
+        if 1 <= lineno <= len(self._lines):
+            return self._lines[lineno - 1]
+        return ""
+
+    def count_code_lines(self) -> int:
+        """Number of non-blank, non-comment-only lines.
+
+        This is the "code size (# of lines)" statistic of the paper's
+        Table 1.  Block comments are handled conservatively: a line is
+        counted if it contains any non-whitespace character outside a
+        ``//`` comment; lines entirely inside ``/* ... */`` are skipped.
+        """
+        count = 0
+        in_block = False
+        for raw in self._lines:
+            line = raw
+            if in_block:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = line[end + 2 :]
+                in_block = False
+            # strip any block comments opening on this line
+            while True:
+                start = line.find("/*")
+                if start < 0:
+                    break
+                end = line.find("*/", start + 2)
+                if end < 0:
+                    line = line[:start]
+                    in_block = True
+                    break
+                line = line[:start] + " " + line[end + 2 :]
+            cut = line.find("//")
+            if cut >= 0:
+                line = line[:cut]
+            if line.strip():
+                count += 1
+        return count

@@ -1,0 +1,121 @@
+"""Symbol table for MiniC semantic analysis.
+
+Symbols record the storage class facts the back-end lowering needs (paper
+Section 3.1.1): whether GCC would keep the variable in memory (global,
+static, aggregate, address-taken) or promote it to a pseudo-register
+(other local scalars).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .typesys import FunctionType, Type
+
+
+class StorageClass(enum.Enum):
+    GLOBAL = "global"
+    STATIC = "static"
+    LOCAL = "local"
+    PARAM = "param"
+
+
+_symbol_ids = itertools.count(1)
+
+
+@dataclass
+class Symbol:
+    """A declared variable or parameter."""
+
+    name: str
+    ty: Type
+    storage: StorageClass
+    line: int = 0
+    #: Set by semantic analysis if the program takes the symbol's address;
+    #: an address-taken scalar cannot be register-promoted.
+    address_taken: bool = False
+    #: Unique id across the translation unit (stable ordering for tables).
+    uid: int = field(default_factory=lambda: next(_symbol_ids))
+
+    @property
+    def in_memory(self) -> bool:
+        """Would GCC keep this variable in memory (so accesses create items)?
+
+        Mirrors paper Section 3.1.1: globals, statics, aggregates, and
+        address-taken locals live in memory; remaining local/param scalars
+        are pseudo-registers and generate *no* memory access items.
+        """
+        if self.storage in (StorageClass.GLOBAL, StorageClass.STATIC):
+            return True
+        if self.ty.is_array or not self.ty.is_scalar:
+            return True
+        return self.address_taken
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Symbol({self.name}:{self.ty}, {self.storage.value})"
+
+
+@dataclass
+class FunctionSymbol:
+    """A declared or defined function."""
+
+    name: str
+    ty: FunctionType
+    line: int = 0
+    defined: bool = False
+    #: True for functions whose body is unavailable (treated as clobbering
+    #: all addressable memory in REF/MOD analysis).
+    external: bool = False
+
+    def __hash__(self) -> int:
+        return hash(("func", self.name))
+
+
+class Scope:
+    """One lexical scope; chains to an enclosing scope."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self.names: dict[str, Symbol] = {}
+
+    def declare(self, sym: Symbol) -> None:
+        """Add ``sym``; raises KeyError on redeclaration in the same scope."""
+        if sym.name in self.names:
+            raise KeyError(sym.name)
+        self.names[sym.name] = sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        """Find ``name`` in this scope or any enclosing scope."""
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class SymbolTable:
+    """Translation-unit level symbol environment."""
+
+    def __init__(self) -> None:
+        self.global_scope = Scope()
+        self.functions: dict[str, FunctionSymbol] = {}
+        self.structs: dict[str, Type] = {}
+
+    def declare_function(self, fsym: FunctionSymbol) -> None:
+        existing = self.functions.get(fsym.name)
+        if existing is not None and existing.defined and fsym.defined:
+            raise KeyError(fsym.name)
+        self.functions[fsym.name] = fsym
+
+    def lookup_function(self, name: str) -> Optional[FunctionSymbol]:
+        return self.functions.get(name)

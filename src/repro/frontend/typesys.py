@@ -1,0 +1,243 @@
+"""MiniC type system.
+
+Types are immutable value objects.  The distinctions that matter to the HLI
+pipeline are:
+
+* *scalar vs aggregate* — GCC promotes local scalars to pseudo-registers
+  (no memory access item), while arrays/structs always live in memory
+  (paper Section 3.1.1);
+* *pointer vs non-pointer* — pointer dereferences generate items and feed
+  the alias table;
+* element sizes — used to compute HLI sizes and memory addresses in the
+  machine models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BaseKind(enum.Enum):
+    """Fundamental scalar categories."""
+
+    INT = "int"
+    FLOAT = "float"
+    DOUBLE = "double"
+    CHAR = "char"
+    VOID = "void"
+
+
+#: Byte sizes of the base types on the modelled MIPS-like target.
+BASE_SIZES: dict[BaseKind, int] = {
+    BaseKind.INT: 4,
+    BaseKind.FLOAT: 4,
+    BaseKind.DOUBLE: 8,
+    BaseKind.CHAR: 1,
+    BaseKind.VOID: 0,
+}
+
+
+class Type:
+    """Abstract base for MiniC types."""
+
+    def size(self) -> int:
+        """Size of the type in bytes."""
+        raise NotImplementedError
+
+    @property
+    def is_scalar(self) -> bool:
+        return False
+
+    @property
+    def is_pointer(self) -> bool:
+        return False
+
+    @property
+    def is_array(self) -> bool:
+        return False
+
+    @property
+    def is_float(self) -> bool:
+        """True for floating-point scalar types (float/double)."""
+        return False
+
+    @property
+    def is_integer(self) -> bool:
+        return False
+
+    @property
+    def is_void(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """int, float, double, char, or void."""
+
+    kind: BaseKind
+
+    def size(self) -> int:
+        return BASE_SIZES[self.kind]
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.kind is not BaseKind.VOID
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind in (BaseKind.FLOAT, BaseKind.DOUBLE)
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in (BaseKind.INT, BaseKind.CHAR)
+
+    @property
+    def is_void(self) -> bool:
+        return self.kind is BaseKind.VOID
+
+    def __str__(self) -> str:
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """Pointer to any type."""
+
+    pointee: Type
+
+    def size(self) -> int:
+        return 4  # 32-bit MIPS-like target
+
+    @property
+    def is_scalar(self) -> bool:
+        # A pointer variable itself is register-promotable, like a scalar.
+        return True
+
+    @property
+    def is_pointer(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """Fixed-size array; ``dims`` lists extents outermost-first."""
+
+    element: Type
+    dims: tuple[int, ...]
+
+    def size(self) -> int:
+        total = self.element.size()
+        for d in self.dims:
+            total *= d
+        return total
+
+    @property
+    def is_array(self) -> bool:
+        return True
+
+    @property
+    def element_type(self) -> Type:
+        return self.element
+
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides, in *elements*, for each dimension."""
+        out: list[int] = []
+        acc = 1
+        for d in reversed(self.dims[1:] + (1,)):
+            acc *= d
+            out.append(acc)
+        # out currently is innermost-first cumulative products; rebuild properly
+        strides: list[int] = []
+        for i in range(len(self.dims)):
+            s = 1
+            for d in self.dims[i + 1 :]:
+                s *= d
+            strides.append(s)
+        return tuple(strides)
+
+    def __str__(self) -> str:
+        dims = "".join(f"[{d}]" for d in self.dims)
+        return f"{self.element}{dims}"
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    """A named struct with ordered fields."""
+
+    name: str
+    fields: tuple[tuple[str, Type], ...] = field(default_factory=tuple)
+
+    def size(self) -> int:
+        # No padding in MiniC's ABI model; fields are laid out contiguously
+        # rounded to 4-byte alignment per field for simplicity.
+        total = 0
+        for _, ftype in self.fields:
+            fsize = ftype.size()
+            total += (fsize + 3) // 4 * 4 if fsize >= 4 else fsize
+        return max(total, 1)
+
+    def field_offset(self, name: str) -> int:
+        """Byte offset of field ``name``; raises KeyError if absent."""
+        total = 0
+        for fname, ftype in self.fields:
+            if fname == name:
+                return total
+            fsize = ftype.size()
+            total += (fsize + 3) // 4 * 4 if fsize >= 4 else fsize
+        raise KeyError(name)
+
+    def field_type(self, name: str) -> Type:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise KeyError(name)
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """Signature of a function."""
+
+    ret: Type
+    params: tuple[Type, ...]
+
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.ret}({params})"
+
+
+# Singletons for the common scalar types.
+INT = ScalarType(BaseKind.INT)
+FLOAT = ScalarType(BaseKind.FLOAT)
+DOUBLE = ScalarType(BaseKind.DOUBLE)
+CHAR = ScalarType(BaseKind.CHAR)
+VOID = ScalarType(BaseKind.VOID)
+
+
+def common_arith_type(a: Type, b: Type) -> Type:
+    """Usual arithmetic conversions, reduced to MiniC's lattice.
+
+    double > float > int > char; pointers participate only via
+    pointer+integer arithmetic handled by the caller.
+    """
+    rank = {BaseKind.CHAR: 0, BaseKind.INT: 1, BaseKind.FLOAT: 2, BaseKind.DOUBLE: 3}
+    if isinstance(a, ScalarType) and isinstance(b, ScalarType):
+        winner = a if rank.get(a.kind, -1) >= rank.get(b.kind, -1) else b
+        # char promotes to int in arithmetic
+        if isinstance(winner, ScalarType) and winner.kind is BaseKind.CHAR:
+            return INT
+        return winner
+    if a.is_pointer:
+        return a
+    if b.is_pointer:
+        return b
+    return a

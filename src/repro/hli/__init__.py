@@ -1,0 +1,64 @@
+"""The High-Level Information (HLI) format (paper Section 2).
+
+* :mod:`~repro.hli.tables`      — the data model (line table + region table);
+* :mod:`~repro.hli.binio`       — compact binary serialization (Table 1 sizes);
+* :mod:`~repro.hli.writer`      — human-readable dump;
+* :mod:`~repro.hli.reader`      — file I/O with per-unit load-on-demand;
+* :mod:`~repro.hli.query`       — the back-end query API (Section 3.2.2);
+* :mod:`~repro.hli.maintenance` — update API for back-end transformations
+  (Section 3.2.3).
+"""
+
+from .binio import HLIFormatError, decode_hli, encode_hli
+from .query import CallAcc, EquivAcc, HLIQuery, RegionInfo
+from .reader import HLIFileReader, load_hli, save_hli
+from .sizes import SizeReport, hli_size_bytes, size_report
+from .tables import (
+    AliasEntry,
+    DepType,
+    EqClass,
+    EquivType,
+    HLIEntry,
+    HLIFile,
+    ItemType,
+    LCDDEntry,
+    LineEntry,
+    LineTable,
+    RefModEntry,
+    RefModKey,
+    RegionEntry,
+    RegionType,
+)
+from .writer import format_entry, format_hli
+
+__all__ = [
+    "HLIFormatError",
+    "decode_hli",
+    "encode_hli",
+    "CallAcc",
+    "EquivAcc",
+    "HLIQuery",
+    "RegionInfo",
+    "HLIFileReader",
+    "load_hli",
+    "save_hli",
+    "SizeReport",
+    "hli_size_bytes",
+    "size_report",
+    "AliasEntry",
+    "DepType",
+    "EqClass",
+    "EquivType",
+    "HLIEntry",
+    "HLIFile",
+    "ItemType",
+    "LCDDEntry",
+    "LineEntry",
+    "LineTable",
+    "RefModEntry",
+    "RefModKey",
+    "RegionEntry",
+    "RegionType",
+    "format_entry",
+    "format_hli",
+]

@@ -1,0 +1,285 @@
+"""Binary HLI serialization.
+
+A compact struct-packed encoding of the HLI file — this is what the
+paper's Table 1 measures ("HLI size (KB)").  The format is deliberately
+self-contained and compiler-independent: only IDs, types, line numbers
+and table payloads are stored; no symbol names, types, or AST references
+survive (debug labels are dropped).
+
+Layout (all little-endian):
+
+* magic ``HLI1``, source filename, entry count;
+* per entry: unit name, root region id, line table, region table;
+* per region: header (id, type, parent, line span, loop metadata),
+  sub-region ids, then the four sub-tables.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+from .tables import (
+    AliasEntry,
+    DepType,
+    EqClass,
+    EquivType,
+    HLIEntry,
+    HLIFile,
+    ItemType,
+    LCDDEntry,
+    LineEntry,
+    LineTable,
+    RefModEntry,
+    RefModKey,
+    RegionEntry,
+    RegionType,
+)
+
+MAGIC = b"HLI1"
+
+
+class HLIFormatError(Exception):
+    """Raised on malformed binary HLI input."""
+
+
+# -- primitive helpers -------------------------------------------------------
+
+
+def _w_str(out: io.BytesIO, s: str) -> None:
+    data = s.encode("utf-8")
+    out.write(struct.pack("<H", len(data)))
+    out.write(data)
+
+
+def _w_u8(out: io.BytesIO, v: int) -> None:
+    out.write(struct.pack("<B", v))
+
+
+def _w_u16(out: io.BytesIO, v: int) -> None:
+    out.write(struct.pack("<H", v))
+
+
+def _w_u32(out: io.BytesIO, v: int) -> None:
+    out.write(struct.pack("<I", v))
+
+
+def _w_i32(out: io.BytesIO, v: int) -> None:
+    out.write(struct.pack("<i", v))
+
+
+def _w_ids(out: io.BytesIO, ids: list[int]) -> None:
+    _w_u16(out, len(ids))
+    for i in ids:
+        _w_u32(out, i)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise HLIFormatError("truncated HLI data")
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self.take(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def i32(self) -> int:
+        return struct.unpack("<i", self.take(4))[0]
+
+    def string(self) -> str:
+        n = self.u16()
+        return self.take(n).decode("utf-8")
+
+    def ids(self) -> list[int]:
+        n = self.u16()
+        return [self.u32() for _ in range(n)]
+
+
+# -- encoding -------------------------------------------------------------------
+
+
+def encode_hli(hli: HLIFile) -> bytes:
+    """Serialize a complete HLI file to bytes."""
+    out = io.BytesIO()
+    out.write(MAGIC)
+    _w_str(out, hli.source_filename)
+    _w_u16(out, len(hli.entries))
+    for entry in hli.entries.values():
+        _encode_entry(out, entry)
+    return out.getvalue()
+
+
+def _encode_entry(out: io.BytesIO, entry: HLIEntry) -> None:
+    _w_str(out, entry.unit_name)
+    _w_u32(out, entry.root_region_id)
+    # line table
+    lines = sorted(entry.line_table.entries)
+    _w_u32(out, len(lines))
+    for line in lines:
+        le = entry.line_table.entries[line]
+        _w_u32(out, line)
+        _w_u16(out, len(le.items))
+        for item_id, ty in le.items:
+            _w_u32(out, item_id)
+            _w_u8(out, ty.value)
+    # region table
+    _w_u16(out, len(entry.regions))
+    for rid in sorted(entry.regions):
+        _encode_region(out, entry.regions[rid])
+
+
+def _encode_region(out: io.BytesIO, r: RegionEntry) -> None:
+    _w_u32(out, r.region_id)
+    _w_u8(out, r.region_type.value)
+    _w_u32(out, r.parent_id if r.parent_id is not None else 0)
+    _w_u32(out, r.line_start)
+    _w_u32(out, r.line_end)
+    _w_i32(out, r.loop_step)
+    _w_i32(out, r.loop_trip)
+    _w_ids(out, r.sub_region_ids)
+    # equivalent access table
+    _w_u16(out, len(r.eq_classes))
+    for c in r.eq_classes:
+        _w_u32(out, c.class_id)
+        _w_u8(out, c.equiv_type.value)
+        _w_ids(out, c.member_items)
+        _w_ids(out, c.member_classes)
+    # alias table
+    _w_u16(out, len(r.alias_entries))
+    for a in r.alias_entries:
+        _w_ids(out, sorted(a.class_ids))
+    # LCDD table
+    _w_u16(out, len(r.lcdd_entries))
+    for d in r.lcdd_entries:
+        _w_u32(out, d.src_class)
+        _w_u32(out, d.dst_class)
+        _w_u8(out, d.dep_type.value)
+        _w_i32(out, d.distance if d.distance is not None else -1)
+    # call REF/MOD table
+    _w_u16(out, len(r.refmod_entries))
+    for m in r.refmod_entries:
+        _w_u8(out, m.key_kind.value)
+        _w_u32(out, m.key_id)
+        _w_u8(out, (1 if m.ref_all else 0) | (2 if m.mod_all else 0))
+        _w_ids(out, m.ref_classes)
+        _w_ids(out, m.mod_classes)
+
+
+# -- decoding ---------------------------------------------------------------------
+
+
+def decode_hli(data: bytes) -> HLIFile:
+    """Parse bytes produced by :func:`encode_hli`."""
+    r = _Reader(data)
+    if r.take(4) != MAGIC:
+        raise HLIFormatError("bad magic")
+    hli = HLIFile(source_filename=r.string())
+    n_entries = r.u16()
+    for _ in range(n_entries):
+        entry = _decode_entry(r)
+        hli.add(entry)
+    return hli
+
+
+def _decode_entry(r: _Reader) -> HLIEntry:
+    entry = HLIEntry(unit_name=r.string())
+    entry.root_region_id = r.u32()
+    n_lines = r.u32()
+    lt = LineTable()
+    for _ in range(n_lines):
+        line = r.u32()
+        n_items = r.u16()
+        le = LineEntry(line=line)
+        for _ in range(n_items):
+            item_id = r.u32()
+            ty = ItemType(r.u8())
+            le.items.append((item_id, ty))
+        lt.entries[line] = le
+    entry.line_table = lt
+    n_regions = r.u16()
+    for _ in range(n_regions):
+        region = _decode_region(r)
+        entry.regions[region.region_id] = region
+    return entry
+
+
+def _decode_region(r: _Reader) -> RegionEntry:
+    region_id = r.u32()
+    region_type = RegionType(r.u8())
+    parent = r.u32()
+    line_start = r.u32()
+    line_end = r.u32()
+    loop_step = r.i32()
+    loop_trip = r.i32()
+    subs = r.ids()
+    region = RegionEntry(
+        region_id=region_id,
+        region_type=region_type,
+        parent_id=parent if parent != 0 else None,
+        line_start=line_start,
+        line_end=line_end,
+        sub_region_ids=subs,
+        loop_step=loop_step,
+        loop_trip=loop_trip,
+    )
+    n_classes = r.u16()
+    for _ in range(n_classes):
+        cid = r.u32()
+        equiv = EquivType(r.u8())
+        member_items = r.ids()
+        member_classes = r.ids()
+        region.eq_classes.append(
+            EqClass(
+                class_id=cid,
+                equiv_type=equiv,
+                member_items=member_items,
+                member_classes=member_classes,
+            )
+        )
+    n_alias = r.u16()
+    for _ in range(n_alias):
+        region.alias_entries.append(AliasEntry(class_ids=frozenset(r.ids())))
+    n_lcdd = r.u16()
+    for _ in range(n_lcdd):
+        src = r.u32()
+        dst = r.u32()
+        dep = DepType(r.u8())
+        dist = r.i32()
+        region.lcdd_entries.append(
+            LCDDEntry(
+                src_class=src,
+                dst_class=dst,
+                dep_type=dep,
+                distance=dist if dist >= 0 else None,
+            )
+        )
+    n_refmod = r.u16()
+    for _ in range(n_refmod):
+        kind = RefModKey(r.u8())
+        key_id = r.u32()
+        flags = r.u8()
+        ref_classes = r.ids()
+        mod_classes = r.ids()
+        region.refmod_entries.append(
+            RefModEntry(
+                key_kind=kind,
+                key_id=key_id,
+                ref_classes=ref_classes,
+                mod_classes=mod_classes,
+                ref_all=bool(flags & 1),
+                mod_all=bool(flags & 2),
+            )
+        )
+    return region

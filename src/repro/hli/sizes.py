@@ -1,0 +1,37 @@
+"""HLI size accounting — the measurements behind the paper's Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend.source import SourceFile
+from .binio import encode_hli
+from .tables import HLIFile
+
+
+@dataclass(frozen=True)
+class SizeReport:
+    """HLI size statistics for one program."""
+
+    code_lines: int
+    hli_bytes: int
+
+    @property
+    def hli_kb(self) -> float:
+        return self.hli_bytes / 1024.0
+
+    @property
+    def bytes_per_line(self) -> float:
+        """The paper's "HLI per line (bytes)" column."""
+        return self.hli_bytes / self.code_lines if self.code_lines else 0.0
+
+
+def hli_size_bytes(hli: HLIFile) -> int:
+    """Size of the binary encoding, in bytes."""
+    return len(encode_hli(hli))
+
+
+def size_report(hli: HLIFile, source: str) -> SizeReport:
+    """Table-1 row for one program: code lines, HLI bytes, bytes/line."""
+    sf = SourceFile(source)
+    return SizeReport(code_lines=sf.count_code_lines(), hli_bytes=hli_size_bytes(hli))

@@ -1,0 +1,218 @@
+"""The High-Level Information (HLI) data model — paper Section 2, Figure 1.
+
+An :class:`HLIFile` contains one :class:`HLIEntry` per program unit
+(function).  Each entry has:
+
+* a **line table**: for every source line, the ordered list of
+  ``(item ID, access type)`` pairs — the contract that lets the back-end
+  map items onto its own memory references by position;
+* a **region table**: for every region (the unit itself and each loop),
+  four sub-tables — equivalent access classes, alias sets, loop-carried
+  data dependences, and function-call REF/MOD effects.
+
+Everything here is plain data: no AST or symbol references survive into
+the serialized HLI (names appear only as debug strings), which is what
+makes the format compiler-independent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class ItemType(enum.Enum):
+    """Access type stored in the line table's item entries."""
+
+    LOAD = 0
+    STORE = 1
+    CALL = 2
+
+
+class EquivType(enum.Enum):
+    """Equivalent-access class qualifier (Section 2.2.1)."""
+
+    DEFINITE = 0
+    MAYBE = 1
+
+
+class DepType(enum.Enum):
+    """Loop-carried dependence qualifier (Section 2.2.3)."""
+
+    DEFINITE = 0
+    MAYBE = 1
+
+
+class RegionType(enum.Enum):
+    UNIT = 0
+    LOOP = 1
+
+
+@dataclass
+class LineEntry:
+    """Items of one source line, in back-end emission order."""
+
+    line: int
+    items: list[tuple[int, ItemType]] = field(default_factory=list)
+
+
+@dataclass
+class LineTable:
+    """Ordered per-line item lists for one program unit."""
+
+    entries: dict[int, LineEntry] = field(default_factory=dict)
+
+    def add_item(self, line: int, item_id: int, ty: ItemType) -> None:
+        entry = self.entries.get(line)
+        if entry is None:
+            entry = LineEntry(line=line)
+            self.entries[line] = entry
+        entry.items.append((item_id, ty))
+
+    def items_on_line(self, line: int) -> list[tuple[int, ItemType]]:
+        entry = self.entries.get(line)
+        return list(entry.items) if entry else []
+
+    def all_items(self) -> Iterator[tuple[int, ItemType]]:
+        for line in sorted(self.entries):
+            yield from self.entries[line].items
+
+    @property
+    def num_items(self) -> int:
+        return sum(len(e.items) for e in self.entries.values())
+
+
+@dataclass
+class EqClass:
+    """One equivalent access class (Section 2.2.1).
+
+    ``class_id`` lives in the item-ID number space ("each equivalent
+    access class has a unique item ID").  ``member_items`` are item IDs
+    immediately enclosed by the region; ``member_classes`` are class IDs
+    of immediate sub-regions representing the items inside them.
+    """
+
+    class_id: int
+    equiv_type: EquivType = EquivType.DEFINITE
+    member_items: list[int] = field(default_factory=list)
+    member_classes: list[int] = field(default_factory=list)
+    #: Debug label like ``a[0..9]`` or ``sum`` — not used by queries.
+    label: str = ""
+
+
+@dataclass
+class AliasEntry:
+    """A set of class IDs that may access overlapping memory (Section 2.2.2)."""
+
+    class_ids: frozenset[int]
+
+
+@dataclass
+class LCDDEntry:
+    """A loop-carried dependence arc (Section 2.2.3).
+
+    Direction is normalized '>': ``src_class`` accesses in an earlier
+    iteration, ``dst_class`` in a later one, ``distance`` iterations apart
+    (``None`` = unknown distance, only with ``dep_type=MAYBE``).
+    """
+
+    src_class: int
+    dst_class: int
+    dep_type: DepType = DepType.MAYBE
+    distance: Optional[int] = None
+
+
+class RefModKey(enum.Enum):
+    """What a REF/MOD entry is keyed by (Section 2.2.4)."""
+
+    CALL_ITEM = 0  # a call item immediately enclosed by the region
+    SUBREGION = 1  # all calls inside one immediate sub-region
+
+
+@dataclass
+class RefModEntry:
+    """Side effects of call(s) on the region's equivalence classes."""
+
+    key_kind: RefModKey
+    key_id: int  # call item ID or sub-region ID
+    ref_classes: list[int] = field(default_factory=list)
+    mod_classes: list[int] = field(default_factory=list)
+    #: True when the callee may read/write *anything* (external calls).
+    ref_all: bool = False
+    mod_all: bool = False
+
+
+@dataclass
+class RegionEntry:
+    """One region's header plus its four sub-tables."""
+
+    region_id: int
+    region_type: RegionType
+    parent_id: Optional[int]
+    line_start: int
+    line_end: int
+    sub_region_ids: list[int] = field(default_factory=list)
+    eq_classes: list[EqClass] = field(default_factory=list)
+    alias_entries: list[AliasEntry] = field(default_factory=list)
+    lcdd_entries: list[LCDDEntry] = field(default_factory=list)
+    refmod_entries: list[RefModEntry] = field(default_factory=list)
+    #: Loop metadata used by HLI maintenance during unrolling; -1 = unknown.
+    loop_step: int = 0
+    loop_trip: int = -1
+
+    def class_by_id(self, class_id: int) -> Optional[EqClass]:
+        for c in self.eq_classes:
+            if c.class_id == class_id:
+                return c
+        return None
+
+
+@dataclass
+class HLIEntry:
+    """HLI for one program unit (function)."""
+
+    unit_name: str
+    filename: str = ""
+    root_region_id: int = 0
+    line_table: LineTable = field(default_factory=LineTable)
+    regions: dict[int, RegionEntry] = field(default_factory=dict)
+
+    # -- navigation helpers (used by queries and maintenance) -------------
+
+    def region(self, region_id: int) -> RegionEntry:
+        return self.regions[region_id]
+
+    def root_region(self) -> RegionEntry:
+        return self.regions[self.root_region_id]
+
+    def region_of_item(self, item_id: int) -> Optional[RegionEntry]:
+        """The region whose eq-class table lists ``item_id`` as a member."""
+        for r in self.regions.values():
+            for c in r.eq_classes:
+                if item_id in c.member_items:
+                    return r
+        return None
+
+    def iter_regions_postorder(self) -> Iterator[RegionEntry]:
+        def rec(rid: int) -> Iterator[RegionEntry]:
+            r = self.regions[rid]
+            for sub in r.sub_region_ids:
+                yield from rec(sub)
+            yield r
+
+        yield from rec(self.root_region_id)
+
+
+@dataclass
+class HLIFile:
+    """A complete HLI file: one entry per program unit (Figure 1)."""
+
+    source_filename: str = ""
+    entries: dict[str, HLIEntry] = field(default_factory=dict)
+
+    def entry(self, unit_name: str) -> HLIEntry:
+        return self.entries[unit_name]
+
+    def add(self, entry: HLIEntry) -> None:
+        self.entries[entry.unit_name] = entry

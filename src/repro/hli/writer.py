@@ -1,0 +1,79 @@
+"""Human-readable HLI dump (the Figure 1 layout, as text).
+
+The text form is for inspection and examples; the binary form
+(:mod:`repro.hli.binio`) is the measured interchange format.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .tables import HLIEntry, HLIFile, RefModKey, RegionEntry
+
+
+def format_hli(hli: HLIFile) -> str:
+    """Render a whole HLI file as indented text."""
+    out = io.StringIO()
+    out.write(f"HLI file for {hli.source_filename or '<unknown>'}\n")
+    out.write(f"  {len(hli.entries)} HLI entr{'y' if len(hli.entries) == 1 else 'ies'}\n")
+    for entry in hli.entries.values():
+        out.write(format_entry(entry))
+    return out.getvalue()
+
+
+def format_entry(entry: HLIEntry) -> str:
+    """Render one unit's HLI entry."""
+    out = io.StringIO()
+    out.write(f"\nHLI entry: unit '{entry.unit_name}'\n")
+    out.write("  Line table:\n")
+    for line in sorted(entry.line_table.entries):
+        items = entry.line_table.entries[line].items
+        rendered = " ".join(f"({iid},{ty.name.lower()})" for iid, ty in items)
+        out.write(f"    line {line:4d}: {rendered}\n")
+    out.write("  Region table:\n")
+    for rid in sorted(entry.regions):
+        out.write(_format_region(entry.regions[rid]))
+    return out.getvalue()
+
+
+def _format_region(r: RegionEntry) -> str:
+    out = io.StringIO()
+    parent = f" parent={r.parent_id}" if r.parent_id is not None else ""
+    loop = ""
+    if r.region_type.name == "LOOP":
+        trip = r.loop_trip if r.loop_trip >= 0 else "?"
+        loop = f" step={r.loop_step} trip={trip}"
+    out.write(
+        f"    Region {r.region_id} [{r.region_type.name}]{parent} "
+        f"lines {r.line_start}..{r.line_end}{loop}\n"
+    )
+    if r.sub_region_ids:
+        out.write(f"      sub-regions: {r.sub_region_ids}\n")
+    if r.eq_classes:
+        out.write("      equivalent access table:\n")
+        for c in r.eq_classes:
+            label = f" ; {c.label}" if c.label else ""
+            out.write(
+                f"        class {c.class_id} [{c.equiv_type.name.lower()}]"
+                f" items={c.member_items} subclasses={c.member_classes}{label}\n"
+            )
+    if r.alias_entries:
+        out.write("      alias table:\n")
+        for a in r.alias_entries:
+            out.write(f"        alias {sorted(a.class_ids)}\n")
+    if r.lcdd_entries:
+        out.write("      LCDD table:\n")
+        for d in r.lcdd_entries:
+            dist = d.distance if d.distance is not None else "?"
+            out.write(
+                f"        {d.src_class} -> {d.dst_class}"
+                f" [{d.dep_type.name.lower()}] distance={dist}\n"
+            )
+    if r.refmod_entries:
+        out.write("      call REF/MOD table:\n")
+        for m in r.refmod_entries:
+            key = "call item" if m.key_kind is RefModKey.CALL_ITEM else "sub-region"
+            ref = "ALL" if m.ref_all else m.ref_classes
+            mod = "ALL" if m.mod_all else m.mod_classes
+            out.write(f"        {key} {m.key_id}: ref={ref} mod={mod}\n")
+    return out.getvalue()

@@ -1,0 +1,309 @@
+"""Functional RTL executor.
+
+Interprets lowered (and possibly rescheduled) RTL, producing:
+
+* the program's observable results (return value, output, final memory) —
+  used by tests to prove that HLI-guided scheduling preserves semantics;
+* a dynamic instruction trace consumed by the timing models
+  (:mod:`repro.machine.pipeline`, :mod:`repro.machine.superscalar`).
+
+The machine is 32-bit MIPS-like: byte-addressed memory, C-style
+truncating integer division, wrap-around 32-bit integer arithmetic.
+External functions (printf, getchar, sqrt, malloc, ...) are serviced by
+built-in handlers so SPEC-shaped workloads run without an OS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..backend.rtl import Insn, Opcode, Reg, RTLFunction, RTLProgram
+
+
+class ExecutionError(Exception):
+    """Raised on runtime faults (bad opcode, step-limit, missing function)."""
+
+
+class _ExitProgram(Exception):
+    def __init__(self, code: int) -> None:
+        self.code = code
+
+
+@dataclass
+class TraceEvent:
+    """One executed instruction, with its resolved memory address (if any)."""
+
+    insn: Insn
+    addr: Optional[int] = None
+
+
+@dataclass
+class ExecResult:
+    """Observable outcome of one program run."""
+
+    ret: object = None
+    output: list[str] = field(default_factory=list)
+    steps: int = 0
+    trace: list[TraceEvent] = field(default_factory=list)
+    memory: dict[int, object] = field(default_factory=dict)
+
+
+def _s32(v: int) -> int:
+    """Wrap to signed 32-bit."""
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def _cdiv(a: int, b: int) -> int:
+    """C-style truncating division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _cmod(a: int, b: int) -> int:
+    return a - _cdiv(a, b) * b
+
+
+class Executor:
+    """Interpret an RTL program."""
+
+    def __init__(
+        self,
+        program: RTLProgram,
+        input_text: str = "",
+        max_steps: int = 50_000_000,
+        collect_trace: bool = True,
+    ) -> None:
+        self.program = program
+        self.memory: dict[int, object] = dict(program.init_data)
+        self.input = input_text
+        self.input_pos = 0
+        self.max_steps = max_steps
+        self.collect_trace = collect_trace
+        self.steps = 0
+        self.trace: list[TraceEvent] = []
+        self.output: list[str] = []
+        self._heap_next = 0x4000000
+        self._rand_state = 12345
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, entry: str = "main", args: tuple = ()) -> ExecResult:
+        """Execute ``entry`` with integer/float arguments."""
+        ret = None
+        try:
+            ret = self._call(entry, tuple(args))
+        except _ExitProgram as e:
+            ret = e.code
+        return ExecResult(
+            ret=ret,
+            output=self.output,
+            steps=self.steps,
+            trace=self.trace,
+            memory=self.memory,
+        )
+
+    # -- function invocation --------------------------------------------------
+
+    def _call(self, name: str, args: tuple) -> object:
+        handler = _EXTERNALS.get(name)
+        if handler is not None:
+            return handler(self, args)
+        fn = self.program.functions.get(name)
+        if fn is None:
+            raise ExecutionError(f"call to unknown function '{name}'")
+        return self._run_function(fn, args)
+
+    def _run_function(self, fn: RTLFunction, args: tuple) -> object:
+        regs: dict[int, object] = {}
+        for reg, val in zip(fn.param_regs, args):
+            regs[reg.rid] = val
+        labels = fn.labels()
+        insns = fn.insns
+        pc = 0
+        n = len(insns)
+        mem = self.memory
+        trace = self.trace
+        collect = self.collect_trace
+        while pc < n:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise ExecutionError(f"step limit exceeded in {fn.name}")
+            insn = insns[pc]
+            op = insn.op
+            addr: Optional[int] = None
+            if op is Opcode.LABEL or op is Opcode.NOP:
+                pc += 1
+                continue
+            if op is Opcode.LI:
+                regs[insn.dst.rid] = insn.imm
+            elif op is Opcode.MOVE:
+                regs[insn.dst.rid] = self._val(regs, insn.srcs[0])
+            elif op is Opcode.LA:
+                addr_v = self.program.globals_layout.get(insn.symbol)
+                if addr_v is None:
+                    raise ExecutionError(f"unknown symbol '{insn.symbol}'")
+                regs[insn.dst.rid] = addr_v[0]
+            elif op is Opcode.LOAD:
+                addr = self._val(regs, insn.mem.addr)
+                regs[insn.dst.rid] = mem.get(addr, 0.0 if insn.is_float else 0)
+            elif op is Opcode.STORE:
+                addr = self._val(regs, insn.mem.addr)
+                mem[addr] = self._val(regs, insn.srcs[0])
+            elif op is Opcode.J:
+                if collect:
+                    trace.append(TraceEvent(insn))
+                pc = labels[insn.label]
+                continue
+            elif op is Opcode.BEQZ or op is Opcode.BNEZ:
+                cond = self._val(regs, insn.srcs[0])
+                taken = (cond == 0) if op is Opcode.BEQZ else (cond != 0)
+                if collect:
+                    trace.append(TraceEvent(insn))
+                if taken:
+                    pc = labels[insn.label]
+                    continue
+                pc += 1
+                continue
+            elif op is Opcode.CALL:
+                if collect:
+                    trace.append(TraceEvent(insn))
+                call_args = tuple(self._val(regs, s) for s in insn.srcs)
+                result = self._call(insn.callee, call_args)
+                if insn.dst is not None:
+                    regs[insn.dst.rid] = result
+                pc += 1
+                continue
+            elif op is Opcode.RET:
+                if collect:
+                    trace.append(TraceEvent(insn))
+                if fn.ret_reg is not None and fn.ret_reg.rid in regs:
+                    return regs[fn.ret_reg.rid]
+                return 0
+            else:
+                regs[insn.dst.rid] = self._alu(insn, regs)
+            if collect:
+                trace.append(TraceEvent(insn, addr))
+            pc += 1
+        return 0
+
+    @staticmethod
+    def _val(regs: dict[int, object], src) -> object:
+        if isinstance(src, Reg):
+            return regs.get(src.rid, 0)
+        return src
+
+    def _alu(self, insn: Insn, regs: dict[int, object]) -> object:
+        op = insn.op
+        a = self._val(regs, insn.srcs[0])
+        b = self._val(regs, insn.srcs[1]) if len(insn.srcs) > 1 else None
+        if op is Opcode.ADD:
+            r = a + b
+            return r if insn.is_float else _s32(int(r))
+        if op is Opcode.SUB:
+            r = a - b
+            return r if insn.is_float else _s32(int(r))
+        if op is Opcode.MUL:
+            r = a * b
+            return r if insn.is_float else _s32(int(r))
+        if op is Opcode.DIV:
+            if insn.is_float:
+                return a / b if b != 0 else math.inf
+            if b == 0:
+                raise ExecutionError(f"integer division by zero at line {insn.line}")
+            return _s32(_cdiv(int(a), int(b)))
+        if op is Opcode.MOD:
+            if b == 0:
+                raise ExecutionError(f"integer modulo by zero at line {insn.line}")
+            return _s32(_cmod(int(a), int(b)))
+        if op is Opcode.NEG:
+            return -a if insn.is_float else _s32(-int(a))
+        if op is Opcode.NOT:
+            return _s32(~int(a))
+        if op is Opcode.AND:
+            return _s32(int(a) & int(b))
+        if op is Opcode.OR:
+            return _s32(int(a) | int(b))
+        if op is Opcode.XOR:
+            return _s32(int(a) ^ int(b))
+        if op is Opcode.SHL:
+            return _s32(int(a) << (int(b) & 31))
+        if op is Opcode.SHR:
+            return _s32(int(a) >> (int(b) & 31))
+        if op is Opcode.SLT:
+            return 1 if a < b else 0
+        if op is Opcode.SLE:
+            return 1 if a <= b else 0
+        if op is Opcode.SEQ:
+            return 1 if a == b else 0
+        if op is Opcode.SNE:
+            return 1 if a != b else 0
+        if op is Opcode.CVT_IF:
+            return float(a)
+        if op is Opcode.CVT_FI:
+            return _s32(int(a))
+        raise ExecutionError(f"unhandled opcode {op}")  # pragma: no cover
+
+    # -- externals ----------------------------------------------------------------
+
+    def _getchar(self) -> int:
+        if self.input_pos >= len(self.input):
+            return -1
+        c = ord(self.input[self.input_pos])
+        self.input_pos += 1
+        return c
+
+    def _malloc(self, size: int) -> int:
+        addr = self._heap_next
+        self._heap_next += max(8, (int(size) + 7) // 8 * 8)
+        return addr
+
+    def _rand(self) -> int:
+        self._rand_state = (self._rand_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._rand_state
+
+
+def _ext_printf(ex: Executor, args: tuple) -> int:
+    fmt = args[0] if args else ""
+    try:
+        rendered = str(fmt) % tuple(args[1:]) if args[1:] else str(fmt)
+    except (TypeError, ValueError):
+        rendered = " ".join(str(a) for a in args)
+    ex.output.append(rendered)
+    return len(rendered)
+
+
+_EXTERNALS = {
+    "printf": _ext_printf,
+    "putchar": lambda ex, a: (ex.output.append(chr(int(a[0]) & 0xFF)), int(a[0]))[1],
+    "getchar": lambda ex, a: ex._getchar(),
+    "exit": lambda ex, a: (_ for _ in ()).throw(_ExitProgram(int(a[0]) if a else 0)),
+    "malloc": lambda ex, a: ex._malloc(int(a[0])),
+    "free": lambda ex, a: 0,
+    "rand": lambda ex, a: ex._rand(),
+    "abs": lambda ex, a: abs(int(a[0])),
+    "sqrt": lambda ex, a: math.sqrt(abs(float(a[0]))),
+    "fabs": lambda ex, a: abs(float(a[0])),
+    "sin": lambda ex, a: math.sin(float(a[0])),
+    "cos": lambda ex, a: math.cos(float(a[0])),
+    "exp": lambda ex, a: math.exp(min(float(a[0]), 700.0)),
+    "log": lambda ex, a: math.log(abs(float(a[0])) + 1e-300),
+    "pow": lambda ex, a: math.pow(float(a[0]), float(a[1])),
+}
+
+
+def execute(
+    program: RTLProgram,
+    entry: str = "main",
+    args: tuple = (),
+    input_text: str = "",
+    collect_trace: bool = True,
+    max_steps: int = 50_000_000,
+) -> ExecResult:
+    """Run ``program`` from ``entry`` and return the observable result."""
+    ex = Executor(
+        program, input_text=input_text, max_steps=max_steps, collect_trace=collect_trace
+    )
+    return ex.run(entry, args)

@@ -1,0 +1,100 @@
+"""Instruction latency tables for the modelled MIPS-like processors.
+
+Latencies are in cycles from issue to result availability.  The values
+follow published R4600 / R10000 figures closely enough to reproduce the
+paper's first-order effects: multi-cycle loads create load-use slots the
+scheduler can fill, and long floating-point latencies reward overlap.
+"""
+
+from __future__ import annotations
+
+from ..backend.rtl import Insn, Opcode
+
+#: R4600 (in-order, single-issue) latencies.
+R4600_INT: dict[Opcode, int] = {
+    Opcode.LI: 1,
+    Opcode.MOVE: 1,
+    Opcode.LA: 1,
+    Opcode.LOAD: 2,
+    Opcode.STORE: 1,
+    Opcode.ADD: 1,
+    Opcode.SUB: 1,
+    Opcode.MUL: 8,
+    Opcode.DIV: 32,
+    Opcode.MOD: 32,
+    Opcode.NEG: 1,
+    Opcode.NOT: 1,
+    Opcode.AND: 1,
+    Opcode.OR: 1,
+    Opcode.XOR: 1,
+    Opcode.SHL: 1,
+    Opcode.SHR: 1,
+    Opcode.SLT: 1,
+    Opcode.SLE: 1,
+    Opcode.SEQ: 1,
+    Opcode.SNE: 1,
+    Opcode.CVT_IF: 4,
+    Opcode.CVT_FI: 4,
+    Opcode.J: 1,
+    Opcode.BEQZ: 1,
+    Opcode.BNEZ: 1,
+    Opcode.CALL: 2,
+    Opcode.RET: 1,
+    Opcode.LABEL: 0,
+    Opcode.NOP: 1,
+}
+
+R4600_FLOAT: dict[Opcode, int] = {
+    Opcode.ADD: 4,
+    Opcode.SUB: 4,
+    Opcode.MUL: 8,
+    Opcode.DIV: 32,
+    Opcode.NEG: 2,
+    Opcode.MOVE: 1,
+    Opcode.LOAD: 2,
+    Opcode.STORE: 1,
+    Opcode.LI: 1,
+    Opcode.SLT: 2,
+    Opcode.SLE: 2,
+    Opcode.SEQ: 2,
+    Opcode.SNE: 2,
+}
+
+#: R10000 (4-issue out-of-order) latencies.
+R10000_INT: dict[Opcode, int] = dict(R4600_INT)
+R10000_INT.update(
+    {
+        Opcode.LOAD: 2,
+        Opcode.MUL: 6,
+        Opcode.DIV: 35,
+        Opcode.MOD: 35,
+        Opcode.CVT_IF: 3,
+        Opcode.CVT_FI: 3,
+        Opcode.CALL: 2,
+    }
+)
+
+R10000_FLOAT: dict[Opcode, int] = dict(R4600_FLOAT)
+R10000_FLOAT.update(
+    {
+        Opcode.ADD: 2,
+        Opcode.SUB: 2,
+        Opcode.MUL: 2,
+        Opcode.DIV: 19,
+    }
+)
+
+
+def latency_of(insn: Insn, int_table: dict[Opcode, int], float_table: dict[Opcode, int]) -> int:
+    """Latency of one instruction under a machine's tables."""
+    if insn.is_float and insn.op in float_table:
+        return float_table[insn.op]
+    return int_table.get(insn.op, 1)
+
+
+def r4600_latency(insn: Insn) -> int:
+    return latency_of(insn, R4600_INT, R4600_FLOAT)
+
+
+def r10000_latency(insn: Insn) -> int:
+    return latency_of(insn, R10000_INT, R10000_FLOAT)

@@ -1,0 +1,135 @@
+"""Cache hierarchy model (optional extension).
+
+The paper's R10000 host has 32 KB L1 caches and a 2 MB L2; its R4600
+host 64 MB of plain DRAM.  The headline speedups in Table 2 are about
+*scheduling*, not caching, so the timing models default to a flat
+memory — but this module lets the harness add cache-induced stalls for
+sensitivity studies (see ``benchmarks/bench_cache_sensitivity.py``).
+
+A classic direct-mapped / set-associative cache with LRU replacement and
+a write-allocate, write-back policy, plus a two-level wrapper matching
+the paper's R10000 description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 32
+    associativity: int = 2
+    hit_cycles: int = 0  # added on top of the pipeline's load latency
+    miss_cycles: int = 20  # penalty to the next level / memory
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.size_bytes // (self.line_bytes * self.associativity))
+
+
+class Cache:
+    """One cache level with LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        #: set index -> list of tags, most recently used last
+        self._sets: dict[int, list[int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._sets.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch ``addr``; returns True on hit."""
+        cfg = self.config
+        line = addr // cfg.line_bytes
+        index = line % cfg.num_sets
+        tag = line // cfg.num_sets
+        ways = self._sets.get(index)
+        if ways is None:
+            ways = []
+            self._sets[index] = ways
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > cfg.associativity:
+            ways.pop(0)
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class MemoryHierarchy:
+    """L1 + optional L2, as on the paper's R10000 host.
+
+    ``penalty(addr)`` returns the extra cycles this access costs beyond
+    the pipeline's base load/store latency.
+    """
+
+    l1: Cache = field(default_factory=lambda: Cache(CacheConfig()))
+    l2: Optional[Cache] = field(
+        default_factory=lambda: Cache(
+            CacheConfig(
+                size_bytes=2 * 1024 * 1024,
+                line_bytes=64,
+                associativity=4,
+                miss_cycles=60,
+            )
+        )
+    )
+
+    def reset(self) -> None:
+        self.l1.reset()
+        if self.l2 is not None:
+            self.l2.reset()
+
+    def penalty(self, addr: int) -> int:
+        if self.l1.access(addr):
+            return self.l1.config.hit_cycles
+        cost = self.l1.config.miss_cycles
+        if self.l2 is not None:
+            if not self.l2.access(addr):
+                cost += self.l2.config.miss_cycles
+        return cost
+
+    def stats(self) -> dict[str, float]:
+        out = {
+            "l1_accesses": self.l1.accesses,
+            "l1_miss_rate": round(self.l1.miss_rate, 4),
+        }
+        if self.l2 is not None:
+            out["l2_accesses"] = self.l2.accesses
+            out["l2_miss_rate"] = round(self.l2.miss_rate, 4)
+        return out
+
+
+def r10000_hierarchy() -> MemoryHierarchy:
+    """32 KB 2-way L1 + 2 MB unified L2, per the paper's host description."""
+    return MemoryHierarchy()
+
+
+def r4600_hierarchy() -> MemoryHierarchy:
+    """16 KB direct-mapped L1, no L2 (the R4600 board had plain DRAM)."""
+    return MemoryHierarchy(
+        l1=Cache(CacheConfig(size_bytes=16 * 1024, associativity=1, miss_cycles=12)),
+        l2=None,
+    )

@@ -1,0 +1,128 @@
+"""R10000-like 4-issue out-of-order timing model.
+
+Models the features the paper invokes to explain why the R10000 rewards
+HLI-guided scheduling more than the R4600 (Section 4.3):
+
+* 4-wide in-order *fetch* into a reorder window (so the compile-time
+  instruction order still matters: it decides when an instruction enters
+  the window);
+* out-of-order issue within the window once operands are ready;
+* a load/store queue in which **a load is not issued to memory until all
+  preceding stores in the queue have resolved addresses**, and a load
+  that hits a preceding store to the same address waits for (and
+  forwards from) that store's data;
+* in-order retirement bounded by the window size.
+
+The model times a dynamic trace with actual memory addresses (from the
+functional executor), so store-to-load conflicts are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backend.rtl import Opcode
+from .executor import TraceEvent
+from .latencies import r10000_latency
+from .pipeline import TimingResult
+
+_BRANCHES = {Opcode.J, Opcode.BEQZ, Opcode.BNEZ}
+
+
+@dataclass
+class R10000Config:
+    width: int = 4
+    window: int = 32
+    branch_penalty: int = 2
+    store_queue: bool = True
+
+
+class R10000Model:
+    """Windowed out-of-order timing over a dynamic trace."""
+
+    name = "R10000"
+
+    def __init__(self, config: R10000Config | None = None, cache=None) -> None:
+        self.config = config or R10000Config()
+        #: optional MemoryHierarchy adding cache-miss penalties
+        self.cache = cache
+
+    def time(self, trace: list[TraceEvent]) -> TimingResult:
+        cfg = self.config
+        cache = self.cache
+        if cache is not None:
+            cache.reset()
+        ready: dict[int, int] = {}
+        #: completion cycles of the instructions currently in the window
+        window: list[int] = []
+        #: pending stores in the window: (addr, addr_ready, data_ready)
+        stores: list[tuple[int, int, int]] = []
+        fetch_cycle = 0
+        fetched_this_cycle = 0
+        clock_last_retire = 0
+        count = 0
+        for ev in trace:
+            insn = ev.insn
+            op = insn.op
+            if op is Opcode.LABEL:
+                continue
+            count += 1
+            # ---- fetch: 4-wide, in-order, window-limited -------------------
+            if fetched_this_cycle >= cfg.width:
+                fetch_cycle += 1
+                fetched_this_cycle = 0
+            if len(window) >= cfg.window:
+                # stall fetch until the oldest instruction retires
+                oldest = window.pop(0)
+                if oldest > fetch_cycle:
+                    fetch_cycle = oldest
+                    fetched_this_cycle = 0
+            fetched_this_cycle += 1
+
+            # ---- issue ------------------------------------------------------
+            issue = fetch_cycle + 1
+            for src in insn.src_regs():
+                t = ready.get(src.rid, 0)
+                if t > issue:
+                    issue = t
+            lat = r10000_latency(insn)
+            if cache is not None and insn.mem is not None and ev.addr is not None:
+                lat += cache.penalty(ev.addr)
+
+            if op is Opcode.LOAD and cfg.store_queue:
+                # The load waits until all preceding stores have resolved
+                # addresses; a same-address store additionally forwards data.
+                for s_addr, s_aready, s_dready in stores:
+                    if s_aready > issue:
+                        issue = s_aready
+                    if ev.addr is not None and s_addr == ev.addr and s_dready > issue:
+                        issue = s_dready
+            complete = issue + lat
+            if op is Opcode.STORE:
+                addr_ready = issue
+                data_ready = issue + 1
+                stores.append((ev.addr if ev.addr is not None else -1, addr_ready, data_ready))
+                if len(stores) > cfg.window:
+                    stores.pop(0)
+            elif op is Opcode.CALL:
+                # Serialize at call boundaries (the real machine drains the
+                # store queue and mispredicts returns often enough).
+                stores.clear()
+                if clock_last_retire > issue:
+                    issue = clock_last_retire
+                complete = issue + lat
+            elif op in _BRANCHES:
+                complete = issue + cfg.branch_penalty
+
+            if insn.dst is not None:
+                ready[insn.dst.rid] = complete
+            # retire tracking: in-order retirement means completion order
+            # can't regress below the previous retire cycle.
+            if complete < clock_last_retire:
+                complete = clock_last_retire
+            clock_last_retire = complete
+            window.append(complete)
+            # age out stores whose data is long done
+            if stores and stores[0][2] <= fetch_cycle - cfg.window:
+                stores.pop(0)
+        return TimingResult(cycles=clock_last_retire, instructions=count)

@@ -1,0 +1,31 @@
+"""SPEC-shaped benchmark programs and parametric workload generators."""
+
+from .generators import (
+    ReductionParams,
+    StencilParams,
+    random_affine_loop,
+    reduction_program,
+    stencil_program,
+)
+from .suite import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    PaperRow,
+    by_name,
+    float_benchmarks,
+    integer_benchmarks,
+)
+
+__all__ = [
+    "ReductionParams",
+    "StencilParams",
+    "random_affine_loop",
+    "reduction_program",
+    "stencil_program",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "PaperRow",
+    "by_name",
+    "float_benchmarks",
+    "integer_benchmarks",
+]

@@ -1,0 +1,233 @@
+"""Parametric MiniC workload generators.
+
+Used by property tests (random-but-structured programs whose semantics
+can be predicted) and by the scaling ablation benchmarks (HLI size as a
+function of program shape).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StencilParams:
+    """A 1-D stencil kernel family."""
+
+    arrays: int = 3
+    size: int = 64
+    iters: int = 4
+    radius: int = 1
+    dtype: str = "double"
+
+
+def stencil_program(p: StencilParams) -> str:
+    """Generate a stencil program: ``a0`` is updated from its neighbours
+    and the other arrays; every array is touched every iteration."""
+    names = [f"a{k}" for k in range(p.arrays)]
+    decls = "\n".join(f"{p.dtype} {n}[{p.size}];" for n in names)
+    reads = " + ".join(
+        f"{n}[i - {p.radius}] + {n}[i + {p.radius}]" for n in names[1:]
+    ) or "0.0"
+    updates = "\n".join(
+        f"        {n}[i] = {n}[i] * 0.5 + a0[i] * 0.25;" for n in names[1:]
+    )
+    return f"""{decls}
+
+int main() {{
+    int i, t;
+    for (i = 0; i < {p.size}; i++) {{
+{chr(10).join(f'        {n}[i] = 0.01 * i + {k}.0;' for k, n in enumerate(names))}
+    }}
+    for (t = 0; t < {p.iters}; t++) {{
+        for (i = {p.radius}; i < {p.size - p.radius}; i++) {{
+            a0[i] = ({reads}) * 0.125 + a0[i];
+{updates}
+        }}
+    }}
+    return a0[{p.size // 2}] > 0.0;
+}}
+"""
+
+
+@dataclass(frozen=True)
+class ReductionParams:
+    """An integer reduction-chain family (small basic blocks)."""
+
+    arrays: int = 2
+    size: int = 64
+    stride: int = 1
+
+
+def reduction_program(p: ReductionParams) -> str:
+    names = [f"v{k}" for k in range(p.arrays)]
+    decls = "\n".join(f"int {n}[{p.size}];" for n in names)
+    sums = "\n".join(
+        f"        total = total + {n}[i];" for n in names
+    )
+    return f"""{decls}
+int total;
+
+int main() {{
+    int i;
+    for (i = 0; i < {p.size}; i++) {{
+{chr(10).join(f'        {n}[i] = i * {k + 3};' for k, n in enumerate(names))}
+    }}
+    total = 0;
+    for (i = 0; i < {p.size}; i += {p.stride}) {{
+{sums}
+    }}
+    return total;
+}}
+"""
+
+
+class RandomProgramBuilder:
+    """Structured random MiniC generator for differential fuzzing.
+
+    Produces programs that always terminate and never fault: loops are
+    bounded counted loops, array subscripts are reduced into range with
+    masks, division is avoided, and integer overflow is well-defined
+    (32-bit wrap) in both the interpreter and the machine.  The result is
+    deterministic per seed.
+    """
+
+    INT_OPS = ["+", "-", "*", "&", "|", "^"]
+    CMP_OPS = ["<", ">", "<=", ">=", "==", "!="]
+
+    def __init__(self, seed: int, max_stmts: int = 10, max_depth: int = 2) -> None:
+        self.rng = random.Random(seed)
+        self.max_stmts = max_stmts
+        self.max_depth = max_depth
+        self.arrays = ["ga", "gb"]
+        self.scalars = ["gs", "gt"]
+        self.locals = ["x", "y", "z"]
+        self.array_size = 32
+
+    # -- expressions -------------------------------------------------------
+
+    def _int_atom(self, depth: int, idx_vars: list[str]) -> str:
+        roll = self.rng.random()
+        if roll < 0.3:
+            return str(self.rng.randint(-9, 9))
+        if roll < 0.5 and idx_vars:
+            return self.rng.choice(idx_vars)
+        if roll < 0.7:
+            return self.rng.choice(self.scalars + self.locals)
+        arr = self.rng.choice(self.arrays)
+        return f"{arr}[({self._int_expr(depth + 1, idx_vars)}) & {self.array_size - 1}]"
+
+    def _int_expr(self, depth: int, idx_vars: list[str]) -> str:
+        if depth >= self.max_depth:
+            return self._int_atom(depth, idx_vars)
+        a = self._int_atom(depth, idx_vars)
+        b = self._int_atom(depth, idx_vars)
+        op = self.rng.choice(self.INT_OPS)
+        return f"({a} {op} {b})"
+
+    def _cond(self, idx_vars: list[str]) -> str:
+        a = self._int_atom(1, idx_vars)
+        b = self._int_atom(1, idx_vars)
+        return f"{a} {self.rng.choice(self.CMP_OPS)} {b}"
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmt(self, depth: int, idx_vars: list[str]) -> list[str]:
+        roll = self.rng.random()
+        pad = "    " * (depth + 1)
+        if roll < 0.35:
+            target = self.rng.choice(self.scalars + self.locals)
+            return [f"{pad}{target} = {self._int_expr(0, idx_vars)};"]
+        if roll < 0.6:
+            arr = self.rng.choice(self.arrays)
+            sub = f"({self._int_expr(1, idx_vars)}) & {self.array_size - 1}"
+            return [f"{pad}{arr}[{sub}] = {self._int_expr(0, idx_vars)};"]
+        if roll < 0.8 and depth < self.max_depth:
+            body = self._stmt(depth + 1, idx_vars)
+            out = [f"{pad}if ({self._cond(idx_vars)}) {{"]
+            out.extend(body)
+            out.append(f"{pad}}}")
+            if self.rng.random() < 0.5:
+                out.append(f"{pad}else {{")
+                out.extend(self._stmt(depth + 1, idx_vars))
+                out.append(f"{pad}}}")
+            return out
+        if depth < self.max_depth:
+            var = f"k{depth}"
+            trip = self.rng.randint(1, 8)
+            inner = idx_vars + [var]
+            out = [f"{pad}for ({var} = 0; {var} < {trip}; {var}++) {{"]
+            for _ in range(self.rng.randint(1, 3)):
+                out.extend(self._stmt(depth + 1, inner))
+            out.append(f"{pad}}}")
+            return out
+        return [f"{pad}{self.rng.choice(self.locals)} = {self._int_atom(0, idx_vars)};"]
+
+    def build(self) -> str:
+        body: list[str] = []
+        for _ in range(self.rng.randint(3, self.max_stmts)):
+            body.extend(self._stmt(0, []))
+        checksum = " + ".join(
+            [f"ga[{i}]" for i in range(0, self.array_size, 7)]
+            + [f"gb[{i}]" for i in range(3, self.array_size, 11)]
+            + self.scalars
+        )
+        return f"""int ga[{self.array_size}];
+int gb[{self.array_size}];
+int gs;
+int gt;
+
+int main() {{
+    int x, y, z;
+    int k0, k1, k2;
+    x = 1; y = 2; z = 3;
+    k0 = 0; k1 = 0; k2 = 0;
+{chr(10).join(body)}
+    return ({checksum}) & 65535;
+}}
+"""
+
+
+def random_program(seed: int) -> str:
+    """A deterministic random MiniC program (terminating, fault-free)."""
+    return RandomProgramBuilder(seed).build()
+
+
+def random_affine_loop(seed: int, size: int = 32) -> tuple[str, list[int]]:
+    """A random single-loop program over two int arrays with affine
+    subscripts, plus the Python-computed expected final array ``dst``.
+
+    The subscripts are generated so every access is in bounds; the second
+    return value is the expected content of ``dst`` after the loop, used
+    by property tests to cross-validate compilation+execution against a
+    direct evaluation.
+    """
+    rng = random.Random(seed)
+    shift_src = rng.randint(-2, 2)
+    shift_dst = rng.randint(0, 2)
+    scale = rng.randint(1, 3)
+    add = rng.randint(-5, 5)
+    lo = max(0, -shift_src, -shift_dst)
+    hi = min(size, size - shift_src, size - shift_dst)
+    src = f"""int src[{size}];
+int dst[{size}];
+
+int main() {{
+    int i;
+    for (i = 0; i < {size}; i++) {{
+        src[i] = i * {scale} + {add};
+        dst[i] = 0;
+    }}
+    for (i = {lo}; i < {hi}; i++) {{
+        dst[i + {shift_dst}] = src[i + {shift_src}] + dst[i + {shift_dst}];
+    }}
+    return dst[{size // 2}];
+}}
+"""
+    # reference evaluation
+    src_vals = [i * scale + add for i in range(size)]
+    dst_vals = [0] * size
+    for i in range(lo, hi):
+        dst_vals[i + shift_dst] = src_vals[i + shift_src] + dst_vals[i + shift_dst]
+    return src, dst_vals

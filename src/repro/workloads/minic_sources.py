@@ -1,0 +1,882 @@
+"""SPEC-shaped MiniC benchmark programs.
+
+One program per row of the paper's Tables 1 and 2.  The originals (SPEC
+CINT92/CFP92/CINT95/CFP95 plus GNU wc) are proprietary; each program here
+is a from-scratch kernel with the same *character* as its namesake:
+
+* integer codes: small basic blocks, pointer/char traffic, branchy
+  control flow, few memory references per line;
+* floating-point codes: deep affine loop nests over arrays, many memory
+  references per line — the territory where front-end dependence
+  analysis pays off.
+
+Trip counts are scaled down so the functional executor finishes each run
+in well under a second; the *shape* of the compile-time statistics (not
+absolute dynamic counts) is what the reproduction targets.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# GNU wc — character/word/line counting over an input stream
+# --------------------------------------------------------------------------
+
+WC = """\
+int nlines;
+int nwords;
+int nchars;
+int buf[256];
+int linelen[64];
+
+int is_space(int c) {
+    if (c == 32) return 1;
+    if (c == 10) return 1;
+    if (c == 9) return 1;
+    return 0;
+}
+
+int fill_buffer(void) {
+    int n, c;
+    n = 0;
+    c = getchar();
+    while (c >= 0 && n < 256) {
+        buf[n] = c;
+        n = n + 1;
+        c = getchar();
+    }
+    return n;
+}
+
+void count(int n) {
+    int i, c, inword, curlen;
+    inword = 0;
+    curlen = 0;
+    for (i = 0; i < n; i++) {
+        c = buf[i];
+        nchars = nchars + 1;
+        if (c == 10) {
+            if (nlines < 64) {
+                linelen[nlines] = curlen;
+            }
+            nlines = nlines + 1;
+            curlen = 0;
+        } else {
+            curlen = curlen + 1;
+        }
+        if (is_space(c)) {
+            inword = 0;
+        } else {
+            if (inword == 0) {
+                nwords = nwords + 1;
+            }
+            inword = 1;
+        }
+    }
+}
+
+int main() {
+    int n, total;
+    n = fill_buffer();
+    while (n > 0) {
+        count(n);
+        n = fill_buffer();
+    }
+    total = 0;
+    if (nlines < 64) {
+        int k;
+        for (k = 0; k < nlines; k++) {
+            total = total + linelen[k];
+        }
+    }
+    return nlines * 10000 + nwords * 100 + (nchars + total) % 100;
+}
+"""
+
+WC_INPUT = ("the quick brown fox jumps over the lazy dog\n" * 40) + "tail line without newline"
+
+# --------------------------------------------------------------------------
+# 008.espresso — boolean function minimizer: bitset cube operations
+# --------------------------------------------------------------------------
+
+ESPRESSO = """\
+int cubes[256];
+int cover[256];
+int ncubes;
+int ncover;
+int tmp_set[8];
+
+int cube_intersect(int i, int j) {
+    int k, empty;
+    empty = 0;
+    for (k = 0; k < 8; k++) {
+        tmp_set[k] = cubes[i * 8 + k] & cubes[j * 8 + k];
+        if (tmp_set[k] == 0) {
+            empty = 1;
+        }
+    }
+    return empty;
+}
+
+int cube_covers(int i, int j) {
+    int k;
+    for (k = 0; k < 8; k++) {
+        if ((cubes[i * 8 + k] | cubes[j * 8 + k]) != cubes[i * 8 + k]) {
+            return 0;
+        }
+    }
+    return 1;
+}
+
+void expand_cube(int i) {
+    int k, bits;
+    for (k = 0; k < 8; k++) {
+        bits = cubes[i * 8 + k];
+        bits = bits | (bits << 1);
+        bits = bits & 65535;
+        cubes[i * 8 + k] = bits;
+    }
+}
+
+int irredundant(void) {
+    int i, j, kept;
+    kept = 0;
+    for (i = 0; i < ncubes; i++) {
+        int covered;
+        covered = 0;
+        for (j = 0; j < ncubes; j++) {
+            if (i != j && cube_covers(j, i)) {
+                covered = 1;
+            }
+        }
+        if (covered == 0) {
+            for (j = 0; j < 8; j++) {
+                cover[kept * 8 + j] = cubes[i * 8 + j];
+            }
+            kept = kept + 1;
+        }
+    }
+    return kept;
+}
+
+int main() {
+    int i, k, sum;
+    ncubes = 24;
+    for (i = 0; i < ncubes; i++) {
+        for (k = 0; k < 8; k++) {
+            cubes[i * 8 + k] = ((i * 2654435761) >> (k + 3)) & 4095;
+        }
+    }
+    for (i = 0; i < ncubes; i++) {
+        if (cube_intersect(i, (i + 1) % 24)) {
+            expand_cube(i);
+        }
+    }
+    ncover = irredundant();
+    sum = 0;
+    for (i = 0; i < ncover * 8; i++) {
+        sum = sum ^ cover[i];
+    }
+    return sum + ncover;
+}
+"""
+
+# --------------------------------------------------------------------------
+# 023.eqntott — truth-table generation: comparison-driven sorting
+# --------------------------------------------------------------------------
+
+EQNTOTT = """\
+int terms[512];
+int perm[128];
+int nterm;
+
+int cmp_terms(int a, int b) {
+    int k, va, vb;
+    for (k = 0; k < 4; k++) {
+        va = terms[a * 4 + k];
+        vb = terms[b * 4 + k];
+        if (va < vb) return -1;
+        if (va > vb) return 1;
+    }
+    return 0;
+}
+
+void sort_terms(void) {
+    int i, j, t;
+    for (i = 1; i < nterm; i++) {
+        j = i;
+        while (j > 0 && cmp_terms(perm[j - 1], perm[j]) > 0) {
+            t = perm[j - 1];
+            perm[j - 1] = perm[j];
+            perm[j] = t;
+            j = j - 1;
+        }
+    }
+}
+
+int count_unique(void) {
+    int i, uniq;
+    uniq = 1;
+    for (i = 1; i < nterm; i++) {
+        if (cmp_terms(perm[i - 1], perm[i]) != 0) {
+            uniq = uniq + 1;
+        }
+    }
+    return uniq;
+}
+
+int main() {
+    int i, k;
+    nterm = 64;
+    for (i = 0; i < nterm; i++) {
+        perm[i] = i;
+        for (k = 0; k < 4; k++) {
+            terms[i * 4 + k] = ((i * 1103515245 + k * 12345) >> 5) & 15;
+        }
+    }
+    sort_terms();
+    return count_unique();
+}
+"""
+
+# --------------------------------------------------------------------------
+# 129.compress — LZW-style hash-table compression
+# --------------------------------------------------------------------------
+
+COMPRESS = """\
+int htab[512];
+int codetab[512];
+int inbuf[1024];
+int outbuf[1024];
+int free_ent;
+int out_count;
+
+void cl_hash(void) {
+    int i;
+    for (i = 0; i < 512; i++) {
+        htab[i] = -1;
+        codetab[i] = 0;
+    }
+}
+
+int compress_block(int n) {
+    int i, ent, c, fcode, h, disp, probes;
+    cl_hash();
+    free_ent = 257;
+    out_count = 0;
+    ent = inbuf[0];
+    for (i = 1; i < n; i++) {
+        c = inbuf[i];
+        fcode = (c << 12) + ent;
+        h = ((c << 4) ^ ent) & 511;
+        probes = 0;
+        while (htab[h] >= 0 && htab[h] != fcode && probes < 16) {
+            disp = 511 - h;
+            if (disp == 0) disp = 1;
+            h = h - disp;
+            if (h < 0) h = h + 512;
+            probes = probes + 1;
+        }
+        if (htab[h] == fcode) {
+            ent = codetab[h];
+        } else {
+            outbuf[out_count] = ent;
+            out_count = out_count + 1;
+            if (free_ent < 4096) {
+                codetab[h] = free_ent;
+                htab[h] = fcode;
+                free_ent = free_ent + 1;
+            }
+            ent = c;
+        }
+    }
+    outbuf[out_count] = ent;
+    out_count = out_count + 1;
+    return out_count;
+}
+
+int main() {
+    int i, n, total;
+    n = 768;
+    for (i = 0; i < n; i++) {
+        inbuf[i] = (i * 31 + (i >> 3)) % 64;
+    }
+    total = compress_block(n);
+    return total + outbuf[total / 2];
+}
+"""
+
+# --------------------------------------------------------------------------
+# 015.doduc — Monte-Carlo nuclear reactor kernels: scalar-heavy fp code
+# --------------------------------------------------------------------------
+
+DODUC = """\
+double state[64];
+double coef[64];
+double fluxes[64];
+double leakage;
+
+double interp(double x, int base) {
+    double x0, x1, y0, y1;
+    x0 = coef[base];
+    x1 = coef[base + 1];
+    y0 = coef[base + 2];
+    y1 = coef[base + 3];
+    if (x1 - x0 == 0.0) return y0;
+    return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+void transport_step(void) {
+    int i;
+    double sigma, flux, fold;
+    for (i = 1; i < 63; i++) {
+        sigma = interp(state[i], (i % 15) * 4);
+        flux = state[i - 1] * 0.3 + state[i] * 0.4 + state[i + 1] * 0.3;
+        fold = fluxes[i];
+        fluxes[i] = flux * sigma + fold * 0.05;
+        leakage = leakage + fluxes[i] - fold;
+    }
+}
+
+void relax_state(void) {
+    int i;
+    for (i = 1; i < 63; i++) {
+        state[i] = state[i] + 0.1 * (fluxes[i] - state[i]);
+    }
+}
+
+int main() {
+    int i, iter;
+    for (i = 0; i < 64; i++) {
+        state[i] = 1.0 + 0.01 * i;
+        coef[i] = 0.5 + 0.02 * i;
+        fluxes[i] = 0.0;
+    }
+    for (iter = 0; iter < 12; iter++) {
+        transport_step();
+        relax_state();
+    }
+    return leakage > 0.0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# 034.mdljdp2 — molecular dynamics, double precision pair forces
+# --------------------------------------------------------------------------
+
+MDLJDP2 = """\
+double x[96];
+double y[96];
+double z[96];
+double fx[96];
+double fy[96];
+double fz[96];
+double vx[96];
+double vy[96];
+double vz[96];
+double epot;
+
+void forces(int n) {
+    int i, j;
+    double dx, dy, dz, r2, r6, ff;
+    for (i = 0; i < n; i++) {
+        fx[i] = 0.0;
+        fy[i] = 0.0;
+        fz[i] = 0.0;
+    }
+    epot = 0.0;
+    for (i = 0; i < n; i++) {
+        for (j = i + 1; j < n; j++) {
+            dx = x[i] - x[j];
+            dy = y[i] - y[j];
+            dz = z[i] - z[j];
+            r2 = dx * dx + dy * dy + dz * dz + 0.01;
+            r6 = 1.0 / (r2 * r2 * r2);
+            ff = 24.0 * r6 * (2.0 * r6 - 1.0) / r2;
+            epot = epot + 4.0 * r6 * (r6 - 1.0);
+            fx[i] = fx[i] + dx * ff;
+            fy[i] = fy[i] + dy * ff;
+            fz[i] = fz[i] + dz * ff;
+            fx[j] = fx[j] - dx * ff;
+            fy[j] = fy[j] - dy * ff;
+            fz[j] = fz[j] - dz * ff;
+        }
+    }
+}
+
+void advance(int n, double dt) {
+    int i;
+    for (i = 0; i < n; i++) {
+        vx[i] = vx[i] + fx[i] * dt;
+        vy[i] = vy[i] + fy[i] * dt;
+        vz[i] = vz[i] + fz[i] * dt;
+        x[i] = x[i] + vx[i] * dt;
+        y[i] = y[i] + vy[i] * dt;
+        z[i] = z[i] + vz[i] * dt;
+    }
+}
+
+int main() {
+    int i, step, n;
+    n = 24;
+    for (i = 0; i < n; i++) {
+        x[i] = (i % 4) * 1.2;
+        y[i] = ((i / 4) % 4) * 1.2;
+        z[i] = (i / 16) * 1.2;
+        vx[i] = 0.0;
+        vy[i] = 0.0;
+        vz[i] = 0.0;
+    }
+    for (step = 0; step < 6; step++) {
+        forces(n);
+        advance(n, 0.004);
+    }
+    return epot < 0.0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# 048.ora — optical ray tracing through surfaces: sqrt-heavy straightline fp
+# --------------------------------------------------------------------------
+
+ORA = """\
+double surf[64];
+double result[128];
+
+double trace_ray(double px, double qx, int nsurf) {
+    int s;
+    double p, q, radius, dist, disc, root;
+    p = px;
+    q = qx;
+    for (s = 0; s < nsurf; s++) {
+        radius = surf[s * 2];
+        dist = surf[s * 2 + 1];
+        disc = radius * radius - p * p;
+        if (disc < 0.0) {
+            disc = 0.0;
+        }
+        root = sqrt(disc + 1.0);
+        q = q + p * dist / root;
+        p = p * 0.98 + q * 0.02 - dist / (root + radius);
+    }
+    return p * p + q * q;
+}
+
+int main() {
+    int r, s;
+    double acc;
+    for (s = 0; s < 32; s++) {
+        surf[s * 2] = 4.0 + 0.1 * s;
+        surf[s * 2 + 1] = 1.0 + 0.02 * s;
+    }
+    acc = 0.0;
+    for (r = 0; r < 64; r++) {
+        result[r] = trace_ray(0.1 + 0.01 * r, 0.05 * r, 24);
+        acc = acc + result[r];
+    }
+    return acc > 0.0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# 052.alvinn — neural network backprop: dense matrix-vector fp loops
+# --------------------------------------------------------------------------
+
+ALVINN = """\
+double in_units[32];
+double hid_units[16];
+double out_units[8];
+double in_weights[512];
+double out_weights[128];
+double hid_deltas[16];
+double out_deltas[8];
+
+void forward(void) {
+    int i, j;
+    double sum;
+    for (j = 0; j < 16; j++) {
+        sum = 0.0;
+        for (i = 0; i < 32; i++) {
+            sum = sum + in_units[i] * in_weights[j * 32 + i];
+        }
+        hid_units[j] = 1.0 / (1.0 + exp(-sum));
+    }
+    for (j = 0; j < 8; j++) {
+        sum = 0.0;
+        for (i = 0; i < 16; i++) {
+            sum = sum + hid_units[i] * out_weights[j * 16 + i];
+        }
+        out_units[j] = 1.0 / (1.0 + exp(-sum));
+    }
+}
+
+void backward(double eta) {
+    int i, j;
+    double err;
+    for (j = 0; j < 8; j++) {
+        err = (j % 2) - out_units[j];
+        out_deltas[j] = err * out_units[j] * (1.0 - out_units[j]);
+    }
+    for (i = 0; i < 16; i++) {
+        err = 0.0;
+        for (j = 0; j < 8; j++) {
+            err = err + out_deltas[j] * out_weights[j * 16 + i];
+        }
+        hid_deltas[i] = err * hid_units[i] * (1.0 - hid_units[i]);
+    }
+    for (j = 0; j < 8; j++) {
+        for (i = 0; i < 16; i++) {
+            out_weights[j * 16 + i] = out_weights[j * 16 + i]
+                + eta * out_deltas[j] * hid_units[i];
+        }
+    }
+    for (j = 0; j < 16; j++) {
+        for (i = 0; i < 32; i++) {
+            in_weights[j * 32 + i] = in_weights[j * 32 + i]
+                + eta * hid_deltas[j] * in_units[i];
+        }
+    }
+}
+
+int main() {
+    int i, epoch;
+    for (i = 0; i < 32; i++) {
+        in_units[i] = 0.5 + 0.01 * (i % 7);
+    }
+    for (i = 0; i < 512; i++) {
+        in_weights[i] = 0.01 * ((i * 37) % 19 - 9);
+    }
+    for (i = 0; i < 128; i++) {
+        out_weights[i] = 0.01 * ((i * 53) % 17 - 8);
+    }
+    for (epoch = 0; epoch < 4; epoch++) {
+        forward();
+        backward(0.3);
+    }
+    return out_units[0] > 0.0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# 077.mdljsp2 — molecular dynamics, single precision (float arrays)
+# --------------------------------------------------------------------------
+
+MDLJSP2 = """\
+float sx[96];
+float sy[96];
+float sfx[96];
+float sfy[96];
+float svx[96];
+float svy[96];
+float senergy;
+
+void sforces(int n) {
+    int i, j;
+    float dx, dy, r2, r6, ff;
+    for (i = 0; i < n; i++) {
+        sfx[i] = 0.0;
+        sfy[i] = 0.0;
+    }
+    senergy = 0.0;
+    for (i = 0; i < n; i++) {
+        for (j = i + 1; j < n; j++) {
+            dx = sx[i] - sx[j];
+            dy = sy[i] - sy[j];
+            r2 = dx * dx + dy * dy + 0.01;
+            r6 = 1.0 / (r2 * r2 * r2);
+            ff = 24.0 * r6 * (2.0 * r6 - 1.0) / r2;
+            senergy = senergy + 4.0 * r6 * (r6 - 1.0);
+            sfx[i] = sfx[i] + dx * ff;
+            sfy[i] = sfy[i] + dy * ff;
+            sfx[j] = sfx[j] - dx * ff;
+            sfy[j] = sfy[j] - dy * ff;
+        }
+    }
+}
+
+void sadvance(int n, float dt) {
+    int i;
+    for (i = 0; i < n; i++) {
+        svx[i] = svx[i] + sfx[i] * dt;
+        svy[i] = svy[i] + sfy[i] * dt;
+        sx[i] = sx[i] + svx[i] * dt;
+        sy[i] = sy[i] + svy[i] * dt;
+    }
+}
+
+int main() {
+    int i, step, n;
+    n = 28;
+    for (i = 0; i < n; i++) {
+        sx[i] = (i % 6) * 1.1;
+        sy[i] = (i / 6) * 1.1;
+        svx[i] = 0.0;
+        svy[i] = 0.0;
+    }
+    for (step = 0; step < 7; step++) {
+        sforces(n);
+        sadvance(n, 0.003);
+    }
+    return senergy < 0.0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# 101.tomcatv — vectorized 2-D mesh generation with relaxation
+# --------------------------------------------------------------------------
+
+TOMCATV = """\
+double xx[1156];
+double yy[1156];
+double rx[1156];
+double ry[1156];
+
+int main() {
+    int i, j, iter, n;
+    double xxij, yyij, a, b, relax;
+    n = 34;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            xx[i * 34 + j] = i * 0.1 + j * 0.01;
+            yy[i * 34 + j] = i * 0.01 - j * 0.1;
+        }
+    }
+    relax = 0.7;
+    for (iter = 0; iter < 3; iter++) {
+        for (i = 1; i < 33; i++) {
+            for (j = 1; j < 33; j++) {
+                xxij = xx[i * 34 + j];
+                yyij = yy[i * 34 + j];
+                a = xx[i * 34 + j - 1] + xx[i * 34 + j + 1]
+                    + xx[(i - 1) * 34 + j] + xx[(i + 1) * 34 + j];
+                b = yy[i * 34 + j - 1] + yy[i * 34 + j + 1]
+                    + yy[(i - 1) * 34 + j] + yy[(i + 1) * 34 + j];
+                rx[i * 34 + j] = a * 0.25 - xxij;
+                ry[i * 34 + j] = b * 0.25 - yyij;
+            }
+        }
+        for (i = 1; i < 33; i++) {
+            for (j = 1; j < 33; j++) {
+                xx[i * 34 + j] = xx[i * 34 + j] + relax * rx[i * 34 + j];
+                yy[i * 34 + j] = yy[i * 34 + j] + relax * ry[i * 34 + j];
+            }
+        }
+    }
+    return xx[17 * 34 + 17] > 0.0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# 102.swim — shallow water equations: 2-D finite difference stencils
+# --------------------------------------------------------------------------
+
+SWIM = """\
+double uu[900];
+double vv[900];
+double pp[900];
+double unew[900];
+double vnew[900];
+double pnew[900];
+
+int main() {
+    int i, j, step, m;
+    double du, dv, dp;
+    m = 30;
+    for (i = 0; i < m; i++) {
+        for (j = 0; j < m; j++) {
+            uu[i * 30 + j] = 0.1 * i - 0.05 * j;
+            vv[i * 30 + j] = 0.05 * i + 0.1 * j;
+            pp[i * 30 + j] = 100.0 + i * j * 0.01;
+        }
+    }
+    for (step = 0; step < 4; step++) {
+        for (i = 1; i < 29; i++) {
+            for (j = 1; j < 29; j++) {
+                du = uu[i * 30 + j + 1] - uu[i * 30 + j - 1]
+                   + uu[(i + 1) * 30 + j] - uu[(i - 1) * 30 + j];
+                dv = vv[i * 30 + j + 1] - vv[i * 30 + j - 1]
+                   + vv[(i + 1) * 30 + j] - vv[(i - 1) * 30 + j];
+                dp = pp[i * 30 + j + 1] + pp[i * 30 + j - 1]
+                   + pp[(i + 1) * 30 + j] + pp[(i - 1) * 30 + j]
+                   - 4.0 * pp[i * 30 + j];
+                unew[i * 30 + j] = uu[i * 30 + j] + 0.1 * du - 0.05 * dp;
+                vnew[i * 30 + j] = vv[i * 30 + j] + 0.1 * dv - 0.05 * dp;
+                pnew[i * 30 + j] = pp[i * 30 + j] - 0.1 * (du + dv);
+            }
+        }
+        for (i = 1; i < 29; i++) {
+            for (j = 1; j < 29; j++) {
+                uu[i * 30 + j] = unew[i * 30 + j];
+                vv[i * 30 + j] = vnew[i * 30 + j];
+                pp[i * 30 + j] = pnew[i * 30 + j];
+            }
+        }
+    }
+    return pp[15 * 30 + 15] > 0.0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# 103.su2cor — quantum physics: lattice gauge sweeps with correlation sums
+# --------------------------------------------------------------------------
+
+SU2COR = """\
+double lattice[1024];
+double corr[32];
+double action;
+
+void sweep(int n) {
+    int i, mu;
+    double link, staple, newlink;
+    for (i = 1; i < n - 1; i++) {
+        for (mu = 0; mu < 4; mu++) {
+            link = lattice[i * 4 + mu];
+            staple = lattice[(i - 1) * 4 + mu] + lattice[(i + 1) * 4 + mu];
+            newlink = link + 0.05 * (staple - 2.0 * link);
+            lattice[i * 4 + mu] = newlink;
+            action = action + newlink * staple;
+        }
+    }
+}
+
+void correlate(int n) {
+    int t, i;
+    double sum;
+    for (t = 0; t < 32; t++) {
+        sum = 0.0;
+        for (i = 0; i < n - t; i++) {
+            sum = sum + lattice[i * 4] * lattice[(i + t) * 4];
+        }
+        corr[t] = sum;
+    }
+}
+
+int main() {
+    int i, iter, n;
+    n = 128;
+    for (i = 0; i < n * 4; i++) {
+        lattice[i] = 1.0 + 0.001 * ((i * 17) % 23);
+    }
+    action = 0.0;
+    for (iter = 0; iter < 4; iter++) {
+        sweep(n);
+    }
+    correlate(n);
+    return corr[0] > corr[31];
+}
+"""
+
+# --------------------------------------------------------------------------
+# 107.mgrid — multigrid solver: 3-D 27-point stencil smoothing
+# --------------------------------------------------------------------------
+
+MGRID = """\
+double grid_u[1728];
+double grid_r[1728];
+
+void smooth(int n) {
+    int i, j, k;
+    double s;
+    for (i = 1; i < n - 1; i++) {
+        for (j = 1; j < n - 1; j++) {
+            for (k = 1; k < n - 1; k++) {
+                s = grid_u[((i - 1) * n + j) * n + k]
+                  + grid_u[((i + 1) * n + j) * n + k]
+                  + grid_u[(i * n + j - 1) * n + k]
+                  + grid_u[(i * n + j + 1) * n + k]
+                  + grid_u[(i * n + j) * n + k - 1]
+                  + grid_u[(i * n + j) * n + k + 1];
+                grid_r[(i * n + j) * n + k] =
+                    grid_u[(i * n + j) * n + k] * 0.5 + s * 0.0833;
+            }
+        }
+    }
+    for (i = 1; i < n - 1; i++) {
+        for (j = 1; j < n - 1; j++) {
+            for (k = 1; k < n - 1; k++) {
+                grid_u[(i * n + j) * n + k] = grid_r[(i * n + j) * n + k];
+            }
+        }
+    }
+}
+
+int main() {
+    int i, cycle, n;
+    n = 12;
+    for (i = 0; i < n * n * n; i++) {
+        grid_u[i] = 0.01 * ((i * 7) % 13);
+    }
+    for (cycle = 0; cycle < 2; cycle++) {
+        smooth(n);
+    }
+    return grid_u[(6 * 12 + 6) * 12 + 6] > 0.0;
+}
+"""
+
+# --------------------------------------------------------------------------
+# 141.apsi — mesoscale weather: mixed pollutant/temperature field updates
+# --------------------------------------------------------------------------
+
+APSI = """\
+double temp_f[768];
+double wind_u[768];
+double wind_w[768];
+double pollut[768];
+double emiss[32];
+
+void advect(int nx, int nz) {
+    int i, k;
+    double flux_x, flux_z;
+    for (i = 1; i < nx - 1; i++) {
+        for (k = 1; k < nz - 1; k++) {
+            flux_x = wind_u[i * nz + k] * (pollut[(i + 1) * nz + k]
+                - pollut[(i - 1) * nz + k]) * 0.5;
+            flux_z = wind_w[i * nz + k] * (pollut[i * nz + k + 1]
+                - pollut[i * nz + k - 1]) * 0.5;
+            pollut[i * nz + k] = pollut[i * nz + k] - 0.1 * (flux_x + flux_z);
+        }
+    }
+}
+
+void diffuse_temp(int nx, int nz) {
+    int i, k;
+    double lap;
+    for (i = 1; i < nx - 1; i++) {
+        for (k = 1; k < nz - 1; k++) {
+            lap = temp_f[(i + 1) * nz + k] + temp_f[(i - 1) * nz + k]
+                + temp_f[i * nz + k + 1] + temp_f[i * nz + k - 1]
+                - 4.0 * temp_f[i * nz + k];
+            temp_f[i * nz + k] = temp_f[i * nz + k] + 0.05 * lap;
+        }
+    }
+}
+
+void add_sources(int nx, int nz) {
+    int i;
+    for (i = 1; i < nx - 1; i++) {
+        pollut[i * nz + 1] = pollut[i * nz + 1] + emiss[i % 32];
+    }
+}
+
+int main() {
+    int i, k, step, nx, nz;
+    nx = 32;
+    nz = 24;
+    for (i = 0; i < nx; i++) {
+        for (k = 0; k < nz; k++) {
+            temp_f[i * nz + k] = 280.0 + 0.1 * k;
+            wind_u[i * nz + k] = 1.0 + 0.01 * i;
+            wind_w[i * nz + k] = 0.1;
+            pollut[i * nz + k] = 0.0;
+        }
+    }
+    for (i = 0; i < 32; i++) {
+        emiss[i] = 0.01 * (i % 5);
+    }
+    for (step = 0; step < 4; step++) {
+        add_sources(nx, nz);
+        advect(nx, nz);
+        diffuse_temp(nx, nz);
+    }
+    return pollut[16 * 24 + 2] > 0.0;
+}
+"""

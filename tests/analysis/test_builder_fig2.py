@@ -1,0 +1,152 @@
+"""The paper's Figure 2 worked example, reproduced end to end.
+
+These tests pin the exact region structure, equivalence classes, alias
+entries, and LCDD arcs the paper shows for its example program.
+"""
+
+import pytest
+
+from repro.hli.tables import DepType, EquivType, RegionType
+
+
+@pytest.fixture(scope="module")
+def entry(fig2_compilation):
+    return fig2_compilation.hli.entry("foo")
+
+
+def region_of_kind(entry, rid):
+    return entry.regions[rid]
+
+
+def class_labels(region):
+    return {c.label for c in region.eq_classes}
+
+
+class TestRegionStructure:
+    def test_four_regions(self, entry):
+        assert len(entry.regions) == 4
+
+    def test_root_is_unit(self, entry):
+        root = entry.regions[entry.root_region_id]
+        assert root.region_type is RegionType.UNIT
+        assert len(root.sub_region_ids) == 2
+
+    def test_second_loop_has_inner_loop(self, entry):
+        root = entry.regions[entry.root_region_id]
+        second = entry.regions[root.sub_region_ids[1]]
+        assert len(second.sub_region_ids) == 1
+        inner = entry.regions[second.sub_region_ids[0]]
+        assert inner.region_type is RegionType.LOOP
+        assert inner.sub_region_ids == []
+
+    def test_loop_metadata(self, entry):
+        root = entry.regions[entry.root_region_id]
+        first = entry.regions[root.sub_region_ids[0]]
+        assert first.loop_step == 1
+        assert first.loop_trip == 10
+
+
+class TestRegion1Classes:
+    """Region 1 partitions everything into sum, a[0..9], b[0..9]."""
+
+    def test_three_classes(self, entry):
+        root = entry.regions[entry.root_region_id]
+        assert len(root.eq_classes) == 3
+
+    def test_classes_cover_all_by_base(self, entry):
+        root = entry.regions[entry.root_region_id]
+        labels = class_labels(root)
+        assert labels == {"sum", "a[*]", "b[*]"}
+
+    def test_sum_class_definite(self, entry):
+        root = entry.regions[entry.root_region_id]
+        sum_cls = next(c for c in root.eq_classes if c.label == "sum")
+        assert sum_cls.equiv_type is EquivType.DEFINITE
+
+    def test_array_classes_maybe(self, entry):
+        root = entry.regions[entry.root_region_id]
+        for label in ("a[*]", "b[*]"):
+            cls = next(c for c in root.eq_classes if c.label == label)
+            assert cls.equiv_type is EquivType.MAYBE
+
+
+class TestRegion3:
+    """The second i loop: b[0] stays separate, aliased with merged b[*]."""
+
+    @pytest.fixture()
+    def region3(self, entry):
+        root = entry.regions[entry.root_region_id]
+        return entry.regions[root.sub_region_ids[1]]
+
+    def test_b0_is_its_own_class(self, region3):
+        labels = class_labels(region3)
+        assert "b[0]" in labels
+
+    def test_merged_b_class_is_maybe(self, region3):
+        b_merged = next(c for c in region3.eq_classes if c.label == "b[*]")
+        assert b_merged.equiv_type is EquivType.MAYBE
+        assert len(b_merged.member_classes) == 2  # b[j] and b[j-1] lifted
+
+    def test_alias_between_b0_and_merged_b(self, region3):
+        b0 = next(c for c in region3.eq_classes if c.label == "b[0]")
+        bm = next(c for c in region3.eq_classes if c.label == "b[*]")
+        assert any(
+            {b0.class_id, bm.class_id} <= set(a.class_ids)
+            for a in region3.alias_entries
+        )
+
+    def test_a_classes_merged_definite(self, region3):
+        # a[i] in the loop body merges with the a[i] items of the j loop
+        a_cls = [c for c in region3.eq_classes if c.label.startswith("a")]
+        assert len(a_cls) == 1
+        assert a_cls[0].equiv_type is EquivType.DEFINITE
+
+
+class TestRegion4LCDD:
+    """The j loop carries b[j] -> b[j-1] at distance 1 (paper Section 2.2.3)."""
+
+    @pytest.fixture()
+    def region4(self, entry):
+        root = entry.regions[entry.root_region_id]
+        r3 = entry.regions[root.sub_region_ids[1]]
+        return entry.regions[r3.sub_region_ids[0]]
+
+    def test_distance_one_arc(self, region4):
+        arcs = [
+            d
+            for d in region4.lcdd_entries
+            if d.dep_type is DepType.DEFINITE and d.distance == 1
+        ]
+        assert arcs, "expected the b[j] -> b[j-1] distance-1 arc"
+
+    def test_direction_normalized_forward(self, region4):
+        # the source class is the one containing the b[j] store
+        bj = next(c for c in region4.eq_classes if c.label == "b[j]")
+        bj1 = next(c for c in region4.eq_classes if c.label == "b[j-1]")
+        arc = next(
+            d
+            for d in region4.lcdd_entries
+            if {d.src_class, d.dst_class} == {bj.class_id, bj1.class_id}
+        )
+        assert arc.src_class == bj.class_id
+
+    def test_no_lcdd_between_disjoint_subscripts(self, region4):
+        bj = next(c for c in region4.eq_classes if c.label == "b[j]")
+        # b[j] load and store are in the same class: no self LCDD at distance 0
+        self_arcs = [
+            d
+            for d in region4.lcdd_entries
+            if d.src_class == bj.class_id and d.dst_class == bj.class_id
+        ]
+        assert not self_arcs
+
+
+class TestLineTable:
+    def test_fig2_item_counts(self, entry):
+        # line 8: sum = sum + a[i]  -> load sum, load a[i], store sum
+        assert len(entry.line_table.items_on_line(8)) == 3
+        # line 13: b[j] = b[j] + b[j-1] -> 2 loads + 1 store
+        assert len(entry.line_table.items_on_line(13)) == 3
+
+    def test_total_items(self, entry):
+        assert entry.line_table.num_items == 11

@@ -1,0 +1,183 @@
+"""Dependence test unit tests: ZIV / strong SIV / GCD / bounds cases."""
+
+from repro.analysis.builder import build_hli
+from repro.analysis.depend import (
+    DepResult,
+    intra_iteration_relation,
+    loop_carried_dependence,
+)
+from repro.analysis.items import AccessKind
+from repro.frontend import parse_and_check
+
+
+def loop_context(body: str, decls: str = "int a[100];\nint b[100];", bound="10",
+                 init="0", step="i++"):
+    """Compile a one-loop function; return (items by label, loop region)."""
+    src = f"""{decls}
+void f(int n) {{
+    int i;
+    for (i = {init}; i < {bound}; {step}) {{
+{body}
+    }}
+}}
+"""
+    prog, table = parse_and_check(src)
+    hli, info = build_hli(prog, table)
+    unit = info.units["f"]
+    loop = unit.root.children[0]
+    items = [
+        it
+        for it in unit.items
+        if it.kind in (AccessKind.LOAD, AccessKind.STORE) and it.ref is not None
+    ]
+    return items, loop
+
+
+def find(items, text, kind=None):
+    for it in items:
+        if str(it.ref) == text and (kind is None or it.kind is kind):
+            return it
+    raise AssertionError(f"no item {text!r} in {[str(i.ref) for i in items]}")
+
+
+class TestLoopCarried:
+    def test_strong_siv_distance_one(self):
+        items, loop = loop_context("        a[i] = a[i-1] + 1;")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i-1]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.DEF
+        assert res.distance == 1
+        assert res.src_first  # write at iteration k, read at k+1
+
+    def test_strong_siv_distance_three(self):
+        items, loop = loop_context("        a[i] = a[i-3];")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i-3]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.distance == 3
+
+    def test_reverse_direction(self):
+        items, loop = loop_context("        a[i] = a[i+2];")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i+2]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.DEF
+        assert res.distance == 2
+        assert not res.src_first  # the read happens in the earlier iteration
+
+    def test_same_subscript_no_carried_dep(self):
+        items, loop = loop_context("        a[i] = a[i] + 1;")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i]", AccessKind.LOAD)
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.NONE
+
+    def test_distance_beyond_trip_count(self):
+        items, loop = loop_context("        a[i] = a[i-50];")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i-50]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.NONE  # trip 10 < distance 50
+
+    def test_step_two_odd_offset_independent(self):
+        items, loop = loop_context("        a[i] = a[i-1];", bound="20", step="i += 2")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i-1]")
+        # offset 1 not divisible by step 2 -> never collides across iterations
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.NONE
+
+    def test_step_two_even_offset_dependent(self):
+        items, loop = loop_context("        a[i] = a[i-4];", bound="20", step="i += 2")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i-4]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.DEF
+        assert res.distance == 2
+
+    def test_scaled_coefficients_gcd_reject(self):
+        items, loop = loop_context("        a[2*i] = a[2*i + 1];")
+        w = find(items, "a[2*i]", AccessKind.STORE)
+        r = find(items, "a[2*i+1]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.NONE  # even vs odd indices
+
+    def test_weak_siv_bounded_overlap(self):
+        items, loop = loop_context("        a[i] = a[2*i];")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[2*i]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.MAYBE  # i == 2i' has solutions in range
+
+    def test_weak_siv_banerjee_reject(self):
+        items, loop = loop_context("        a[i] = a[2*i + 53];")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[2*i+53]")
+        # 2i'+53 ranges over [53, 71]; i over [0, 9]: disjoint
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.NONE
+
+    def test_scalar_always_carried(self):
+        items, loop = loop_context("        b[0] = b[0] + i;", decls="int b[4];")
+        w = find(items, "b[0]", AccessKind.STORE)
+        res = loop_carried_dependence(w.ref, w.ref, loop)
+        assert res.result is DepResult.DEF
+        assert res.any_distance
+
+    def test_different_bases_maybe(self):
+        # the affine machinery refuses cross-base questions (alias analysis owns them)
+        items, loop = loop_context("        a[i] = b[i];")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "b[i]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.MAYBE
+
+    def test_symbolic_bound_still_exact_for_strong_siv(self):
+        items, loop = loop_context("        a[i] = a[i-1];", bound="n")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i-1]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.DEF
+        assert res.distance == 1
+
+    def test_nonaffine_subscript_maybe(self):
+        items, loop = loop_context("        a[i*i] = a[i] + 1;")
+        w = find(items, "a[?]", AccessKind.STORE)
+        r = find(items, "a[i]")
+        res = loop_carried_dependence(w.ref, r.ref, loop)
+        assert res.result is DepResult.MAYBE
+
+
+class TestIntraIteration:
+    def test_identical_refs_definite(self):
+        items, loop = loop_context("        a[i] = a[i] + 1;")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i]", AccessKind.LOAD)
+        assert intra_iteration_relation(w.ref, r.ref, loop) is DepResult.DEF
+
+    def test_constant_offset_disjoint(self):
+        items, loop = loop_context("        a[i] = a[i+1];")
+        w = find(items, "a[i]", AccessKind.STORE)
+        r = find(items, "a[i+1]")
+        assert intra_iteration_relation(w.ref, r.ref, loop) is DepResult.NONE
+
+    def test_constant_vs_var_in_range(self):
+        items, loop = loop_context("        a[5] = a[i];")
+        w = find(items, "a[5]", AccessKind.STORE)
+        r = find(items, "a[i]")
+        # coincide exactly when i == 5, which is inside [0, 10)
+        assert intra_iteration_relation(w.ref, r.ref, loop) is DepResult.MAYBE
+
+    def test_constant_vs_var_out_of_range(self):
+        items, loop = loop_context("        a[77] = a[i];")
+        w = find(items, "a[77]", AccessKind.STORE)
+        r = find(items, "a[i]")
+        assert intra_iteration_relation(w.ref, r.ref, loop) is DepResult.NONE
+
+    def test_constants_equal(self):
+        items, loop = loop_context("        a[3] = a[3] + a[4];")
+        w = find(items, "a[3]", AccessKind.STORE)
+        r4 = find(items, "a[4]")
+        assert intra_iteration_relation(w.ref, w.ref, loop) is DepResult.DEF
+        assert intra_iteration_relation(w.ref, r4.ref, loop) is DepResult.NONE

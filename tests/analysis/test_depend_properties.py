@@ -1,0 +1,124 @@
+"""Property-based soundness tests for the dependence machinery.
+
+The oracle is brute force: enumerate the loop's iteration space and the
+actual addresses touched, then check that whenever two references *do*
+collide, the analytical test did NOT answer NONE (and whenever it answers
+DEF with a distance, that distance is real).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.builder import build_hli
+from repro.analysis.depend import (
+    DepResult,
+    intra_iteration_relation,
+    loop_carried_dependence,
+)
+from repro.analysis.items import AccessKind
+from repro.frontend import parse_and_check
+
+
+def compile_loop(c1: int, k1: int, c2: int, k2: int, lo: int, hi: int, step: int):
+    """Build ``for (i = lo; i < hi; i += step) a[c1*i + k1] = a[c2*i + k2];``."""
+
+    def idx(c, k):
+        return f"{c} * i + {k}"
+
+    src = f"""int a[4096];
+void f() {{
+    int i;
+    for (i = {lo}; i < {hi}; i += {step}) {{
+        a[{idx(c1, k1)}] = a[{idx(c2, k2)}] + 1;
+    }}
+}}
+"""
+    prog, table = parse_and_check(src)
+    hli, info = build_hli(prog, table)
+    unit = info.units["f"]
+    loop = unit.root.children[0]
+    store = next(it for it in unit.items if it.kind is AccessKind.STORE)
+    load = next(it for it in unit.items if it.kind is AccessKind.LOAD)
+    return store, load, loop
+
+
+coeffs = st.integers(min_value=-3, max_value=3)
+offsets = st.integers(min_value=0, max_value=40)
+bounds = st.tuples(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(coeffs, offsets, coeffs, offsets, bounds)
+def test_loop_carried_soundness(c1, k1, c2, k2, b):
+    """If two refs truly collide across iterations, the verdict is not NONE."""
+    lo, span, step = b
+    hi = lo + span
+    # keep subscripts in bounds for every iteration
+    k1 += 200
+    k2 += 200
+    store, load, loop = compile_loop(c1, k1, c2, k2, lo, hi, step)
+    res = loop_carried_dependence(store.ref, load.ref, loop)
+
+    iters = list(range(lo, hi, step))
+    collides = False
+    real_distances = set()
+    for x, i1 in enumerate(iters):
+        for y, i2 in enumerate(iters):
+            if x == y:
+                continue
+            if c1 * i1 + k1 == c2 * i2 + k2:
+                collides = True
+                real_distances.add(abs(y - x))
+    if collides:
+        assert res.result is not DepResult.NONE, (
+            f"missed collision: store a[{c1}i+{k1}] load a[{c2}i+{k2}] "
+            f"iters={iters} verdict={res}"
+        )
+    if res.result is DepResult.DEF and res.distance is not None and not res.any_distance:
+        assert res.distance in real_distances, (
+            f"claimed distance {res.distance}, real {real_distances}"
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(coeffs, offsets, coeffs, offsets, bounds)
+def test_intra_iteration_soundness(c1, k1, c2, k2, b):
+    """Within one iteration: DEF must mean always-equal, NONE never-equal."""
+    lo, span, step = b
+    hi = lo + span
+    k1 += 200
+    k2 += 200
+    store, load, loop = compile_loop(c1, k1, c2, k2, lo, hi, step)
+    verdict = intra_iteration_relation(store.ref, load.ref, loop)
+
+    iters = list(range(lo, hi, step))
+    equal_counts = sum(1 for i in iters if c1 * i + k1 == c2 * i + k2)
+    if verdict is DepResult.DEF:
+        assert equal_counts == len(iters), "DEF but not always equal"
+    if verdict is DepResult.NONE:
+        assert equal_counts == 0, "NONE but they collide in some iteration"
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=-6, max_value=6),
+    st.integers(min_value=2, max_value=12),
+)
+def test_strong_siv_distance_exact(coeff, delta, trip):
+    """For equal coefficients the reported distance matches arithmetic."""
+    k1 = 100
+    k2 = 100 + coeff * delta  # collision at iteration distance |delta|
+    store, load, loop = compile_loop(coeff, k1, coeff, k2, 0, trip, 1)
+    res = loop_carried_dependence(store.ref, load.ref, loop)
+    if delta == 0:
+        assert res.result is DepResult.NONE  # loop-independent only
+    elif abs(delta) < trip:
+        assert res.result is DepResult.DEF
+        assert res.distance == abs(delta)
+    else:
+        assert res.result is DepResult.NONE

@@ -1,0 +1,130 @@
+"""Equivalence-class partition invariants (paper Section 2.2.1).
+
+The defining properties: within every region, the classes are mutually
+exclusive and jointly total — every memory access item inside the region
+(including items of sub-regions, via lifted classes) is represented by
+exactly one class.  Checked on hand-written programs, the whole
+benchmark suite, and generated stencils.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CompileOptions, compile_source
+from repro.analysis.items import AccessKind
+from repro.hli.tables import EquivType, HLIEntry
+from repro.workloads.generators import StencilParams, stencil_program
+from repro.workloads.suite import BENCHMARKS
+
+
+def compile_entry(src: str, fn: str = "f"):
+    comp = compile_source(src, "eq.c", CompileOptions(schedule=False))
+    return comp.hli.entry(fn), comp.frontend.units[fn]
+
+
+def check_partition_invariants(entry: HLIEntry, unit) -> None:
+    """Assert exclusivity + totality for every region of a unit."""
+    mem_items = {
+        it.item_id for it in unit.items if it.kind is not AccessKind.CALL
+    }
+
+    def items_represented(region_id: int) -> list[int]:
+        region = entry.regions[region_id]
+        out: list[int] = []
+        for cls in region.eq_classes:
+            out.extend(cls.member_items)
+            for sub_cls in cls.member_classes:
+                out.extend(class_items[sub_cls])
+        return out
+
+    # resolve class -> transitive item list bottom-up
+    class_items: dict[int, list[int]] = {}
+    for region in entry.iter_regions_postorder():
+        for cls in region.eq_classes:
+            acc = list(cls.member_items)
+            for sub in cls.member_classes:
+                acc.extend(class_items[sub])
+            class_items[cls.class_id] = acc
+
+    for region in entry.regions.values():
+        represented = items_represented(region.region_id)
+        # exclusivity: no item represented twice within one region
+        assert len(represented) == len(set(represented)), (
+            f"region {region.region_id}: duplicated representation"
+        )
+    # totality at the root: every memory item is represented exactly once
+    root_items = items_represented(entry.root_region_id)
+    assert set(root_items) == mem_items
+    assert len(root_items) == len(mem_items)
+
+
+class TestHandWritten:
+    def test_flat_function(self):
+        entry, unit = compile_entry(
+            "int a[4];\nint g;\nvoid f() { a[0] = g; a[1] = g; g = a[2]; }"
+        )
+        check_partition_invariants(entry, unit)
+
+    def test_nested_loops(self):
+        entry, unit = compile_entry(
+            """int m[64];
+void f() {
+    int i, j;
+    for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++) {
+            m[i * 8 + j] = m[i * 8 + j] + 1;
+        }
+    }
+}
+"""
+        )
+        check_partition_invariants(entry, unit)
+
+    def test_identical_refs_one_class(self):
+        entry, unit = compile_entry("int g;\nvoid f() { g = g + g; }")
+        root = entry.regions[entry.root_region_id]
+        assert len(root.eq_classes) == 1
+        assert len(root.eq_classes[0].member_items) == 3
+        assert root.eq_classes[0].equiv_type is EquivType.DEFINITE
+
+    def test_distinct_constant_subscripts_distinct_classes(self):
+        entry, unit = compile_entry("int a[4];\nvoid f() { a[0] = 1; a[1] = 2; }")
+        root = entry.regions[entry.root_region_id]
+        assert len(root.eq_classes) == 2
+        # and provably-disjoint constant elements are NOT aliased
+        assert root.alias_entries == []
+
+    def test_unknown_subscripts_aliased_not_merged(self):
+        entry, unit = compile_entry(
+            "int a[16];\nint k;\nvoid f() { a[k] = 1; k = k + 1; a[k] = 2; }"
+        )
+        root = entry.regions[entry.root_region_id]
+        classes = [c for c in root.eq_classes if len(c.member_items) == 1]
+        a_classes = [c for c in root.eq_classes if c.label.startswith("a")]
+        assert len(a_classes) == 2
+        assert any(len(e.class_ids) >= 2 for e in root.alias_entries)
+
+
+class TestSuiteInvariants:
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_benchmark_partitions(self, bench):
+        comp = compile_source(bench.source, bench.name, CompileOptions(schedule=False))
+        for name, unit in comp.frontend.units.items():
+            check_partition_invariants(comp.hli.entry(name), unit)
+
+
+class TestGeneratedInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=8, max_value=64),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_stencil_partitions(self, arrays, size, radius):
+        src = stencil_program(
+            StencilParams(arrays=arrays, size=size, iters=1, radius=min(radius, size // 3))
+        )
+        comp = compile_source(src, "st.c", CompileOptions(schedule=False))
+        for name, unit in comp.frontend.units.items():
+            check_partition_invariants(comp.hli.entry(name), unit)

@@ -1,0 +1,176 @@
+"""Region tree construction and loop recognition tests."""
+
+from repro.analysis.regions import (
+    RegionKind,
+    RegionTreeBuilder,
+    common_region,
+    recognize_loop,
+)
+from repro.frontend import ast_nodes as ast
+from repro.frontend import parse_and_check
+
+
+def build(src: str, fn_name: str = "f"):
+    prog, _ = parse_and_check(src)
+    fn = prog.function(fn_name)
+    builder = RegionTreeBuilder()
+    return builder.build(fn), fn, builder
+
+
+class TestTreeShape:
+    def test_flat_function_has_single_region(self):
+        root, _, _ = build("void f() { int x; x = 1; }")
+        assert root.kind is RegionKind.UNIT
+        assert root.children == []
+
+    def test_one_loop(self):
+        root, _, _ = build("void f() { int i; for (i = 0; i < 4; i++) { } }")
+        assert len(root.children) == 1
+        assert root.children[0].kind is RegionKind.LOOP
+
+    def test_nested_loops(self):
+        root, _, _ = build(
+            "void f() { int i, j;\n"
+            "for (i = 0; i < 4; i++) { for (j = 0; j < 4; j++) { } } }"
+        )
+        outer = root.children[0]
+        assert len(outer.children) == 1
+        assert outer.children[0].parent is outer
+
+    def test_sequential_loops_are_siblings(self):
+        root, _, _ = build(
+            "void f() { int i;\n"
+            "for (i = 0; i < 4; i++) { }\n"
+            "for (i = 0; i < 4; i++) { } }"
+        )
+        assert len(root.children) == 2
+
+    def test_loop_inside_if(self):
+        root, _, _ = build(
+            "void f(int n) { int i; if (n) { for (i = 0; i < 4; i++) { } } }"
+        )
+        assert len(root.children) == 1
+
+    def test_region_ids_unique(self):
+        root, _, _ = build(
+            "void f() { int i, j;\n"
+            "for (i = 0; i < 4; i++) { for (j = 0; j < 4; j++) { } }\n"
+            "while (i > 0) { i--; } }"
+        )
+        ids = [r.region_id for r in root.walk()]
+        assert len(ids) == len(set(ids)) == 4
+
+    def test_while_and_dowhile_create_regions(self):
+        root, _, _ = build("void f() { int i; i = 3; while (i) i--; do i++; while (i < 2); }")
+        assert len(root.children) == 2
+
+    def test_common_region(self):
+        root, _, _ = build(
+            "void f() { int i, j;\n"
+            "for (i = 0; i < 4; i++) { for (j = 0; j < 4; j++) { } }\n"
+            "for (i = 0; i < 4; i++) { } }"
+        )
+        inner = root.children[0].children[0]
+        second = root.children[1]
+        assert common_region(inner, second) is root
+        assert common_region(inner, root.children[0]) is root.children[0]
+
+    def test_ancestors_order(self):
+        root, _, _ = build(
+            "void f() { int i, j;\n"
+            "for (i = 0; i < 4; i++) { for (j = 0; j < 4; j++) { } } }"
+        )
+        inner = root.children[0].children[0]
+        chain = list(inner.ancestors())
+        assert chain[0] is inner and chain[-1] is root
+        assert inner.depth() == 2
+
+
+class TestLoopRecognition:
+    def loop_stmt(self, body: str) -> ast.Stmt:
+        prog, _ = parse_and_check(f"void f(int n) {{ int i; {body} }}")
+        for s in ast.walk_stmts(prog.functions[0].body):
+            if isinstance(s, (ast.For, ast.While, ast.DoWhile)):
+                return s
+        raise AssertionError("no loop found")
+
+    def test_canonical_upward(self):
+        info = recognize_loop(self.loop_stmt("for (i = 0; i < 10; i++) { }"))
+        assert info.is_canonical
+        assert info.lower.const == 0
+        assert info.upper.const == 10
+        assert info.step == 1
+        assert info.trip_count() == 10
+        assert list(info.iteration_range()) == list(range(10))
+
+    def test_inclusive_bound(self):
+        info = recognize_loop(self.loop_stmt("for (i = 1; i <= 8; i++) { }"))
+        assert info.upper_inclusive
+        assert info.trip_count() == 8
+
+    def test_step_two(self):
+        info = recognize_loop(self.loop_stmt("for (i = 0; i < 10; i += 2) { }"))
+        assert info.step == 2
+        assert info.trip_count() == 5
+
+    def test_downward(self):
+        info = recognize_loop(self.loop_stmt("for (i = 9; i > 0; i--) { }"))
+        assert info.step == -1
+        assert info.trip_count() == 9
+
+    def test_i_equals_i_plus_c(self):
+        info = recognize_loop(self.loop_stmt("for (i = 0; i < 12; i = i + 3) { }"))
+        assert info.step == 3
+        assert info.trip_count() == 4
+
+    def test_decl_init(self):
+        info = recognize_loop(self.loop_stmt("for (int k = 0; k < 5; k++) { }"))
+        assert info.is_canonical
+        assert info.var.name == "k"
+
+    def test_symbolic_upper_bound(self):
+        info = recognize_loop(self.loop_stmt("for (i = 0; i < n; i++) { }"))
+        assert info.is_canonical
+        assert info.trip_count() is None
+
+    def test_while_not_canonical(self):
+        info = recognize_loop(self.loop_stmt("while (i < 10) { i++; }"))
+        assert not info.is_canonical
+
+    def test_weird_step_not_canonical(self):
+        info = recognize_loop(self.loop_stmt("for (i = 0; i < 10; i = i * 2) { }"))
+        assert info.step is None
+
+    def test_empty_range(self):
+        info = recognize_loop(self.loop_stmt("for (i = 5; i < 5; i++) { }"))
+        assert info.trip_count() == 0
+
+
+class TestModifiedScalars:
+    def test_loop_var_is_modified(self):
+        root, fn, _ = build("void f() { int i; for (i = 0; i < 4; i++) { } }")
+        loop = root.children[0]
+        names = {s.name for s in loop.modified_scalars}
+        assert "i" in names
+
+    def test_body_assignment_propagates_up(self):
+        root, _, _ = build(
+            "int g;\nvoid f() { int i, t; for (i = 0; i < 4; i++) { t = i; } }",
+        )
+        loop = root.children[0]
+        assert "t" in {s.name for s in loop.modified_scalars}
+        assert "t" in {s.name for s in root.modified_scalars}
+
+    def test_decl_init_counts_as_modification(self):
+        root, _, _ = build(
+            "void f() { int i; for (i = 0; i < 4; i++) { int t = i; } }"
+        )
+        loop = root.children[0]
+        assert "t" in {s.name for s in loop.modified_scalars}
+
+    def test_unmodified_symbol_absent(self):
+        root, _, _ = build(
+            "void f(int n) { int i; for (i = 0; i < n; i++) { } }"
+        )
+        loop = root.children[0]
+        assert "n" not in {s.name for s in loop.modified_scalars}

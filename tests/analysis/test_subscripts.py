@@ -1,0 +1,127 @@
+"""Affine subscript extraction tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend import parse_and_check
+from repro.analysis.subscripts import Affine, affine_of
+from repro.frontend.symbols import StorageClass, Symbol
+from repro.frontend.typesys import INT
+
+
+def sym(name: str) -> Symbol:
+    return Symbol(name=name, ty=INT, storage=StorageClass.LOCAL)
+
+
+def subscript_of(expr_text: str) -> ast.Expr:
+    """Parse ``a[<expr_text>]`` inside a context with i, j, n, d declared."""
+    src = (
+        "int a[100];\ndouble d;\n"
+        "void f(int n) { int i, j; i = 0; j = 0; "
+        f"a[{expr_text}] = 1; }}"
+    )
+    prog, _ = parse_and_check(src)
+    assign = prog.functions[0].body.stmts[-1].expr
+    return assign.target.index
+
+
+class TestAffineArithmetic:
+    def test_constant(self):
+        a = Affine.constant(5)
+        assert a.is_constant and a.const == 5
+
+    def test_var_plus_const(self):
+        i = sym("i")
+        a = Affine.var(i) + Affine.constant(3)
+        assert a.coeff(i) == 1 and a.const == 3
+
+    def test_sub_cancels(self):
+        i = sym("i")
+        a = Affine.var(i, 2) - Affine.var(i, 2)
+        assert a.is_constant and a.const == 0
+
+    def test_scale(self):
+        i = sym("i")
+        a = (Affine.var(i) + Affine.constant(1)).scale(4)
+        assert a.coeff(i) == 4 and a.const == 4
+
+    def test_neg(self):
+        i = sym("i")
+        a = -(Affine.var(i) + Affine.constant(2))
+        assert a.coeff(i) == -1 and a.const == -2
+
+    def test_drop(self):
+        i, j = sym("i"), sym("j")
+        a = Affine.var(i) + Affine.var(j) + Affine.constant(7)
+        assert a.drop(i).coeff(i) == 0
+        assert a.drop(i).coeff(j) == 1
+
+    def test_key_is_canonical(self):
+        i, j = sym("i"), sym("j")
+        a = Affine.var(i) + Affine.var(j)
+        b = Affine.var(j) + Affine.var(i)
+        assert a.key() == b.key()
+
+    def test_evaluate(self):
+        i, j = sym("i"), sym("j")
+        a = Affine.var(i, 2) + Affine.var(j, -1) + Affine.constant(3)
+        assert a.evaluate({i: 5, j: 4}) == 9
+
+    @given(st.integers(-50, 50), st.integers(-50, 50), st.integers(-5, 5))
+    def test_arith_matches_evaluation(self, ci, cj, k):
+        i, j = sym("i"), sym("j")
+        a = Affine.var(i, ci) + Affine.var(j, cj)
+        b = a.scale(k) - Affine.constant(1)
+        env = {i: 3, j: -2}
+        assert b.evaluate(env) == (ci * 3 + cj * -2) * k - 1
+
+
+class TestExtraction:
+    def test_plain_var(self):
+        form = affine_of(subscript_of("i"))
+        assert form is not None and form.const == 0
+        assert len(form.terms) == 1
+
+    def test_var_plus_const(self):
+        form = affine_of(subscript_of("i + 3"))
+        assert form is not None and form.const == 3
+
+    def test_var_minus_const(self):
+        form = affine_of(subscript_of("i - 1"))
+        assert form is not None and form.const == -1
+
+    def test_scaled(self):
+        form = affine_of(subscript_of("2 * i + j"))
+        assert form is not None
+        assert sorted(c for _, c in form.terms) == [1, 2]
+
+    def test_const_times_paren(self):
+        form = affine_of(subscript_of("4 * (i + 1)"))
+        assert form is not None and form.const == 4
+
+    def test_shift_as_scale(self):
+        form = affine_of(subscript_of("i << 2"))
+        assert form is not None
+        assert form.terms[0][1] == 4
+
+    def test_param_symbol_ok(self):
+        form = affine_of(subscript_of("i * 8 + n"))
+        assert form is not None
+
+    def test_var_times_var_not_affine(self):
+        assert affine_of(subscript_of("i * j")) is None
+
+    def test_division_not_affine(self):
+        assert affine_of(subscript_of("i / 2")) is None
+
+    def test_call_not_affine(self):
+        assert affine_of(subscript_of("abs(i)")) is None
+
+    def test_array_load_not_affine(self):
+        assert affine_of(subscript_of("a[i]")) is None
+
+    def test_negation(self):
+        form = affine_of(subscript_of("-i + 9"))
+        assert form is not None and form.const == 9
+        assert form.terms[0][1] == -1

@@ -1,0 +1,99 @@
+"""CFG construction and local dependence test unit tests."""
+
+from repro.backend.cfg import build_cfg
+from repro.backend.deps import LocalDependenceTest, may_conflict
+from repro.backend.lowering import lower_program
+from repro.backend.rtl import MemRef, Opcode, new_reg
+from repro.frontend import parse_and_check
+
+
+def cfg_of(src: str, name: str = "f"):
+    prog, table = parse_and_check(src)
+    return build_cfg(lower_program(prog, table).functions[name])
+
+
+class TestCFG:
+    def test_straightline_single_block(self):
+        cfg = cfg_of("void f() { int x; x = 1; x = x + 2; }")
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].succs == []
+
+    def test_if_else_diamond(self):
+        cfg = cfg_of("int f(int c) { int x; if (c) x = 1; else x = 2; return x; }")
+        entry = cfg.blocks[0]
+        assert len(entry.succs) == 2
+
+    def test_loop_back_edge(self):
+        cfg = cfg_of("void f() { int i; for (i = 0; i < 4; i++) { } }")
+        back_edges = [
+            (b.index, s) for b in cfg.blocks for s in b.succs if s <= b.index
+        ]
+        assert back_edges, "loop must produce a back edge"
+
+    def test_flatten_preserves_order(self):
+        src = "int g;\nvoid f() { int i; for (i = 0; i < 4; i++) g = g + i; }"
+        prog, table = parse_and_check(src)
+        fn = lower_program(prog, table).functions["f"]
+        cfg = build_cfg(fn)
+        assert [i.uid for i in cfg.flatten()] == [i.uid for i in fn.insns]
+
+    def test_preds_match_succs(self):
+        cfg = cfg_of("int f(int c) { int x; x = 0; while (c) { c--; x++; } return x; }")
+        for b in cfg.blocks:
+            for s in b.succs:
+                assert b.index in cfg.blocks[s].preds
+
+    def test_block_body_strips_label_and_branch(self):
+        cfg = cfg_of("void f() { int i; for (i = 0; i < 4; i++) { } }")
+        for b in cfg.blocks:
+            body = b.body()
+            assert all(bi.op is not Opcode.LABEL for bi in body)
+            assert all(not bi.is_branch for bi in body)
+
+
+def mem(symbol=None, offset=None, base=None, store=False, width=4, aliased=True):
+    return MemRef(
+        addr=new_reg(),
+        width=width,
+        is_store=store,
+        known_symbol=symbol,
+        known_offset=offset,
+        base_symbol=base,
+        may_be_aliased=aliased,
+    )
+
+
+class TestLocalDependence:
+    def test_distinct_scalars_independent(self):
+        assert not may_conflict(mem("x", 0), mem("y", 0, store=True))
+
+    def test_same_scalar_conflicts(self):
+        assert may_conflict(mem("x", 0), mem("x", 0, store=True))
+
+    def test_disjoint_offsets_independent(self):
+        assert not may_conflict(mem("s", 0, width=4), mem("s", 4, width=4, store=True))
+
+    def test_overlapping_offsets_conflict(self):
+        assert may_conflict(mem("s", 0, width=8), mem("s", 4, width=4, store=True))
+
+    def test_unknown_vs_scalar_conflicts(self):
+        # GCC 2.7 cannot disambiguate (mem (reg)) from a global scalar
+        assert may_conflict(mem(), mem("g", 0, store=True))
+
+    def test_unknown_vs_unknown_conflicts(self):
+        assert may_conflict(mem(store=True), mem())
+
+    def test_base_symbol_not_consulted(self):
+        """GCC 2.7 loses array bases: two different arrays still conflict."""
+        assert may_conflict(mem(base="a"), mem(base="b", store=True))
+
+    def test_compiler_private_slot_safe(self):
+        # outgoing-arg slots can't be reached by user pointers
+        assert not may_conflict(mem("__argslot4", 0, aliased=False), mem(store=True))
+
+    def test_counter_wrapper(self):
+        t = LocalDependenceTest()
+        t.true_dependence(mem("x", 0), mem("x", 0, store=True))
+        t.true_dependence(mem("x", 0), mem("y", 0, store=True))
+        assert t.queries == 2
+        assert t.conflicts == 1

@@ -1,0 +1,108 @@
+"""RTL IR unit tests."""
+
+from repro.backend.rtl import (
+    BRANCH_OPS,
+    Insn,
+    MemRef,
+    Opcode,
+    RTLFunction,
+    RTLProgram,
+    new_reg,
+)
+
+
+class TestReg:
+    def test_fresh_regs_unique(self):
+        a, b = new_reg(), new_reg()
+        assert a.rid != b.rid
+
+    def test_float_flag(self):
+        f = new_reg(is_float=True)
+        assert f.is_float
+        assert str(f).startswith("%f")
+
+    def test_named_reg_str(self):
+        r = new_reg(name="sum")
+        assert "sum" in str(r)
+
+
+class TestInsn:
+    def test_src_regs_includes_mem_addr(self):
+        addr = new_reg()
+        val = new_reg()
+        insn = Insn(Opcode.STORE, srcs=(val,), mem=MemRef(addr=addr, is_store=True))
+        rids = {r.rid for r in insn.src_regs()}
+        assert rids == {addr.rid, val.rid}
+
+    def test_src_regs_skips_immediates(self):
+        r = new_reg()
+        insn = Insn(Opcode.ADD, dst=new_reg(), srcs=(r, 5))
+        assert [x.rid for x in insn.src_regs()] == [r.rid]
+
+    def test_predicates(self):
+        assert Insn(Opcode.CALL, callee="f").is_call
+        assert Insn(Opcode.J, label="x").is_branch
+        assert Insn(Opcode.LOAD, dst=new_reg(), mem=MemRef(addr=new_reg())).is_mem
+        assert not Insn(Opcode.ADD, dst=new_reg(), srcs=(1, 2)).is_mem
+
+    def test_branch_ops_complete(self):
+        assert Opcode.RET in BRANCH_OPS
+        assert Opcode.BEQZ in BRANCH_OPS
+        assert Opcode.LABEL not in BRANCH_OPS
+
+    def test_uid_unique(self):
+        a = Insn(Opcode.NOP)
+        b = Insn(Opcode.NOP)
+        assert a.uid != b.uid
+
+    def test_str_contains_line_and_item(self):
+        insn = Insn(Opcode.LOAD, dst=new_reg(), mem=MemRef(addr=new_reg()), line=42)
+        insn.hli_item = 7
+        text = str(insn)
+        assert "line 42" in text and "item 7" in text
+
+
+class TestMemRefStr:
+    def test_known_symbol(self):
+        m = MemRef(addr=new_reg(), known_symbol="g", known_offset=0)
+        assert "&g" in str(m)
+
+    def test_base_symbol(self):
+        m = MemRef(addr=new_reg(), base_symbol="arr")
+        assert "arr" in str(m)
+
+    def test_store_tag(self):
+        m = MemRef(addr=new_reg(), is_store=True)
+        assert str(m).startswith("st[")
+
+
+class TestRTLFunction:
+    def test_labels_index(self):
+        fn = RTLFunction(name="f")
+        fn.insns = [
+            Insn(Opcode.LABEL, label="a"),
+            Insn(Opcode.NOP),
+            Insn(Opcode.LABEL, label="b"),
+        ]
+        assert fn.labels() == {"a": 0, "b": 2}
+
+    def test_mem_insns(self):
+        fn = RTLFunction(name="f")
+        fn.insns = [
+            Insn(Opcode.NOP),
+            Insn(Opcode.LOAD, dst=new_reg(), mem=MemRef(addr=new_reg())),
+        ]
+        assert len(list(fn.mem_insns())) == 1
+
+    def test_dump_is_readable(self):
+        fn = RTLFunction(name="f")
+        fn.insns = [Insn(Opcode.LI, dst=new_reg(), imm=3)]
+        assert "li" in fn.dump()
+
+
+class TestRTLProgram:
+    def test_function_lookup(self):
+        prog = RTLProgram()
+        fn = RTLFunction(name="main")
+        prog.functions["main"] = fn
+        assert prog.function("main") is fn

@@ -1,0 +1,61 @@
+"""Shared fixtures: canonical example programs and cached compilations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.backend.ddg import DDGMode
+
+#: The worked example of the paper's Figure 2 (line numbers matter: the
+#: b[j] loop etc. reproduce the region/class structure in the figure).
+FIG2_SOURCE = """\
+int a[10];
+int b[10];
+int sum;
+
+void foo() {
+    int i, j;
+    for (i = 0; i < 10; i++) {
+        sum = sum + a[i];
+    }
+    for (i = 0; i < 10; i++) {
+        a[i] = b[0] + 1;
+        for (j = 1; j < 10; j++) {
+            b[j] = b[j] + b[j-1];
+            a[i] = a[i] + sum;
+        }
+    }
+}
+"""
+
+SIMPLE_MAIN = """\
+int g[16];
+int total;
+
+int main() {
+    int i;
+    for (i = 0; i < 16; i++) {
+        g[i] = i * 2;
+    }
+    for (i = 0; i < 16; i++) {
+        total = total + g[i];
+    }
+    return total;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def fig2_source() -> str:
+    return FIG2_SOURCE
+
+
+@pytest.fixture(scope="session")
+def fig2_compilation():
+    return compile_source(FIG2_SOURCE, "fig2.c", CompileOptions(schedule=False))
+
+
+@pytest.fixture(scope="session")
+def simple_compilation():
+    return compile_source(SIMPLE_MAIN, "simple.c", CompileOptions(mode=DDGMode.COMBINED))

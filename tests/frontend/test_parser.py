@@ -1,0 +1,215 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import ParseError
+from repro.frontend.parser import parse
+from repro.frontend.typesys import ArrayType, PointerType
+
+
+def first_fn(src: str) -> ast.FuncDef:
+    return parse(src).functions[0]
+
+
+def body_stmt(src_body: str, idx: int = 0) -> ast.Stmt:
+    fn = first_fn("void f() {\n" + src_body + "\n}")
+    return fn.body.stmts[idx]
+
+
+class TestTopLevel:
+    def test_global_scalar(self):
+        prog = parse("int x;")
+        assert prog.globals[0].name == "x"
+
+    def test_global_with_init(self):
+        prog = parse("int x = 42;")
+        assert isinstance(prog.globals[0].init, ast.IntLit)
+        assert prog.globals[0].init.value == 42
+
+    def test_global_array(self):
+        prog = parse("double m[4][8];")
+        ty = prog.globals[0].ty
+        assert isinstance(ty, ArrayType)
+        assert ty.dims == (4, 8)
+
+    def test_global_pointer(self):
+        prog = parse("int *p;")
+        assert isinstance(prog.globals[0].ty, PointerType)
+
+    def test_multiple_declarators(self):
+        prog = parse("int a, b, c;")
+        assert [g.name for g in prog.globals] == ["a", "b", "c"]
+
+    def test_static_global(self):
+        prog = parse("static int s;")
+        assert prog.globals[0].is_static
+
+    def test_function_definition(self):
+        fn = first_fn("int add(int a, int b) { return a + b; }")
+        assert fn.name == "add"
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_void_param_list(self):
+        fn = first_fn("int f(void) { return 0; }")
+        assert fn.params == []
+
+    def test_array_param_decays_to_pointer(self):
+        fn = first_fn("int f(int a[10]) { return a[0]; }")
+        assert isinstance(fn.params[0].ty, PointerType)
+
+    def test_struct_definition(self):
+        prog = parse("struct point { int x; int y; };")
+        assert prog.structs[0].name == "point"
+        assert [f[0] for f in prog.structs[0].fields] == ["x", "y"]
+
+    def test_struct_variable(self):
+        prog = parse("struct point { int x; int y; };\nstruct point origin;")
+        assert str(prog.globals[0].ty) == "struct point"
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt = body_stmt("if (1) { } else { }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = body_stmt("if (1) if (2) ; else ;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is None
+        assert isinstance(stmt.then, ast.If)
+        assert stmt.then.otherwise is not None
+
+    def test_for_loop_parts(self):
+        stmt = body_stmt("for (i = 0; i < 10; i++) ;")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None
+        assert isinstance(stmt.cond, ast.Binary)
+        assert isinstance(stmt.step, ast.IncDec)
+
+    def test_for_with_decl_init(self):
+        stmt = body_stmt("for (int i = 0; i < 3; i++) ;")
+        assert isinstance(stmt.init, ast.VarDecl)
+
+    def test_empty_for(self):
+        stmt = body_stmt("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while(self):
+        stmt = body_stmt("while (x) x--;")
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        stmt = body_stmt("do x--; while (x);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_break_continue(self):
+        fn = first_fn("void f() { while (1) { break; continue; } }")
+        loop = fn.body.stmts[0]
+        inner = loop.body.stmts
+        assert isinstance(inner[0], ast.Break)
+        assert isinstance(inner[1], ast.Continue)
+
+    def test_decl_group(self):
+        stmt = body_stmt("int i, j, k;")
+        assert isinstance(stmt, ast.DeclGroup)
+        assert [d.name for d in stmt.decls] == ["i", "j", "k"]
+
+    def test_return_void(self):
+        stmt = body_stmt("return;")
+        assert isinstance(stmt, ast.Return)
+        assert stmt.value is None
+
+
+class TestExpressions:
+    def _expr(self, text: str) -> ast.Expr:
+        stmt = body_stmt(f"x = {text};")
+        assert isinstance(stmt, ast.ExprStmt)
+        return stmt.expr.value
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert e.op is ast.BinOp.ADD
+        assert e.rhs.op is ast.BinOp.MUL
+
+    def test_precedence_shift_vs_compare(self):
+        e = self._expr("1 << 2 < 3")
+        assert e.op is ast.BinOp.LT
+        assert e.lhs.op is ast.BinOp.SHL
+
+    def test_left_associativity(self):
+        e = self._expr("10 - 4 - 3")
+        assert e.op is ast.BinOp.SUB
+        assert e.lhs.op is ast.BinOp.SUB
+
+    def test_parenthesized(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op is ast.BinOp.MUL
+
+    def test_unary_minus_folds_literal(self):
+        e = self._expr("-5")
+        assert isinstance(e, ast.IntLit)
+        assert e.value == -5
+
+    def test_nested_index(self):
+        e = self._expr("m[i][j]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.base, ast.Index)
+
+    def test_call_with_args(self):
+        e = self._expr("f(1, 2, 3)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 3
+
+    def test_address_of(self):
+        e = self._expr("&y")
+        assert isinstance(e, ast.Unary)
+        assert e.op is ast.UnaryOp.ADDR
+
+    def test_deref(self):
+        e = self._expr("*p")
+        assert e.op is ast.UnaryOp.DEREF
+
+    def test_ternary(self):
+        e = self._expr("a ? b : c")
+        assert isinstance(e, ast.Conditional)
+
+    def test_compound_assign(self):
+        stmt = body_stmt("x += 2;")
+        assert stmt.expr.op is ast.AssignOp.ADD
+
+    def test_field_access(self):
+        e = self._expr("pt.x")
+        assert isinstance(e, ast.FieldAccess)
+        assert not e.arrow
+
+    def test_arrow_access(self):
+        e = self._expr("pp->x")
+        assert e.arrow
+
+    def test_cast_is_erased(self):
+        e = self._expr("(double) n")
+        assert isinstance(e, ast.Name)
+
+    def test_line_annotations(self):
+        prog = parse("int x;\nvoid f() {\n  x = 1;\n}\n")
+        stmt = prog.functions[0].body.stmts[0]
+        assert stmt.line == 3
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "int f() { return 1 }",  # missing semicolon
+            "int f() { if 1 return; }",  # missing parens
+            "int f(",  # truncated
+            "int f() { x = ; }",  # missing operand
+            "int 3x;",  # bad declarator
+            "struct unknown_s v;",  # unknown struct
+        ],
+    )
+    def test_rejects(self, src):
+        with pytest.raises(ParseError):
+            parse(src)

@@ -1,0 +1,119 @@
+"""Pretty-printer tests: parse → print → parse round trips."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.frontend.printer import pretty
+from repro.workloads.generators import StencilParams, stencil_program
+from repro.workloads.suite import BENCHMARKS
+
+
+def normalize(node):
+    """Canonical nested-tuple form of an AST, modulo printer-normalized
+    syntax: DeclGroups flatten to their decls, and loop/branch bodies are
+    wrapped in blocks (the printer always braces them)."""
+    if isinstance(node, (int, float, str, bool)) or node is None:
+        return node
+    if isinstance(node, (list, tuple)):
+        out = []
+        for x in node:
+            if isinstance(x, ast.DeclGroup):
+                out.extend(normalize(d) for d in x.decls)
+            else:
+                out.append(normalize(x))
+        return tuple(out)
+    if isinstance(node, ast.Block):
+        return ("block", normalize(node.stmts))
+    if isinstance(node, ast.DeclGroup):
+        return ("block", normalize(node.decls))
+    if hasattr(node, "__dataclass_fields__"):
+        fields = []
+        for name in sorted(node.__dataclass_fields__):
+            if name in ("line", "symbol", "ty", "item_id", "loop_id"):
+                continue
+            value = getattr(node, name)
+            # the printer braces single-statement bodies
+            if name in ("then", "otherwise", "body") and value is not None:
+                if not isinstance(value, ast.Block):
+                    value = ast.Block(line=0, stmts=[value])
+            fields.append((name, normalize(value)))
+        return (type(node).__name__, tuple(fields))
+    return node
+
+
+def roundtrip(src: str) -> None:
+    first = parse(src)
+    printed = pretty(first)
+    second = parse(printed)
+    assert normalize(first) == normalize(second), printed
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_benchmarks_roundtrip(self, bench):
+        roundtrip(bench.source)
+
+    def test_generated_roundtrip(self):
+        roundtrip(stencil_program(StencilParams()))
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "int x = 1 + 2 * 3;",
+            "int y = (1 + 2) * 3;",
+            "int z = 10 - 4 - 3;",
+            "int w = 1 << 2 < 3;",
+            "int v = -x + ~y;",
+            "int c = a ? b : d ? e : f;".replace("a", "p").replace("b", "q")
+            .replace("d", "r").replace("e", "s").replace("f", "t"),
+        ],
+        ids=["prec", "parens", "leftassoc", "shiftcmp", "unary", "ternary"],
+    )
+    def test_expression_fidelity(self, src):
+        decls = "int p; int q; int r; int s; int t; int x; int y;\n"
+        roundtrip(decls + src)
+
+    def test_struct_and_pointers(self):
+        roundtrip(
+            "struct n { int v; };\n"
+            "struct n node;\n"
+            "int *p;\n"
+            "double m[3][4];\n"
+            "int f(int *q) { return *q + node.v; }"
+        )
+
+    def test_control_flow(self):
+        roundtrip(
+            "int f(int n) {\n"
+            "  int i, s; s = 0;\n"
+            "  for (i = 0; i < n; i++) { if (i % 2) continue; s += i; }\n"
+            "  while (s > 100) s -= 10;\n"
+            "  do s++; while (s < 5);\n"
+            "  return s;\n"
+            "}"
+        )
+
+    def test_printed_output_is_readable(self):
+        prog = parse("int g;\nvoid f() { g = 1; }")
+        text = pretty(prog)
+        assert "int g;" in text
+        assert "void f(void)" in text
+
+
+class TestSemanticsPreserved:
+    def test_printed_program_runs_identically(self):
+        from repro import CompileOptions, compile_source
+        from repro.machine.executor import execute
+
+        bench = BENCHMARKS[3]  # 129.compress
+        printed = pretty(parse(bench.source))
+        a = execute(
+            compile_source(bench.source, "orig.c", CompileOptions()).rtl,
+            collect_trace=False,
+        )
+        b = execute(
+            compile_source(printed, "printed.c", CompileOptions()).rtl,
+            collect_trace=False,
+        )
+        assert a.ret == b.ret

@@ -1,0 +1,106 @@
+"""Type system unit tests."""
+
+from repro.frontend.typesys import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    common_arith_type,
+)
+
+
+class TestScalarTypes:
+    def test_sizes(self):
+        assert INT.size() == 4
+        assert FLOAT.size() == 4
+        assert DOUBLE.size() == 8
+        assert CHAR.size() == 1
+        assert VOID.size() == 0
+
+    def test_predicates(self):
+        assert INT.is_integer and not INT.is_float
+        assert DOUBLE.is_float and not DOUBLE.is_integer
+        assert VOID.is_void and not VOID.is_scalar
+        assert INT.is_scalar
+
+
+class TestPointerTypes:
+    def test_pointer_size_is_word(self):
+        assert PointerType(DOUBLE).size() == 4
+
+    def test_pointer_is_scalar_and_pointer(self):
+        p = PointerType(INT)
+        assert p.is_pointer and p.is_scalar
+
+    def test_str(self):
+        assert str(PointerType(INT)) == "int*"
+
+
+class TestArrayTypes:
+    def test_1d_size(self):
+        assert ArrayType(INT, (10,)).size() == 40
+
+    def test_2d_size(self):
+        assert ArrayType(DOUBLE, (3, 4)).size() == 96
+
+    def test_strides_row_major(self):
+        a = ArrayType(INT, (3, 4, 5))
+        assert a.strides() == (20, 5, 1)
+
+    def test_is_array(self):
+        assert ArrayType(INT, (2,)).is_array
+        assert not ArrayType(INT, (2,)).is_scalar
+
+
+class TestStructTypes:
+    def test_field_offsets(self):
+        st = StructType("p", (("x", INT), ("y", INT), ("z", DOUBLE)))
+        assert st.field_offset("x") == 0
+        assert st.field_offset("y") == 4
+        assert st.field_offset("z") == 8
+
+    def test_field_type(self):
+        st = StructType("p", (("x", INT), ("d", DOUBLE)))
+        assert st.field_type("d") == DOUBLE
+
+    def test_size(self):
+        st = StructType("p", (("x", INT), ("d", DOUBLE)))
+        assert st.size() == 12
+
+    def test_missing_field_raises(self):
+        st = StructType("p", (("x", INT),))
+        try:
+            st.field_offset("nope")
+            assert False
+        except KeyError:
+            pass
+
+
+class TestArithConversions:
+    def test_int_int(self):
+        assert common_arith_type(INT, INT) == INT
+
+    def test_int_double(self):
+        assert common_arith_type(INT, DOUBLE) == DOUBLE
+        assert common_arith_type(DOUBLE, INT) == DOUBLE
+
+    def test_float_double(self):
+        assert common_arith_type(FLOAT, DOUBLE) == DOUBLE
+
+    def test_char_promotes_to_int(self):
+        assert common_arith_type(CHAR, CHAR) == INT
+
+    def test_pointer_wins(self):
+        p = PointerType(INT)
+        assert common_arith_type(p, INT) == p
+
+
+class TestFunctionTypes:
+    def test_str(self):
+        ft = FunctionType(INT, (INT, DOUBLE))
+        assert str(ft) == "int(int, double)"

@@ -1,0 +1,183 @@
+"""Binary serialization tests, including a hypothesis round-trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CompileOptions, compile_source
+from repro.hli.binio import HLIFormatError, decode_hli, encode_hli
+from repro.hli.tables import (
+    AliasEntry,
+    DepType,
+    EqClass,
+    EquivType,
+    HLIEntry,
+    HLIFile,
+    ItemType,
+    LCDDEntry,
+    RefModEntry,
+    RefModKey,
+    RegionEntry,
+    RegionType,
+)
+from repro.workloads.suite import BENCHMARKS
+
+
+def entries_equal(a: HLIEntry, b: HLIEntry) -> bool:
+    if a.unit_name != b.unit_name or a.root_region_id != b.root_region_id:
+        return False
+    if {k: [(i, t) for i, t in v.items] for k, v in a.line_table.entries.items()} != {
+        k: [(i, t) for i, t in v.items] for k, v in b.line_table.entries.items()
+    }:
+        return False
+    if set(a.regions) != set(b.regions):
+        return False
+    for rid in a.regions:
+        ra, rb = a.regions[rid], b.regions[rid]
+        if (
+            ra.region_type != rb.region_type
+            or ra.parent_id != rb.parent_id
+            or ra.line_start != rb.line_start
+            or ra.line_end != rb.line_end
+            or ra.loop_step != rb.loop_step
+            or ra.loop_trip != rb.loop_trip
+            or ra.sub_region_ids != rb.sub_region_ids
+        ):
+            return False
+        ca = [(c.class_id, c.equiv_type, c.member_items, c.member_classes) for c in ra.eq_classes]
+        cb = [(c.class_id, c.equiv_type, c.member_items, c.member_classes) for c in rb.eq_classes]
+        if ca != cb:
+            return False
+        if [x.class_ids for x in ra.alias_entries] != [x.class_ids for x in rb.alias_entries]:
+            return False
+        la = [(d.src_class, d.dst_class, d.dep_type, d.distance) for d in ra.lcdd_entries]
+        lb = [(d.src_class, d.dst_class, d.dep_type, d.distance) for d in rb.lcdd_entries]
+        if la != lb:
+            return False
+        ma = [
+            (m.key_kind, m.key_id, m.ref_all, m.mod_all, m.ref_classes, m.mod_classes)
+            for m in ra.refmod_entries
+        ]
+        mb = [
+            (m.key_kind, m.key_id, m.ref_all, m.mod_all, m.ref_classes, m.mod_classes)
+            for m in rb.refmod_entries
+        ]
+        if ma != mb:
+            return False
+    return True
+
+
+class TestRealPrograms:
+    @pytest.mark.parametrize("bench", BENCHMARKS[:6], ids=lambda b: b.name)
+    def test_roundtrip_benchmark(self, bench):
+        comp = compile_source(bench.source, bench.name, CompileOptions(schedule=False))
+        data = encode_hli(comp.hli)
+        decoded = decode_hli(data)
+        assert set(decoded.entries) == set(comp.hli.entries)
+        for name in comp.hli.entries:
+            assert entries_equal(comp.hli.entries[name], decoded.entries[name])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(HLIFormatError):
+            decode_hli(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_rejected(self):
+        comp = compile_source(BENCHMARKS[0].source, "wc", CompileOptions(schedule=False))
+        data = encode_hli(comp.hli)
+        with pytest.raises(HLIFormatError):
+            decode_hli(data[: len(data) // 2])
+
+
+# -- synthetic random HLI files -------------------------------------------------
+
+ids = st.integers(min_value=1, max_value=10_000)
+
+
+@st.composite
+def eq_classes(draw):
+    return EqClass(
+        class_id=draw(ids),
+        equiv_type=draw(st.sampled_from(list(EquivType))),
+        member_items=draw(st.lists(ids, max_size=5)),
+        member_classes=draw(st.lists(ids, max_size=3)),
+    )
+
+
+@st.composite
+def region_entries(draw, rid: int):
+    return RegionEntry(
+        region_id=rid,
+        region_type=draw(st.sampled_from(list(RegionType))),
+        parent_id=draw(st.one_of(st.none(), ids)),
+        line_start=draw(st.integers(1, 5000)),
+        line_end=draw(st.integers(1, 5000)),
+        sub_region_ids=draw(st.lists(ids, max_size=3)),
+        eq_classes=draw(st.lists(eq_classes(), max_size=4)),
+        alias_entries=draw(
+            st.lists(
+                st.builds(
+                    AliasEntry,
+                    class_ids=st.frozensets(ids, min_size=2, max_size=4),
+                ),
+                max_size=3,
+            )
+        ),
+        lcdd_entries=draw(
+            st.lists(
+                st.builds(
+                    LCDDEntry,
+                    src_class=ids,
+                    dst_class=ids,
+                    dep_type=st.sampled_from(list(DepType)),
+                    distance=st.one_of(st.none(), st.integers(0, 100)),
+                ),
+                max_size=3,
+            )
+        ),
+        refmod_entries=draw(
+            st.lists(
+                st.builds(
+                    RefModEntry,
+                    key_kind=st.sampled_from(list(RefModKey)),
+                    key_id=ids,
+                    ref_classes=st.lists(ids, max_size=3),
+                    mod_classes=st.lists(ids, max_size=3),
+                    ref_all=st.booleans(),
+                    mod_all=st.booleans(),
+                ),
+                max_size=2,
+            )
+        ),
+        loop_step=draw(st.integers(-8, 8)),
+        loop_trip=draw(st.integers(-1, 1000)),
+    )
+
+
+@st.composite
+def hli_files(draw):
+    hli = HLIFile(source_filename=draw(st.text(max_size=20)))
+    n_units = draw(st.integers(1, 3))
+    for u in range(n_units):
+        entry = HLIEntry(unit_name=f"unit{u}")
+        entry.root_region_id = draw(ids)
+        for line in draw(st.lists(st.integers(1, 400), max_size=5, unique=True)):
+            for _ in range(draw(st.integers(1, 3))):
+                entry.line_table.add_item(
+                    line, draw(ids), draw(st.sampled_from(list(ItemType)))
+                )
+        n_regions = draw(st.integers(0, 3))
+        for r in range(n_regions):
+            region = draw(region_entries(rid=r + 1))
+            entry.regions[region.region_id] = region
+        hli.add(entry)
+    return hli
+
+
+@settings(max_examples=60, deadline=None)
+@given(hli_files())
+def test_random_hli_roundtrip(hli):
+    decoded = decode_hli(encode_hli(hli))
+    assert decoded.source_filename == hli.source_filename
+    assert set(decoded.entries) == set(hli.entries)
+    for name in hli.entries:
+        assert entries_equal(hli.entries[name], decoded.entries[name])

@@ -1,0 +1,167 @@
+"""Conformance of the binary encoder to docs/FORMAT.md.
+
+Decodes the byte stream *by hand*, following the specification document
+field by field, and checks the hand-decoded structures against the data
+model.  If the implementation drifts from the spec, this fails.
+"""
+
+import struct
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.hli.binio import encode_hli
+from repro.hli.tables import ItemType, RegionType
+from repro.workloads.suite import by_name
+
+
+class SpecReader:
+    """A from-scratch reader written against FORMAT.md only."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def bytes(self, n):
+        out = self.data[self.pos : self.pos + n]
+        assert len(out) == n, "truncated"
+        self.pos += n
+        return out
+
+    def u8(self):
+        return self.bytes(1)[0]
+
+    def u16(self):
+        return struct.unpack("<H", self.bytes(2))[0]
+
+    def u32(self):
+        return struct.unpack("<I", self.bytes(4))[0]
+
+    def i32(self):
+        return struct.unpack("<i", self.bytes(4))[0]
+
+    def string(self):
+        return self.bytes(self.u16()).decode("utf-8")
+
+    def ids(self):
+        return [self.u32() for _ in range(self.u16())]
+
+
+def hand_decode(data: bytes) -> dict:
+    r = SpecReader(data)
+    assert r.bytes(4) == b"HLI1"
+    source = r.string()
+    entries = {}
+    for _ in range(r.u16()):
+        name = r.string()
+        root = r.u32()
+        lines = {}
+        for _ in range(r.u32()):
+            line = r.u32()
+            items = [(r.u32(), r.u8()) for _ in range(r.u16())]
+            lines[line] = items
+        regions = {}
+        for _ in range(r.u16()):
+            rid = r.u32()
+            region = {
+                "type": r.u8(),
+                "parent": r.u32(),
+                "line_start": r.u32(),
+                "line_end": r.u32(),
+                "step": r.i32(),
+                "trip": r.i32(),
+                "subs": r.ids(),
+            }
+            region["classes"] = [
+                {
+                    "id": r.u32(),
+                    "equiv": r.u8(),
+                    "items": r.ids(),
+                    "classes": r.ids(),
+                }
+                for _ in range(r.u16())
+            ]
+            region["alias"] = [r.ids() for _ in range(r.u16())]
+            region["lcdd"] = [
+                (r.u32(), r.u32(), r.u8(), r.i32()) for _ in range(r.u16())
+            ]
+            region["refmod"] = [
+                {
+                    "kind": r.u8(),
+                    "key": r.u32(),
+                    "flags": r.u8(),
+                    "ref": r.ids(),
+                    "mod": r.ids(),
+                }
+                for _ in range(r.u16())
+            ]
+            regions[rid] = region
+        entries[name] = {"root": root, "lines": lines, "regions": regions}
+    assert r.pos == len(data), "trailing bytes"
+    return {"source": source, "entries": entries}
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    bench = by_name("034.mdljdp2")
+    return compile_source(bench.source, bench.name, CompileOptions(schedule=False))
+
+
+def test_hand_decode_matches_model(compiled):
+    decoded = hand_decode(encode_hli(compiled.hli))
+    assert set(decoded["entries"]) == set(compiled.hli.entries)
+    for name, entry in compiled.hli.entries.items():
+        got = decoded["entries"][name]
+        assert got["root"] == entry.root_region_id
+        # line table
+        for line, le in entry.line_table.entries.items():
+            expected = [(iid, ty.value) for iid, ty in le.items]
+            assert got["lines"][line] == expected
+        # regions
+        assert set(got["regions"]) == set(entry.regions)
+        for rid, region in entry.regions.items():
+            g = got["regions"][rid]
+            assert g["type"] == region.region_type.value
+            assert g["parent"] == (region.parent_id or 0)
+            assert g["subs"] == region.sub_region_ids
+            assert [c["id"] for c in g["classes"]] == [
+                c.class_id for c in region.eq_classes
+            ]
+            for gc, c in zip(g["classes"], region.eq_classes):
+                assert gc["items"] == c.member_items
+                assert gc["classes"] == c.member_classes
+                assert gc["equiv"] == c.equiv_type.value
+            assert [set(a) for a in g["alias"]] == [
+                set(a.class_ids) for a in region.alias_entries
+            ]
+            assert g["lcdd"] == [
+                (
+                    d.src_class,
+                    d.dst_class,
+                    d.dep_type.value,
+                    d.distance if d.distance is not None else -1,
+                )
+                for d in region.lcdd_entries
+            ]
+            for gm, m in zip(g["refmod"], region.refmod_entries):
+                assert gm["kind"] == m.key_kind.value
+                assert gm["key"] == m.key_id
+                assert bool(gm["flags"] & 1) == m.ref_all
+                assert bool(gm["flags"] & 2) == m.mod_all
+                assert gm["ref"] == m.ref_classes
+                assert gm["mod"] == m.mod_classes
+
+
+def test_spec_constants():
+    """Magic values documented in FORMAT.md."""
+    assert ItemType.LOAD.value == 0
+    assert ItemType.STORE.value == 1
+    assert ItemType.CALL.value == 2
+    assert RegionType.UNIT.value == 0
+    assert RegionType.LOOP.value == 1
+
+
+def test_region_ids_start_at_one(compiled):
+    """The parent_id=0 sentinel relies on region ids starting at 1."""
+    for entry in compiled.hli.entries.values():
+        assert all(rid >= 1 for rid in entry.regions)

@@ -1,0 +1,173 @@
+"""HLI maintenance API tests (paper Section 3.2.3, Figure 6)."""
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.analysis.items import AccessKind
+from repro.hli.maintenance import (
+    MaintenanceError,
+    delete_item,
+    find_item_class,
+    generate_item,
+    inherit_item,
+    move_item_to_parent,
+    next_free_id,
+    unroll_region,
+)
+from repro.hli.query import EquivAcc, HLIQuery
+from repro.hli.tables import DepType, ItemType, RegionType
+
+
+LOOP_SRC = """int a[100];
+int s;
+void f() {
+    int i;
+    for (i = 1; i < 20; i++) {
+        a[i] = a[i-1] + s;
+    }
+}
+"""
+
+
+@pytest.fixture()
+def ctx():
+    comp = compile_source(LOOP_SRC, "m.c", CompileOptions(schedule=False))
+    entry = comp.hli.entry("f")
+    unit = comp.frontend.units["f"]
+    return comp, entry, unit
+
+
+def item_id(unit, text, kind=None):
+    for it in unit.items:
+        if it.ref is not None and str(it.ref) == text:
+            if kind is None or it.kind is kind:
+                return it.item_id
+    raise AssertionError(text)
+
+
+class TestDeleteItem:
+    def test_removed_from_line_table(self, ctx):
+        _, entry, unit = ctx
+        iid = item_id(unit, "a[i-1]")
+        delete_item(entry, iid)
+        all_items = {i for i, _ in entry.line_table.all_items()}
+        assert iid not in all_items
+
+    def test_removed_from_class(self, ctx):
+        _, entry, unit = ctx
+        iid = item_id(unit, "a[i-1]")
+        delete_item(entry, iid)
+        assert find_item_class(entry, iid) is None
+
+    def test_empty_class_cascades(self, ctx):
+        _, entry, unit = ctx
+        iid = item_id(unit, "a[i-1]")
+        found = find_item_class(entry, iid)
+        region, cls = found
+        assert cls.member_items == [iid]  # only member
+        n_before = len(region.lcdd_entries)
+        delete_item(entry, iid)
+        assert region.class_by_id(cls.class_id) is None
+        assert len(region.lcdd_entries) < n_before  # its LCDD arc went too
+
+    def test_query_unknown_after_delete(self, ctx):
+        _, entry, unit = ctx
+        iid = item_id(unit, "a[i-1]")
+        other = item_id(unit, "a[i]", AccessKind.STORE)
+        delete_item(entry, iid)
+        q = HLIQuery(entry)
+        assert q.get_equiv_acc(iid, other) is EquivAcc.UNKNOWN
+
+
+class TestGenerateAndInherit:
+    def test_generate_creates_fresh_ids(self, ctx):
+        _, entry, unit = ctx
+        before = next_free_id(entry)
+        loop_region = next(
+            r for r in entry.regions.values() if r.region_type is RegionType.LOOP
+        )
+        new_id = generate_item(entry, 99, ItemType.LOAD, loop_region.region_id)
+        assert new_id >= before
+        assert find_item_class(entry, new_id) is not None
+
+    def test_inherit_joins_class(self, ctx):
+        _, entry, unit = ctx
+        old = item_id(unit, "a[i]", AccessKind.STORE)
+        new_id = next_free_id(entry)
+        inherit_item(entry, new_id, old, line=6, item_type=ItemType.LOAD)
+        q = HLIQuery(entry)
+        assert q.get_equiv_acc(new_id, old) is EquivAcc.DEFINITE
+
+    def test_inherit_missing_item_raises(self, ctx):
+        _, entry, _ = ctx
+        with pytest.raises(MaintenanceError):
+            inherit_item(entry, 500, 499, line=1, item_type=ItemType.LOAD)
+
+
+class TestMoveToParent:
+    def test_move_rehomes_item(self, ctx):
+        _, entry, unit = ctx
+        iid = item_id(unit, "s")  # loop-invariant scalar load
+        q_before = HLIQuery(entry)
+        loop_home = q_before.item_home(iid)
+        move_item_to_parent(entry, iid)
+        q_after = HLIQuery(entry)
+        new_home = q_after.item_home(iid)
+        assert new_home != loop_home
+        assert entry.regions[new_home].region_type is RegionType.UNIT
+
+
+class TestUnrollRegion:
+    def test_clones_items_and_classes(self, ctx):
+        _, entry, unit = ctx
+        loop = next(
+            r for r in entry.regions.values() if r.region_type is RegionType.LOOP
+        )
+        n_classes = len(loop.eq_classes)
+        n_items = entry.line_table.num_items
+        maint = unroll_region(entry, loop.region_id, 2)
+        assert len(loop.eq_classes) == 2 * n_classes
+        assert entry.line_table.num_items > n_items
+        assert maint.item_copy  # item clones recorded
+
+    def test_distance_one_becomes_intra_iteration_alias(self, ctx):
+        _, entry, unit = ctx
+        loop = next(
+            r for r in entry.regions.values() if r.region_type is RegionType.LOOP
+        )
+        store = item_id(unit, "a[i]", AccessKind.STORE)
+        load = item_id(unit, "a[i-1]")
+        maint = unroll_region(entry, loop.region_id, 2)
+        q = HLIQuery(entry)
+        load_copy1 = maint.item_copy[(load, 1)]
+        # store of copy 0 and the a[i-1] load of copy 1 hit the same location
+        assert q.get_equiv_acc(store, load_copy1) is EquivAcc.MAYBE
+        # but copy 0's own load stays independent of copy 0's store
+        assert q.get_equiv_acc(store, load) is EquivAcc.NONE
+
+    def test_crossing_distance_rescaled(self, ctx):
+        _, entry, unit = ctx
+        loop = next(
+            r for r in entry.regions.values() if r.region_type is RegionType.LOOP
+        )
+        unroll_region(entry, loop.region_id, 2)
+        defs = [d for d in loop.lcdd_entries if d.dep_type is DepType.DEFINITE]
+        # the original d=1 arc: copy1 -> copy0 of next unrolled iteration
+        assert any(d.distance == 1 for d in defs)
+
+    def test_trip_count_divided(self, ctx):
+        _, entry, _ = ctx
+        loop = next(
+            r for r in entry.regions.values() if r.region_type is RegionType.LOOP
+        )
+        trip = loop.loop_trip
+        unroll_region(entry, loop.region_id, 2)
+        assert loop.loop_trip == trip // 2
+
+    def test_factor_one_rejected(self, ctx):
+        _, entry, _ = ctx
+        loop = next(
+            r for r in entry.regions.values() if r.region_type is RegionType.LOOP
+        )
+        with pytest.raises(MaintenanceError):
+            unroll_region(entry, loop.region_id, 1)

@@ -1,0 +1,197 @@
+"""HLI query API tests, over the Figure 2 example and call-heavy programs."""
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.analysis.items import AccessKind
+from repro.hli.query import CallAcc, EquivAcc, HLIQuery
+from repro.hli.tables import RegionType
+
+
+def compile_unit(src: str, fn: str = "f"):
+    comp = compile_source(src, "q.c", CompileOptions(schedule=False))
+    entry = comp.hli.entry(fn)
+    unit = comp.frontend.units[fn]
+    return HLIQuery(entry), unit
+
+
+def item_by_ref(unit, text, kind=None):
+    for it in unit.items:
+        if it.ref is not None and str(it.ref) == text:
+            if kind is None or it.kind is kind:
+                return it.item_id
+    raise AssertionError(text)
+
+
+class TestEquivAcc:
+    SRC = """int a[100];
+int b[100];
+int s;
+void f() {
+    int i;
+    for (i = 0; i < 10; i++) {
+        a[i] = a[i] + a[i+1] + b[i] + s;
+        s = s + 1;
+    }
+}
+"""
+
+    @pytest.fixture()
+    def ctx(self):
+        return compile_unit(self.SRC)
+
+    def test_same_location_definite(self, ctx):
+        q, unit = ctx
+        load = item_by_ref(unit, "a[i]", AccessKind.LOAD)
+        store = item_by_ref(unit, "a[i]", AccessKind.STORE)
+        assert q.get_equiv_acc(load, store) is EquivAcc.DEFINITE
+
+    def test_shifted_subscript_none(self, ctx):
+        q, unit = ctx
+        store = item_by_ref(unit, "a[i]", AccessKind.STORE)
+        shifted = item_by_ref(unit, "a[i+1]")
+        assert q.get_equiv_acc(store, shifted) is EquivAcc.NONE
+
+    def test_different_arrays_none(self, ctx):
+        q, unit = ctx
+        store = item_by_ref(unit, "a[i]", AccessKind.STORE)
+        other = item_by_ref(unit, "b[i]")
+        assert q.get_equiv_acc(store, other) is EquivAcc.NONE
+
+    def test_scalar_definite(self, ctx):
+        q, unit = ctx
+        s_load = item_by_ref(unit, "s", AccessKind.LOAD)
+        s_store = item_by_ref(unit, "s", AccessKind.STORE)
+        assert q.get_equiv_acc(s_load, s_store) is EquivAcc.DEFINITE
+
+    def test_unknown_item(self, ctx):
+        q, unit = ctx
+        store = item_by_ref(unit, "a[i]", AccessKind.STORE)
+        assert q.get_equiv_acc(store, 9999) is EquivAcc.UNKNOWN
+
+    def test_symmetric(self, ctx):
+        q, unit = ctx
+        store = item_by_ref(unit, "a[i]", AccessKind.STORE)
+        shifted = item_by_ref(unit, "a[i+1]")
+        assert q.get_equiv_acc(store, shifted) == q.get_equiv_acc(shifted, store)
+
+
+class TestAliasQuery:
+    SRC = """int x;
+int y;
+void f(int c) {
+    int *p;
+    if (c) p = &x; else p = &y;
+    *p = 1;
+    x = 2;
+    y = 3;
+}
+"""
+
+    def test_deref_aliases_target(self):
+        q, unit = compile_unit(self.SRC)
+        deref = item_by_ref(unit, "*p", AccessKind.STORE)
+        x_store = item_by_ref(unit, "x", AccessKind.STORE)
+        assert q.get_equiv_acc(deref, x_store) is EquivAcc.MAYBE
+        assert q.get_alias(deref, x_store) is EquivAcc.MAYBE
+
+    def test_distinct_scalars_not_aliased(self):
+        q, unit = compile_unit(self.SRC)
+        x_store = item_by_ref(unit, "x", AccessKind.STORE)
+        y_store = item_by_ref(unit, "y", AccessKind.STORE)
+        assert q.get_equiv_acc(x_store, y_store) is EquivAcc.NONE
+
+
+class TestLCDDQuery:
+    SRC = """int a[100];
+void f() {
+    int i;
+    for (i = 1; i < 50; i++) {
+        a[i] = a[i-1] + 1;
+    }
+}
+"""
+
+    def test_lcdd_found(self):
+        q, unit = compile_unit(self.SRC)
+        store = item_by_ref(unit, "a[i]", AccessKind.STORE)
+        load = item_by_ref(unit, "a[i-1]")
+        arcs = q.get_lcdd(store, load)
+        assert arcs
+        assert arcs[0].distance == 1
+
+    def test_region_info(self):
+        q, unit = compile_unit(self.SRC)
+        store = item_by_ref(unit, "a[i]", AccessKind.STORE)
+        info = q.get_region_info(store)
+        assert info is not None
+        assert info.region_type is RegionType.LOOP
+        assert info.depth == 1
+        assert info.loop_trip == 49
+
+
+class TestCallAcc:
+    SRC = """int counter;
+int data[16];
+void bump() { counter = counter + 1; }
+int peek() { return counter; }
+void f() {
+    int i;
+    data[3] = 7;
+    bump();
+    for (i = 0; i < 4; i++) {
+        data[i] = data[i] + 1;
+        peek();
+    }
+}
+"""
+
+    @pytest.fixture()
+    def ctx(self):
+        return compile_unit(self.SRC)
+
+    def _call_item(self, unit, callee):
+        for it in unit.items:
+            if it.kind is AccessKind.CALL and it.callee == callee:
+                return it.item_id
+        raise AssertionError(callee)
+
+    def test_call_does_not_touch_array(self, ctx):
+        q, unit = ctx
+        call = self._call_item(unit, "bump")
+        data_store = item_by_ref(unit, "data[3]", AccessKind.STORE)
+        assert q.get_call_acc(data_store, call) is CallAcc.NONE
+
+    def test_call_in_subregion(self, ctx):
+        q, unit = ctx
+        call = self._call_item(unit, "peek")
+        data_store = item_by_ref(unit, "data[3]", AccessKind.STORE)
+        # peek only reads counter; data untouched even via the subregion entry
+        assert q.get_call_acc(data_store, call) is CallAcc.NONE
+
+    def test_unknown_call(self, ctx):
+        q, unit = ctx
+        data_store = item_by_ref(unit, "data[3]", AccessKind.STORE)
+        assert q.get_call_acc(data_store, 12345) is CallAcc.UNKNOWN
+
+
+class TestCallAccModRef:
+    SRC = """int counter;
+void bump() { counter = counter + 1; }
+int f() {
+    int t;
+    counter = 5;
+    bump();
+    t = counter;
+    return t;
+}
+"""
+
+    def test_mod_detected(self):
+        q, unit = compile_unit(self.SRC)
+        call = next(
+            it.item_id for it in unit.items if it.kind is AccessKind.CALL
+        )
+        counter_store = item_by_ref(unit, "counter", AccessKind.STORE)
+        acc = q.get_call_acc(counter_store, call)
+        assert acc in (CallAcc.REFMOD, CallAcc.MOD)

@@ -1,0 +1,99 @@
+"""HLI size accounting, file I/O, and text dump tests."""
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.frontend.source import SourceFile
+from repro.hli.reader import HLIFileReader, load_hli, save_hli
+from repro.hli.sizes import hli_size_bytes, size_report
+from repro.hli.writer import format_entry, format_hli
+from repro.workloads.suite import BENCHMARKS, float_benchmarks, integer_benchmarks
+
+
+class TestCodeLineCounting:
+    def test_counts_nonblank(self):
+        sf = SourceFile("int x;\n\n\nint y;\n")
+        assert sf.count_code_lines() == 2
+
+    def test_skips_line_comments(self):
+        sf = SourceFile("// header\nint x; // trailing\n// footer\n")
+        assert sf.count_code_lines() == 1
+
+    def test_skips_block_comments(self):
+        sf = SourceFile("/* one\ntwo\nthree */\nint x;\n")
+        assert sf.count_code_lines() == 1
+
+    def test_code_around_block_comment(self):
+        sf = SourceFile("int a; /* c */ int b;\n")
+        assert sf.count_code_lines() == 1
+
+
+class TestSizeReport:
+    def test_nonzero_sizes(self):
+        b = BENCHMARKS[0]
+        comp = compile_source(b.source, b.name, CompileOptions(schedule=False))
+        rep = size_report(comp.hli, b.source)
+        assert rep.hli_bytes > 0
+        assert rep.code_lines > 0
+        assert rep.bytes_per_line == rep.hli_bytes / rep.code_lines
+
+    def test_fp_programs_denser_than_int(self):
+        """The paper's Table 1 headline: fp codes carry more HLI per line."""
+
+        def mean_ratio(benches):
+            vals = []
+            for b in benches:
+                comp = compile_source(b.source, b.name, CompileOptions(schedule=False))
+                vals.append(size_report(comp.hli, b.source).bytes_per_line)
+            return sum(vals) / len(vals)
+
+        assert mean_ratio(float_benchmarks()) > mean_ratio(integer_benchmarks())
+
+
+class TestFileIO:
+    def test_save_load_roundtrip(self, tmp_path, fig2_compilation):
+        path = tmp_path / "fig2.hli"
+        n = save_hli(fig2_compilation.hli, path)
+        assert path.stat().st_size == n
+        loaded = load_hli(path)
+        assert set(loaded.entries) == {"foo"}
+
+    def test_on_demand_reader(self, tmp_path):
+        src = "int g;\nvoid a() { g = 1; }\nvoid b() { g = 2; }\nvoid c() { g = 3; }\n"
+        comp = compile_source(src, "multi.c", CompileOptions(schedule=False))
+        path = tmp_path / "multi.hli"
+        save_hli(comp.hli, path)
+        reader = HLIFileReader.open(path)
+        assert set(reader.unit_names()) == {"a", "b", "c"}
+        entry_b = reader.entry("b")
+        assert entry_b.unit_name == "b"
+        assert entry_b.line_table.num_items == 1
+        # cached on repeat
+        assert reader.entry("b") is entry_b
+
+    def test_reader_missing_unit(self, tmp_path, fig2_compilation):
+        path = tmp_path / "x.hli"
+        save_hli(fig2_compilation.hli, path)
+        reader = HLIFileReader.open(path)
+        with pytest.raises(KeyError):
+            reader.entry("nope")
+
+
+class TestTextWriter:
+    def test_format_mentions_tables(self, fig2_compilation):
+        text = format_hli(fig2_compilation.hli)
+        assert "Line table" in text
+        assert "equivalent access table" in text
+        assert "LCDD table" in text
+        assert "alias" in text
+
+    def test_format_entry_lists_regions(self, fig2_compilation):
+        text = format_entry(fig2_compilation.hli.entry("foo"))
+        assert text.count("    Region ") == 4
+
+    def test_size_matches_encode(self, fig2_compilation):
+        from repro.hli.binio import encode_hli
+
+        assert hli_size_bytes(fig2_compilation.hli) == len(
+            encode_hli(fig2_compilation.hli)
+        )

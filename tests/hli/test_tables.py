@@ -1,0 +1,82 @@
+"""HLI data-model helper tests."""
+
+from repro.hli.tables import (
+    EqClass,
+    HLIEntry,
+    HLIFile,
+    ItemType,
+    LineTable,
+    RegionEntry,
+    RegionType,
+)
+
+
+class TestLineTable:
+    def test_add_preserves_order(self):
+        lt = LineTable()
+        lt.add_item(5, 1, ItemType.LOAD)
+        lt.add_item(5, 2, ItemType.STORE)
+        assert lt.items_on_line(5) == [(1, ItemType.LOAD), (2, ItemType.STORE)]
+
+    def test_missing_line_empty(self):
+        assert LineTable().items_on_line(99) == []
+
+    def test_all_items_sorted_by_line(self):
+        lt = LineTable()
+        lt.add_item(9, 3, ItemType.LOAD)
+        lt.add_item(2, 1, ItemType.CALL)
+        assert [i for i, _ in lt.all_items()] == [1, 3]
+
+    def test_num_items(self):
+        lt = LineTable()
+        lt.add_item(1, 1, ItemType.LOAD)
+        lt.add_item(1, 2, ItemType.LOAD)
+        lt.add_item(3, 3, ItemType.STORE)
+        assert lt.num_items == 3
+
+
+class TestRegionEntry:
+    def test_class_by_id(self):
+        r = RegionEntry(
+            region_id=1,
+            region_type=RegionType.UNIT,
+            parent_id=None,
+            line_start=1,
+            line_end=9,
+        )
+        c = EqClass(class_id=7)
+        r.eq_classes.append(c)
+        assert r.class_by_id(7) is c
+        assert r.class_by_id(8) is None
+
+
+class TestHLIEntryNavigation:
+    def _entry(self):
+        e = HLIEntry(unit_name="f", root_region_id=1)
+        root = RegionEntry(1, RegionType.UNIT, None, 1, 20, sub_region_ids=[2])
+        loop = RegionEntry(2, RegionType.LOOP, 1, 3, 10)
+        loop.eq_classes.append(EqClass(class_id=100, member_items=[5, 6]))
+        root.eq_classes.append(EqClass(class_id=101, member_classes=[100]))
+        e.regions = {1: root, 2: loop}
+        return e
+
+    def test_region_of_item(self):
+        e = self._entry()
+        assert e.region_of_item(5).region_id == 2
+        assert e.region_of_item(99) is None
+
+    def test_postorder_children_first(self):
+        e = self._entry()
+        order = [r.region_id for r in e.iter_regions_postorder()]
+        assert order == [2, 1]
+
+    def test_root_region(self):
+        e = self._entry()
+        assert e.root_region().region_id == 1
+
+
+class TestHLIFile:
+    def test_add_and_lookup(self):
+        f = HLIFile()
+        f.add(HLIEntry(unit_name="g"))
+        assert f.entry("g").unit_name == "g"

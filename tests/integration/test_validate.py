@@ -1,0 +1,17 @@
+"""Artifact-validation driver tests (quick mode: no speedup sweep)."""
+
+import json
+
+from repro.driver.validate import validate
+
+
+def test_quick_validation(tmp_path):
+    out = tmp_path / "RESULTS.json"
+    report = validate(include_speedups=False, out_path=str(out))
+    assert report.all_passed, [c.name for c in report.claims if not c.passed]
+    payload = json.loads(out.read_text())
+    assert len(payload["table1"]) == 14
+    assert len(payload["table2"]) == 14
+    assert payload["speedups"] == []
+    names = {c["name"] for c in payload["claims"]}
+    assert {"t1_fp_denser", "t2_substantial_reduction", "mapping_complete"} <= names

@@ -1,0 +1,78 @@
+"""Workload suite and generator tests."""
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.machine.executor import execute
+from repro.workloads.generators import (
+    ReductionParams,
+    StencilParams,
+    random_affine_loop,
+    reduction_program,
+    stencil_program,
+)
+from repro.workloads.suite import (
+    BENCHMARKS,
+    by_name,
+    float_benchmarks,
+    integer_benchmarks,
+)
+
+
+class TestSuiteMetadata:
+    def test_fourteen_benchmarks(self):
+        assert len(BENCHMARKS) == 14
+
+    def test_matches_paper_rows(self):
+        names = {b.name for b in BENCHMARKS}
+        assert "wc" in names
+        assert "101.tomcatv" in names
+        assert "141.apsi" in names
+
+    def test_int_fp_split(self):
+        assert len(integer_benchmarks()) == 4
+        assert len(float_benchmarks()) == 10
+
+    def test_by_name(self):
+        assert by_name("102.swim").is_float
+        with pytest.raises(KeyError):
+            by_name("nonexistent")
+
+    def test_paper_rows_complete(self):
+        for b in BENCHMARKS:
+            assert b.paper is not None
+            assert b.paper.speedup_r4600 >= 1.0
+            assert b.paper.reduction_pct > 0
+
+    def test_wc_has_input(self):
+        assert by_name("wc").input_text
+
+
+class TestGenerators:
+    def test_stencil_compiles_and_runs(self):
+        src = stencil_program(StencilParams(arrays=3, size=32, iters=2))
+        comp = compile_source(src, "st.c", CompileOptions())
+        res = execute(comp.rtl, collect_trace=False)
+        assert res.ret in (0, 1)
+
+    def test_stencil_scales_arrays(self):
+        small = stencil_program(StencilParams(arrays=2))
+        large = stencil_program(StencilParams(arrays=6))
+        assert large.count("double a") > small.count("double a")
+
+    def test_reduction_result(self):
+        p = ReductionParams(arrays=2, size=16, stride=1)
+        comp = compile_source(reduction_program(p), "r.c", CompileOptions())
+        res = execute(comp.rtl, collect_trace=False)
+        expected = sum(i * 3 for i in range(16)) + sum(i * 4 for i in range(16))
+        assert res.ret == expected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_affine_loop_oracle(self, seed):
+        src, expected = random_affine_loop(seed)
+        comp = compile_source(src, "ra.c", CompileOptions())
+        res = execute(comp.rtl, collect_trace=False)
+        assert res.ret == expected[16]
+
+    def test_random_affine_deterministic(self):
+        assert random_affine_loop(5)[0] == random_affine_loop(5)[0]
