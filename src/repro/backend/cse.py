@@ -192,6 +192,8 @@ class _BlockCSE:
                 self.stats.loads_eliminated += 1
                 if self.entry is not None and insn.hli_item is not None:
                     delete_item(self.entry, insn.hli_item)
+                    if self.query is not None:
+                        self.query.refresh()
                 assert insn.dst is not None
                 move = Insn(
                     Opcode.MOVE,

@@ -146,6 +146,8 @@ def _hoist_from_body(
                             move_item_to_parent(entry, insn.hli_item)
                         except MaintenanceError:
                             pass
+                        if query is not None:
+                            query.refresh()
                     changed = True
     return hoisted
 

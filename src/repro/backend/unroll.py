@@ -188,6 +188,7 @@ def run_unroll(
         if not payload:
             continue
         maint = unroll_region(entry, region_id, factor)
+        query.refresh()
         stats.maintenance.append(maint)
         stats.items_cloned += len(maint.item_copy)
         new_segment = list(guard) + list(payload)

@@ -1,0 +1,187 @@
+"""``hli-lint`` command-line interface.
+
+Usage::
+
+    hli-lint file.c [file2.c ...] [options]
+    hli-lint --corpus [options]            # audit the built-in benchmarks
+
+Exit codes (stable contract, used by CI):
+
+* ``0`` — every audited compilation is clean;
+* ``1`` — at least one finding was emitted (after suppression);
+* ``2`` — the tool itself failed (bad arguments, unreadable file,
+  front-end compile error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from ..backend.ddg import DDGMode
+from ..driver.compile import CompileOptions, compile_source
+from .dynamic import MAX_WINDOWS, dynamic_audit
+from .lint import lint_compilation
+from .rules import LintReport, resolve_rule
+
+_MODES = {
+    "gcc": [DDGMode.GCC],
+    "hli": [DDGMode.HLI],
+    "combined": [DDGMode.COMBINED],
+    "all": list(DDGMode),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="hli-lint",
+        description="Audit the soundness of High-Level Information tables.",
+    )
+    p.add_argument("files", nargs="*", help="MiniC source files to audit")
+    p.add_argument(
+        "--corpus",
+        action="store_true",
+        help="audit every built-in benchmark instead of files",
+    )
+    p.add_argument(
+        "--mode",
+        choices=sorted(_MODES),
+        default="combined",
+        help="dependence mode(s) to compile under (default: combined)",
+    )
+    p.add_argument("--cse", action="store_true", help="run local CSE before auditing")
+    p.add_argument("--licm", action="store_true", help="run LICM before auditing")
+    p.add_argument(
+        "--unroll",
+        type=int,
+        default=1,
+        metavar="N",
+        help="unroll innermost counted loops by N before auditing",
+    )
+    p.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="also execute each program and audit claims against the trace",
+    )
+    p.add_argument(
+        "--max-windows",
+        type=int,
+        default=MAX_WINDOWS,
+        metavar="N",
+        help="trace windows examined by --dynamic (default: %(default)s)",
+    )
+    p.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE]",
+        help="rule IDs to suppress (e.g. HLI007 or HLI001-unsound-nodep)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
+    return p
+
+
+def _targets(args) -> list[tuple[str, str, str]]:
+    """Yield ``(name, source, input_text)`` for every audit target."""
+    out = []
+    if args.corpus:
+        from ..workloads.suite import BENCHMARKS
+
+        for spec in BENCHMARKS:
+            out.append((spec.name, spec.source, spec.input_text))
+    for path in args.files:
+        with open(path, "r") as f:
+            out.append((path, f.read(), ""))
+    return out
+
+
+def run(argv: Optional[list[str]] = None) -> tuple[int, list[LintReport]]:
+    """Parse args, audit every target, return (exit code, reports)."""
+    return _run_parsed(build_parser().parse_args(argv))
+
+
+def _run_parsed(args) -> tuple[int, list[LintReport]]:
+    if not args.corpus and not args.files:
+        print("hli-lint: no input (pass source files or --corpus)", file=sys.stderr)
+        return 2, []
+    suppress = [s for chunk in args.suppress for s in chunk.split(",") if s]
+    try:
+        for s in suppress:
+            resolve_rule(s)
+    except KeyError as exc:
+        print(f"hli-lint: {exc.args[0]}", file=sys.stderr)
+        return 2, []
+
+    try:
+        targets = _targets(args)
+    except OSError as exc:
+        print(f"hli-lint: {exc}", file=sys.stderr)
+        return 2, []
+
+    reports: list[LintReport] = []
+    failed = False
+    for name, source, input_text in targets:
+        for mode in _MODES[args.mode]:
+            opts = CompileOptions(
+                mode=mode,
+                cse=args.cse,
+                licm=args.licm,
+                unroll=args.unroll,
+            )
+            label = name if args.mode != "all" else f"{name} [{mode.value}]"
+            try:
+                comp = compile_source(source, name, opts)
+            except Exception as exc:
+                print(f"hli-lint: {label}: compile failed: {exc}", file=sys.stderr)
+                return 2, reports
+            report = lint_compilation(comp, suppress=suppress)
+            report.target = label
+            if args.dynamic:
+                dyn = dynamic_audit(
+                    comp, input_text=input_text, max_windows=args.max_windows
+                )
+                report.merge(dyn)
+            reports.append(report)
+            if not report.clean:
+                failed = True
+    return (1 if failed else 0), reports
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    code, reports = _run_parsed(args)
+    if code == 2:
+        return 2
+    if args.fmt == "json":
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "clean": code == 0,
+                    "targets": [json.loads(r.to_json()) for r in reports],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for r in reports:
+            print(r.format_text())
+        n_claims = sum(sum(r.claims_checked.values()) for r in reports)
+        n_findings = sum(len(r.diagnostics) for r in reports)
+        print(
+            f"hli-lint: {len(reports)} compilation(s), {n_claims} claims "
+            f"replayed, {n_findings} finding(s)"
+        )
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

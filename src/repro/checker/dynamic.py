@@ -1,0 +1,135 @@
+"""Dynamic-trace auditing: ground truth from actual execution.
+
+The static auditor only flags claims the oracle can *prove* wrong.  The
+dynamic auditor goes the other way: it runs the compiled RTL on the
+interpreter, splits the memory trace into basic-block execution windows
+(the scope within which the scheduler reorders), and replays every
+consumed ``get_equiv_acc`` verdict against the concrete addresses the
+two references actually touched:
+
+* ``NONE`` while both references hit the **same** byte address in one
+  window — the scheduler could have produced wrong code (``HLI001``);
+* ``DEFINITE`` while the addresses **differ** — a store-forwarding
+  consumer would have produced a wrong value (``HLI008``).
+
+Both are witnesses, not heuristics: a finding comes with the concrete
+address(es) observed.  Windows are capped (quadratic check) — the cap
+is reported through ``claims_checked['trace_windows']``.
+"""
+
+from __future__ import annotations
+
+from ..backend.rtl import BRANCH_OPS, Opcode
+from ..hli.query import EquivAcc, HLIQuery
+from ..machine.executor import execute
+from .rules import (
+    Diagnostic,
+    HLI001_UNSOUND_NODEP,
+    HLI008_UNSOUND_DEFINITE,
+    LintReport,
+)
+
+#: Default quadratic-check budget: execution windows examined per run.
+MAX_WINDOWS = 50_000
+
+
+def block_instances(trace):
+    """Split a dynamic trace into basic-block execution windows."""
+    window = []
+    for ev in trace:
+        op = ev.insn.op
+        if op is Opcode.LABEL:
+            if window:
+                yield window
+            window = []
+            continue
+        if op in BRANCH_OPS or op is Opcode.CALL:
+            window.append(ev)
+            yield window
+            window = []
+            continue
+        window.append(ev)
+    if window:
+        yield window
+
+
+def dynamic_audit(comp, input_text: str = "", max_windows: int = MAX_WINDOWS) -> LintReport:
+    """Execute ``comp.rtl`` and audit equivalence claims against the trace."""
+    report = LintReport(target=comp.filename)
+    res = execute(comp.rtl, input_text=input_text)
+
+    insn_unit: dict[int, str] = {}
+    for name, fn in comp.rtl.functions.items():
+        for insn in fn.insns:
+            insn_unit[insn.uid] = name
+    # fresh queries: auditing must not depend on consumer-side staleness
+    queries = {
+        name: HLIQuery(entry) for name, entry in comp.hli.entries.items()
+    }
+    seen: set[tuple] = set()  # report each (unit, pair, rule) once
+
+    windows = 0
+    for window in block_instances(res.trace):
+        windows += 1
+        if windows > max_windows:
+            break
+        mems = [
+            ev for ev in window if ev.insn.mem is not None and ev.addr is not None
+        ]
+        for i in range(len(mems)):
+            for j in range(i + 1, len(mems)):
+                a, b = mems[i], mems[j]
+                if not (a.insn.mem.is_store or b.insn.mem.is_store):
+                    continue
+                ia, ib = a.insn.hli_item, b.insn.hli_item
+                if ia is None or ib is None:
+                    continue
+                unit = insn_unit.get(a.insn.uid)
+                if unit is None or insn_unit.get(b.insn.uid) != unit:
+                    continue
+                query = queries.get(unit)
+                if query is None:
+                    continue
+                verdict = query.get_equiv_acc(ia, ib)
+                if verdict is EquivAcc.NONE:
+                    report.count_claim("dynamic_none")
+                    if a.addr == b.addr:
+                        key = (unit, min(ia, ib), max(ia, ib), "none")
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        report.add(
+                            Diagnostic(
+                                rule=HLI001_UNSOUND_NODEP,
+                                unit=unit,
+                                line=a.insn.line,
+                                message=(
+                                    f"items {ia} (line {a.insn.line}) and {ib} "
+                                    f"(line {b.insn.line}) declared independent "
+                                    f"but both touched address {a.addr:#x} in "
+                                    "one block instance"
+                                ),
+                                source="dynamic",
+                            )
+                        )
+                elif verdict is EquivAcc.DEFINITE:
+                    report.count_claim("dynamic_definite")
+                    if a.addr != b.addr:
+                        key = (unit, min(ia, ib), max(ia, ib), "definite")
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        report.add(
+                            Diagnostic(
+                                rule=HLI008_UNSOUND_DEFINITE,
+                                unit=unit,
+                                line=a.insn.line,
+                                message=(
+                                    f"items {ia} and {ib} declared DEFINITE "
+                                    f"but touched {a.addr:#x} vs {b.addr:#x}"
+                                ),
+                                source="dynamic",
+                            )
+                        )
+    report.count_claim("trace_windows", windows)
+    return report

@@ -1,0 +1,298 @@
+"""An independent, conservative dependence oracle over RTL.
+
+This is the checker's *sound baseline*: it never reads the HLI, so any
+disagreement between its proofs and an HLI claim is a genuine
+inconsistency in the HLI (or its maintenance), not a circular
+re-derivation.
+
+The oracle resolves memory addresses symbolically by chasing pseudo
+registers through the :class:`~repro.checker.dataflow.ReachingDefinitions`
+solution: an address is *resolved* when it provably evaluates to
+``&symbol + constant`` on every path.  Two resolved addresses support
+three-valued verdicts:
+
+* ``DISJOINT`` — provably never overlap (distinct objects, or disjoint
+  byte ranges of the same object);
+* ``MUST``     — provably always overlap (same object, overlapping
+  constant ranges);
+* ``MAY``      — everything else (unresolved, loop-varying, pointers).
+
+Only ``DISJOINT`` and ``MUST`` are proofs; ``MAY`` claims nothing, which
+is what keeps the auditor free of false positives.
+
+:class:`CallEffectOracle` is the interprocedural analog: for each
+function it computes the set of resolved locations the function *must*
+read / write on every execution (stores and loads on the straight-line
+entry path, plus the must-effects of calls on that path).  A call's HLI
+REF/MOD summary that omits a must-effect is provably wrong.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..backend.cfg import CFG, build_cfg
+from ..backend.rtl import Insn, Opcode, Reg, RTLFunction, RTLProgram
+from .dataflow import ENTRY_DEF, ReachingDefinitions, solve
+
+
+class DepVerdict(enum.Enum):
+    """Three-valued dependence verdict between two memory references."""
+
+    DISJOINT = "disjoint"
+    MAY = "may"
+    MUST = "must"
+
+
+@dataclass(frozen=True)
+class AbstractAddr:
+    """A resolved address: ``&symbol + offset`` (offset may be unknown)."""
+
+    symbol: Optional[str] = None
+    offset: Optional[int] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.symbol is not None and self.offset is not None
+
+
+UNKNOWN = AbstractAddr()
+
+_MAX_CHASE_DEPTH = 32
+
+
+class DependenceOracle:
+    """Per-function conservative memory disambiguator (no HLI input)."""
+
+    def __init__(self, fn: RTLFunction, cfg: Optional[CFG] = None) -> None:
+        self.fn = fn
+        self.cfg = cfg if cfg is not None else build_cfg(fn)
+        problem = ReachingDefinitions(self.cfg, param_regs=fn.param_regs)
+        self._rd = solve(self.cfg, problem)
+        self._insn_by_uid: dict[int, Insn] = {}
+        #: uid -> reaching-definitions fact just before the instruction
+        self._fact_before: dict[int, frozenset] = {}
+        #: uid -> block index (used by callers to group same-block pairs)
+        self.block_of: dict[int, int] = {}
+        for block in self.cfg.blocks:
+            for insn, fact in self._rd.insn_facts(block):
+                self._insn_by_uid[insn.uid] = insn
+                self._fact_before[insn.uid] = fact
+                self.block_of[insn.uid] = block.index
+        self._addr_cache: dict[int, AbstractAddr] = {}
+
+    # -- address resolution ----------------------------------------------------
+
+    def addr_of(self, insn: Insn) -> AbstractAddr:
+        """Abstract address of a LOAD/STORE instruction."""
+        if insn.mem is None:
+            return UNKNOWN
+        cached = self._addr_cache.get(insn.uid)
+        if cached is not None:
+            return cached
+        if insn.mem.known_symbol is not None:
+            out = AbstractAddr(insn.mem.known_symbol, insn.mem.known_offset)
+        else:
+            value = self._value_before(insn.mem.addr, insn.uid, _MAX_CHASE_DEPTH)
+            out = value if isinstance(value, AbstractAddr) else UNKNOWN
+            if out.symbol is None and insn.mem.base_symbol is not None:
+                # the back-end knows the object even when the offset is
+                # dynamic; symbol identity alone supports DISJOINT proofs
+                out = AbstractAddr(insn.mem.base_symbol, None)
+        self._addr_cache[insn.uid] = out
+        return out
+
+    def _value_before(self, reg: Reg, at_uid: int, depth: int):
+        """Abstract value of ``reg`` just before instruction ``at_uid``.
+
+        Returns an :class:`AbstractAddr`, an ``int`` constant, or
+        ``UNKNOWN``.  Sound only for single-reaching-definition chains:
+        a register with several (or external) reaching definitions is
+        UNKNOWN.
+        """
+        if depth <= 0:
+            return UNKNOWN
+        fact = self._fact_before.get(at_uid)
+        if fact is None:
+            return UNKNOWN
+        defs = ReachingDefinitions.defs_of(fact, reg.rid)
+        if len(defs) != 1:
+            return UNKNOWN
+        (uid,) = defs
+        if uid == ENTRY_DEF:
+            return UNKNOWN
+        d = self._insn_by_uid.get(uid)
+        if d is None:
+            return UNKNOWN
+        return self._eval_def(d, depth - 1)
+
+    def _eval_def(self, d: Insn, depth: int):
+        op = d.op
+        if op is Opcode.LI and isinstance(d.imm, int):
+            return d.imm
+        if op is Opcode.LA and d.symbol is not None:
+            off = d.imm if isinstance(d.imm, int) else 0
+            return AbstractAddr(d.symbol, off)
+        if op is Opcode.MOVE and d.srcs and isinstance(d.srcs[0], Reg):
+            return self._value_before(d.srcs[0], d.uid, depth)
+        if op in (Opcode.ADD, Opcode.SUB) and len(d.srcs) == 2:
+            vals = [
+                self._value_before(s, d.uid, depth)
+                if isinstance(s, Reg)
+                else (s if isinstance(s, int) else UNKNOWN)
+                for s in d.srcs
+            ]
+            a, b = vals
+            if op is Opcode.ADD:
+                if isinstance(a, int) and isinstance(b, int):
+                    return a + b
+                if isinstance(a, AbstractAddr) and a.resolved and isinstance(b, int):
+                    return AbstractAddr(a.symbol, a.offset + b)
+                if isinstance(b, AbstractAddr) and b.resolved and isinstance(a, int):
+                    return AbstractAddr(b.symbol, b.offset + a)
+            else:
+                if isinstance(a, int) and isinstance(b, int):
+                    return a - b
+                if isinstance(a, AbstractAddr) and a.resolved and isinstance(b, int):
+                    return AbstractAddr(a.symbol, a.offset - b)
+        if op in (Opcode.MUL, Opcode.SHL, Opcode.SHR) and len(d.srcs) == 2:
+            vals = [
+                self._value_before(s, d.uid, depth)
+                if isinstance(s, Reg)
+                else (s if isinstance(s, int) else UNKNOWN)
+                for s in d.srcs
+            ]
+            a, b = vals
+            if isinstance(a, int) and isinstance(b, int):
+                if op is Opcode.MUL:
+                    return a * b
+                if op is Opcode.SHL:
+                    return a << b
+                return a >> b
+        return UNKNOWN
+
+    # -- pairwise classification -----------------------------------------------
+
+    def classify(self, a: Insn, b: Insn) -> DepVerdict:
+        """Verdict for one pair of memory references."""
+        if a.mem is None or b.mem is None:
+            return DepVerdict.MAY
+        addr_a, addr_b = self.addr_of(a), self.addr_of(b)
+        if addr_a.symbol is not None and addr_b.symbol is not None:
+            if addr_a.symbol != addr_b.symbol:
+                # Distinct declared objects occupy disjoint storage.
+                return DepVerdict.DISJOINT
+            if addr_a.resolved and addr_b.resolved:
+                lo_a, hi_a = addr_a.offset, addr_a.offset + a.mem.width
+                lo_b, hi_b = addr_b.offset, addr_b.offset + b.mem.width
+                if hi_a <= lo_b or hi_b <= lo_a:
+                    return DepVerdict.DISJOINT
+                return DepVerdict.MUST
+        return DepVerdict.MAY
+
+    def independent(self, a: Insn, b: Insn) -> bool:
+        """Sound HLI-free independence test (usable by optimizer passes)."""
+        return self.classify(a, b) is DepVerdict.DISJOINT
+
+
+@dataclass(frozen=True)
+class MustEffects:
+    """Locations a function must read / write on every execution."""
+
+    ref: frozenset  # of (symbol, offset, width)
+    mod: frozenset
+
+
+_EMPTY_EFFECTS = MustEffects(ref=frozenset(), mod=frozenset())
+
+
+class CallEffectOracle:
+    """Must-REF / must-MOD sets per function, HLI-free and interprocedural.
+
+    Only the straight-line entry path of each function is considered
+    (instructions that execute unconditionally before the first
+    conditional branch), so every collected effect provably occurs on
+    every call — the certainty needed to contradict an HLI ``NONE``
+    verdict without false positives.  External callees contribute
+    nothing (their effects cannot be proven here).
+    """
+
+    def __init__(self, program: RTLProgram) -> None:
+        self.program = program
+        self._oracles: dict[str, DependenceOracle] = {}
+        self._effects: dict[str, MustEffects] = {}
+        self._in_progress: set[str] = set()
+
+    def oracle_for(self, name: str) -> Optional[DependenceOracle]:
+        fn = self.program.functions.get(name)
+        if fn is None:
+            return None
+        oracle = self._oracles.get(name)
+        if oracle is None:
+            oracle = DependenceOracle(fn)
+            self._oracles[name] = oracle
+        return oracle
+
+    def must_effects(self, name: str) -> MustEffects:
+        """Must-effects of calling ``name`` (empty for externals/cycles)."""
+        cached = self._effects.get(name)
+        if cached is not None:
+            return cached
+        fn = self.program.functions.get(name)
+        if fn is None or name in self._in_progress:
+            return _EMPTY_EFFECTS
+        self._in_progress.add(name)
+        try:
+            effects = self._compute(fn)
+        finally:
+            self._in_progress.discard(name)
+        self._effects[name] = effects
+        return effects
+
+    def _straight_line_prefix(self, fn: RTLFunction) -> list[Insn]:
+        out: list[Insn] = []
+        for insn in fn.insns:
+            if insn.op in (Opcode.BEQZ, Opcode.BNEZ, Opcode.J, Opcode.RET):
+                break
+            if insn.op is Opcode.LABEL:
+                # A label may be a join point: later instructions are no
+                # longer provably on every path.
+                break
+            out.append(insn)
+        return out
+
+    def _compute(self, fn: RTLFunction) -> MustEffects:
+        oracle = self.oracle_for(fn.name)
+        assert oracle is not None
+        ref: set = set()
+        mod: set = set()
+        for insn in self._straight_line_prefix(fn):
+            if insn.op is Opcode.CALL and insn.callee is not None:
+                sub = self.must_effects(insn.callee)
+                ref |= sub.ref
+                mod |= sub.mod
+                continue
+            if insn.mem is None:
+                continue
+            addr = oracle.addr_of(insn)
+            if not addr.resolved:
+                continue
+            loc = (addr.symbol, addr.offset, insn.mem.width)
+            if insn.mem.is_store:
+                mod.add(loc)
+            else:
+                ref.add(loc)
+        return MustEffects(ref=frozenset(ref), mod=frozenset(mod))
+
+    @staticmethod
+    def touches(effects: frozenset, addr: AbstractAddr, width: int) -> bool:
+        """Does any effect location provably overlap ``addr``?"""
+        if not addr.resolved:
+            return False
+        lo, hi = addr.offset, addr.offset + width
+        for sym, off, w in effects:
+            if sym == addr.symbol and not (off + w <= lo or hi <= off):
+                return True
+        return False

@@ -1,0 +1,244 @@
+"""``hli-lint`` rule catalogue and structured diagnostics.
+
+Every finding carries a *stable rule ID* (``HLI001`` … ``HLI008``), a
+severity, the unit (function) and source line it anchors to, a message,
+and a fix hint.  Rule IDs are part of the tool's contract: tests, CI
+gates, and suppression lists key on them, so existing IDs must never be
+renumbered — add new rules at the end.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class Severity(enum.Enum):
+    ERROR = "error"  # HLI claim provably unsound → wrong code possible
+    WARNING = "warning"  # table inconsistency; conservative fallback still safe
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One audit rule: stable ID plus catalogue metadata."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    hint: str
+
+    def __str__(self) -> str:
+        return self.rule_id
+
+
+HLI001_UNSOUND_NODEP = Rule(
+    "HLI001-unsound-nodep",
+    "get_equiv_acc answered NONE for references that provably overlap",
+    Severity.ERROR,
+    "rebuild the equivalence classes for this unit (or rerun TBLCONST); "
+    "the scheduler may have reordered conflicting references",
+)
+HLI002_UNSOUND_CALL_NODEP = Rule(
+    "HLI002-unsound-call-nodep",
+    "get_call_acc omitted an effect the callee provably has",
+    Severity.ERROR,
+    "recompute the REF/MOD summary of the callee; CSE/LICM may have kept "
+    "a value live across a call that clobbers it",
+)
+HLI003_EQCLASS_MEMBERSHIP = Rule(
+    "HLI003-eqclass-membership",
+    "equivalence-class membership disagrees with the front-end analysis",
+    Severity.ERROR,
+    "an item was merged into (or dropped from) the wrong class; rerun "
+    "TBLCONST for this unit",
+)
+HLI004_LCDD_DISTANCE = Rule(
+    "HLI004-lcdd-distance",
+    "loop-carried dependence table is inconsistent",
+    Severity.ERROR,
+    "an LCDD arc was dropped, retyped, or its distance altered; distances "
+    "may only be rewritten by the Figure 6 unroll maintenance",
+)
+HLI005_REFMOD_SUMMARY = Rule(
+    "HLI005-refmod-summary",
+    "call REF/MOD summary disagrees with the front-end analysis",
+    Severity.ERROR,
+    "a REF or MOD bit was dropped; rebuild the region's REF/MOD table",
+)
+HLI006_STALE_MAPPING = Rule(
+    "HLI006-stale-mapping",
+    "line-table / RTL mapping is stale",
+    Severity.ERROR,
+    "an instruction references an HLI item the line table or class tables "
+    "no longer carry; apply the Section 3.2.3 maintenance calls for every "
+    "reference the optimizer deletes, moves, or clones",
+)
+HLI007_STALE_QUERY = Rule(
+    "HLI007-stale-query",
+    "a consumer holds an HLIQuery older than the entry's generation",
+    Severity.WARNING,
+    "rebuild or refresh() the HLIQuery after HLI maintenance",
+)
+HLI008_UNSOUND_DEFINITE = Rule(
+    "HLI008-unsound-definite",
+    "get_equiv_acc answered DEFINITE for references that provably differ",
+    Severity.ERROR,
+    "a DEFINITE class contains references to distinct locations; "
+    "store-forwarding consumers would produce wrong values",
+)
+
+RULES: dict[str, Rule] = {
+    r.rule_id: r
+    for r in (
+        HLI001_UNSOUND_NODEP,
+        HLI002_UNSOUND_CALL_NODEP,
+        HLI003_EQCLASS_MEMBERSHIP,
+        HLI004_LCDD_DISTANCE,
+        HLI005_REFMOD_SUMMARY,
+        HLI006_STALE_MAPPING,
+        HLI007_STALE_QUERY,
+        HLI008_UNSOUND_DEFINITE,
+    )
+}
+
+
+def resolve_rule(rule_id: str) -> Rule:
+    """Look up a rule by full ID or bare ``HLI00x`` prefix."""
+    rule = RULES.get(rule_id)
+    if rule is not None:
+        return rule
+    for r in RULES.values():
+        if r.rule_id.split("-", 1)[0] == rule_id:
+            return r
+    raise KeyError(f"unknown rule '{rule_id}' (known: {', '.join(sorted(RULES))})")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding."""
+
+    rule: Rule
+    unit: str  # function name
+    line: int  # source line (0 = whole unit)
+    message: str
+    #: which auditor produced it: "static", "rebuild", or "dynamic"
+    source: str = "static"
+
+    @property
+    def severity(self) -> Severity:
+        return self.rule.severity
+
+    def format(self) -> str:
+        loc = f"{self.unit}:{self.line}" if self.line else self.unit
+        return (
+            f"{self.rule.rule_id} [{self.severity.value}] {loc}: {self.message}"
+            f"\n    hint: {self.rule.hint}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule.rule_id,
+            "severity": self.severity.value,
+            "unit": self.unit,
+            "line": self.line,
+            "message": self.message,
+            "source": self.source,
+        }
+
+
+@dataclass
+class LintReport:
+    """Everything one ``hli-lint`` run produced."""
+
+    target: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: how many individual claims each audit replayed (coverage evidence)
+    claims_checked: dict[str, int] = field(default_factory=dict)
+    suppressed: int = 0
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def count_claim(self, kind: str, n: int = 1) -> None:
+        self.claims_checked[kind] = self.claims_checked.get(kind, 0) + n
+
+    def merge(self, other: "LintReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        for k, v in other.claims_checked.items():
+            self.count_claim(k, v)
+        self.suppressed += other.suppressed
+
+    @property
+    def findings(self) -> list[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (-d.severity.rank, d.rule.rule_id, d.unit, d.line),
+        )
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def by_rule(self) -> dict[str, list[Diagnostic]]:
+        out: dict[str, list[Diagnostic]] = {}
+        for d in self.diagnostics:
+            out.setdefault(d.rule.rule_id, []).append(d)
+        return out
+
+    def has_rule(self, rule: "Rule | str") -> bool:
+        rule_id = rule.rule_id if isinstance(rule, Rule) else resolve_rule(rule).rule_id
+        return any(d.rule.rule_id == rule_id for d in self.diagnostics)
+
+    def format_text(self) -> str:
+        lines = []
+        header = self.target or "<compilation>"
+        if self.clean:
+            checked = sum(self.claims_checked.values())
+            lines.append(f"{header}: clean ({checked} claims replayed)")
+        else:
+            lines.append(f"{header}: {len(self.diagnostics)} finding(s)")
+            for d in self.findings:
+                lines.append("  " + d.format().replace("\n", "\n  "))
+        if self.suppressed:
+            lines.append(f"  ({self.suppressed} finding(s) suppressed)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "target": self.target,
+                "clean": self.clean,
+                "claims_checked": self.claims_checked,
+                "suppressed": self.suppressed,
+                "diagnostics": [d.to_dict() for d in self.findings],
+            },
+            indent=2,
+        )
+
+
+def filter_suppressed(
+    report: LintReport, suppress: Optional[Iterable[str]]
+) -> LintReport:
+    """A copy of ``report`` with the given rule IDs removed (and counted)."""
+    if not suppress:
+        return report
+    suppressed_ids = {resolve_rule(s).rule_id for s in suppress}
+    out = LintReport(target=report.target, claims_checked=dict(report.claims_checked))
+    out.suppressed = report.suppressed
+    for d in report.diagnostics:
+        if d.rule.rule_id in suppressed_ids:
+            out.suppressed += 1
+        else:
+            out.add(d)
+    return out

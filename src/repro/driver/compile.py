@@ -10,7 +10,10 @@ can inspect any stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # avoid a load-time cycle with repro.checker
+    from ..checker.rules import LintReport
 
 from ..analysis.builder import FrontEndInfo, build_hli
 from ..backend.ddg import DDGMode, DepStats
@@ -40,6 +43,9 @@ class CompileOptions:
     licm: bool = False
     #: unroll innermost counted loops by this factor (1 = off)
     unroll: int = 1
+    #: run the ``hli-lint`` soundness auditor after all passes; the
+    #: report lands in :attr:`Compilation.lint_report`
+    lint: bool = False
 
 
 @dataclass
@@ -55,6 +61,8 @@ class Compilation:
     map_stats: dict[str, MapStats] = field(default_factory=dict)
     dep_stats: dict[str, DepStats] = field(default_factory=dict)
     options: Optional[CompileOptions] = None
+    #: populated when :attr:`CompileOptions.lint` is set
+    lint_report: Optional["LintReport"] = None
 
     def total_dep_stats(self) -> DepStats:
         total = DepStats()
@@ -102,4 +110,9 @@ def compile_source(
                 fn, mode=opts.mode, query=query, latency=opts.latency
             )
             result.dep_stats[name] = sched.stats
+
+    if opts.lint:
+        from ..checker.lint import lint_compilation
+
+        result.lint_report = lint_compilation(result)
     return result

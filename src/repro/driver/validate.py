@@ -8,6 +8,7 @@ Intended as the artifact-evaluation entry point.
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -71,6 +72,29 @@ def _collect_tables(report: ValidationReport) -> None:
                 "unmapped_refs": unmapped,
             }
         )
+
+
+def _collect_lint(report: ValidationReport) -> None:
+    """Audit every benchmark with ``hli-lint`` in all three DDG modes."""
+    from ..checker.lint import lint_compilation
+
+    findings = 0
+    claims = 0
+    for b in BENCHMARKS:
+        for mode in DDGMode:
+            comp = compile_source(b.source, b.name, CompileOptions(mode=mode))
+            lint = lint_compilation(comp)
+            findings += len(lint.diagnostics)
+            claims += sum(lint.claims_checked.values())
+    report.claims.append(
+        Claim(
+            "hli_lint_clean",
+            "hli-lint replays every consumed HLI claim with zero findings "
+            "in all three dependence modes",
+            findings == 0 and claims > 0,
+            {"claims_replayed": claims, "findings": findings},
+        )
+    )
 
 
 def _collect_speedups(report: ValidationReport) -> None:
@@ -180,7 +204,11 @@ def _check_claims(report: ValidationReport) -> None:
         )
 
 
-def validate(include_speedups: bool = True, out_path: str = "RESULTS.json") -> ValidationReport:
+def validate(
+    include_speedups: bool = True,
+    out_path: str = "RESULTS.json",
+    include_lint: bool = True,
+) -> ValidationReport:
     """Run the full validation; writes ``RESULTS.json`` and returns the report."""
     report = ValidationReport()
     print("collecting Table 1 / Table 2 statistics ...", flush=True)
@@ -189,6 +217,9 @@ def validate(include_speedups: bool = True, out_path: str = "RESULTS.json") -> V
         print("running speedup measurements (4 executions per benchmark) ...", flush=True)
         _collect_speedups(report)
     _check_claims(report)
+    if include_lint:
+        print("replaying HLI claims with hli-lint (3 modes) ...", flush=True)
+        _collect_lint(report)
     payload = {
         "table1": report.table1,
         "table2": report.table2,
@@ -207,9 +238,34 @@ def validate(include_speedups: bool = True, out_path: str = "RESULTS.json") -> V
     return report
 
 
-def main() -> int:
-    quick = "--quick" in sys.argv
-    report = validate(include_speedups=not quick)
+def main(argv: list[str] | None = None) -> int:
+    """CI gate: exit 0 only when every claim passes."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.driver.validate",
+        description="Reproduce the paper's tables and verify every shape claim.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the speedup measurements (fastest meaningful gate)",
+    )
+    parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the hli-lint claim-replay gate",
+    )
+    parser.add_argument(
+        "--out",
+        default="RESULTS.json",
+        metavar="PATH",
+        help="where to write the machine-readable report (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    report = validate(
+        include_speedups=not args.quick,
+        out_path=args.out,
+        include_lint=not args.no_lint,
+    )
     return 0 if report.all_passed else 1
 
 

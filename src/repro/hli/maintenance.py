@@ -14,9 +14,12 @@ functions keep the HLI tables consistent with such changes:
   per unrolled copy, convert intra-unrolled-iteration dependences into
   class merges/aliases, and rewrite LCDD distances.
 
-All functions mutate the :class:`~repro.hli.tables.HLIEntry` in place;
-build a fresh :class:`~repro.hli.query.HLIQuery` afterwards (indices are
-not updated incrementally).
+All functions mutate the :class:`~repro.hli.tables.HLIEntry` in place
+and bump ``entry.generation``; build a fresh
+:class:`~repro.hli.query.HLIQuery` (or call ``query.refresh()``)
+afterwards — a query constructed against an older generation raises
+:class:`~repro.hli.query.StaleQueryError` instead of silently answering
+from stale indices.
 """
 
 from __future__ import annotations
@@ -38,6 +41,11 @@ from .tables import (
 
 class MaintenanceError(Exception):
     """Raised when an update cannot be applied consistently."""
+
+
+def _bump(entry: HLIEntry) -> None:
+    """Record that the entry's tables changed (invalidates live queries)."""
+    entry.generation += 1
 
 
 def next_free_id(entry: HLIEntry) -> int:
@@ -75,6 +83,7 @@ def delete_item(entry: HLIEntry, item_id: int) -> None:
     region and from every alias/LCDD/REF-MOD entry and parent class that
     referenced it.
     """
+    _bump(entry)
     for le in entry.line_table.entries.values():
         le.items = [(iid, ty) for iid, ty in le.items if iid != item_id]
     found = find_item_class(entry, item_id)
@@ -118,6 +127,7 @@ def generate_item(
     item_id: Optional[int] = None,
 ) -> int:
     """Create a back-end-originated item in its own fresh class."""
+    _bump(entry)
     iid = item_id if item_id is not None else next_free_id(entry)
     entry.line_table.add_item(line, iid, item_type)
     region = entry.regions[region_id]
@@ -136,6 +146,7 @@ def inherit_item(entry: HLIEntry, new_item: int, old_item: int, line: int,
     found = find_item_class(entry, old_item)
     if found is None:
         raise MaintenanceError(f"item {old_item} not found")
+    _bump(entry)
     _, cls = found
     entry.line_table.add_item(line, new_item, item_type)
     cls.member_items.append(new_item)
@@ -163,6 +174,7 @@ def move_item_to_parent(entry: HLIEntry, item_id: int) -> None:
         raise MaintenanceError(
             f"no parent class lifts class {cls.class_id} of region {region.region_id}"
         )
+    _bump(entry)
     cls.member_items.remove(item_id)
     lifted.member_items.append(item_id)
     if not cls.member_items and not cls.member_classes:
@@ -197,6 +209,7 @@ def unroll_region(entry: HLIEntry, region_id: int, factor: int) -> UnrollMainten
     """
     if factor < 2:
         raise MaintenanceError("unroll factor must be >= 2")
+    _bump(entry)
     region = entry.regions[region_id]
     result = UnrollMaintenance(region_id=region_id, factor=factor)
     next_id = next_free_id(entry)

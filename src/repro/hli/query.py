@@ -17,6 +17,12 @@ implements them over a loaded :class:`~repro.hli.tables.HLIEntry`:
 Queries answer ``UNKNOWN`` for items the HLI does not cover (the paper's
 "unknown dependence types"); the back-end must then fall back to its own
 conservative analysis.
+
+A query object snapshots ``entry.generation`` at construction.  Once a
+maintenance function mutates the entry, every query method raises
+:class:`StaleQueryError` until :meth:`HLIQuery.refresh` (or a fresh
+``HLIQuery``) rebuilds the indices — stale indices used to silently
+return wrong answers.
 """
 
 from __future__ import annotations
@@ -35,6 +41,14 @@ from .tables import (
     RegionEntry,
     RegionType,
 )
+
+
+class StaleQueryError(RuntimeError):
+    """A query was used after maintenance mutated its underlying entry.
+
+    The indices built at construction time no longer reflect the tables;
+    call :meth:`HLIQuery.refresh` or build a new :class:`HLIQuery`.
+    """
 
 
 class EquivAcc(enum.Enum):
@@ -73,6 +87,31 @@ class HLIQuery:
 
     def __init__(self, entry: HLIEntry) -> None:
         self.entry = entry
+        self.refresh()
+
+    # -- staleness ------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Entry generation the current indices were built against."""
+        return self._generation
+
+    @property
+    def is_stale(self) -> bool:
+        return self._generation != self.entry.generation
+
+    def _check_fresh(self) -> None:
+        if self._generation != self.entry.generation:
+            raise StaleQueryError(
+                f"HLIQuery for unit '{self.entry.unit_name}' was built at "
+                f"generation {self._generation} but the entry is now at "
+                f"generation {self.entry.generation}; call refresh() or "
+                "build a new HLIQuery after HLI maintenance"
+            )
+
+    def refresh(self) -> "HLIQuery":
+        """Rebuild the indices against the entry's current generation."""
+        self._generation = self.entry.generation
         #: item id -> region id whose class table lists it
         self._item_home: dict[int, int] = {}
         #: item id -> class id in its home region
@@ -86,6 +125,7 @@ class HLIQuery:
         #: region id -> depth (root = 0)
         self._depth: dict[int, int] = {}
         self._index()
+        return self
 
     # -- index construction ---------------------------------------------------
 
@@ -121,6 +161,7 @@ class HLIQuery:
 
     def common_region(self, item_a: int, item_b: int) -> Optional[int]:
         """Innermost region enclosing the homes of both items."""
+        self._check_fresh()
         home_a = self._item_home.get(item_a)
         home_b = self._item_home.get(item_b)
         if home_a is None or home_b is None:
@@ -134,6 +175,7 @@ class HLIQuery:
     def class_at(self, item_id: int, region_id: int) -> Optional[int]:
         """The class representing ``item_id`` at ``region_id`` (an ancestor
         of the item's home region), or None."""
+        self._check_fresh()
         cls = self._item_class.get(item_id)
         while cls is not None:
             if self._class_region.get(cls) == region_id:
@@ -142,6 +184,7 @@ class HLIQuery:
         return None
 
     def item_home(self, item_id: int) -> Optional[int]:
+        self._check_fresh()
         return self._item_home.get(item_id)
 
     # -- query 1: equivalent access (Figure 5) ------------------------------------
@@ -149,6 +192,7 @@ class HLIQuery:
     def get_equiv_acc(self, item_a: int, item_b: int) -> EquivAcc:
         """May/must items ``a`` and ``b`` access the same memory location
         within a single iteration of their innermost common region?"""
+        self._check_fresh()
         rid = self.common_region(item_a, item_b)
         if rid is None:
             return EquivAcc.UNKNOWN
@@ -175,6 +219,7 @@ class HLIQuery:
 
     def get_alias(self, item_a: int, item_b: int) -> EquivAcc:
         """Alias-table-only relation between the items' classes."""
+        self._check_fresh()
         rid = self.common_region(item_a, item_b)
         if rid is None:
             return EquivAcc.UNKNOWN
@@ -201,6 +246,7 @@ class HLIQuery:
         Returns ``None`` if the items are not covered, an empty list if the
         loop carries no dependence between them.
         """
+        self._check_fresh()
         if region_id is None:
             rid = self.common_region(item_a, item_b)
             while rid is not None:
@@ -228,6 +274,7 @@ class HLIQuery:
 
     def get_call_acc(self, mem_item: int, call_item: int) -> CallAcc:
         """Effect of ``call_item`` on the location accessed by ``mem_item``."""
+        self._check_fresh()
         call_region = self._call_region.get(call_item)
         mem_home = self._item_home.get(mem_item)
         if call_region is None or mem_home is None:
@@ -281,6 +328,7 @@ class HLIQuery:
 
     def get_region_info(self, item_id: int) -> Optional[RegionInfo]:
         """Structural hints about the region holding ``item_id``."""
+        self._check_fresh()
         rid = self._item_home.get(item_id)
         if rid is None:
             rid = self._call_region.get(item_id)

@@ -177,6 +177,12 @@ class HLIEntry:
     root_region_id: int = 0
     line_table: LineTable = field(default_factory=LineTable)
     regions: dict[int, RegionEntry] = field(default_factory=dict)
+    #: Maintenance generation.  Every mutator in
+    #: :mod:`repro.hli.maintenance` bumps it; :class:`~repro.hli.query.HLIQuery`
+    #: snapshots it and refuses to answer once the entry has moved on.  The
+    #: counter is in-memory state only — it is not part of the serialized
+    #: format (a freshly read entry always starts at generation 0).
+    generation: int = 0
 
     # -- navigation helpers (used by queries and maintenance) -------------
 

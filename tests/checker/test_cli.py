@@ -1,0 +1,99 @@
+"""``hli-lint`` CLI: arguments, output formats, and the exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.checker.cli import main
+from repro.hli.tables import EqClass, EquivType
+
+CLEAN = """\
+int s;
+int main() { s = 1; return s; }
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    p = tmp_path / "clean.c"
+    p.write_text(CLEAN)
+    return str(p)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main([clean_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, clean_file, capsys, monkeypatch):
+        # corrupt every compilation's HLI right after compile_source
+        import repro.checker.cli as cli
+        from repro.driver.compile import compile_source as real_compile
+
+        def corrupted(source, filename, options):
+            comp = real_compile(source, filename, options)
+            entry = comp.hli.entries["main"]
+            root = entry.root_region()
+            cls = next(c for c in root.eq_classes if len(c.member_items) >= 2)
+            stolen = cls.member_items.pop()
+            root.eq_classes.append(
+                EqClass(class_id=9000, equiv_type=EquivType.DEFINITE, member_items=[stolen])
+            )
+            return comp
+
+        monkeypatch.setattr(cli, "compile_source", corrupted)
+        assert main([clean_file]) == 1
+        out = capsys.readouterr().out
+        assert "HLI00" in out and "finding" in out
+
+    def test_no_input_exits_two(self, capsys):
+        assert main([]) == 2
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["/nonexistent/x.c"]) == 2
+
+    def test_bad_suppress_rule_exits_two(self, clean_file, capsys):
+        assert main([clean_file, "--suppress", "HLI999"]) == 2
+
+    def test_compile_error_exits_two(self, tmp_path, capsys):
+        p = tmp_path / "broken.c"
+        p.write_text("int main( {")
+        assert main([str(p)]) == 2
+
+
+class TestOptions:
+    def test_json_format(self, clean_file, capsys):
+        assert main([clean_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["targets"][0]["diagnostics"] == []
+        assert payload["targets"][0]["claims_checked"]
+
+    def test_mode_all_audits_three_modes(self, clean_file, capsys):
+        assert main([clean_file, "--mode", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "[gcc]" in out and "[hli]" in out and "[combined]" in out
+
+    def test_passes_and_dynamic(self, clean_file, capsys):
+        rc = main([clean_file, "--cse", "--licm", "--unroll", "2", "--dynamic"])
+        assert rc == 0
+
+    def test_suppress_hides_findings(self, clean_file, capsys, monkeypatch):
+        import repro.checker.cli as cli
+        from repro.driver.compile import compile_source as real_compile
+
+        def corrupted(source, filename, options):
+            comp = real_compile(source, filename, options)
+            root = comp.hli.entries["main"].root_region()
+            cls = next(c for c in root.eq_classes if len(c.member_items) >= 2)
+            stolen = cls.member_items.pop()
+            root.eq_classes.append(
+                EqClass(class_id=9000, equiv_type=EquivType.DEFINITE, member_items=[stolen])
+            )
+            return comp
+
+        monkeypatch.setattr(cli, "compile_source", corrupted)
+        rc_all = main([clean_file, "--suppress", "HLI001,HLI003,HLI006,HLI008"])
+        out = capsys.readouterr().out
+        assert rc_all == 0, out
+        assert "suppressed" in out

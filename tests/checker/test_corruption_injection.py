@@ -1,0 +1,137 @@
+"""Corruption-injection property tests (the auditor's detection power).
+
+Seeded random corruptions are injected directly into the HLI tables of
+correctly compiled benchmarks — the kinds of damage a buggy maintenance
+implementation would cause — and the auditor must flag each one with the
+*right* stable rule ID:
+
+* eq-class merges / member moves       → ``HLI003-eqclass-membership``
+* LCDD distance shrinks / arc drops    → ``HLI004-lcdd-distance``
+* REF/MOD bit drops                    → ``HLI005-refmod-summary``
+
+The acceptance bar is >= 95% detection across all seeded corruptions.
+"""
+
+import copy
+import random
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.checker import lint_compilation
+from repro.workloads.suite import by_name
+
+#: benchmarks with enough table structure for all three corruption kinds
+CORPUS = ["wc", "129.compress", "034.mdljdp2", "077.mdljsp2", "103.su2cor"]
+SEEDS = range(6)
+
+
+# -- corruption operators (return True when they actually mutated) ------------
+
+
+def corrupt_eqclass(entries, rng) -> bool:
+    """Merge one class into another (or move a member between classes)."""
+    sites = []
+    for entry in entries.values():
+        for region in entry.regions.values():
+            donors = [c for c in region.eq_classes if c.member_items]
+            if len(region.eq_classes) >= 2 and donors:
+                sites.append((region, donors))
+    if not sites:
+        return False
+    region, donors = rng.choice(sites)
+    src = rng.choice(donors)
+    dst = rng.choice([c for c in region.eq_classes if c is not src])
+    if rng.random() < 0.5 and len(src.member_items) > 1:
+        dst.member_items.append(src.member_items.pop())  # move one member
+    else:
+        dst.member_items.extend(src.member_items)  # full merge
+        src.member_items.clear()
+    return True
+
+
+def corrupt_lcdd(entries, rng) -> bool:
+    """Shrink a dependence distance (or drop the arc entirely)."""
+    sites = []
+    for entry in entries.values():
+        for region in entry.regions.values():
+            for arc in region.lcdd_entries:
+                sites.append((region, arc))
+    if not sites:
+        return False
+    region, arc = rng.choice(sites)
+    if arc.distance is not None and rng.random() < 0.7:
+        arc.distance += rng.choice([1, 2, 5])
+    else:
+        region.lcdd_entries.remove(arc)
+    return True
+
+
+def corrupt_refmod(entries, rng) -> bool:
+    """Drop a MOD bit (the classic 'call no longer clobbers' bug)."""
+    sites = []
+    for entry in entries.values():
+        for region in entry.regions.values():
+            for rm in region.refmod_entries:
+                if rm.mod_classes or rm.ref_classes:
+                    sites.append(rm)
+    if not sites:
+        return False
+    rm = rng.choice(sites)
+    if rm.mod_classes:
+        rm.mod_classes.pop(rng.randrange(len(rm.mod_classes)))
+    else:
+        rm.ref_classes.pop(rng.randrange(len(rm.ref_classes)))
+    return True
+
+
+KINDS = [
+    (corrupt_eqclass, "HLI003"),
+    (corrupt_lcdd, "HLI004"),
+    (corrupt_refmod, "HLI005"),
+]
+
+
+@pytest.fixture(scope="module")
+def compilations():
+    out = {}
+    for name in CORPUS:
+        bench = by_name(name)
+        comp = compile_source(bench.source, bench.name, CompileOptions(schedule=False))
+        out[name] = (comp, copy.deepcopy(comp.hli.entries))
+    return out
+
+
+class TestDetectionRate:
+    def test_seeded_corruptions_detected(self, compilations):
+        attempted = detected = 0
+        misses = []
+        for name in CORPUS:
+            comp, pristine = compilations[name]
+            for corrupt, want_rule in KINDS:
+                for seed in SEEDS:
+                    rng = random.Random(f"{name}/{want_rule}/{seed}")
+                    entries = copy.deepcopy(pristine)
+                    comp.hli.entries = entries
+                    if not corrupt(entries, rng):
+                        continue
+                    attempted += 1
+                    report = lint_compilation(comp)
+                    if report.has_rule(want_rule):
+                        detected += 1
+                    else:
+                        misses.append((name, want_rule, seed, report.format_text()))
+            comp.hli.entries = pristine
+        assert attempted >= 60, "corruption corpus unexpectedly small"
+        rate = detected / attempted
+        assert rate >= 0.95, (
+            f"detection rate {rate:.0%} ({detected}/{attempted}); misses: "
+            + "; ".join(f"{m[0]} {m[1]} seed={m[2]}" for m in misses[:5])
+        )
+
+    def test_clean_baseline(self, compilations):
+        """Sanity: the pristine tables produce zero findings."""
+        for name in CORPUS:
+            comp, pristine = compilations[name]
+            comp.hli.entries = pristine
+            assert lint_compilation(comp).clean

@@ -1,0 +1,56 @@
+"""The auditor must be silent on correct compilations (no false positives)."""
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.backend.ddg import DDGMode
+from repro.checker import dynamic_audit, lint_compilation
+from repro.workloads.suite import BENCHMARKS, by_name
+
+ALL_NAMES = [b.name for b in BENCHMARKS]
+#: small traces, safe for the quadratic dynamic window check
+DYNAMIC_NAMES = ["wc", "048.ora", "052.alvinn"]
+
+
+class TestCleanCorpus:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @pytest.mark.parametrize("mode", list(DDGMode))
+    def test_benchmark_clean_every_mode(self, name, mode):
+        bench = by_name(name)
+        comp = compile_source(bench.source, bench.name, CompileOptions(mode=mode))
+        report = lint_compilation(comp)
+        assert report.clean, report.format_text()
+        assert sum(report.claims_checked.values()) > 0
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_benchmark_clean_after_optimizations(self, name):
+        bench = by_name(name)
+        comp = compile_source(
+            bench.source,
+            bench.name,
+            CompileOptions(cse=True, licm=True, unroll=2),
+        )
+        report = lint_compilation(comp)
+        assert report.clean, report.format_text()
+
+    @pytest.mark.parametrize("name", DYNAMIC_NAMES)
+    def test_dynamic_audit_clean(self, name):
+        bench = by_name(name)
+        comp = compile_source(bench.source, bench.name, CompileOptions())
+        report = dynamic_audit(comp, input_text=bench.input_text)
+        assert report.clean, report.format_text()
+        # the audit must actually replay NONE verdicts to mean anything
+        assert report.claims_checked.get("dynamic_none", 0) > 0
+
+
+class TestDriverHook:
+    def test_compile_options_lint(self):
+        bench = by_name("wc")
+        comp = compile_source(bench.source, bench.name, CompileOptions(lint=True))
+        assert comp.lint_report is not None
+        assert comp.lint_report.clean, comp.lint_report.format_text()
+
+    def test_lint_off_by_default(self):
+        bench = by_name("wc")
+        comp = compile_source(bench.source, bench.name, CompileOptions())
+        assert comp.lint_report is None

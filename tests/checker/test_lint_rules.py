@@ -1,0 +1,127 @@
+"""Targeted per-rule tests, including the post-maintenance path.
+
+Once maintenance has legitimately run (``entry.generation != 0``) the
+reference-rebuild audit is unavailable — the tables are *supposed* to
+differ from the front-end's.  These tests corrupt tables at a non-zero
+generation and verify the independent oracle still proves the claims
+wrong (HLI001/HLI002/HLI008), and that the structural and staleness
+audits (HLI006/HLI007) fire regardless.
+"""
+
+from repro import CompileOptions, compile_source
+from repro.checker import dynamic_audit, lint_compilation
+from repro.hli.tables import EqClass, EquivType
+
+SCALARS = """
+int s;
+int main() { s = 1; s = s + 2; return s; }
+"""
+
+TWO_GLOBALS = """
+int x;
+int y;
+int main() { x = 1; y = 2; return x + y; }
+"""
+
+CALL = """
+int g;
+void poke() { g = 42; }
+int main() { g = 0; poke(); return g; }
+"""
+
+
+def _compile(src):
+    return compile_source(src, "rules.c", CompileOptions(schedule=False))
+
+
+def _root(comp, name="main"):
+    entry = comp.hli.entries[name]
+    return entry, entry.root_region()
+
+
+def _class_of_symbol(comp, region, label_part):
+    for cls in region.eq_classes:
+        if label_part in cls.label:
+            return cls
+    raise AssertionError(f"no class labelled *{label_part}* in {region.region_id}")
+
+
+class TestStaticOracleRules:
+    def test_hli001_split_definite_class(self):
+        comp = _compile(SCALARS)
+        entry, root = _root(comp)
+        cls = _class_of_symbol(comp, root, "s")
+        assert len(cls.member_items) >= 2
+        # split: claim the accesses to s are independent (NONE)
+        stolen = cls.member_items.pop()
+        root.eq_classes.append(
+            EqClass(class_id=9001, equiv_type=EquivType.DEFINITE, member_items=[stolen])
+        )
+        entry.generation += 1  # simulate damage after legitimate maintenance
+        report = lint_compilation(comp)
+        assert report.has_rule("HLI001"), report.format_text()
+
+    def test_hli008_merge_disjoint_classes(self):
+        comp = _compile(TWO_GLOBALS)
+        entry, root = _root(comp)
+        cx = _class_of_symbol(comp, root, "x")
+        cy = _class_of_symbol(comp, root, "y")
+        cx.member_items.extend(cy.member_items)  # x and y now "same location"
+        cy.member_items.clear()
+        entry.generation += 1
+        report = lint_compilation(comp)
+        assert report.has_rule("HLI008"), report.format_text()
+
+    def test_hli002_dropped_mod_bit(self):
+        comp = _compile(CALL)
+        entry, root = _root(comp)
+        rms = [rm for rm in root.refmod_entries if rm.mod_classes]
+        assert rms, "expected a MOD summary for the poke() call"
+        for rm in rms:
+            rm.mod_classes.clear()
+            rm.ref_classes.clear()
+        entry.generation += 1
+        report = lint_compilation(comp)
+        assert report.has_rule("HLI002"), report.format_text()
+
+    def test_dynamic_audit_catches_split_class(self):
+        comp = compile_source(SCALARS, "dyn.c", CompileOptions())
+        entry, root = _root(comp)
+        cls = _class_of_symbol(comp, root, "s")
+        stolen = cls.member_items.pop()
+        root.eq_classes.append(
+            EqClass(class_id=9002, equiv_type=EquivType.DEFINITE, member_items=[stolen])
+        )
+        entry.generation += 1
+        report = dynamic_audit(comp)
+        assert report.has_rule("HLI001"), report.format_text()
+        assert any(d.source == "dynamic" for d in report.diagnostics)
+
+
+class TestStructuralRules:
+    def test_hli006_item_removed_from_line_table(self):
+        comp = _compile(SCALARS)
+        entry, _ = _root(comp)
+        line = next(le for le in entry.line_table.entries.values() if le.items)
+        line.items.pop()
+        entry.generation += 1
+        report = lint_compilation(comp)
+        assert report.has_rule("HLI006"), report.format_text()
+
+    def test_hli007_consumer_query_stale(self):
+        from repro.hli.maintenance import generate_item
+        from repro.hli.tables import ItemType
+
+        comp = _compile(SCALARS)
+        entry, root = _root(comp)
+        # legitimate maintenance, but the consumer query is never refreshed
+        generate_item(entry, line=1, item_type=ItemType.LOAD, region_id=root.region_id)
+        assert comp.queries["main"].is_stale
+        report = lint_compilation(comp)
+        assert report.has_rule("HLI007"), report.format_text()
+        # staleness is a warning, not an error
+        assert all(
+            d.severity.value == "warning"
+            for d in report.diagnostics
+            if d.rule.rule_id.startswith("HLI007")
+        )

@@ -1,0 +1,157 @@
+"""The conservative dependence oracle: proofs only, no false claims."""
+
+from repro import CompileOptions, compile_source
+from repro.checker.oracle import CallEffectOracle, DependenceOracle, DepVerdict
+
+
+def _compile(src):
+    return compile_source(src, "oracle.c", CompileOptions(schedule=False))
+
+
+def _mems(fn):
+    return [i for i in fn.insns if i.mem is not None]
+
+
+def _by_symbol(oracle, fn, sym, store=None):
+    out = []
+    for i in _mems(fn):
+        if store is not None and i.mem.is_store != store:
+            continue
+        if oracle.addr_of(i).symbol == sym:
+            out.append(i)
+    return out
+
+
+class TestDependenceOracle:
+    def test_same_scalar_is_must(self):
+        comp = _compile(
+            """
+int s;
+int main() { s = 1; return s; }
+"""
+        )
+        fn = comp.rtl.functions["main"]
+        oracle = DependenceOracle(fn)
+        stores = _by_symbol(oracle, fn, "s", store=True)
+        loads = _by_symbol(oracle, fn, "s", store=False)
+        assert stores and loads
+        assert oracle.classify(stores[0], loads[0]) is DepVerdict.MUST
+
+    def test_distinct_globals_are_disjoint(self):
+        comp = _compile(
+            """
+int x;
+int y;
+int main() { x = 1; y = 2; return x + y; }
+"""
+        )
+        fn = comp.rtl.functions["main"]
+        oracle = DependenceOracle(fn)
+        sx = _by_symbol(oracle, fn, "x", store=True)[0]
+        sy = _by_symbol(oracle, fn, "y", store=True)[0]
+        assert oracle.classify(sx, sy) is DepVerdict.DISJOINT
+        assert oracle.independent(sx, sy)
+
+    def test_loop_varying_index_is_may(self):
+        comp = _compile(
+            """
+int a[10];
+int main() {
+    int i;
+    for (i = 0; i < 10; i = i + 1) { a[i] = i; }
+    return a[3];
+}
+"""
+        )
+        fn = comp.rtl.functions["main"]
+        oracle = DependenceOracle(fn)
+        stores = [i for i in _mems(fn) if i.mem.is_store]
+        arr = [i for i in stores if not oracle.addr_of(i).resolved]
+        assert arr, "the a[i] store must be unresolved (loop-varying address)"
+        loads = [i for i in _mems(fn) if not i.mem.is_store]
+        assert oracle.classify(arr[0], loads[0]) is DepVerdict.MAY
+
+    def test_local_and_global_same_name_disjoint(self):
+        comp = _compile(
+            """
+int v[2];
+int main() { int v[2]; v[0] = 3; return v[0]; }
+"""
+        )
+        fn = comp.rtl.functions["main"]
+        oracle = DependenceOracle(fn)
+        stores = [i for i in _mems(fn) if i.mem.is_store]
+        # the local store resolves to a frame-unique name, never the bare
+        # global name — that uniqueness is what makes DISJOINT sound
+        syms = {oracle.addr_of(st).symbol for st in stores} - {None}
+        assert syms and "v" not in syms
+        # sanity: classify never returns MUST for refs of different symbols
+        for a in _mems(fn):
+            for b in _mems(fn):
+                va, vb = oracle.addr_of(a), oracle.addr_of(b)
+                if va.symbol and vb.symbol and va.symbol != vb.symbol:
+                    assert oracle.classify(a, b) is DepVerdict.DISJOINT
+
+
+class TestCallEffectOracle:
+    SRC = """
+int g;
+int h;
+
+void poke() { g = 42; }
+
+int peek() { return h; }
+
+int main() {
+    poke();
+    return peek();
+}
+"""
+
+    def test_must_mod_collected(self):
+        comp = _compile(self.SRC)
+        orc = CallEffectOracle(comp.rtl)
+        eff = orc.must_effects("poke")
+        assert any(sym == "g" for sym, _, _ in eff.mod)
+        assert not eff.ref or all(sym != "g" for sym, _, _ in eff.ref)
+
+    def test_must_ref_collected(self):
+        comp = _compile(self.SRC)
+        orc = CallEffectOracle(comp.rtl)
+        eff = orc.must_effects("peek")
+        assert any(sym == "h" for sym, _, _ in eff.ref)
+
+    def test_transitive_through_main(self):
+        comp = _compile(self.SRC)
+        orc = CallEffectOracle(comp.rtl)
+        eff = orc.must_effects("main")
+        assert any(sym == "g" for sym, _, _ in eff.mod)
+
+    def test_external_callee_is_empty(self):
+        comp = _compile(self.SRC)
+        orc = CallEffectOracle(comp.rtl)
+        eff = orc.must_effects("printf")
+        assert not eff.ref and not eff.mod
+
+    def test_conditional_effects_excluded(self):
+        comp = _compile(
+            """
+int g;
+void maybe(int c) { if (c) { g = 1; } }
+int main() { maybe(0); return g; }
+"""
+        )
+        orc = CallEffectOracle(comp.rtl)
+        eff = orc.must_effects("maybe")
+        # the store is control-dependent: must NOT be claimed as a must-effect
+        assert all(sym != "g" for sym, _, _ in eff.mod)
+
+    def test_touches_overlap(self):
+        from repro.checker.oracle import AbstractAddr
+
+        effects = frozenset({("g", 0, 4)})
+        assert CallEffectOracle.touches(effects, AbstractAddr("g", 0), 4)
+        assert CallEffectOracle.touches(effects, AbstractAddr("g", 2), 4)
+        assert not CallEffectOracle.touches(effects, AbstractAddr("g", 4), 4)
+        assert not CallEffectOracle.touches(effects, AbstractAddr("h", 0), 4)
+        assert not CallEffectOracle.touches(effects, AbstractAddr(), 4)

@@ -1,0 +1,155 @@
+"""Generation counter + StaleQueryError protocol (query/maintenance contract).
+
+Every maintenance mutator bumps ``HLIEntry.generation``; an
+:class:`~repro.hli.query.HLIQuery` built earlier must refuse to answer
+(with a clear :class:`~repro.hli.query.StaleQueryError`) instead of
+serving answers computed from tables that no longer exist.
+"""
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.hli.maintenance import (
+    MaintenanceError,
+    delete_item,
+    generate_item,
+    inherit_item,
+    move_item_to_parent,
+    unroll_region,
+)
+from repro.hli.query import EquivAcc, HLIQuery, StaleQueryError
+from repro.hli.tables import ItemType, RegionType
+
+SRC = """int a[100];
+int s;
+void f() {
+    int i;
+    for (i = 1; i < 20; i++) {
+        a[i] = a[i-1] + s;
+    }
+}
+"""
+
+
+@pytest.fixture()
+def ctx():
+    comp = compile_source(SRC, "m.c", CompileOptions(schedule=False))
+    entry = comp.hli.entry("f")
+    return comp, entry
+
+
+def _any_item(entry):
+    return next(iter(entry.line_table.all_items()))[0]
+
+
+def _loop_region(entry):
+    return next(
+        r for r in entry.regions.values() if r.region_type is RegionType.LOOP
+    )
+
+
+class TestGenerationBumps:
+    def test_fresh_entry_is_generation_zero(self, ctx):
+        _, entry = ctx
+        assert entry.generation == 0
+
+    def test_delete_item_bumps(self, ctx):
+        _, entry = ctx
+        delete_item(entry, _any_item(entry))
+        assert entry.generation == 1
+
+    def test_generate_item_bumps(self, ctx):
+        _, entry = ctx
+        generate_item(entry, line=5, item_type=ItemType.LOAD, region_id=entry.root_region_id)
+        assert entry.generation == 1
+
+    def test_inherit_item_bumps(self, ctx):
+        _, entry = ctx
+        inherit_item(
+            entry,
+            new_item=9000,
+            old_item=_any_item(entry),
+            line=6,
+            item_type=ItemType.LOAD,
+        )
+        assert entry.generation == 1
+
+    def test_inherit_item_missing_does_not_bump(self, ctx):
+        _, entry = ctx
+        with pytest.raises(MaintenanceError):
+            inherit_item(entry, new_item=9000, old_item=424242, line=6, item_type=ItemType.LOAD)
+        assert entry.generation == 0
+
+    def test_move_item_to_parent_bumps(self, ctx):
+        _, entry = ctx
+        loop = _loop_region(entry)
+        iid = next(
+            iid for c in loop.eq_classes for iid in c.member_items
+        )
+        move_item_to_parent(entry, iid)
+        assert entry.generation == 1
+
+    def test_unroll_region_bumps(self, ctx):
+        _, entry = ctx
+        unroll_region(entry, _loop_region(entry).region_id, 2)
+        assert entry.generation == 1
+
+    def test_failed_maintenance_does_not_bump(self, ctx):
+        _, entry = ctx
+        loop = _loop_region(entry)
+        with pytest.raises(MaintenanceError):
+            unroll_region(entry, loop.region_id, 0)  # invalid factor
+        assert entry.generation == 0
+
+
+class TestStaleQueryError:
+    def test_query_raises_after_maintenance(self, ctx):
+        _, entry = ctx
+        query = HLIQuery(entry)
+        a, b = [iid for iid, _ in entry.line_table.all_items()][:2]
+        assert query.get_equiv_acc(a, b) is not None  # fresh: answers fine
+        delete_item(entry, _any_item(entry))
+        with pytest.raises(StaleQueryError) as exc:
+            query.get_equiv_acc(a, b)
+        msg = str(exc.value)
+        assert "f" in msg and "generation" in msg and "refresh" in msg
+
+    def test_all_queries_guarded(self, ctx):
+        _, entry = ctx
+        query = HLIQuery(entry)
+        items = [iid for iid, _ in entry.line_table.all_items()]
+        delete_item(entry, items[0])
+        for call in (
+            lambda: query.get_equiv_acc(items[1], items[2]),
+            lambda: query.get_alias(items[1], items[2]),
+            lambda: query.get_lcdd(items[1], items[2]),
+            lambda: query.get_call_acc(items[1], items[2]),
+            lambda: query.get_region_info(items[1]),
+        ):
+            with pytest.raises(StaleQueryError):
+                call()
+
+    def test_is_stale_property(self, ctx):
+        _, entry = ctx
+        query = HLIQuery(entry)
+        assert not query.is_stale
+        generate_item(entry, line=5, item_type=ItemType.LOAD, region_id=entry.root_region_id)
+        assert query.is_stale
+
+    def test_refresh_recovers(self, ctx):
+        _, entry = ctx
+        query = HLIQuery(entry)
+        iid = _any_item(entry)
+        delete_item(entry, iid)
+        assert query.refresh() is query
+        assert not query.is_stale
+        # answers reflect the mutated tables: the deleted item is unknown
+        others = [i for i, _ in entry.line_table.all_items()]
+        assert query.get_equiv_acc(iid, others[0]) is EquivAcc.UNKNOWN
+
+    def test_compilation_queries_stay_fresh_through_passes(self):
+        comp = compile_source(
+            SRC, "m.c", CompileOptions(cse=True, licm=True, unroll=2)
+        )
+        for name, query in comp.queries.items():
+            assert not query.is_stale, f"{name} query left stale by a pass"

@@ -2,7 +2,8 @@
 
 import json
 
-from repro.driver.validate import validate
+import repro.driver.validate as validate_mod
+from repro.driver.validate import Claim, ValidationReport, main, validate
 
 
 def test_quick_validation(tmp_path):
@@ -14,4 +15,26 @@ def test_quick_validation(tmp_path):
     assert len(payload["table2"]) == 14
     assert payload["speedups"] == []
     names = {c["name"] for c in payload["claims"]}
-    assert {"t1_fp_denser", "t2_substantial_reduction", "mapping_complete"} <= names
+    assert {
+        "t1_fp_denser",
+        "t2_substantial_reduction",
+        "mapping_complete",
+        "hli_lint_clean",
+    } <= names
+
+
+class TestExitCode:
+    """`python -m repro.driver.validate` is a CI gate: non-zero on failure."""
+
+    def _stub(self, monkeypatch, passed):
+        report = ValidationReport()
+        report.claims.append(Claim("stub", "stubbed claim", passed))
+        monkeypatch.setattr(validate_mod, "validate", lambda **kw: report)
+
+    def test_main_nonzero_when_claim_fails(self, monkeypatch):
+        self._stub(monkeypatch, passed=False)
+        assert main(["--quick"]) == 1
+
+    def test_main_zero_when_all_pass(self, monkeypatch):
+        self._stub(monkeypatch, passed=True)
+        assert main(["--quick", "--no-lint"]) == 0
