@@ -1,0 +1,107 @@
+"""Pipeline perf-trajectory harness: ``python benchmarks/bench_pipeline.py``.
+
+Compiles the full benchmark suite with :mod:`repro.obs` instrumentation
+enabled and writes a machine-readable ``BENCH_pipeline.json`` capturing:
+
+* per-stage wall time (frontend / analysis / lowering / mapping /
+  scheduling / …), aggregated across the suite and broken out per
+  benchmark;
+* the complete metrics registry (HLI query verdicts, DDG edges
+  kept/deleted, mapping coverage, scheduler statistics);
+* total compile wall time per benchmark.
+
+Future PRs diff this file's output against a previous run to see where
+a change moved compile time — the perf baseline the ROADMAP's caching /
+batching / sharding items need.  Unlike the ``bench_*.py`` files driven
+by pytest-benchmark, this is a standalone script so CI can run it
+without extra plugins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from time import perf_counter
+
+
+def bench_suite(repeats: int = 1) -> dict:
+    """Compile every benchmark ``repeats`` times with obs enabled."""
+    from repro import CompileOptions, compile_source, obs
+    from repro.backend.ddg import DDGMode
+    from repro.obs import export, trace
+    from repro.workloads.suite import BENCHMARKS
+
+    per_benchmark: list[dict] = []
+    obs.reset()
+    with obs.enabled_scope():
+        for spec in BENCHMARKS:
+            best = None
+            for _ in range(repeats):
+                marker = len(trace.roots())
+                t0 = perf_counter()
+                compile_source(
+                    spec.source, spec.name, CompileOptions(mode=DDGMode.COMBINED)
+                )
+                elapsed = perf_counter() - t0
+                if best is None or elapsed < best:
+                    best = elapsed
+                roots = trace.roots()[marker:]
+            per_benchmark.append(
+                {
+                    "benchmark": spec.name,
+                    "suite": spec.suite,
+                    "compile_seconds": round(best or 0.0, 6),
+                    "stages": export.span_aggregates(roots),
+                }
+            )
+    stats = export.stats_snapshot()
+    return {
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "benchmarks": per_benchmark,
+        "total_compile_seconds": round(
+            sum(b["compile_seconds"] for b in per_benchmark), 6
+        ),
+        "stage_totals": stats["spans"],
+        "counters": stats["counters"],
+        "histograms": stats["histograms"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compile the whole suite with instrumentation on and "
+        "emit a machine-readable per-stage timing baseline."
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_pipeline.json",
+        metavar="PATH",
+        help="output file (default: %(default)s); '-' for stdout",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compile each benchmark N times, keep the fastest (default: 1)",
+    )
+    args = parser.parse_args(argv)
+    doc = bench_suite(repeats=max(1, args.repeats))
+    rendered = json.dumps(doc, indent=2)
+    if args.out == "-":
+        print(rendered)
+    else:
+        with open(args.out, "w") as f:
+            f.write(rendered + "\n")
+        print(
+            f"wrote {args.out}: {len(doc['benchmarks'])} benchmarks, "
+            f"{doc['total_compile_seconds']:.2f}s total compile time"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

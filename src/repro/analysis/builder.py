@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from ..frontend import ast_nodes as ast
 from ..frontend.symbols import Symbol, SymbolTable
+from ..obs import metrics, trace
 from ..hli.tables import (
     AliasEntry,
     EqClass,
@@ -95,8 +96,10 @@ class HLIBuilder:
     ) -> None:
         self.program = program
         self.table = table
-        self.pts = analyze_points_to(program, table)
-        self.refmod = analyze_refmod(program, table, self.pts)
+        with trace.span("analysis.points_to"):
+            self.pts = analyze_points_to(program, table)
+        with trace.span("analysis.refmod"):
+            self.refmod = analyze_refmod(program, table, self.pts)
         self.partition_options = partition_options or PartitionOptions()
 
     def build(self) -> tuple[HLIFile, FrontEndInfo]:
@@ -105,9 +108,17 @@ class HLIBuilder:
             program=self.program, table=self.table, pts=self.pts, refmod=self.refmod
         )
         for fn in self.program.functions:
-            entry, unit = _UnitBuilder(fn, self).run()
+            with trace.span("analysis.unit", fn=fn.name):
+                entry, unit = _UnitBuilder(fn, self).run()
             hli.add(entry)
             info.units[fn.name] = unit
+            if metrics.is_enabled():
+                metrics.add("analysis.items", len(unit.items))
+                metrics.add("analysis.regions", len(entry.regions))
+                metrics.add(
+                    "analysis.classes",
+                    sum(len(r.eq_classes) for r in entry.regions.values()),
+                )
         return hli, info
 
 
@@ -136,20 +147,24 @@ class _UnitBuilder:
             self.unit.region_items[r.region_id] = []
         self.entry.root_region_id = root.region_id
 
-        self._gen_entry_param_items(root)
-        assert self.fn.body is not None
-        for stmt in self.fn.body.stmts:
-            self._visit(stmt, root)
+        with trace.span("analysis.itemgen"):
+            self._gen_entry_param_items(root)
+            assert self.fn.body is not None
+            for stmt in self.fn.body.stmts:
+                self._visit(stmt, root)
 
-        # Line table, in generation order per line.
-        for item in self.gen.items:
-            self.entry.line_table.add_item(item.line, item.item_id, _ITEM_TYPE[item.kind])
-        self.unit.items = list(self.gen.items)
-        self.unit.item_region = {
-            iid: r for iid, r in self.gen.item_region.items()  # type: ignore[misc]
-        }
+            # Line table, in generation order per line.
+            for item in self.gen.items:
+                self.entry.line_table.add_item(
+                    item.line, item.item_id, _ITEM_TYPE[item.kind]
+                )
+            self.unit.items = list(self.gen.items)
+            self.unit.item_region = {
+                iid: r for iid, r in self.gen.item_region.items()  # type: ignore[misc]
+            }
 
-        self._build_region_tables(root)
+        with trace.span("analysis.tblconst"):
+            self._build_region_tables(root)
         return self.entry, self.unit
 
     # -- ITEMGEN traversal -------------------------------------------------------
@@ -407,4 +422,5 @@ def build_hli(
     partition_options: PartitionOptions | None = None,
 ) -> tuple[HLIFile, FrontEndInfo]:
     """Convenience wrapper: build HLI for a checked program."""
-    return HLIBuilder(program, table, partition_options).build()
+    with trace.span("analysis.build_hli", file=program.filename):
+        return HLIBuilder(program, table, partition_options).build()

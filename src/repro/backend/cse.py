@@ -28,6 +28,7 @@ from typing import Optional
 from ..hli.maintenance import delete_item
 from ..hli.query import CallAcc, EquivAcc, HLIQuery
 from ..hli.tables import HLIEntry
+from ..obs import metrics, trace
 from .cfg import build_cfg
 from .deps import may_conflict
 from .rtl import Insn, Opcode, Reg, RTLFunction
@@ -276,10 +277,16 @@ def run_cse(
 ) -> CSEStats:
     """Run local CSE over every basic block of ``fn`` (mutates it)."""
     stats = CSEStats()
-    cfg = build_cfg(fn)
-    new_chain: list[Insn] = []
-    for block in cfg.blocks:
-        cse = _BlockCSE(use_hli=use_hli, query=query, entry=entry, stats=stats)
-        new_chain.extend(cse.run(block.insns))
-    fn.insns = new_chain
+    with trace.span("backend.cse", fn=fn.name, hli=use_hli):
+        cfg = build_cfg(fn)
+        new_chain: list[Insn] = []
+        for block in cfg.blocks:
+            cse = _BlockCSE(use_hli=use_hli, query=query, entry=entry, stats=stats)
+            new_chain.extend(cse.run(block.insns))
+        fn.insns = new_chain
+    if metrics.is_enabled():
+        metrics.add("cse.alu_eliminated", stats.alu_eliminated)
+        metrics.add("cse.loads_eliminated", stats.loads_eliminated)
+        metrics.add("cse.entries_kept_across_calls", stats.entries_kept_across_calls)
+        metrics.add("cse.entries_purged_at_calls", stats.entries_purged_at_calls)
     return stats

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from ..hli.maintenance import MaintenanceError, move_item_to_parent
 from ..hli.query import CallAcc, EquivAcc, HLIQuery
 from ..hli.tables import HLIEntry
+from ..obs import metrics, trace
 from .cse import _PURE_OPS
 from .deps import may_conflict
 from .rtl import Insn, Opcode, Reg, RTLFunction
@@ -62,6 +63,22 @@ def run_licm(
 ) -> LICMStats:
     """Hoist invariants out of every innermost loop of ``fn`` (mutates it)."""
     stats = LICMStats()
+    with trace.span("backend.licm", fn=fn.name, hli=use_hli):
+        _run_licm(fn, use_hli, query, entry, stats)
+    if metrics.is_enabled():
+        metrics.add("licm.alu_hoisted", stats.alu_hoisted)
+        metrics.add("licm.loads_hoisted", stats.loads_hoisted)
+        metrics.add("licm.loops_processed", stats.loops_processed)
+    return stats
+
+
+def _run_licm(
+    fn: RTLFunction,
+    use_hli: bool,
+    query: HLIQuery | None,
+    entry: HLIEntry | None,
+    stats: LICMStats,
+) -> None:
     for top, _cont, _exit in list(fn.loops):
         span = _loop_span(fn, top)
         if span is None:
@@ -80,7 +97,6 @@ def run_licm(
             # insert before the loop header label
             for h in reversed(hoisted):
                 fn.insns.insert(start, h)
-    return stats
 
 
 def _hoist_from_body(

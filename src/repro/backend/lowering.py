@@ -937,4 +937,13 @@ class FunctionLowering:
 
 def lower_program(program: ast.Program, table: SymbolTable) -> RTLProgram:
     """Lower a checked program to RTL."""
-    return ProgramLowering(program, table).run()
+    from ..obs import metrics, trace
+
+    with trace.span("backend.lowering", file=program.filename):
+        rtl = ProgramLowering(program, table).run()
+    if metrics.is_enabled():
+        metrics.add(
+            "lowering.insns", sum(len(f.insns) for f in rtl.functions.values())
+        )
+        metrics.add("lowering.functions", len(rtl.functions))
+    return rtl

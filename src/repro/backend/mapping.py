@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..hli.tables import HLIEntry, ItemType
+from ..obs import metrics
 from .rtl import Insn, Opcode, RTLFunction
 
 
@@ -69,4 +70,7 @@ def map_function(fn: RTLFunction, entry: HLIEntry) -> MapStats:
         for insn, (item_id, _) in zip(insns, items):
             insn.hli_item = item_id
             stats.mapped += 1
+
+    metrics.add("map.mapped", stats.mapped)
+    metrics.add("map.unmapped", stats.unmapped)
     return stats

@@ -20,6 +20,7 @@ from typing import Callable, Optional
 
 from ..hli.query import HLIQuery
 from ..machine.latencies import r4600_latency
+from ..obs import metrics, trace
 from .cfg import build_cfg
 from .ddg import DDG, DDGBuilder, DDGMode, DepStats
 from .rtl import BRANCH_OPS, Insn, Opcode, RTLFunction
@@ -74,7 +75,10 @@ def schedule_block(
     ready: list[int] = [i for i in range(n) if remaining_preds[i] == 0]
     order: list[Insn] = []
     cycle = 0
+    record = metrics.is_enabled()
     while ready:
+        if record:
+            metrics.observe("sched.ready_list_len", len(ready))
         startable = [i for i in ready if earliest[i] <= cycle]
         if not startable:
             cycle = min(earliest[i] for i in ready)
@@ -105,26 +109,52 @@ def schedule_function(
     order in ``result.fn`` (the function object is mutated in place)."""
     result = ScheduleResult(fn=fn)
     builder = DDGBuilder(mode=mode, query=query, stats=result.stats)
-    cfg = build_cfg(fn)
-    new_chain: list[Insn] = []
-    for block in cfg.blocks:
-        head: list[Insn] = []
-        tail: list[Insn] = []
-        body = list(block.insns)
-        if body and body[0].op is Opcode.LABEL:
-            head = [body[0]]
-            body = body[1:]
-        if body and body[-1].op in BRANCH_OPS:
-            tail = [body[-1]]
-            body = body[:-1]
-        scheduled = schedule_block(body, builder, latency)
-        if scheduled != body:
-            result.moved_insns += sum(
-                1 for a, b in zip(scheduled, body) if a is not b
-            )
-        result.blocks_scheduled += 1
-        new_chain.extend(head)
-        new_chain.extend(scheduled)
-        new_chain.extend(tail)
-    fn.insns = new_chain
+    with trace.span("backend.schedule", fn=fn.name, mode=mode.value):
+        cfg = build_cfg(fn)
+        new_chain: list[Insn] = []
+        for block in cfg.blocks:
+            head: list[Insn] = []
+            tail: list[Insn] = []
+            body = list(block.insns)
+            if body and body[0].op is Opcode.LABEL:
+                head = [body[0]]
+                body = body[1:]
+            if body and body[-1].op in BRANCH_OPS:
+                tail = [body[-1]]
+                body = body[:-1]
+            scheduled = schedule_block(body, builder, latency)
+            if scheduled != body:
+                result.moved_insns += sum(
+                    1 for a, b in zip(scheduled, body) if a is not b
+                )
+            result.blocks_scheduled += 1
+            new_chain.extend(head)
+            new_chain.extend(scheduled)
+            new_chain.extend(tail)
+        fn.insns = new_chain
+    if metrics.is_enabled():
+        _record_schedule_metrics(result, mode)
     return result
+
+
+def _record_schedule_metrics(result: ScheduleResult, mode: DDGMode) -> None:
+    """Emit the Table 2 dependence counters into the metrics registry.
+
+    ``ddg.edges.deleted.<mode>`` is how many memory-dependence edges the
+    active mode removed relative to GCC's local-only answer — the
+    quantity the paper's Table 2 reports as the edge reduction.
+    """
+    s = result.stats
+    metrics.add("ddg.tests", s.total_tests)
+    metrics.add("ddg.yes.gcc", s.gcc_yes)
+    metrics.add("ddg.yes.hli", s.hli_yes)
+    metrics.add("ddg.yes.combined", s.combined_yes)
+    kept = {
+        DDGMode.GCC: s.gcc_yes,
+        DDGMode.HLI: s.hli_yes,
+        DDGMode.COMBINED: s.combined_yes,
+    }[mode]
+    metrics.add(f"ddg.edges.kept.{mode.value}", kept)
+    metrics.add(f"ddg.edges.deleted.{mode.value}", max(0, s.gcc_yes - kept))
+    metrics.add("sched.blocks", result.blocks_scheduled)
+    metrics.add("sched.moved_insns", result.moved_insns)

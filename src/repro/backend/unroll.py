@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ..hli.maintenance import UnrollMaintenance, unroll_region
 from ..hli.query import HLIQuery
 from ..hli.tables import HLIEntry, RegionType
+from ..obs import metrics, trace
 from .rtl import Insn, Opcode, Reg, RTLFunction, new_reg
 
 
@@ -155,6 +156,22 @@ def run_unroll(
     stats = UnrollStats()
     if factor < 2 or query is None or entry is None:
         return stats
+    with trace.span("backend.unroll", fn=fn.name, factor=factor):
+        _run_unroll(fn, factor, query, entry, stats)
+    if metrics.is_enabled():
+        metrics.add("unroll.loops_unrolled", stats.loops_unrolled)
+        metrics.add("unroll.copies_made", stats.copies_made)
+        metrics.add("unroll.items_cloned", stats.items_cloned)
+    return stats
+
+
+def _run_unroll(
+    fn: RTLFunction,
+    factor: int,
+    query: HLIQuery,
+    entry: HLIEntry,
+    stats: UnrollStats,
+) -> None:
     for top, cont, exit_label in list(fn.loops):
         span = _loop_span(fn, top)
         if span is None:
@@ -202,4 +219,3 @@ def run_unroll(
             (t, t if t == top else c, e) if t == top else (t, c, e)
             for t, c, e in fn.loops
         ]
-    return stats

@@ -476,5 +476,13 @@ class HLILinter:
 
 def lint_compilation(comp, suppress=None, max_pairs: int = MAX_PAIRS_PER_FUNCTION) -> LintReport:
     """Audit a compilation; returns the (possibly filtered) report."""
-    report = HLILinter(comp, max_pairs=max_pairs).run()
-    return filter_suppressed(report, suppress)
+    from ..obs import metrics, trace
+
+    with trace.span("checker.lint", file=comp.filename):
+        report = HLILinter(comp, max_pairs=max_pairs).run()
+        report = filter_suppressed(report, suppress)
+    if metrics.is_enabled():
+        metrics.add("lint.findings", len(report.diagnostics))
+        metrics.add("lint.claims_checked", sum(report.claims_checked.values()))
+        metrics.add("lint.suppressed", report.suppressed)
+    return report

@@ -25,6 +25,8 @@ from ..frontend import parse_and_check
 from ..hli.query import HLIQuery
 from ..hli.tables import HLIFile
 from ..machine.latencies import r4600_latency
+from ..obs import enabled_scope
+from ..obs import trace as _trace
 
 
 @dataclass
@@ -46,6 +48,9 @@ class CompileOptions:
     #: run the ``hli-lint`` soundness auditor after all passes; the
     #: report lands in :attr:`Compilation.lint_report`
     lint: bool = False
+    #: enable the :mod:`repro.obs` tracing/metrics subsystem for the
+    #: duration of this compile (no-op if it is already enabled)
+    trace: bool = False
 
 
 @dataclass
@@ -78,6 +83,12 @@ def compile_source(
 ) -> Compilation:
     """Compile MiniC source through the full HLI pipeline."""
     opts = options or CompileOptions()
+    with enabled_scope(opts.trace):
+        with _trace.span("driver.compile", file=filename, mode=opts.mode.value):
+            return _compile(source, filename, opts)
+
+
+def _compile(source: str, filename: str, opts: CompileOptions) -> Compilation:
     program, table = parse_and_check(source, filename)
     hli, fe = build_hli(program, table)
     rtl = lower_program(program, table)
@@ -91,17 +102,19 @@ def compile_source(
         options=opts,
     )
 
-    for name, fn in rtl.functions.items():
-        entry = hli.entries.get(name)
-        if entry is None:
-            continue
-        result.map_stats[name] = map_function(fn, entry)
-        result.queries[name] = HLIQuery(entry)
+    with _trace.span("backend.mapping", file=filename):
+        for name, fn in rtl.functions.items():
+            entry = hli.entries.get(name)
+            if entry is None:
+                continue
+            result.map_stats[name] = map_function(fn, entry)
+            result.queries[name] = HLIQuery(entry)
 
     if opts.cse or opts.licm or opts.unroll > 1:
         from ..backend.passes import run_optimizations
 
-        run_optimizations(result, opts)
+        with _trace.span("backend.optimize", file=filename):
+            run_optimizations(result, opts)
 
     if opts.schedule:
         for name, fn in rtl.functions.items():

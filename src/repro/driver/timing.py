@@ -15,6 +15,7 @@ from ..machine.executor import execute
 from ..machine.latencies import r4600_latency, r10000_latency
 from ..machine.pipeline import R4600Model
 from ..machine.superscalar import R10000Model
+from ..obs import trace
 from ..workloads.suite import BenchmarkSpec
 from .compile import CompileOptions, compile_source
 
@@ -62,18 +63,22 @@ def time_benchmark(spec: BenchmarkSpec) -> BenchTiming:
         ("r4600", r4600_latency, R4600Model()),
         ("r10000", r10000_latency, R10000Model()),
     )
-    for mach_name, lat, model in machines:
-        for mode in (DDGMode.GCC, DDGMode.COMBINED):
-            comp = compile_source(
-                spec.source, spec.name, CompileOptions(mode=mode, latency=lat)
-            )
-            res = execute(comp.rtl, spec.entry, input_text=spec.input_text)
-            timing = model.time(res.trace)
-            cycles[(mach_name, mode.value)] = timing.cycles
-            rets[mode.value] = res.ret
-            dyn = timing.instructions
-            if stats is None and mode is DDGMode.COMBINED:
-                stats = comp.total_dep_stats()
+    with trace.span("driver.timing", benchmark=spec.name):
+        for mach_name, lat, model in machines:
+            for mode in (DDGMode.GCC, DDGMode.COMBINED):
+                with trace.span(
+                    "driver.timing.run", machine=mach_name, mode=mode.value
+                ):
+                    comp = compile_source(
+                        spec.source, spec.name, CompileOptions(mode=mode, latency=lat)
+                    )
+                    res = execute(comp.rtl, spec.entry, input_text=spec.input_text)
+                    timing = model.time(res.trace)
+                cycles[(mach_name, mode.value)] = timing.cycles
+                rets[mode.value] = res.ret
+                dyn = timing.instructions
+                if stats is None and mode is DDGMode.COMBINED:
+                    stats = comp.total_dep_stats()
     assert stats is not None
     return BenchTiming(
         name=spec.name,

@@ -11,12 +11,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from dataclasses import asdict, dataclass, field
+from time import perf_counter
 
+from .. import obs
 from ..backend.ddg import DDGMode
 from ..hli.sizes import size_report
 from ..machine.executor import execute
+from ..obs import export as obs_export
+from ..obs import trace as obs_trace
 from ..workloads.suite import BENCHMARKS, float_benchmarks, integer_benchmarks
 from .compile import CompileOptions, compile_source
 from .timing import time_benchmark
@@ -30,19 +33,33 @@ class Claim:
     description: str
     passed: bool
     measured: object = None
+    #: wall time spent checking this claim (including exclusive evidence
+    #: collection, e.g. the lint replay), via ``perf_counter``
+    seconds: float = 0.0
 
 
 @dataclass
 class ValidationReport:
-    started: float = field(default_factory=time.time)
+    #: ``perf_counter`` at construction — monotonic, immune to wall-clock
+    #: steps (NTP adjustments used to corrupt ``elapsed_seconds``)
+    started: float = field(default_factory=perf_counter)
     table1: list[dict] = field(default_factory=list)
     table2: list[dict] = field(default_factory=list)
     speedups: list[dict] = field(default_factory=list)
     claims: list[Claim] = field(default_factory=list)
+    #: per-phase wall times (seconds), keyed by phase name
+    phases: dict = field(default_factory=dict)
 
     @property
     def all_passed(self) -> bool:
         return all(c.passed for c in self.claims)
+
+    def add_claim(self, build) -> None:
+        """Append ``build()``'s claim, recording how long the check took."""
+        t0 = perf_counter()
+        claim = build()
+        claim.seconds = round(perf_counter() - t0 + claim.seconds, 6)
+        self.claims.append(claim)
 
 
 def _collect_tables(report: ValidationReport) -> None:
@@ -78,23 +95,24 @@ def _collect_lint(report: ValidationReport) -> None:
     """Audit every benchmark with ``hli-lint`` in all three DDG modes."""
     from ..checker.lint import lint_compilation
 
-    findings = 0
-    claims = 0
-    for b in BENCHMARKS:
-        for mode in DDGMode:
-            comp = compile_source(b.source, b.name, CompileOptions(mode=mode))
-            lint = lint_compilation(comp)
-            findings += len(lint.diagnostics)
-            claims += sum(lint.claims_checked.values())
-    report.claims.append(
-        Claim(
+    def build() -> Claim:
+        findings = 0
+        claims = 0
+        for b in BENCHMARKS:
+            for mode in DDGMode:
+                comp = compile_source(b.source, b.name, CompileOptions(mode=mode))
+                lint = lint_compilation(comp)
+                findings += len(lint.diagnostics)
+                claims += sum(lint.claims_checked.values())
+        return Claim(
             "hli_lint_clean",
             "hli-lint replays every consumed HLI claim with zero findings "
             "in all three dependence modes",
             findings == 0 and claims > 0,
             {"claims_replayed": claims, "findings": findings},
         )
-    )
+
+    report.add_claim(build)
 
 
 def _collect_speedups(report: ValidationReport) -> None:
@@ -118,8 +136,8 @@ def _check_claims(report: ValidationReport) -> None:
 
     int_bpl = mean(report.table1, "bytes_per_line", False)
     fp_bpl = mean(report.table1, "bytes_per_line", True)
-    report.claims.append(
-        Claim(
+    report.add_claim(
+        lambda: Claim(
             "t1_fp_denser",
             "fp programs carry more HLI bytes/line than int programs",
             fp_bpl > int_bpl,
@@ -128,39 +146,39 @@ def _check_claims(report: ValidationReport) -> None:
     )
     int_red = mean(report.table2, "reduction_pct", False)
     fp_red = mean(report.table2, "reduction_pct", True)
-    report.claims.append(
-        Claim(
+    report.add_claim(
+        lambda: Claim(
             "t2_substantial_reduction",
             "mean dependence-edge reduction exceeds 40% (paper: 48/54%)",
             int_red > 40 and fp_red > 40,
             {"int": round(int_red, 1), "fp": round(fp_red, 1)},
         )
     )
-    report.claims.append(
-        Claim(
+    report.add_claim(
+        lambda: Claim(
             "t2_fp_reduces_more",
             "fp programs reduce more than int programs",
             fp_red > int_red,
         )
     )
     tomcatv = next(r for r in report.table2 if r["benchmark"] == "101.tomcatv")
-    report.claims.append(
-        Claim(
+    report.add_claim(
+        lambda: Claim(
             "t2_tomcatv_over_80",
             "tomcatv analogue reduces >80% of edges (paper: 93%)",
             tomcatv["reduction_pct"] > 80,
             tomcatv["reduction_pct"],
         )
     )
-    report.claims.append(
-        Claim(
+    report.add_claim(
+        lambda: Claim(
             "mapping_complete",
             "every back-end memory reference maps to an HLI item",
             all(r["unmapped_refs"] == 0 for r in report.table2),
         )
     )
-    report.claims.append(
-        Claim(
+    report.add_claim(
+        lambda: Claim(
             "combined_is_and",
             "combined answers <= min(GCC, HLI) on every benchmark (Fig. 5)",
             all(
@@ -170,15 +188,15 @@ def _check_claims(report: ValidationReport) -> None:
         )
     )
     if report.speedups:
-        report.claims.append(
-            Claim(
+        report.add_claim(
+            lambda: Claim(
                 "schedules_sound",
                 "GCC and HLI schedules produce identical results everywhere",
                 all(r["results_match"] for r in report.speedups),
             )
         )
-        report.claims.append(
-            Claim(
+        report.add_claim(
+            lambda: Claim(
                 "no_meaningful_slowdown",
                 "HLI scheduling never loses more than 3% on either machine",
                 all(
@@ -193,8 +211,8 @@ def _check_claims(report: ValidationReport) -> None:
             if r["benchmark"] in ("034.mdljdp2", "077.mdljsp2")
         ]
         others = [r for r in report.speedups if r not in md]
-        report.claims.append(
-            Claim(
+        report.add_claim(
+            lambda: Claim(
                 "md_codes_stand_out",
                 "molecular-dynamics analogues show the largest speedups (paper's ranking)",
                 min(r["speedup_r10000"] for r in md)
@@ -208,28 +226,51 @@ def validate(
     include_speedups: bool = True,
     out_path: str = "RESULTS.json",
     include_lint: bool = True,
+    trace_out: str | None = None,
 ) -> ValidationReport:
-    """Run the full validation; writes ``RESULTS.json`` and returns the report."""
+    """Run the full validation; writes ``RESULTS.json`` and returns the report.
+
+    With ``trace_out`` set, the :mod:`repro.obs` subsystem is enabled for
+    the run and a Chrome ``trace_event`` JSON profile of the whole
+    validation is written to that path.
+    """
     report = ValidationReport()
-    print("collecting Table 1 / Table 2 statistics ...", flush=True)
-    _collect_tables(report)
-    if include_speedups:
-        print("running speedup measurements (4 executions per benchmark) ...", flush=True)
-        _collect_speedups(report)
-    _check_claims(report)
-    if include_lint:
-        print("replaying HLI claims with hli-lint (3 modes) ...", flush=True)
-        _collect_lint(report)
+
+    def phase(name: str, fn) -> None:
+        t0 = perf_counter()
+        with obs_trace.span(f"validate.{name}"):
+            fn()
+        report.phases[name] = round(perf_counter() - t0, 3)
+
+    with obs.enabled_scope(trace_out is not None):
+        with obs_trace.span("driver.validate"):
+            print("collecting Table 1 / Table 2 statistics ...", flush=True)
+            phase("tables", lambda: _collect_tables(report))
+            if include_speedups:
+                print(
+                    "running speedup measurements (4 executions per benchmark) ...",
+                    flush=True,
+                )
+                phase("speedups", lambda: _collect_speedups(report))
+            phase("claims", lambda: _check_claims(report))
+            if include_lint:
+                print("replaying HLI claims with hli-lint (3 modes) ...", flush=True)
+                phase("lint", lambda: _collect_lint(report))
     payload = {
         "table1": report.table1,
         "table2": report.table2,
         "speedups": report.speedups,
         "claims": [asdict(c) for c in report.claims],
-        "elapsed_seconds": round(time.time() - report.started, 1),
+        "phase_seconds": report.phases,
+        "elapsed_seconds": round(perf_counter() - report.started, 1),
     }
     with open(out_path, "w") as f:
         json.dump(payload, f, indent=2)
     print(f"\nwrote {out_path}")
+    if trace_out is not None:
+        with open(trace_out, "w") as f:
+            json.dump(obs_export.chrome_trace(), f)
+        print(f"wrote {trace_out}")
     for c in report.claims:
         mark = "PASS" if c.passed else "FAIL"
         extra = f"  [{c.measured}]" if c.measured is not None else ""
@@ -260,11 +301,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="where to write the machine-readable report (default: %(default)s)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs instrumentation and write a Chrome "
+        "trace_event JSON profile of the validation run to PATH",
+    )
     args = parser.parse_args(argv)
     report = validate(
         include_speedups=not args.quick,
         out_path=args.out,
         include_lint=not args.no_lint,
+        trace_out=args.trace_out,
     )
     return 0 if report.all_passed else 1
 

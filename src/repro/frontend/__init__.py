@@ -42,8 +42,16 @@ def parse_and_check(text: str, filename: str = "<input>"):
     Returns ``(program, symbol_table)``; raises :class:`CompileError` on
     any front-end failure.
     """
-    program = parse(text, filename)
-    table = analyze(program)
+    from ..obs import metrics, trace
+
+    with trace.span("frontend.parse_and_check", file=filename):
+        with trace.span("frontend.parse"):
+            program = parse(text, filename)
+        with trace.span("frontend.semantic"):
+            table = analyze(program)
+        if metrics.is_enabled():
+            metrics.add("frontend.functions", len(program.functions))
+            metrics.add("frontend.source_lines", text.count("\n") + 1)
     return program, table
 
 

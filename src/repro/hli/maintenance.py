@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import metrics as _metrics
 from .tables import (
     AliasEntry,
     DepType,
@@ -43,9 +44,10 @@ class MaintenanceError(Exception):
     """Raised when an update cannot be applied consistently."""
 
 
-def _bump(entry: HLIEntry) -> None:
+def _bump(entry: HLIEntry, op: str) -> None:
     """Record that the entry's tables changed (invalidates live queries)."""
     entry.generation += 1
+    _metrics.inc("hli.maintenance", op)
 
 
 def next_free_id(entry: HLIEntry) -> int:
@@ -83,7 +85,7 @@ def delete_item(entry: HLIEntry, item_id: int) -> None:
     region and from every alias/LCDD/REF-MOD entry and parent class that
     referenced it.
     """
-    _bump(entry)
+    _bump(entry, "delete_item")
     for le in entry.line_table.entries.values():
         le.items = [(iid, ty) for iid, ty in le.items if iid != item_id]
     found = find_item_class(entry, item_id)
@@ -127,7 +129,7 @@ def generate_item(
     item_id: Optional[int] = None,
 ) -> int:
     """Create a back-end-originated item in its own fresh class."""
-    _bump(entry)
+    _bump(entry, "generate_item")
     iid = item_id if item_id is not None else next_free_id(entry)
     entry.line_table.add_item(line, iid, item_type)
     region = entry.regions[region_id]
@@ -146,7 +148,7 @@ def inherit_item(entry: HLIEntry, new_item: int, old_item: int, line: int,
     found = find_item_class(entry, old_item)
     if found is None:
         raise MaintenanceError(f"item {old_item} not found")
-    _bump(entry)
+    _bump(entry, "inherit_item")
     _, cls = found
     entry.line_table.add_item(line, new_item, item_type)
     cls.member_items.append(new_item)
@@ -174,7 +176,7 @@ def move_item_to_parent(entry: HLIEntry, item_id: int) -> None:
         raise MaintenanceError(
             f"no parent class lifts class {cls.class_id} of region {region.region_id}"
         )
-    _bump(entry)
+    _bump(entry, "move_item_to_parent")
     cls.member_items.remove(item_id)
     lifted.member_items.append(item_id)
     if not cls.member_items and not cls.member_classes:
@@ -209,7 +211,7 @@ def unroll_region(entry: HLIEntry, region_id: int, factor: int) -> UnrollMainten
     """
     if factor < 2:
         raise MaintenanceError("unroll factor must be >= 2")
-    _bump(entry)
+    _bump(entry, "unroll_region")
     region = entry.regions[region_id]
     result = UnrollMaintenance(region_id=region_id, factor=factor)
     next_id = next_free_id(entry)

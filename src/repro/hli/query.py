@@ -31,6 +31,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import metrics as _metrics
 from .tables import (
     DepType,
     EquivType,
@@ -192,6 +193,11 @@ class HLIQuery:
     def get_equiv_acc(self, item_a: int, item_b: int) -> EquivAcc:
         """May/must items ``a`` and ``b`` access the same memory location
         within a single iteration of their innermost common region?"""
+        result = self._get_equiv_acc(item_a, item_b)
+        _metrics.inc("hli.query.get_equiv_acc", result.value)
+        return result
+
+    def _get_equiv_acc(self, item_a: int, item_b: int) -> EquivAcc:
         self._check_fresh()
         rid = self.common_region(item_a, item_b)
         if rid is None:
@@ -219,6 +225,11 @@ class HLIQuery:
 
     def get_alias(self, item_a: int, item_b: int) -> EquivAcc:
         """Alias-table-only relation between the items' classes."""
+        result = self._get_alias(item_a, item_b)
+        _metrics.inc("hli.query.get_alias", result.value)
+        return result
+
+    def _get_alias(self, item_a: int, item_b: int) -> EquivAcc:
         self._check_fresh()
         rid = self.common_region(item_a, item_b)
         if rid is None:
@@ -246,6 +257,16 @@ class HLIQuery:
         Returns ``None`` if the items are not covered, an empty list if the
         loop carries no dependence between them.
         """
+        out = self._get_lcdd(item_a, item_b, region_id)
+        _metrics.inc(
+            "hli.query.get_lcdd",
+            "uncovered" if out is None else ("arcs" if out else "empty"),
+        )
+        return out
+
+    def _get_lcdd(
+        self, item_a: int, item_b: int, region_id: Optional[int] = None
+    ) -> Optional[list[LCDDEntry]]:
         self._check_fresh()
         if region_id is None:
             rid = self.common_region(item_a, item_b)
@@ -274,6 +295,11 @@ class HLIQuery:
 
     def get_call_acc(self, mem_item: int, call_item: int) -> CallAcc:
         """Effect of ``call_item`` on the location accessed by ``mem_item``."""
+        result = self._get_call_acc(mem_item, call_item)
+        _metrics.inc("hli.query.get_call_acc", result.value)
+        return result
+
+    def _get_call_acc(self, mem_item: int, call_item: int) -> CallAcc:
         self._check_fresh()
         call_region = self._call_region.get(call_item)
         mem_home = self._item_home.get(mem_item)
@@ -328,6 +354,13 @@ class HLIQuery:
 
     def get_region_info(self, item_id: int) -> Optional[RegionInfo]:
         """Structural hints about the region holding ``item_id``."""
+        info = self._get_region_info(item_id)
+        _metrics.inc(
+            "hli.query.get_region_info", "unknown" if info is None else "found"
+        )
+        return info
+
+    def _get_region_info(self, item_id: int) -> Optional[RegionInfo]:
         self._check_fresh()
         rid = self._item_home.get(item_id)
         if rid is None:

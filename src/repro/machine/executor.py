@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..backend.rtl import Insn, Opcode, Reg, RTLFunction, RTLProgram
+from ..obs import metrics, trace
 
 
 class ExecutionError(Exception):
@@ -93,10 +94,14 @@ class Executor:
     def run(self, entry: str = "main", args: tuple = ()) -> ExecResult:
         """Execute ``entry`` with integer/float arguments."""
         ret = None
-        try:
-            ret = self._call(entry, tuple(args))
-        except _ExitProgram as e:
-            ret = e.code
+        with trace.span("machine.execute", entry=entry):
+            try:
+                ret = self._call(entry, tuple(args))
+            except _ExitProgram as e:
+                ret = e.code
+        if metrics.is_enabled():
+            metrics.add("machine.dynamic_insns", len(self.trace))
+            metrics.add("machine.steps", self.steps)
         return ExecResult(
             ret=ret,
             output=self.output,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..backend.rtl import Opcode
+from ..obs import metrics, trace
 from .executor import TraceEvent
 from .latencies import r4600_latency
 
@@ -51,7 +52,15 @@ class R4600Model:
         self.branch_penalty = branch_penalty
         self.cache = cache
 
-    def time(self, trace: list[TraceEvent]) -> TimingResult:
+    def time(self, events: list[TraceEvent]) -> TimingResult:
+        with trace.span("machine.time", machine=self.name):
+            result = self._time(events)
+        if metrics.is_enabled():
+            metrics.add("machine.cycles.r4600", result.cycles)
+            metrics.add("machine.insns.r4600", result.instructions)
+        return result
+
+    def _time(self, trace: list[TraceEvent]) -> TimingResult:
         ready: dict[int, int] = {}
         clock = 0
         count = 0

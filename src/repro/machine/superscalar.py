@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..backend.rtl import Opcode
+from ..obs import metrics, trace
 from .executor import TraceEvent
 from .latencies import r10000_latency
 from .pipeline import TimingResult
@@ -47,7 +48,15 @@ class R10000Model:
         #: optional MemoryHierarchy adding cache-miss penalties
         self.cache = cache
 
-    def time(self, trace: list[TraceEvent]) -> TimingResult:
+    def time(self, events: list[TraceEvent]) -> TimingResult:
+        with trace.span("machine.time", machine=self.name):
+            result = self._time(events)
+        if metrics.is_enabled():
+            metrics.add("machine.cycles.r10000", result.cycles)
+            metrics.add("machine.insns.r10000", result.instructions)
+        return result
+
+    def _time(self, trace: list[TraceEvent]) -> TimingResult:
         cfg = self.config
         cache = self.cache
         if cache is not None:

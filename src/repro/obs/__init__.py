@@ -1,0 +1,88 @@
+"""repro.obs — pipeline-wide tracing, metrics, and profiling.
+
+The reproduction's whole argument is quantitative (HLI sizes, deleted
+DDG edges, speedups), so this package makes the pipeline *observable*:
+
+* :mod:`repro.obs.trace`   — hierarchical wall-time spans over every
+  stage (``driver.compile`` → ``frontend.parse`` → … →
+  ``backend.schedule``), nested like the paper's Figure 3;
+* :mod:`repro.obs.metrics` — process-wide counters, gauges, and
+  histograms (HLI query verdicts, DDG edges kept/deleted per mode,
+  scheduler ready-list lengths, maintenance mutations, lint findings,
+  dynamic instruction/cycle counts);
+* :mod:`repro.obs.export`  — Chrome ``trace_event`` JSON, flat JSON
+  stats, and a human text tree;
+* :mod:`repro.obs.cli`     — the ``repro-stats`` command: compile a
+  workload (or the whole suite) with instrumentation on and dump
+  traces/metrics.
+
+Everything is **off by default** with a no-op fast path (one boolean
+check per call site); turn it on with :func:`enable`, the
+``REPRO_TRACE=1`` environment variable, or
+``CompileOptions(trace=True)``.  See ``docs/OBSERVABILITY.md`` for the
+span taxonomy and counter catalogue.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from . import export, metrics, trace
+
+__all__ = [
+    "trace",
+    "metrics",
+    "export",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "enabled_scope",
+]
+
+
+def enable() -> None:
+    """Turn on both tracing and metrics."""
+    trace.enable()
+    metrics.enable()
+
+
+def disable() -> None:
+    """Turn off both tracing and metrics (recorded data stays readable)."""
+    trace.disable()
+    metrics.disable()
+
+
+def is_enabled() -> bool:
+    """True when either half of the subsystem is recording."""
+    return trace.is_enabled() or metrics.is_enabled()
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics (keeps the on/off switches)."""
+    trace.reset()
+    metrics.reset()
+
+
+@contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Enable the subsystem inside the ``with`` body, restoring on exit.
+
+    Already-enabled instrumentation is left untouched, so scopes nest
+    (``validate --trace-out`` enables globally; each inner
+    ``compile_source`` scope is then a pass-through).
+    """
+    if not on or is_enabled():
+        yield
+        return
+    enable()
+    try:
+        yield
+    finally:
+        disable()
+
+
+if os.environ.get("REPRO_TRACE", "") not in ("", "0"):
+    enable()

@@ -1,0 +1,110 @@
+"""Exporters for recorded spans and metrics.
+
+Three formats, one per consumer:
+
+* :func:`chrome_trace` — Chrome ``trace_event`` JSON (complete ``"X"``
+  events), loadable in ``chrome://tracing`` and https://ui.perfetto.dev;
+* :func:`stats_snapshot` — flat JSON: the metric registry plus per-name
+  span aggregates (count / total / mean seconds) and per-stage wall
+  times, for dashboards and the perf-trajectory benchmarks;
+* :func:`text_tree` — indented human-readable span tree with durations,
+  for terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import metrics, trace
+
+__all__ = ["chrome_trace", "stats_snapshot", "text_tree", "span_aggregates"]
+
+
+def _flatten(spans: list[trace.Span]) -> list[trace.Span]:
+    out: list[trace.Span] = []
+    stack = list(reversed(spans))
+    while stack:
+        s = stack.pop()
+        out.append(s)
+        stack.extend(reversed(s.children))
+    return out
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(spans: Optional[list[trace.Span]] = None) -> dict:
+    """Chrome ``trace_event`` document for the recorded spans.
+
+    Timestamps are microseconds relative to the tracer epoch; still-open
+    spans are exported with their elapsed-so-far duration.
+    """
+    from time import perf_counter
+
+    epoch = trace.epoch()
+    events = []
+    for s in _flatten(trace.roots() if spans is None else spans):
+        dur = s.dur if s.dur is not None else perf_counter() - s.ts
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round((s.ts - epoch) * 1e6, 3),
+                "dur": round(dur * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": {k: _json_safe(v) for k, v in s.attrs.items()},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def span_aggregates(spans: Optional[list[trace.Span]] = None) -> dict:
+    """Per-span-name aggregates: count, total seconds, mean seconds."""
+    agg: dict[str, dict] = {}
+    for s in _flatten(trace.roots() if spans is None else spans):
+        if s.dur is None:
+            continue
+        a = agg.setdefault(s.name, {"count": 0, "total_s": 0.0})
+        a["count"] += 1
+        a["total_s"] += s.dur
+    for a in agg.values():
+        a["total_s"] = round(a["total_s"], 6)
+        a["mean_s"] = round(a["total_s"] / a["count"], 6)
+    return {k: agg[k] for k in sorted(agg)}
+
+
+def stats_snapshot(spans: Optional[list[trace.Span]] = None) -> dict:
+    """Flat JSON stats: metric registry + span aggregates."""
+    doc = metrics.snapshot()
+    doc["spans"] = span_aggregates(spans)
+    return doc
+
+
+def _fmt_dur(dur: Optional[float]) -> str:
+    if dur is None:
+        return "(open)"
+    if dur >= 1.0:
+        return f"{dur:.3f}s"
+    return f"{dur * 1e3:.3f}ms"
+
+
+def text_tree(spans: Optional[list[trace.Span]] = None) -> str:
+    """Indented span tree with durations and attributes."""
+    lines: list[str] = []
+
+    def rec(s: trace.Span, depth: int) -> None:
+        attrs = ""
+        if s.attrs:
+            attrs = "  [" + ", ".join(f"{k}={v}" for k, v in s.attrs.items()) + "]"
+        lines.append(f"{'  ' * depth}{s.name:<{max(1, 40 - 2 * depth)}s} {_fmt_dur(s.dur):>10s}{attrs}")
+        for c in s.children:
+            rec(c, depth + 1)
+
+    for root in trace.roots() if spans is None else spans:
+        rec(root, 0)
+    return "\n".join(lines)

@@ -21,6 +21,22 @@ def test_quick_validation(tmp_path):
         "mapping_complete",
         "hli_lint_clean",
     } <= names
+    # every claim carries its own wall time; phases carry theirs
+    assert all(c["seconds"] >= 0.0 for c in payload["claims"])
+    assert {"tables", "claims", "lint"} <= set(payload["phase_seconds"])
+    assert payload["elapsed_seconds"] >= 0.0
+
+
+def test_trace_out_writes_chrome_trace(tmp_path):
+    out = tmp_path / "RESULTS.json"
+    trace_path = tmp_path / "validate_trace.json"
+    validate(include_speedups=False, out_path=str(out), trace_out=str(trace_path))
+    doc = json.loads(trace_path.read_text())
+    events = doc["traceEvents"]
+    assert len(events) > 0
+    names = {e["name"] for e in events}
+    assert "driver.validate" in names
+    assert "validate.tables" in names
 
 
 class TestExitCode:

@@ -1,0 +1,17 @@
+"""Shared obs-test hygiene: the subsystem is process-global state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every obs test starts disabled+empty and leaves no residue behind."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,90 @@
+"""Exporter formats: chrome trace_event, flat stats, text tree."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import export, metrics, trace
+
+
+def _record_sample_tree():
+    trace.enable()
+    with trace.span("driver.compile", file="x.c"):
+        with trace.span("frontend.parse"):
+            pass
+        with trace.span("backend.schedule", mode="combined"):
+            pass
+
+
+class TestChromeTrace:
+    def test_complete_events_with_relative_microsecond_times(self):
+        _record_sample_tree()
+        doc = export.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == [
+            "driver.compile",
+            "frontend.parse",
+            "backend.schedule",
+        ]
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["pid"] == 1 and e["tid"] == 1
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+        assert events[0]["cat"] == "driver"
+        assert events[0]["args"] == {"file": "x.c"}
+
+    def test_document_is_json_serialisable(self):
+        _record_sample_tree()
+        parsed = json.loads(json.dumps(export.chrome_trace()))
+        assert len(parsed["traceEvents"]) == 3
+
+    def test_non_primitive_attrs_are_stringified(self):
+        trace.enable()
+        with trace.span("s", mode=object()):
+            pass
+        (event,) = export.chrome_trace()["traceEvents"]
+        assert isinstance(event["args"]["mode"], str)
+
+    def test_open_span_exported_with_elapsed_duration(self):
+        trace.enable()
+        s = trace.span("open")
+        s.__enter__()
+        (event,) = export.chrome_trace()["traceEvents"]
+        assert event["dur"] >= 0.0
+        s.__exit__(None, None, None)
+
+
+class TestAggregatesAndStats:
+    def test_span_aggregates_count_and_totals(self):
+        trace.enable()
+        for _ in range(3):
+            with trace.span("parse"):
+                pass
+        agg = export.span_aggregates()
+        assert agg["parse"]["count"] == 3
+        assert agg["parse"]["total_s"] >= 0.0
+        assert agg["parse"]["mean_s"] >= 0.0
+
+    def test_stats_snapshot_merges_metrics_and_spans(self):
+        _record_sample_tree()
+        metrics.enable()
+        metrics.inc("hli.query.get_alias", "none")
+        doc = export.stats_snapshot()
+        assert set(doc) == {"counters", "gauges", "histograms", "spans"}
+        assert doc["counters"] == {"hli.query.get_alias.none": 1}
+        assert "driver.compile" in doc["spans"]
+
+
+class TestTextTree:
+    def test_indentation_follows_nesting(self):
+        _record_sample_tree()
+        lines = export.text_tree().splitlines()
+        assert lines[0].startswith("driver.compile")
+        assert lines[1].startswith("  frontend.parse")
+        assert lines[2].startswith("  backend.schedule")
+        assert "[file=x.c]" in lines[0]
+        assert "[mode=combined]" in lines[2]
+
+    def test_empty_when_nothing_recorded(self):
+        assert export.text_tree() == ""

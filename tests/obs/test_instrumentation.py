@@ -1,0 +1,170 @@
+"""End-to-end: compiling with ``trace=True`` records the full span tree
+and the counter catalogue documented in docs/OBSERVABILITY.md."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompileOptions, compile_source, obs
+from repro.backend.ddg import DDGMode
+from repro.obs import metrics, trace
+from tests.conftest import FIG2_SOURCE, SIMPLE_MAIN
+
+
+def _compile_traced(source: str, name: str, **opt_kwargs):
+    opts = CompileOptions(trace=True, **opt_kwargs)
+    result = compile_source(source, name, opts)
+    return result
+
+
+class TestSpanTree:
+    def test_compile_records_pipeline_span_tree(self):
+        _compile_traced(FIG2_SOURCE, "fig2.c", mode=DDGMode.COMBINED)
+        names = {s.name for s in trace.iter_spans()}
+        assert {
+            "driver.compile",
+            "frontend.parse_and_check",
+            "frontend.parse",
+            "frontend.semantic",
+            "analysis.build_hli",
+            "analysis.points_to",
+            "analysis.refmod",
+            "analysis.unit",
+            "analysis.itemgen",
+            "analysis.tblconst",
+            "backend.lowering",
+            "backend.mapping",
+            "backend.schedule",
+        } <= names
+        (root,) = trace.roots()
+        assert root.name == "driver.compile"
+        assert root.attrs["file"] == "fig2.c"
+        assert root.attrs["mode"] == "combined"
+        assert root.dur is not None and root.dur > 0
+
+    def test_optimization_spans_when_passes_enabled(self):
+        _compile_traced(
+            SIMPLE_MAIN,
+            "simple.c",
+            mode=DDGMode.COMBINED,
+            cse=True,
+            licm=True,
+        )
+        names = {s.name for s in trace.iter_spans()}
+        assert {"backend.optimize", "backend.cse", "backend.licm"} <= names
+
+    def test_trace_left_disabled_afterwards(self):
+        _compile_traced(SIMPLE_MAIN, "simple.c")
+        assert not obs.is_enabled()
+
+
+class TestCounters:
+    def test_frontend_and_lowering_counters(self):
+        _compile_traced(FIG2_SOURCE, "fig2.c")
+        c = metrics.counters()
+        assert c["frontend.functions"] == 1
+        assert c["frontend.source_lines"] > 0
+        assert c["lowering.functions"] == 1
+        assert c["lowering.insns"] > 0
+        assert c["analysis.items"] > 0
+        assert c["analysis.regions"] > 0
+        assert c["map.mapped"] > 0
+
+    def test_hli_query_verdict_counters(self):
+        _compile_traced(FIG2_SOURCE, "fig2.c", mode=DDGMode.COMBINED)
+        c = metrics.counters()
+        equiv = {k: v for k, v in c.items() if k.startswith("hli.query.get_equiv_acc.")}
+        assert equiv, "HLI-mode scheduling must issue get_equiv_acc queries"
+        assert set(equiv) <= {
+            "hli.query.get_equiv_acc.definite",
+            "hli.query.get_equiv_acc.maybe",
+            "hli.query.get_equiv_acc.none",
+        }
+
+    def test_ddg_edge_counters_per_mode(self):
+        for mode in (DDGMode.GCC, DDGMode.HLI, DDGMode.COMBINED):
+            obs.reset()
+            _compile_traced(FIG2_SOURCE, "fig2.c", mode=mode)
+            c = metrics.counters()
+            assert c["ddg.tests"] > 0
+            kept = c.get(f"ddg.edges.kept.{mode.value}", 0)
+            deleted = c.get(f"ddg.edges.deleted.{mode.value}", 0)
+            assert kept > 0
+            # HLI/COMBINED prune edges GCC keeps; GCC itself deletes none.
+            if mode is DDGMode.GCC:
+                assert deleted == 0
+            assert c["sched.blocks"] > 0
+
+    def test_combined_deletes_edges_fig2(self):
+        _compile_traced(FIG2_SOURCE, "fig2.c", mode=DDGMode.COMBINED)
+        assert metrics.counters().get("ddg.edges.deleted.combined", 0) > 0
+
+    def test_ready_list_histogram_recorded(self):
+        _compile_traced(FIG2_SOURCE, "fig2.c", mode=DDGMode.COMBINED)
+        h = metrics.histograms()["sched.ready_list_len"]
+        assert h.count > 0
+        assert h.max >= 1
+
+
+class TestMaintenanceCounters:
+    def test_unroll_emits_maintenance_mutations(self):
+        _compile_traced(
+            SIMPLE_MAIN,
+            "simple.c",
+            mode=DDGMode.COMBINED,
+            unroll=2,
+        )
+        c = metrics.counters()
+        assert c.get("unroll.loops_unrolled", 0) > 0
+        maint = {k: v for k, v in c.items() if k.startswith("hli.maintenance.")}
+        assert maint, "unrolling must route through HLI maintenance ops"
+
+
+class TestMachineCounters:
+    def test_execute_and_time_record_machine_metrics(self):
+        from repro.driver.timing import time_benchmark
+        from repro.workloads.suite import BenchmarkSpec
+
+        spec = BenchmarkSpec(
+            name="simple", suite="unit", source=SIMPLE_MAIN, is_float=False
+        )
+        with obs.enabled_scope():
+            time_benchmark(spec)
+        names = {s.name for s in trace.iter_spans()}
+        assert {"driver.timing", "driver.timing.run", "machine.execute", "machine.time"} <= names
+        c = metrics.counters()
+        assert c["machine.dynamic_insns"] > 0
+        assert c["machine.cycles.r4600"] > 0
+        assert c["machine.cycles.r10000"] > 0
+
+
+class TestLintCounters:
+    def test_checker_lint_span_and_counters(self):
+        from repro.checker.lint import lint_compilation
+
+        comp = compile_source(
+            FIG2_SOURCE, "fig2.c", CompileOptions(mode=DDGMode.COMBINED)
+        )
+        with obs.enabled_scope():
+            lint_compilation(comp)
+        names = {s.name for s in trace.iter_spans()}
+        assert "checker.lint" in names
+        assert "lint.claims_checked" in metrics.counters()
+
+
+@pytest.mark.parametrize("env,expected", [("1", True), ("0", False), ("", False)])
+def test_env_var_gate(env, expected):
+    """REPRO_TRACE flips the switch at import time (fresh interpreter)."""
+    import os
+    import subprocess
+    import sys
+
+    env_vars = dict(os.environ, REPRO_TRACE=env)
+    out = subprocess.run(
+        [sys.executable, "-c", "from repro import obs; print(obs.is_enabled())"],
+        capture_output=True,
+        text=True,
+        env=env_vars,
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == str(expected)

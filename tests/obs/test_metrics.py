@@ -1,0 +1,111 @@
+"""Counter / gauge / histogram registry behaviour."""
+
+from __future__ import annotations
+
+from repro.obs import metrics
+
+
+class TestDisabled:
+    def test_all_mutators_are_noops(self):
+        metrics.inc("a")
+        metrics.add("b", 5)
+        metrics.gauge("c", 1.5)
+        metrics.observe("d", 2.0)
+        assert metrics.counters() == {}
+        assert metrics.gauges() == {}
+        assert metrics.histograms() == {}
+        assert metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_mutation_count_stays_flat(self):
+        before = metrics.mutations()
+        for _ in range(100):
+            metrics.inc("x", "y")
+            metrics.observe("h", 1.0)
+        assert metrics.mutations() == before
+
+
+class TestCounters:
+    def test_inc_with_label_suffix(self):
+        metrics.enable()
+        metrics.inc("hli.query.get_equiv_acc", "none")
+        metrics.inc("hli.query.get_equiv_acc", "none")
+        metrics.inc("hli.query.get_equiv_acc", "maybe")
+        assert metrics.counters() == {
+            "hli.query.get_equiv_acc.none": 2,
+            "hli.query.get_equiv_acc.maybe": 1,
+        }
+
+    def test_add_skips_zero(self):
+        metrics.enable()
+        metrics.add("edges", 0)
+        assert metrics.counters() == {}
+        metrics.add("edges", 7)
+        metrics.add("edges", 3)
+        assert metrics.counters() == {"edges": 10}
+
+    def test_gauge_keeps_last_value(self):
+        metrics.enable()
+        metrics.gauge("g", 1.0)
+        metrics.gauge("g", 9.0)
+        assert metrics.gauges() == {"g": 9.0}
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        metrics.enable()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            metrics.observe("h", v)
+        h = metrics.histograms()["h"]
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_percentiles(self):
+        metrics.enable()
+        for v in range(1, 101):
+            metrics.observe("h", float(v))
+        h = metrics.histograms()["h"]
+        assert abs(h.percentile(50) - 50) <= 2
+        assert abs(h.percentile(95) - 95) <= 2
+
+    def test_reservoir_stays_bounded_but_stats_exact(self):
+        metrics.enable()
+        n = metrics.RESERVOIR * 3
+        for v in range(n):
+            metrics.observe("h", float(v))
+        h = metrics.histograms()["h"]
+        assert h.count == n
+        assert h.min == 0.0 and h.max == float(n - 1)
+        assert len(h.samples) <= metrics.RESERVOIR
+
+    def test_to_dict_is_json_shaped(self):
+        metrics.enable()
+        metrics.observe("h", 2.0)
+        d = metrics.histograms()["h"].to_dict()
+        assert set(d) == {"count", "sum", "min", "max", "mean", "p50", "p95"}
+
+
+class TestLifecycle:
+    def test_reset_clears_everything(self):
+        metrics.enable()
+        metrics.inc("a")
+        metrics.gauge("g", 1.0)
+        metrics.observe("h", 1.0)
+        metrics.reset()
+        assert metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert metrics.is_enabled()
+
+    def test_snapshot_keys_sorted(self):
+        metrics.enable()
+        metrics.inc("zzz")
+        metrics.inc("aaa")
+        assert list(metrics.snapshot()["counters"]) == ["aaa", "zzz"]

@@ -1,0 +1,114 @@
+"""Span recording: nesting, attributes, switches, scoping."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.trace import _NOOP
+
+
+class TestDisabled:
+    def test_span_returns_shared_noop_singleton(self):
+        s1 = trace.span("a")
+        s2 = trace.span("b", k=1)
+        assert s1 is _NOOP and s2 is _NOOP
+
+    def test_noop_span_supports_full_protocol(self):
+        with trace.span("a", k=1) as s:
+            assert s.set(x=2) is s
+        assert trace.roots() == []
+
+    def test_nothing_recorded(self):
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        assert trace.roots() == []
+        assert list(trace.iter_spans()) == []
+
+
+class TestEnabled:
+    def test_nesting_builds_a_tree(self):
+        trace.enable()
+        with trace.span("compile", file="x.c"):
+            with trace.span("parse"):
+                pass
+            with trace.span("schedule"):
+                with trace.span("ddg"):
+                    pass
+        roots = trace.roots()
+        assert [r.name for r in roots] == ["compile"]
+        assert [c.name for c in roots[0].children] == ["parse", "schedule"]
+        assert [c.name for c in roots[0].children[1].children] == ["ddg"]
+
+    def test_durations_are_positive_and_nested_within_parent(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                sum(range(1000))
+        outer, = trace.roots()
+        inner, = outer.children
+        assert outer.dur is not None and inner.dur is not None
+        assert 0 < inner.dur <= outer.dur
+
+    def test_attributes_at_open_and_via_set(self):
+        trace.enable()
+        with trace.span("s", mode="combined") as s:
+            s.set(insns=42)
+        rec, = trace.roots()
+        assert rec.attrs == {"mode": "combined", "insns": 42}
+
+    def test_sequential_roots(self):
+        trace.enable()
+        with trace.span("a"):
+            pass
+        with trace.span("b"):
+            pass
+        assert [r.name for r in trace.roots()] == ["a", "b"]
+
+    def test_iter_spans_depth_first(self):
+        trace.enable()
+        with trace.span("a"):
+            with trace.span("b"):
+                pass
+            with trace.span("c"):
+                pass
+        assert [s.name for s in trace.iter_spans()] == ["a", "b", "c"]
+
+    def test_reset_drops_spans_but_keeps_switch(self):
+        trace.enable()
+        with trace.span("a"):
+            pass
+        trace.reset()
+        assert trace.roots() == []
+        assert trace.is_enabled()
+
+
+class TestScoping:
+    def test_enabled_scope_enables_then_restores(self):
+        assert not trace.is_enabled()
+        with obs.enabled_scope():
+            assert trace.is_enabled()
+            with trace.span("x"):
+                pass
+        assert not trace.is_enabled()
+        assert [r.name for r in trace.roots()] == ["x"]
+
+    def test_enabled_scope_false_is_passthrough(self):
+        with obs.enabled_scope(False):
+            assert not trace.is_enabled()
+
+    def test_nested_scope_does_not_disable_outer(self):
+        with obs.enabled_scope():
+            with obs.enabled_scope():
+                pass
+            assert trace.is_enabled()
+
+    def test_disable_mid_span_still_closes_cleanly(self):
+        trace.enable()
+        with trace.span("outer"):
+            trace.disable()
+            # span() after disable returns the noop; closing the open
+            # Span must still unwind the stack without error
+            with trace.span("ignored"):
+                pass
+        assert trace.roots()[0].dur is not None
