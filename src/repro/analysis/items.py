@@ -484,6 +484,10 @@ class ItemGenerator:
         if ref is None:
             return ()
         uids: set[int] = set()
+        if ref.is_deref and ref.base is not None:
+            # The pointed-to location changes when the pointer itself is
+            # reassigned: the base is part of the address for derefs.
+            uids.add(ref.base.uid)
         forms = list(ref.subscripts)
         if ref.deref_offset is not None:
             forms.append(ref.deref_offset)

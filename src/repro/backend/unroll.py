@@ -81,13 +81,19 @@ def _loop_region_of(segment: list[Insn], query: HLIQuery) -> int | None:
 
 
 def _clone_segment(
-    segment: list[Insn], copy_index: int, maint: UnrollMaintenance
+    segment: list[Insn],
+    copy_index: int,
+    maint: UnrollMaintenance,
+    pinned: frozenset[int] = frozenset(),
 ) -> list[Insn]:
     """Clone with per-copy renaming of pure temporaries.
 
     Registers read before being defined inside the segment are
     loop-carried (induction variables, accumulators) and keep their
-    identity; everything else gets a fresh register per copy.
+    identity, as do ``pinned`` registers — those referenced anywhere
+    outside the segment (live-out values such as a variable assigned in
+    the loop and read after it must keep one home register across all
+    copies).  Everything else gets a fresh register per copy.
     """
     defined: set[int] = set()
     live_in: set[int] = set()
@@ -97,6 +103,7 @@ def _clone_segment(
                 live_in.add(s.rid)
         if insn.dst is not None:
             defined.add(insn.dst.rid)
+    live_in |= pinned
     rename: dict[int, Reg] = {}
 
     def map_reg(r: Reg) -> Reg:
@@ -208,9 +215,22 @@ def _run_unroll(
         query.refresh()
         stats.maintenance.append(maint)
         stats.items_cloned += len(maint.item_copy)
+        # Registers referenced outside the replicated payload (the guard,
+        # code before/after the loop) are live across copies and must not
+        # be renamed — e.g. a variable assigned every iteration and read
+        # after the loop exits.
+        payload_ids = {id(i) for i in payload}
+        pinned: set[int] = set()
+        for insn in fn.insns:
+            if id(insn) in payload_ids:
+                continue
+            for s in insn.src_regs():
+                pinned.add(s.rid)
+            if insn.dst is not None:
+                pinned.add(insn.dst.rid)
         new_segment = list(guard) + list(payload)
         for k in range(1, factor):
-            new_segment.extend(_clone_segment(payload, k, maint))
+            new_segment.extend(_clone_segment(payload, k, maint, frozenset(pinned)))
             stats.copies_made += 1
         fn.insns[start + 1 : end] = new_segment
         stats.loops_unrolled += 1

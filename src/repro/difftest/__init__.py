@@ -1,0 +1,40 @@
+"""repro.difftest — differential fuzzing of the whole HLI pipeline.
+
+The paper's value proposition is that HLI-guided scheduling deletes DDG
+edges *without changing program semantics*.  This package turns that
+invariant into a generator-driven harness:
+
+* :mod:`repro.difftest.gen`    — a well-typed random MiniC program
+  generator (seeded, deterministic, sized by :class:`~repro.difftest.gen.GenConfig`)
+  with loops, affine and non-affine array accesses, pointers, structs,
+  and calls;
+* :mod:`repro.difftest.diff`   — the differential executor: each program
+  runs through the front-end reference interpreter and through
+  compile+execute under a configuration matrix (HLI on/off × CSE/LICM/
+  unroll × scheduling), asserting identical observable outputs plus
+  cross-configuration soundness claims (DDG-edge monotonicity, HLI
+  maintenance accounting, ``hli-lint`` cleanliness);
+* :mod:`repro.difftest.reduce` — a delta-debugging reducer that shrinks
+  any failing program to a minimal reproducer written to ``crashes/``;
+* :mod:`repro.difftest.cli`    — the ``repro-fuzz`` command, including a
+  mutation mode (``--inject``) that arms the known-miscompilation faults
+  of :mod:`repro.hli.faults` to measure the harness's detection power.
+"""
+
+from .diff import DiffResult, Failure, MatrixConfig, build_matrix, run_differential
+from .gen import GenConfig, ProgramGen, generate
+from .reduce import ReducedCase, reduce_source, write_crash
+
+__all__ = [
+    "DiffResult",
+    "Failure",
+    "MatrixConfig",
+    "build_matrix",
+    "run_differential",
+    "GenConfig",
+    "ProgramGen",
+    "generate",
+    "ReducedCase",
+    "reduce_source",
+    "write_crash",
+]

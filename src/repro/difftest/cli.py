@@ -1,0 +1,220 @@
+"""``repro-fuzz`` — the differential fuzzing command.
+
+Normal mode generates seeded random programs (:mod:`repro.difftest.gen`)
+and runs each through the differential matrix
+(:mod:`repro.difftest.diff`); any failing program is shrunk with the
+delta-debugging reducer (:mod:`repro.difftest.reduce`) and written to
+the crash directory.
+
+Mutation mode (``--inject``) measures the harness's *detection power*:
+it arms the known-miscompilation faults of :mod:`repro.hli.faults`
+(dropped maintenance call, stale generation counter, flipped dependence
+verdict) one at a time and fuzzes until each armed fault is caught.  A
+fault the harness cannot catch is itself a finding — it means the
+test oracle has a blind spot, and the command exits non-zero.
+
+Examples::
+
+    repro-fuzz --count 200 --matrix quick
+    repro-fuzz --count 1000 --matrix full --time-budget 600
+    repro-fuzz --inject --count 50
+    repro-fuzz --seed 1234 --count 1 --gen large --stats-out metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from .. import obs
+from ..hli import faults
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from .diff import DiffResult, build_matrix, run_differential
+from .gen import GenConfig, generate
+from .reduce import reduce_source, write_crash
+
+__all__ = ["main", "run_fuzz", "run_inject"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Differential fuzzing of the HLI compilation pipeline.",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; program k uses seed+k (default 0)")
+    p.add_argument("--count", type=int, default=100,
+                   help="number of random programs (default 100)")
+    p.add_argument("--time-budget", type=float, default=0.0, metavar="SECONDS",
+                   help="stop early after this many seconds (0 = no limit)")
+    p.add_argument("--matrix", choices=["quick", "full"], default="quick",
+                   help="configuration matrix to run each program under")
+    p.add_argument("--gen", choices=["small", "medium", "large", "mixed"],
+                   default="mixed",
+                   help="generator size preset (mixed cycles all three)")
+    p.add_argument("--inject", action="store_true",
+                   help="mutation mode: arm each known fault and verify the"
+                        " harness detects it")
+    p.add_argument("--crash-dir", default="crashes", metavar="DIR",
+                   help="directory for reduced reproducers (default crashes/)")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="report failures without delta-debugging them")
+    p.add_argument("--stats-out", metavar="FILE",
+                   help="write the obs metrics snapshot to FILE as JSON")
+    p.add_argument("--max-failures", type=int, default=5,
+                   help="stop after this many failing programs (default 5)")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="only print the final summary")
+    return p
+
+
+_PRESETS = ["small", "medium", "large"]
+
+
+def _config_for(args: argparse.Namespace, k: int) -> GenConfig:
+    if args.gen == "mixed":
+        return GenConfig.preset(_PRESETS[k % len(_PRESETS)])
+    return GenConfig.preset(args.gen)
+
+
+def _report_failure(res: DiffResult, args, out) -> None:
+    print(f"FAIL seed={res.seed}:", file=out)
+    for f in res.failures[:8]:
+        print(f"  {f.format()}", file=out)
+    if len(res.failures) > 8:
+        print(f"  ... {len(res.failures) - 8} more", file=out)
+
+
+def run_fuzz(args: argparse.Namespace, out=None) -> int:
+    """Normal fuzzing: generate, diff, reduce, persist. Returns exit code."""
+    out = out if out is not None else sys.stdout
+    matrix = build_matrix(args.matrix)
+    deadline = time.monotonic() + args.time_budget if args.time_budget else None
+    ran = 0
+    failing: list[DiffResult] = []
+    with _trace.span("difftest.fuzz", count=args.count, matrix=args.matrix):
+        for k in range(args.count):
+            if deadline is not None and time.monotonic() > deadline:
+                if not args.quiet:
+                    print(f"time budget exhausted after {ran} programs", file=out)
+                break
+            seed = args.seed + k
+            source = generate(seed, _config_for(args, k))
+            res = run_differential(source, seed=seed, matrix=matrix)
+            ran += 1
+            if not res.ok:
+                failing.append(res)
+                _report_failure(res, args, out)
+                if not args.no_reduce:
+                    case = reduce_source(
+                        source,
+                        seed=seed,
+                        matrix=matrix,
+                        kinds=frozenset(f.kind for f in res.failures),
+                    )
+                    path = write_crash(case, args.crash_dir)
+                    print(
+                        f"  reduced {case.original_lines} -> "
+                        f"{case.reduced_lines} lines: {path}",
+                        file=out,
+                    )
+                if len(failing) >= args.max_failures:
+                    print(f"stopping after {len(failing)} failures", file=out)
+                    break
+            elif not args.quiet and ran % 50 == 0:
+                print(f"  {ran}/{args.count} programs clean", file=out)
+
+    verdict = "FAIL" if failing else "ok"
+    print(
+        f"repro-fuzz: {ran} programs x {len(matrix)} configs"
+        f" ({args.matrix} matrix): {len(failing)} failing -> {verdict}",
+        file=out,
+    )
+    return 1 if failing else 0
+
+
+#: Which failure kinds count as "detection" for each injected fault.
+_EXPECTED_CHANNELS = {
+    faults.DROP_MAINTENANCE: ("maintenance", "lint", "semantic"),
+    faults.STALE_GENERATION: ("lint", "semantic", "compile-crash"),
+    faults.FLIP_VERDICT: ("lint", "semantic", "memory"),
+}
+
+
+def run_inject(args: argparse.Namespace, out=None) -> int:
+    """Mutation mode: every known fault must be detected. Returns exit code."""
+    out = out if out is not None else sys.stdout
+    matrix = build_matrix(args.matrix)
+    deadline = time.monotonic() + args.time_budget if args.time_budget else None
+    detected: dict[str, Optional[dict]] = {}
+    with _trace.span("difftest.inject", count=args.count):
+        for fault in faults.ALL_FAULTS:
+            channels = _EXPECTED_CHANNELS[fault]
+            found: Optional[dict] = None
+            with faults.inject(fault):
+                for k in range(args.count):
+                    if deadline is not None and time.monotonic() > deadline:
+                        break
+                    seed = args.seed + k
+                    source = generate(seed, _config_for(args, k))
+                    res = run_differential(source, seed=seed, matrix=matrix)
+                    hits = [f for f in res.failures if f.kind in channels]
+                    if hits:
+                        found = {
+                            "seed": seed,
+                            "programs": k + 1,
+                            "kinds": sorted({f.kind for f in hits}),
+                        }
+                        _metrics.inc("difftest.inject.detected", fault)
+                        break
+            detected[fault] = found
+            if found is not None:
+                print(
+                    f"  fault {fault}: DETECTED after {found['programs']}"
+                    f" program(s) via {', '.join(found['kinds'])}"
+                    f" (seed {found['seed']})",
+                    file=out,
+                )
+            else:
+                _metrics.inc("difftest.inject.missed", fault)
+                print(
+                    f"  fault {fault}: NOT DETECTED in {args.count}"
+                    f" program(s) - the oracle has a blind spot",
+                    file=out,
+                )
+
+    missed = [f for f, v in detected.items() if v is None]
+    verdict = "FAIL" if missed else "ok"
+    print(
+        f"repro-fuzz --inject: {len(detected) - len(missed)}/{len(detected)}"
+        f" seeded faults detected -> {verdict}",
+        file=out,
+    )
+    return 1 if missed else 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.count < 1:
+        print("--count must be >= 1", file=sys.stderr)
+        return 2
+    with obs.enabled_scope(True):
+        if args.inject:
+            code = run_inject(args)
+        else:
+            code = run_fuzz(args)
+        if args.stats_out:
+            Path(args.stats_out).write_text(
+                json.dumps(_metrics.snapshot(), indent=2) + "\n"
+            )
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

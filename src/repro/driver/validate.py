@@ -115,6 +115,32 @@ def _collect_lint(report: ValidationReport) -> None:
     report.add_claim(build)
 
 
+def _collect_difftest(report: ValidationReport) -> None:
+    """A bounded differential-fuzz batch over the quick matrix."""
+    from ..difftest.diff import build_matrix, run_differential
+    from ..difftest.gen import GenConfig, generate
+
+    def build() -> Claim:
+        matrix = build_matrix("quick")
+        presets = ["small", "medium", "large"]
+        failures: list[str] = []
+        programs = 0
+        for seed in range(24):
+            source = generate(seed, GenConfig.preset(presets[seed % 3]))
+            res = run_differential(source, seed=seed, matrix=matrix)
+            programs += 1
+            failures.extend(f.format() for f in res.failures)
+        return Claim(
+            "difftest_batch_clean",
+            "a seeded differential-fuzz batch finds no interpreter/RTL "
+            "divergence across the quick config matrix",
+            programs > 0 and not failures,
+            {"programs": programs, "failures": failures[:5]},
+        )
+
+    report.add_claim(build)
+
+
 def _collect_speedups(report: ValidationReport) -> None:
     for b in BENCHMARKS:
         t = time_benchmark(b)
@@ -256,6 +282,8 @@ def validate(
             if include_lint:
                 print("replaying HLI claims with hli-lint (3 modes) ...", flush=True)
                 phase("lint", lambda: _collect_lint(report))
+            print("running differential-fuzz batch (24 programs) ...", flush=True)
+            phase("difftest", lambda: _collect_difftest(report))
     payload = {
         "table1": report.table1,
         "table2": report.table2,

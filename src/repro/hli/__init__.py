@@ -9,6 +9,7 @@
   (Section 3.2.3).
 """
 
+from . import faults
 from .binio import HLIFormatError, decode_hli, encode_hli
 from .query import CallAcc, EquivAcc, HLIQuery, RegionInfo
 from .reader import HLIFileReader, load_hli, save_hli
@@ -32,6 +33,7 @@ from .tables import (
 from .writer import format_entry, format_hli
 
 __all__ = [
+    "faults",
     "HLIFormatError",
     "decode_hli",
     "encode_hli",

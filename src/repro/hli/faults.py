@@ -1,0 +1,82 @@
+"""Fault injection for HLI soundness testing (used by ``repro.difftest``).
+
+The differential-fuzz harness needs *known-bad* compilers to measure its
+own detection power: if a seeded miscompilation slips through, the
+harness is too weak.  This module provides a process-wide registry of
+named faults that the HLI maintenance and query layers consult at their
+mutation/answer points:
+
+* :data:`DROP_MAINTENANCE` — :func:`~repro.hli.maintenance.delete_item`
+  silently does nothing, modelling a back-end pass that deletes a memory
+  reference but forgets the Section 3.2.3 maintenance call (the line
+  table and class tables keep an item no instruction carries);
+* :data:`STALE_GENERATION` — maintenance functions mutate the tables but
+  never bump ``HLIEntry.generation``, defeating the staleness protocol:
+  live :class:`~repro.hli.query.HLIQuery` objects silently answer from
+  stale indices instead of raising ``StaleQueryError``;
+* :data:`FLIP_VERDICT` — ``get_equiv_acc`` answers ``NONE`` where the
+  tables say MAYBE/DEFINITE, i.e. the HLI claims independence for
+  references that may conflict — the classic miscompilation the paper's
+  whole design guards against (the scheduler deletes real DDG edges).
+
+Faults are activated with the :func:`inject` context manager and are
+strictly scoped: the registry is empty outside every ``with`` block, so
+production code paths never pay more than one set-membership test, and a
+crashed test cannot leave a fault armed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "DROP_MAINTENANCE",
+    "STALE_GENERATION",
+    "FLIP_VERDICT",
+    "ALL_FAULTS",
+    "inject",
+    "is_active",
+    "active_faults",
+]
+
+#: ``delete_item`` becomes a no-op (maintenance op dropped).
+DROP_MAINTENANCE = "drop-maintenance"
+#: maintenance mutates tables without bumping ``entry.generation``.
+STALE_GENERATION = "stale-generation"
+#: ``get_equiv_acc`` flips MAYBE/DEFINITE verdicts to NONE.
+FLIP_VERDICT = "flip-verdict"
+
+ALL_FAULTS: tuple[str, ...] = (DROP_MAINTENANCE, STALE_GENERATION, FLIP_VERDICT)
+
+_active: set[str] = set()
+
+
+def is_active(fault: str) -> bool:
+    """Is ``fault`` currently armed?  (Hot path: one set lookup.)"""
+    return fault in _active
+
+
+def active_faults() -> frozenset[str]:
+    """Snapshot of the currently armed faults."""
+    return frozenset(_active)
+
+
+@contextmanager
+def inject(*faults: str) -> Iterator[None]:
+    """Arm the named faults for the duration of the ``with`` body.
+
+    Nesting is supported; each scope disarms only the faults it armed,
+    so overlapping injections compose and unwind correctly.
+    """
+    for f in faults:
+        if f not in ALL_FAULTS:
+            raise ValueError(
+                f"unknown fault '{f}' (known: {', '.join(ALL_FAULTS)})"
+            )
+    added = [f for f in faults if f not in _active]
+    _active.update(added)
+    try:
+        yield
+    finally:
+        _active.difference_update(added)

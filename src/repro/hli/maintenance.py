@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..obs import metrics as _metrics
+from . import faults as _faults
 from .tables import (
     AliasEntry,
     DepType,
@@ -36,6 +37,8 @@ from .tables import (
     HLIEntry,
     ItemType,
     LCDDEntry,
+    RefModEntry,
+    RefModKey,
     RegionEntry,
 )
 
@@ -46,7 +49,8 @@ class MaintenanceError(Exception):
 
 def _bump(entry: HLIEntry, op: str) -> None:
     """Record that the entry's tables changed (invalidates live queries)."""
-    entry.generation += 1
+    if not _faults.is_active(_faults.STALE_GENERATION):
+        entry.generation += 1
     _metrics.inc("hli.maintenance", op)
 
 
@@ -85,6 +89,8 @@ def delete_item(entry: HLIEntry, item_id: int) -> None:
     region and from every alias/LCDD/REF-MOD entry and parent class that
     referenced it.
     """
+    if _faults.is_active(_faults.DROP_MAINTENANCE):
+        return
     _bump(entry, "delete_item")
     for le in entry.line_table.entries.values():
         le.items = [(iid, ty) for iid, ty in le.items if iid != item_id]
@@ -314,6 +320,36 @@ def unroll_region(entry: HLIEntry, region_id: int, factor: int) -> UnrollMainten
     for a, b, dep in merges:
         if a != b:
             new_alias.append(AliasEntry(class_ids=frozenset((a, b))))
+    # 3. REF/MOD: a cloned class denotes the same source locations as its
+    # original, so every copy inherits membership in the entry's ref/mod
+    # sets; call items that were themselves cloned get a mirrored entry.
+    cloned_refmod: list[RefModEntry] = []
+    for m in region.refmod_entries:
+        for cid in list(m.ref_classes):
+            for k in range(1, factor):
+                copy = copy_of(cid, k)
+                if copy != cid and copy not in m.ref_classes:
+                    m.ref_classes.append(copy)
+        for cid in list(m.mod_classes):
+            for k in range(1, factor):
+                copy = copy_of(cid, k)
+                if copy != cid and copy not in m.mod_classes:
+                    m.mod_classes.append(copy)
+        if m.key_kind is RefModKey.CALL_ITEM:
+            for k in range(1, factor):
+                nid = result.item_copy.get((m.key_id, k))
+                if nid is not None:
+                    cloned_refmod.append(
+                        RefModEntry(
+                            key_kind=RefModKey.CALL_ITEM,
+                            key_id=nid,
+                            ref_all=m.ref_all,
+                            mod_all=m.mod_all,
+                            ref_classes=list(m.ref_classes),
+                            mod_classes=list(m.mod_classes),
+                        )
+                    )
+    region.refmod_entries.extend(cloned_refmod)
     region.lcdd_entries = new_lcdd
     region.alias_entries = _dedup_alias(new_alias)
     if region.loop_trip > 0:

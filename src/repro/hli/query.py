@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..obs import metrics as _metrics
+from . import faults as _faults
 from .tables import (
     DepType,
     EquivType,
@@ -194,6 +195,10 @@ class HLIQuery:
         """May/must items ``a`` and ``b`` access the same memory location
         within a single iteration of their innermost common region?"""
         result = self._get_equiv_acc(item_a, item_b)
+        if result in (EquivAcc.MAYBE, EquivAcc.DEFINITE) and _faults.is_active(
+            _faults.FLIP_VERDICT
+        ):
+            result = EquivAcc.NONE
         _metrics.inc("hli.query.get_equiv_acc", result.value)
         return result
 

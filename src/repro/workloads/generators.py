@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -91,13 +92,25 @@ class RandomProgramBuilder:
     masks, division is avoided, and integer overflow is well-defined
     (32-bit wrap) in both the interpreter and the machine.  The result is
     deterministic per seed.
+
+    All randomness flows through one explicit :class:`random.Random`
+    instance — either a private one seeded with ``seed`` or a caller
+    supplied ``rng`` — never the module-global ``random`` state, so
+    output is reproducible under pytest-xdist workers and the
+    ``repro-fuzz`` CLI regardless of what else draws random numbers.
     """
 
     INT_OPS = ["+", "-", "*", "&", "|", "^"]
     CMP_OPS = ["<", ">", "<=", ">=", "==", "!="]
 
-    def __init__(self, seed: int, max_stmts: int = 10, max_depth: int = 2) -> None:
-        self.rng = random.Random(seed)
+    def __init__(
+        self,
+        seed: int,
+        max_stmts: int = 10,
+        max_depth: int = 2,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.rng = rng if rng is not None else random.Random(seed)
         self.max_stmts = max_stmts
         self.max_depth = max_depth
         self.arrays = ["ga", "gb"]
@@ -189,12 +202,14 @@ int main() {{
 """
 
 
-def random_program(seed: int) -> str:
+def random_program(seed: int, rng: Optional[random.Random] = None) -> str:
     """A deterministic random MiniC program (terminating, fault-free)."""
-    return RandomProgramBuilder(seed).build()
+    return RandomProgramBuilder(seed, rng=rng).build()
 
 
-def random_affine_loop(seed: int, size: int = 32) -> tuple[str, list[int]]:
+def random_affine_loop(
+    seed: int, size: int = 32, rng: Optional[random.Random] = None
+) -> tuple[str, list[int]]:
     """A random single-loop program over two int arrays with affine
     subscripts, plus the Python-computed expected final array ``dst``.
 
@@ -203,7 +218,7 @@ def random_affine_loop(seed: int, size: int = 32) -> tuple[str, list[int]]:
     by property tests to cross-validate compilation+execution against a
     direct evaluation.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     shift_src = rng.randint(-2, 2)
     shift_dst = rng.randint(0, 2)
     scale = rng.randint(1, 3)

@@ -1,0 +1,89 @@
+"""The differential executor: matrices, checks, and failure reporting."""
+
+import pytest
+
+from repro.backend.ddg import DDGMode
+from repro.difftest.diff import MatrixConfig, build_matrix, run_differential
+from repro.difftest.gen import GenConfig, generate
+
+SIMPLE = """\
+int a[16];
+int total;
+
+int main() {
+    int i;
+    for (i = 0; i < 16; i++) {
+        a[i] = i * 3;
+    }
+    total = 0;
+    for (i = 0; i < 16; i++) {
+        total = total + a[i];
+    }
+    return total;
+}
+"""
+
+
+def test_quick_matrix_shape():
+    matrix = build_matrix("quick")
+    assert len(matrix) == 4
+    assert len({mc.name for mc in matrix}) == 4
+    assert any(mc.mode is DDGMode.GCC for mc in matrix)
+    assert any(mc.lint for mc in matrix)
+    assert any(not mc.schedule for mc in matrix)
+
+
+def test_full_matrix_shape():
+    matrix = build_matrix("full")
+    assert len(matrix) == 16
+    assert len({mc.name for mc in matrix}) == 16
+    for mode in DDGMode:
+        assert sum(mc.mode is mode for mc in matrix) >= 5
+    # lint runs on the combined end-points only
+    assert sum(mc.lint for mc in matrix) == 2
+
+
+def test_unknown_matrix_rejected():
+    with pytest.raises(ValueError):
+        build_matrix("exhaustive")
+
+
+def test_simple_program_passes_quick_matrix():
+    res = run_differential(SIMPLE, seed=1)
+    assert res.ok, [f.format() for f in res.failures]
+    assert res.configs_run == 4
+    assert res.checks > 4
+    assert res.reference is not None
+    assert res.reference.ret == sum(i * 3 for i in range(16))
+
+
+def test_generated_program_passes_full_matrix():
+    source = generate(11, GenConfig.small())
+    res = run_differential(source, seed=11, matrix=build_matrix("full"))
+    assert res.ok, [f.format() for f in res.failures]
+    assert res.configs_run == 16
+
+
+def test_frontend_rejection_is_one_failure():
+    res = run_differential("int main() { return undeclared; }")
+    assert not res.ok
+    assert [f.kind for f in res.failures] == ["frontend-error"]
+    assert res.configs_run == 0
+
+
+def test_matrix_config_to_options():
+    mc = MatrixConfig("x", mode=DDGMode.HLI, cse=True, unroll=4, schedule=False)
+    opts = mc.to_options()
+    assert opts.mode is DDGMode.HLI
+    assert opts.cse and not opts.licm
+    assert opts.unroll == 4
+    assert not opts.schedule
+    assert mc.has_passes
+    assert not MatrixConfig("y").has_passes
+
+
+def test_failure_formatting_carries_seed():
+    res = run_differential("int main() { return missing; }", seed=42)
+    line = res.failures[0].format()
+    assert "seed=42" in line
+    assert "frontend-error" in line

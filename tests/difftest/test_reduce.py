@@ -1,0 +1,61 @@
+"""The delta-debugging reducer: shrinks, preserves failures, persists."""
+
+from repro.difftest.diff import build_matrix
+from repro.difftest.gen import GenConfig, generate
+from repro.difftest.reduce import reduce_source, write_crash
+from repro.hli import faults
+
+QUICK = build_matrix("quick")
+
+
+def _failing_program(fault=faults.DROP_MAINTENANCE, seeds=range(12)):
+    """A (source, seed) pair that fails the quick matrix under ``fault``."""
+    from repro.difftest.diff import run_differential
+
+    with faults.inject(fault):
+        for seed in seeds:
+            source = generate(seed, GenConfig.preset("medium"))
+            res = run_differential(source, seed=seed, matrix=QUICK)
+            if not res.ok:
+                return source, seed
+    raise AssertionError("no failing program found for the reducer test")
+
+
+def test_passing_program_returned_unreduced():
+    source = "int main() { return 7; }\n"
+    case = reduce_source(source, matrix=QUICK)
+    assert case.reduced == source
+    assert case.result is None or case.result.ok
+
+
+def test_reducer_shrinks_failing_program(tmp_path):
+    source, seed = _failing_program()
+    with faults.inject(faults.DROP_MAINTENANCE):
+        case = reduce_source(source, seed=seed, matrix=QUICK, max_rounds=2)
+    assert case.reduced_lines < case.original_lines
+    assert case.result is not None and not case.result.ok
+    assert case.kinds  # the preserved failure kinds were recorded
+    # the reduced program is still front-end valid
+    from repro.frontend import parse_and_check
+
+    parse_and_check(case.reduced)
+
+    path = write_crash(case, tmp_path / "crashes")
+    text = path.read_text()
+    assert text.startswith("// repro-fuzz reduced reproducer")
+    assert f"// seed: {seed}" in text
+    assert "int main()" in text
+
+
+def test_reducer_never_returns_invalid_source():
+    """Even when told to preserve an impossible kind, the reducer's output
+    must parse (validity is gated before the interestingness test)."""
+    source = generate(3, GenConfig.small())
+    case = reduce_source(
+        source, seed=3, matrix=QUICK, kinds=frozenset({"semantic"}), max_rounds=1
+    )
+    from repro.frontend import parse_and_check
+
+    parse_and_check(case.reduced)
+    # nothing fails, so nothing may be removed
+    assert case.reduced == source

@@ -1,0 +1,81 @@
+"""Golden-output smoke tests for every ``examples/*.py`` script.
+
+``test_driver_and_examples.py`` asserts the examples *run*; these tests
+pin the load-bearing lines of their output so a regression that keeps an
+example alive but silently changes its story (a vanished table, a
+dependence reduction dropping to zero, a renamed section) still fails.
+
+Each script runs in a temporary working directory so that nothing an
+example writes can litter the repository root.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = ROOT / "examples"
+
+#: script -> substrings that must appear in its stdout
+GOLDEN = {
+    "quickstart.py": [
+        "=== 1. Compile with the Figure 5 combined dependence mode ===",
+        "HLI file for sweep.c",
+    ],
+    "paper_figure2.py": [
+        "Line table (item ID, access type per source line):",
+        "Region 1 (procedure, lines 5..14):",
+    ],
+    "inspect_hli.py": [
+        "wrote program.hli:",
+        "HLI entry: unit 'tally'",
+        "Region 2 [LOOP]",
+    ],
+    "stencil_scheduling.py": [
+        "2-D Jacobi relaxation, compiled under three dependence modes",
+        "dependence-edge reduction: 100%",
+        "mode=gcc",
+        "mode=combined",
+    ],
+    "unroll_and_maintain.py": [
+        "--- HLI before unrolling ---",
+        "unrolled 2 loop(s), cloned 15 items",
+        "--- scheduling payoff on the R10000 model ---",
+    ],
+}
+
+
+def _run_example(script: str, cwd: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=cwd,
+        env=env,
+    )
+
+
+@pytest.mark.parametrize("script", sorted(GOLDEN))
+def test_example_golden_output(script, tmp_path):
+    result = _run_example(script, tmp_path)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in GOLDEN[script]:
+        assert needle in result.stdout, (
+            f"{script}: expected line {needle!r} missing from output:\n"
+            f"{result.stdout[:3000]}"
+        )
+
+
+def test_every_example_has_golden_lines():
+    """Adding a new example without pinning its output fails here."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(GOLDEN), (
+        "examples/ and the GOLDEN table disagree; add key output lines "
+        f"for: {sorted(scripts ^ set(GOLDEN))}"
+    )
