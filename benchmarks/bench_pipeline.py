@@ -8,7 +8,15 @@ enabled and writes a machine-readable ``BENCH_pipeline.json`` capturing:
   benchmark;
 * the complete metrics registry (HLI query verdicts, DDG edges
   kept/deleted, mapping coverage, scheduler statistics);
-* total compile wall time per benchmark.
+* total compile wall time per benchmark;
+* with ``--cache-dir``, the :class:`~repro.driver.session.CompilationSession`
+  cache counters, so a cold run and a warm rerun over the same directory
+  quantify what the artifact cache buys (see benchmarks/TRAJECTORY.md).
+
+``--jobs N`` fans the suite out over a process pool via
+``CompilationSession.compile_many``; per-stage span breakdowns happen in
+the workers and are not collected in that mode, so parallel runs report
+wall-clock totals only — use the serial mode for stage attribution.
 
 Future PRs diff this file's output against a previous run to see where
 a change moved compile time — the perf baseline the ROADMAP's caching /
@@ -26,44 +34,75 @@ import sys
 from time import perf_counter
 
 
-def bench_suite(repeats: int = 1) -> dict:
+def _session_for(cache_dir: str | None):
+    from repro.driver.session import CompilationSession
+
+    return CompilationSession(cache_dir=cache_dir)
+
+
+def bench_suite(
+    repeats: int = 1, cache_dir: str | None = None, jobs: int = 1
+) -> dict:
     """Compile every benchmark ``repeats`` times with obs enabled."""
-    from repro import CompileOptions, compile_source, obs
+    from repro import CompileOptions, obs
     from repro.backend.ddg import DDGMode
     from repro.obs import export, trace
     from repro.workloads.suite import BENCHMARKS
 
+    session = _session_for(cache_dir)
     per_benchmark: list[dict] = []
     obs.reset()
     with obs.enabled_scope():
-        for spec in BENCHMARKS:
-            best = None
-            for _ in range(repeats):
-                marker = len(trace.roots())
-                t0 = perf_counter()
-                compile_source(
-                    spec.source, spec.name, CompileOptions(mode=DDGMode.COMBINED)
+        if jobs != 1:
+            jobs_list = [
+                (spec.source, spec.name, CompileOptions(mode=DDGMode.COMBINED))
+                for spec in BENCHMARKS
+            ]
+            t0 = perf_counter()
+            comps = session.compile_many(jobs_list, max_workers=jobs)
+            batch_seconds = perf_counter() - t0
+            for spec, comp in zip(BENCHMARKS, comps):
+                per_benchmark.append(
+                    {
+                        "benchmark": spec.name,
+                        "suite": spec.suite,
+                        "cache_state": comp.cache_state,
+                    }
                 )
-                elapsed = perf_counter() - t0
-                if best is None or elapsed < best:
-                    best = elapsed
-                roots = trace.roots()[marker:]
-            per_benchmark.append(
-                {
-                    "benchmark": spec.name,
-                    "suite": spec.suite,
-                    "compile_seconds": round(best or 0.0, 6),
-                    "stages": export.span_aggregates(roots),
-                }
-            )
+            total = batch_seconds
+        else:
+            for spec in BENCHMARKS:
+                best = None
+                state = "cold"
+                for _ in range(repeats):
+                    marker = len(trace.roots())
+                    t0 = perf_counter()
+                    comp = session.compile(
+                        spec.source, spec.name, CompileOptions(mode=DDGMode.COMBINED)
+                    )
+                    elapsed = perf_counter() - t0
+                    if best is None or elapsed < best:
+                        best = elapsed
+                        state = comp.cache_state
+                    roots = trace.roots()[marker:]
+                per_benchmark.append(
+                    {
+                        "benchmark": spec.name,
+                        "suite": spec.suite,
+                        "compile_seconds": round(best or 0.0, 6),
+                        "cache_state": state,
+                        "stages": export.span_aggregates(roots),
+                    }
+                )
+            total = sum(b["compile_seconds"] for b in per_benchmark)
     stats = export.stats_snapshot()
     return {
         "python": platform.python_version(),
         "repeats": repeats,
+        "jobs": jobs,
         "benchmarks": per_benchmark,
-        "total_compile_seconds": round(
-            sum(b["compile_seconds"] for b in per_benchmark), 6
-        ),
+        "total_compile_seconds": round(total, 6),
+        "session_cache": session.stats.to_dict(),
         "stage_totals": stats["spans"],
         "counters": stats["counters"],
         "histograms": stats["histograms"],
@@ -88,17 +127,37 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="compile each benchmark N times, keep the fastest (default: 1)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="route compiles through a disk-backed CompilationSession; "
+        "rerun with the same DIR to measure the warm path",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the suite out over N worker processes via compile_many "
+        "(0 = one per core; default: 1, serial with stage breakdowns)",
+    )
     args = parser.parse_args(argv)
-    doc = bench_suite(repeats=max(1, args.repeats))
+    doc = bench_suite(
+        repeats=max(1, args.repeats), cache_dir=args.cache_dir, jobs=args.jobs
+    )
     rendered = json.dumps(doc, indent=2)
     if args.out == "-":
         print(rendered)
     else:
         with open(args.out, "w") as f:
             f.write(rendered + "\n")
+        states = [b.get("cache_state", "cold") for b in doc["benchmarks"]]
+        warm = sum(1 for s in states if s != "cold")
         print(
             f"wrote {args.out}: {len(doc['benchmarks'])} benchmarks, "
             f"{doc['total_compile_seconds']:.2f}s total compile time"
+            f" ({warm}/{len(states)} cache-warm)"
         )
     return 0
 

@@ -21,5 +21,14 @@ Packages:
 __version__ = "1.0.0"
 
 from .driver.compile import Compilation, CompileOptions, compile_source
+from .driver.session import CompilationSession, compile_many, default_session
 
-__all__ = ["Compilation", "CompileOptions", "compile_source", "__version__"]
+__all__ = [
+    "Compilation",
+    "CompilationSession",
+    "CompileOptions",
+    "compile_source",
+    "compile_many",
+    "default_session",
+    "__version__",
+]

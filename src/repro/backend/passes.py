@@ -1,13 +1,22 @@
-"""Optimization pass orchestration for the compilation driver."""
+"""Optimization pass statistics.
+
+The orchestration that used to live here (``run_optimizations``) moved
+into the pass manager: each optimization is now a declared
+:class:`repro.backend.pm.Pass` in :mod:`repro.driver.passes`, and the
+manual "rebuild ``HLIQuery`` after table mutations" loop became a
+declared invalidation that the manager enforces centrally.  What remains
+is the aggregate statistics container shared by the three passes.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .cse import CSEStats, run_cse
-from .ddg import DDGMode
-from .licm import LICMStats, run_licm
-from .unroll import UnrollStats, run_unroll
+from .cse import CSEStats
+from .licm import LICMStats
+from .unroll import UnrollStats
+
+__all__ = ["OptStats"]
 
 
 @dataclass
@@ -17,36 +26,3 @@ class OptStats:
     cse: CSEStats = field(default_factory=CSEStats)
     licm: LICMStats = field(default_factory=LICMStats)
     unroll: UnrollStats = field(default_factory=UnrollStats)
-
-
-def run_optimizations(result, opts) -> OptStats:
-    """Run the requested passes over every function of a compilation.
-
-    Pass order mirrors GCC: unroll first (it needs pristine line-table
-    mappings), then CSE, then LICM, and the driver schedules afterwards.
-    HLI usage follows ``opts.mode`` (GCC mode = no HLI in the passes).
-    """
-    stats = OptStats()
-    use_hli = opts.mode is not DDGMode.GCC
-    for name, fn in result.rtl.functions.items():
-        query = result.queries.get(name) if use_hli else None
-        entry = result.hli.entries.get(name)
-        if opts.unroll > 1:
-            s = run_unroll(
-                fn,
-                opts.unroll,
-                query=result.queries.get(name),
-                entry=entry,
-            )
-            stats.unroll.merge(s)
-        if opts.cse:
-            stats.cse.merge(run_cse(fn, use_hli=use_hli, query=query, entry=entry))
-        if opts.licm:
-            stats.licm.merge(run_licm(fn, use_hli=use_hli, query=query, entry=entry))
-        # table mutations invalidate the cached query indices
-        if entry is not None and (opts.unroll > 1 or opts.cse or opts.licm):
-            from ..hli.query import HLIQuery
-
-            result.queries[name] = HLIQuery(entry)
-    result.opt_stats = stats
-    return stats

@@ -99,6 +99,22 @@ def new_reg(is_float: bool = False, name: str = "") -> Reg:
     return Reg(rid=next(_reg_ids), is_float=is_float, name=name)
 
 
+def reserve_ids(max_reg: int, max_insn: int) -> None:
+    """Advance the global reg/insn counters past externally created IDs.
+
+    RTL deserialized from a cache (or another process) carries reg IDs
+    and insn UIDs minted by a *different* counter state; any pass that
+    then calls :func:`new_reg` or constructs an :class:`Insn` in this
+    process could collide with them.  Callers that import foreign RTL
+    must reserve its ID ranges first.
+    """
+    global _reg_ids, _insn_ids
+    cur = next(_reg_ids)
+    _reg_ids = itertools.count(max(cur, max_reg + 1))
+    cur = next(_insn_ids)
+    _insn_ids = itertools.count(max(cur, max_insn + 1))
+
+
 @dataclass
 class MemRef:
     """One memory reference inside a LOAD/STORE instruction.

@@ -61,6 +61,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject", action="store_true",
                    help="mutation mode: arm each known fault and verify the"
                         " harness detects it")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan the fuzz batch out over N worker processes"
+                        " (0 = one per core; default 1, serial; normal"
+                        " mode only)")
     p.add_argument("--crash-dir", default="crashes", metavar="DIR",
                    help="directory for reduced reproducers (default crashes/)")
     p.add_argument("--no-reduce", action="store_true",
@@ -83,6 +87,71 @@ def _config_for(args: argparse.Namespace, k: int) -> GenConfig:
     return GenConfig.preset(args.gen)
 
 
+def _preset_for(gen: str, k: int) -> str:
+    return _PRESETS[k % len(_PRESETS)] if gen == "mixed" else gen
+
+
+def _fuzz_worker(job: tuple) -> dict:
+    """Module-level (picklable) batch worker: fuzz one seed.
+
+    Returns a light summary — the parent re-runs failing seeds serially
+    to get the full :class:`DiffResult` for reporting and reduction, so
+    nothing heavyweight crosses the process boundary.
+    """
+    seed, preset, matrix_name = job
+    source = generate(seed, GenConfig.preset(preset))
+    res = run_differential(source, seed=seed, matrix=build_matrix(matrix_name))
+    return {"seed": seed, "preset": preset, "ok": res.ok,
+            "n_failures": len(res.failures)}
+
+
+def _run_fuzz_batch(args: argparse.Namespace, out) -> int:
+    """Parallel fan-out: summarize every seed, then replay failures serially."""
+    from ..driver.session import parallel_map, resolve_workers
+
+    jobs = [
+        (args.seed + k, _preset_for(args.gen, k), args.matrix)
+        for k in range(args.count)
+    ]
+    workers = resolve_workers(args.jobs, len(jobs))
+    with _trace.span("difftest.fuzz.batch", count=len(jobs), workers=workers):
+        summaries = parallel_map(_fuzz_worker, jobs, max_workers=workers)
+    matrix = build_matrix(args.matrix)
+    failing: list[DiffResult] = []
+    for summary in summaries:
+        if summary["ok"]:
+            continue
+        seed, preset = summary["seed"], summary["preset"]
+        source = generate(seed, GenConfig.preset(preset))
+        res = run_differential(source, seed=seed, matrix=matrix)
+        failing.append(res)
+        _report_failure(res, args, out)
+        if not args.no_reduce:
+            case = reduce_source(
+                source,
+                seed=seed,
+                matrix=matrix,
+                kinds=frozenset(f.kind for f in res.failures),
+            )
+            path = write_crash(case, args.crash_dir)
+            print(
+                f"  reduced {case.original_lines} -> "
+                f"{case.reduced_lines} lines: {path}",
+                file=out,
+            )
+        if len(failing) >= args.max_failures:
+            print(f"stopping after {len(failing)} failures", file=out)
+            break
+    verdict = "FAIL" if failing else "ok"
+    print(
+        f"repro-fuzz: {len(summaries)} programs x {len(matrix)} configs"
+        f" ({args.matrix} matrix, {workers} workers):"
+        f" {len(failing)} failing -> {verdict}",
+        file=out,
+    )
+    return 1 if failing else 0
+
+
 def _report_failure(res: DiffResult, args, out) -> None:
     print(f"FAIL seed={res.seed}:", file=out)
     for f in res.failures[:8]:
@@ -94,6 +163,8 @@ def _report_failure(res: DiffResult, args, out) -> None:
 def run_fuzz(args: argparse.Namespace, out=None) -> int:
     """Normal fuzzing: generate, diff, reduce, persist. Returns exit code."""
     out = out if out is not None else sys.stdout
+    if getattr(args, "jobs", 1) != 1:
+        return _run_fuzz_batch(args, out)
     matrix = build_matrix(args.matrix)
     deadline = time.monotonic() + args.time_budget if args.time_budget else None
     ran = 0

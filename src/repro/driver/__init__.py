@@ -1,12 +1,24 @@
-"""End-to-end drivers: compilation pipeline, timing comparisons, reports."""
+"""End-to-end drivers: compilation pipeline, sessions, timing, reports."""
 
 from .compile import Compilation, CompileOptions, compile_source
+from .session import (
+    CompilationSession,
+    SessionStats,
+    compile_many,
+    default_session,
+    parallel_map,
+)
 from .timing import BenchTiming, time_benchmark
 
 __all__ = [
     "Compilation",
+    "CompilationSession",
     "CompileOptions",
+    "SessionStats",
     "compile_source",
+    "compile_many",
+    "default_session",
+    "parallel_map",
     "BenchTiming",
     "time_benchmark",
 ]

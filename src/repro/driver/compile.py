@@ -1,10 +1,17 @@
 """End-to-end compilation driver (the pipeline of paper Figure 3).
 
-``compile_source`` runs: parse → semantic analysis → HLI construction
-(front-end) → lowering → HLI import/mapping → per-function basic-block
-scheduling under a chosen dependence mode.  The result object carries
-every intermediate artifact so tests, examples, and benchmark harnesses
-can inspect any stage.
+``compile_source`` is a thin wrapper over the pass manager: it assembles
+a pipeline — ``CompileOptions.pipeline`` when given, otherwise derived
+from the option flags — and runs it via
+:class:`repro.backend.pm.PassManager`, which enforces each pass's
+declared inputs/outputs/invalidations (see
+:mod:`repro.driver.passes`).  The result object carries every
+intermediate artifact so tests, examples, and benchmark harnesses can
+inspect any stage.
+
+For cached, batched, or parallel compilation use
+:class:`repro.driver.session.CompilationSession`, which reuses the
+front-end artifacts (parse → HLI build → lowering) across compiles.
 """
 
 from __future__ import annotations
@@ -12,16 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
-if TYPE_CHECKING:  # avoid a load-time cycle with repro.checker
+if TYPE_CHECKING:  # avoid load-time cycles with repro.checker / backend.passes
+    from ..backend.passes import OptStats
     from ..checker.rules import LintReport
 
-from ..analysis.builder import FrontEndInfo, build_hli
+from ..analysis.builder import FrontEndInfo
 from ..backend.ddg import DDGMode, DepStats
-from ..backend.lowering import lower_program
-from ..backend.mapping import MapStats, map_function
+from ..backend.mapping import MapStats
+from ..backend.pm import PipelineStats
 from ..backend.rtl import RTLProgram
-from ..backend.scheduler import schedule_function
-from ..frontend import parse_and_check
 from ..hli.query import HLIQuery
 from ..hli.tables import HLIFile
 from ..machine.latencies import r4600_latency
@@ -51,6 +57,11 @@ class CompileOptions:
     #: enable the :mod:`repro.obs` tracing/metrics subsystem for the
     #: duration of this compile (no-op if it is already enabled)
     trace: bool = False
+    #: explicit pass sequence (see ``repro.driver.passes.KNOWN_PASSES``);
+    #: ``None`` derives the pipeline from the flags above.  When set, the
+    #: listed passes run unconditionally — the pipeline is data, the
+    #: boolean flags above are just sugar for the default pipeline.
+    pipeline: Optional[tuple[str, ...]] = None
 
 
 @dataclass
@@ -59,15 +70,22 @@ class Compilation:
 
     source: str
     filename: str
-    hli: HLIFile
-    frontend: FrontEndInfo
-    rtl: RTLProgram
+    hli: Optional[HLIFile] = None
+    frontend: Optional[FrontEndInfo] = None
+    rtl: Optional[RTLProgram] = None
     queries: dict[str, HLIQuery] = field(default_factory=dict)
     map_stats: dict[str, MapStats] = field(default_factory=dict)
     dep_stats: dict[str, DepStats] = field(default_factory=dict)
     options: Optional[CompileOptions] = None
+    #: populated when the ``unroll``/``cse``/``licm`` passes run
+    opt_stats: Optional["OptStats"] = None
     #: populated when :attr:`CompileOptions.lint` is set
     lint_report: Optional["LintReport"] = None
+    #: what the pass manager actually ran (pass order, query rebuilds)
+    pipeline_stats: Optional[PipelineStats] = None
+    #: which cache tier supplied the front-end artifacts: ``"cold"``
+    #: (fully compiled), ``"memory"``, or ``"disk"``
+    cache_state: str = "cold"
 
     def total_dep_stats(self) -> DepStats:
         total = DepStats()
@@ -81,51 +99,15 @@ def compile_source(
     filename: str = "<input>",
     options: Optional[CompileOptions] = None,
 ) -> Compilation:
-    """Compile MiniC source through the full HLI pipeline."""
+    """Compile MiniC source through the full HLI pipeline (cold, uncached)."""
+    from .passes import PassContext, run_pipeline
+
     opts = options or CompileOptions()
     with enabled_scope(opts.trace):
         with _trace.span("driver.compile", file=filename, mode=opts.mode.value):
-            return _compile(source, filename, opts)
-
-
-def _compile(source: str, filename: str, opts: CompileOptions) -> Compilation:
-    program, table = parse_and_check(source, filename)
-    hli, fe = build_hli(program, table)
-    rtl = lower_program(program, table)
-
-    result = Compilation(
-        source=source,
-        filename=filename,
-        hli=hli,
-        frontend=fe,
-        rtl=rtl,
-        options=opts,
-    )
-
-    with _trace.span("backend.mapping", file=filename):
-        for name, fn in rtl.functions.items():
-            entry = hli.entries.get(name)
-            if entry is None:
-                continue
-            result.map_stats[name] = map_function(fn, entry)
-            result.queries[name] = HLIQuery(entry)
-
-    if opts.cse or opts.licm or opts.unroll > 1:
-        from ..backend.passes import run_optimizations
-
-        with _trace.span("backend.optimize", file=filename):
-            run_optimizations(result, opts)
-
-    if opts.schedule:
-        for name, fn in rtl.functions.items():
-            query = result.queries.get(name)
-            sched = schedule_function(
-                fn, mode=opts.mode, query=query, latency=opts.latency
+            ctx = PassContext(
+                comp=Compilation(source=source, filename=filename, options=opts),
+                opts=opts,
             )
-            result.dep_stats[name] = sched.stats
-
-    if opts.lint:
-        from ..checker.lint import lint_compilation
-
-        result.lint_report = lint_compilation(result)
-    return result
+            run_pipeline(ctx)
+            return ctx.comp

@@ -1,0 +1,282 @@
+"""The concrete compilation pipeline as pass-manager data.
+
+Every stage of the paper's Figure 3 pipeline — parse, HLI construction,
+lowering, HLI import/mapping, the optimization passes, scheduling, and
+the ``hli-lint`` audit — is a :class:`repro.backend.pm.Pass` with
+declared inputs/outputs/invalidations.  ``driver.compile.compile_source``
+is a thin wrapper that assembles a pipeline (``CompileOptions.pipeline``
+when given, otherwise :func:`default_pipeline` derived from the option
+flags) and hands it to the :class:`~repro.backend.pm.PassManager`.
+
+Artifact names
+--------------
+``ast``       parsed+checked program (``ctx.program``/``ctx.table``)
+``hli``       the HLI file (``comp.hli``) + front-end info (``comp.frontend``)
+``rtl``       lowered RTL (``comp.rtl``)
+``mapping``   per-insn HLI item annotations + ``comp.map_stats``
+``queries``   fresh ``HLIQuery`` indices per unit (``comp.queries``)
+``opt_stats`` ``comp.opt_stats``
+``dep_stats`` scheduling statistics (``comp.dep_stats``)
+``lint``      ``comp.lint_report``
+
+The old ``backend/passes.run_optimizations`` rebuilt every ``HLIQuery``
+by hand after the table-mutating passes; here the mutating passes
+declare ``invalidates=("queries",)`` and the manager rebuilds lazily,
+exactly when a later pass requires fresh indices (the ``"queries"``
+rebuilder below).  In GCC mode the optimization passes consume no HLI at
+all, so their pipeline instances declare no query requirement and no
+invalidation — the mode changes the *data*, not the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..analysis.builder import build_hli
+from ..backend.ddg import DDGMode
+from ..backend.lowering import lower_program
+from ..backend.mapping import map_function
+from ..backend.pm import Pass, PassManager, PipelineError
+from ..backend.scheduler import schedule_function
+from ..frontend import parse_and_check
+from ..hli.query import HLIQuery
+from ..obs import trace as _trace
+
+if TYPE_CHECKING:  # no runtime import: driver.compile imports this module
+    from ..frontend import ast_nodes as ast
+    from ..frontend.symbols import SymbolTable
+    from .compile import Compilation, CompileOptions
+
+__all__ = [
+    "PassContext",
+    "build_pipeline",
+    "default_pipeline",
+    "rebuild_queries",
+    "run_pipeline",
+    "KNOWN_PASSES",
+]
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may read or write while running one pipeline."""
+
+    comp: "Compilation"
+    opts: "CompileOptions"
+    #: transient front-end state (never cached; only ``ast`` consumers use it)
+    program: Optional["ast.Program"] = None
+    table: Optional["SymbolTable"] = None
+
+
+# -- pass actions -------------------------------------------------------------
+
+
+def _parse(ctx: PassContext) -> None:
+    ctx.program, ctx.table = parse_and_check(ctx.comp.source, ctx.comp.filename)
+
+
+def _build_hli(ctx: PassContext) -> None:
+    ctx.comp.hli, ctx.comp.frontend = build_hli(ctx.program, ctx.table)
+
+
+def _lower(ctx: PassContext) -> None:
+    ctx.comp.rtl = lower_program(ctx.program, ctx.table)
+
+
+def _map(ctx: PassContext) -> None:
+    comp = ctx.comp
+    with _trace.span("backend.mapping", file=comp.filename):
+        for name, fn in comp.rtl.functions.items():
+            entry = comp.hli.entries.get(name)
+            if entry is None:
+                continue
+            comp.map_stats[name] = map_function(fn, entry)
+            comp.queries[name] = HLIQuery(entry)
+
+
+def _ensure_opt_stats(ctx: PassContext):
+    if ctx.comp.opt_stats is None:
+        from ..backend.passes import OptStats
+
+        ctx.comp.opt_stats = OptStats()
+    return ctx.comp.opt_stats
+
+
+def _unroll(ctx: PassContext) -> None:
+    from ..backend.unroll import run_unroll
+
+    stats = _ensure_opt_stats(ctx)
+    use_hli = ctx.opts.mode is not DDGMode.GCC
+    for name, fn in ctx.comp.rtl.functions.items():
+        # GCC mode consumes no HLI: unrolling is guided by the region
+        # header's trip/step, so without a query it is (correctly) a no-op.
+        query = ctx.comp.queries.get(name) if use_hli else None
+        entry = ctx.comp.hli.entries.get(name)
+        stats.unroll.merge(
+            run_unroll(fn, ctx.opts.unroll, query=query, entry=entry)
+        )
+
+
+def _cse(ctx: PassContext) -> None:
+    from ..backend.cse import run_cse
+
+    stats = _ensure_opt_stats(ctx)
+    use_hli = ctx.opts.mode is not DDGMode.GCC
+    for name, fn in ctx.comp.rtl.functions.items():
+        query = ctx.comp.queries.get(name) if use_hli else None
+        entry = ctx.comp.hli.entries.get(name)
+        stats.cse.merge(run_cse(fn, use_hli=use_hli, query=query, entry=entry))
+
+
+def _licm(ctx: PassContext) -> None:
+    from ..backend.licm import run_licm
+
+    stats = _ensure_opt_stats(ctx)
+    use_hli = ctx.opts.mode is not DDGMode.GCC
+    for name, fn in ctx.comp.rtl.functions.items():
+        query = ctx.comp.queries.get(name) if use_hli else None
+        entry = ctx.comp.hli.entries.get(name)
+        stats.licm.merge(run_licm(fn, use_hli=use_hli, query=query, entry=entry))
+
+
+def _schedule(ctx: PassContext) -> None:
+    for name, fn in ctx.comp.rtl.functions.items():
+        query = ctx.comp.queries.get(name)
+        sched = schedule_function(
+            fn, mode=ctx.opts.mode, query=query, latency=ctx.opts.latency
+        )
+        ctx.comp.dep_stats[name] = sched.stats
+
+
+def _lint(ctx: PassContext) -> None:
+    from ..checker.lint import lint_compilation
+
+    ctx.comp.lint_report = lint_compilation(ctx.comp)
+
+
+def rebuild_queries(ctx: PassContext) -> None:
+    """The ``"queries"`` artifact rebuilder: fresh indices per unit.
+
+    Called by the pass manager when a pass that declared
+    ``invalidates=("queries",)`` ran and a later pass requires them —
+    the centrally enforced version of the manual rebuild the old
+    ``run_optimizations`` carried.
+    """
+    comp = ctx.comp
+    for name in comp.rtl.functions:
+        entry = comp.hli.entries.get(name)
+        if entry is not None:
+            comp.queries[name] = HLIQuery(entry)
+
+
+# -- pass registry ------------------------------------------------------------
+
+# Front-end prefix: depends only on (source, filename); cacheable.
+_PARSE = Pass("parse", _parse, provides=("ast",), frontend=True)
+_HLI_BUILD = Pass(
+    "hli-build", _build_hli, requires=("ast",), provides=("hli",), frontend=True
+)
+_LOWER = Pass("lower", _lower, requires=("ast",), provides=("rtl",), frontend=True)
+
+_MAP = Pass("map", _map, requires=("hli", "rtl"), provides=("mapping", "queries"))
+_SCHEDULE = Pass(
+    "schedule", _schedule, requires=("rtl", "queries"), provides=("dep_stats",)
+)
+_LINT = Pass(
+    "lint", _lint, requires=("hli", "rtl", "mapping", "queries"), provides=("lint",)
+)
+
+
+def _opt_pass(
+    name: str,
+    action: Callable,
+    opts: "CompileOptions",
+    mutates_without_hli: bool = True,
+) -> Pass:
+    """Instantiate an optimization pass for the current dependence mode.
+
+    In HLI-consuming modes the pass reads ``queries`` and mutates the
+    HLI tables, so it both requires and invalidates the query indices.
+    In GCC mode no query is consulted, but cse/licm still *maintain* the
+    tables when they delete instructions (maintenance is
+    mode-independent), so they keep the invalidation; unroll without a
+    query is a guaranteed no-op and declares none.
+    """
+    use_hli = opts.mode is not DDGMode.GCC
+    if use_hli:
+        return Pass(
+            name,
+            action,
+            requires=("rtl", "mapping", "queries"),
+            provides=("opt_stats",),
+            invalidates=("queries",),
+        )
+    return Pass(
+        name,
+        action,
+        requires=("rtl", "mapping"),
+        provides=("opt_stats",),
+        invalidates=("queries",) if mutates_without_hli else (),
+    )
+
+
+#: name -> factory(opts) for every pass the pipeline language knows.
+_REGISTRY: dict[str, Callable[["CompileOptions"], Pass]] = {
+    "parse": lambda opts: _PARSE,
+    "hli-build": lambda opts: _HLI_BUILD,
+    "lower": lambda opts: _LOWER,
+    "map": lambda opts: _MAP,
+    "unroll": lambda opts: _opt_pass(
+        "unroll", _unroll, opts, mutates_without_hli=False
+    ),
+    "cse": lambda opts: _opt_pass("cse", _cse, opts),
+    "licm": lambda opts: _opt_pass("licm", _licm, opts),
+    "schedule": lambda opts: _SCHEDULE,
+    "lint": lambda opts: _LINT,
+}
+
+#: Every pass name the pipeline language accepts, in canonical order.
+KNOWN_PASSES: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def default_pipeline(opts: "CompileOptions") -> tuple[str, ...]:
+    """Derive the pass sequence from the option flags (pipelines are data)."""
+    names = ["parse", "hli-build", "lower", "map"]
+    if opts.unroll > 1:
+        names.append("unroll")
+    if opts.cse:
+        names.append("cse")
+    if opts.licm:
+        names.append("licm")
+    if opts.schedule:
+        names.append("schedule")
+    if opts.lint:
+        names.append("lint")
+    return tuple(names)
+
+
+def build_pipeline(opts: "CompileOptions") -> list[Pass]:
+    """Resolve ``opts.pipeline`` (or the derived default) to pass objects."""
+    names = opts.pipeline if opts.pipeline is not None else default_pipeline(opts)
+    passes: list[Pass] = []
+    for name in names:
+        factory = _REGISTRY.get(name)
+        if factory is None:
+            raise PipelineError(
+                f"unknown pass '{name}'; known passes: {', '.join(KNOWN_PASSES)}"
+            )
+        passes.append(factory(opts))
+    return passes
+
+
+def make_manager(passes) -> PassManager:
+    """A PassManager wired with the driver's artifact rebuilders."""
+    return PassManager(passes, rebuilders={"queries": rebuild_queries})
+
+
+def run_pipeline(ctx: PassContext) -> None:
+    """Assemble and run the full pipeline for ``ctx`` (cold compile)."""
+    passes = build_pipeline(ctx.opts)
+    manager = make_manager(passes)
+    ctx.comp.pipeline_stats = manager.run(ctx)

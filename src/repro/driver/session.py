@@ -1,0 +1,487 @@
+"""Compilation sessions: artifact caching + parallel fan-out.
+
+The paper's whole premise is *separate compilation*: the front end
+writes each source file's HLI once and the back end re-uses it across
+builds (Section 3.2.1).  A :class:`CompilationSession` finally exercises
+that story end-to-end: the front-end prefix of the pipeline (parse → HLI
+construction → lowering) is keyed by a **content-addressed cache key**
+(hash of source + filename + the front-end pass fingerprint) and its
+artifacts are persisted as serialized bytes — the HLI through the
+paper's own binary format (:mod:`repro.hli.binio`), the RTL and
+front-end info through pickle — in two tiers:
+
+* an in-memory LRU of encoded blobs (per session);
+* an optional on-disk directory shared between sessions and processes.
+
+Cache entries are **verified, not trusted**: a checksum guards the whole
+blob, the HLI payload must decode through the real binio reader, and any
+failure (truncation, bit-flips, version skew) degrades to a cold compile
+— never a crash, never wrong code.  Hits, misses, corruption, and
+evictions are visible both in :attr:`CompilationSession.stats` and, when
+:mod:`repro.obs` is enabled, as ``session.cache.*`` counters.
+
+``compile_many`` adds **parallel fan-out**: a
+:class:`~concurrent.futures.ProcessPoolExecutor` spreads a batch of
+compilations across cores, with every worker sharing the session's
+on-disk tier.  ``driver.validate``, ``driver.timing``,
+``benchmarks/bench_pipeline.py``, and ``repro-fuzz`` batch mode all run
+on top of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+import struct
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..analysis.builder import FrontEndInfo
+from ..backend import rtl as _rtl
+from ..backend.pm import Pass, PipelineStats, frontend_fingerprint, split_frontend
+from ..backend.rtl import Reg, RTLProgram
+from ..hli.binio import decode_hli, encode_hli
+from ..hli.tables import HLIFile
+from ..obs import enabled_scope
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from .compile import Compilation, CompileOptions
+from .passes import PassContext, build_pipeline, make_manager
+
+__all__ = [
+    "CacheCorruption",
+    "CompilationSession",
+    "SessionStats",
+    "cache_key",
+    "compile_many",
+    "default_session",
+    "parallel_map",
+    "resolve_workers",
+]
+
+#: Bumped whenever the blob layout or any serialized artifact changes.
+CACHE_MAGIC = b"HLIC"
+CACHE_VERSION = 1
+
+
+class CacheCorruption(Exception):
+    """A cache entry failed verification (checksum, decode, or shape)."""
+
+
+@dataclass
+class SessionStats:
+    """Cache effectiveness counters for one session."""
+
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+
+# -- content-addressed keys ----------------------------------------------------
+
+
+def cache_key(source: str, filename: str, passes: Sequence[Pass]) -> str:
+    """Key = hash of source + filename + front-end pipeline fingerprint.
+
+    Back-end knobs (dependence mode, latency table, optimization flags)
+    are deliberately absent: the front-end artifacts do not depend on
+    them, which is exactly what lets ``timing``'s gcc-vs-hli double
+    compile share one parse.  Bumping any front-end pass's ``version``
+    changes the fingerprint and retires stale entries automatically.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-hli-cache\x00")
+    h.update(struct.pack("<H", CACHE_VERSION))
+    h.update(frontend_fingerprint(passes).encode("ascii"))
+    h.update(b"\x00")
+    h.update(filename.encode("utf-8", "surrogatepass"))
+    h.update(b"\x00")
+    h.update(source.encode("utf-8", "surrogatepass"))
+    return h.hexdigest()
+
+
+# -- blob encode / verified decode --------------------------------------------
+
+
+def _encode_blob(comp: Compilation) -> bytes:
+    """Serialize the pristine front-end artifacts of ``comp``.
+
+    Must be called right after the front-end prefix ran, *before* any
+    back-end pass mutates the HLI tables or the RTL.
+    """
+    hli_bytes = encode_hli(comp.hli)
+    # One pickle for (frontend, rtl) so Symbol/AST objects shared between
+    # them keep their identity on reload.
+    fe_rtl = pickle.dumps((comp.frontend, comp.rtl), protocol=pickle.HIGHEST_PROTOCOL)
+    body = io.BytesIO()
+    body.write(struct.pack("<I", len(hli_bytes)))
+    body.write(hli_bytes)
+    body.write(struct.pack("<I", len(fe_rtl)))
+    body.write(fe_rtl)
+    payload = body.getvalue()
+    digest = hashlib.sha256(payload).digest()
+    return CACHE_MAGIC + struct.pack("<H", CACHE_VERSION) + digest + payload
+
+
+def _decode_blob(data: bytes) -> tuple[HLIFile, FrontEndInfo, RTLProgram]:
+    """Verified decode of :func:`_encode_blob` output.
+
+    Raises :class:`CacheCorruption` on *any* defect; never returns a
+    partially valid artifact.
+    """
+    try:
+        if data[:4] != CACHE_MAGIC:
+            raise CacheCorruption("bad magic")
+        (version,) = struct.unpack("<H", data[4:6])
+        if version != CACHE_VERSION:
+            raise CacheCorruption(f"cache version {version} != {CACHE_VERSION}")
+        digest, payload = data[6:38], data[38:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise CacheCorruption("checksum mismatch")
+        pos = 0
+        (n,) = struct.unpack_from("<I", payload, pos)
+        pos += 4
+        hli_bytes = payload[pos : pos + n]
+        if len(hli_bytes) != n:
+            raise CacheCorruption("truncated HLI payload")
+        pos += n
+        (n,) = struct.unpack_from("<I", payload, pos)
+        pos += 4
+        fe_rtl = payload[pos : pos + n]
+        if len(fe_rtl) != n:
+            raise CacheCorruption("truncated RTL payload")
+        hli = decode_hli(bytes(hli_bytes))
+        frontend, rtl = pickle.loads(bytes(fe_rtl))
+        if not isinstance(hli, HLIFile) or not isinstance(rtl, RTLProgram):
+            raise CacheCorruption("decoded artifacts have the wrong types")
+        if not isinstance(frontend, FrontEndInfo):
+            raise CacheCorruption("decoded front-end info has the wrong type")
+        _reserve_foreign_ids(rtl)
+        return hli, frontend, rtl
+    except CacheCorruption:
+        raise
+    except Exception as exc:  # struct errors, pickle errors, binio errors, ...
+        raise CacheCorruption(f"{type(exc).__name__}: {exc}") from exc
+
+
+def _reserve_foreign_ids(rtl: RTLProgram) -> None:
+    """Keep fresh reg/insn IDs from colliding with deserialized ones."""
+    max_reg = 0
+    max_uid = 0
+    for fn in rtl.functions.values():
+        for reg in fn.param_regs:
+            max_reg = max(max_reg, reg.rid)
+        if fn.ret_reg is not None:
+            max_reg = max(max_reg, fn.ret_reg.rid)
+        for insn in fn.insns:
+            max_uid = max(max_uid, insn.uid)
+            if insn.dst is not None:
+                max_reg = max(max_reg, insn.dst.rid)
+            for src in insn.srcs:
+                if isinstance(src, Reg):
+                    max_reg = max(max_reg, src.rid)
+            if insn.mem is not None:
+                max_reg = max(max_reg, insn.mem.addr.rid)
+    _rtl.reserve_ids(max_reg, max_uid)
+
+
+# -- the session ---------------------------------------------------------------
+
+
+class CompilationSession:
+    """Cached, optionally parallel compilation over a shared artifact store."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str | os.PathLike] = None,
+        max_memory_entries: int = 128,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.max_memory_entries = max(0, max_memory_entries)
+        self._memory: OrderedDict[str, bytes] = OrderedDict()
+        self.stats = SessionStats()
+
+    # -- tier plumbing ---------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.hlic"
+
+    def _lookup(self, key: str) -> tuple[Optional[bytes], str]:
+        """Return ``(blob, tier)``; tier is ``"memory"``, ``"disk"``, or ``""``."""
+        blob = self._memory.get(key)
+        if blob is not None:
+            self._memory.move_to_end(key)
+            return blob, "memory"
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                blob = None
+            if blob is not None:
+                return blob, "disk"
+        return None, ""
+
+    def _remember(self, key: str, blob: bytes) -> None:
+        if self.max_memory_entries == 0:
+            return
+        self._memory[key] = blob
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+            _metrics.inc("session.cache.evict")
+
+    def _store(self, key: str, blob: bytes) -> None:
+        self.stats.stores += 1
+        self._remember(key, blob)
+        path = self._disk_path(key)
+        if path is not None:
+            tmp = path.with_suffix(".tmp%d" % os.getpid())
+            try:
+                tmp.write_bytes(blob)
+                os.replace(tmp, path)
+            except OSError:
+                # a read-only or full cache dir must never fail the compile
+                tmp.unlink(missing_ok=True)
+
+    def _evict_corrupt(self, key: str, tier: str, why: str) -> None:
+        self.stats.corrupt += 1
+        _metrics.inc("session.cache.corrupt")
+        self._memory.pop(key, None)
+        if tier == "disk":
+            path = self._disk_path(key)
+            if path is not None:
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(
+        self,
+        source: str,
+        filename: str = "<input>",
+        options: Optional[CompileOptions] = None,
+    ) -> Compilation:
+        """Compile through the cache: warm hits skip parse/HLI-build/lower."""
+        opts = options or CompileOptions()
+        passes = build_pipeline(opts)
+        prefix, suffix = split_frontend(passes)
+        if not prefix:  # nothing cacheable in this pipeline
+            from .compile import compile_source
+
+            return compile_source(source, filename, opts)
+        key = cache_key(source, filename, passes)
+        with enabled_scope(opts.trace):
+            with _trace.span(
+                "session.compile", file=filename, mode=opts.mode.value
+            ) as span:
+                comp = self._compile_keyed(key, source, filename, opts, prefix, suffix)
+                span.set(cache=comp.cache_state)
+                return comp
+
+    def _compile_keyed(self, key, source, filename, opts, prefix, suffix):
+        blob, tier = self._lookup(key)
+        if blob is not None:
+            try:
+                hli, frontend, rtl = _decode_blob(blob)
+            except CacheCorruption as exc:
+                self._evict_corrupt(key, tier, str(exc))
+            else:
+                if tier == "memory":
+                    self.stats.hits_memory += 1
+                else:
+                    self.stats.hits_disk += 1
+                    self._remember(key, blob)
+                _metrics.inc("session.cache.hit", tier)
+                return self._finish_warm(
+                    hli, frontend, rtl, source, filename, opts, prefix, suffix, tier
+                )
+        self.stats.misses += 1
+        _metrics.inc("session.cache.miss")
+        return self._compile_cold(key, source, filename, opts, prefix, suffix)
+
+    def _compile_cold(self, key, source, filename, opts, prefix, suffix):
+        comp = Compilation(source=source, filename=filename, options=opts)
+        ctx = PassContext(comp=comp, opts=opts)
+        stats = PipelineStats()
+        make_manager(prefix).run(ctx, stats=stats)
+        with _trace.span("session.cache.store"):
+            self._store(key, _encode_blob(comp))
+        available = {a for p in prefix for a in p.provides}
+        make_manager(suffix).run(ctx, initial=sorted(available), stats=stats)
+        comp.pipeline_stats = stats
+        return comp
+
+    def _finish_warm(
+        self, hli, frontend, rtl, source, filename, opts, prefix, suffix, tier
+    ):
+        comp = Compilation(
+            source=source,
+            filename=filename,
+            hli=hli,
+            frontend=frontend,
+            rtl=rtl,
+            options=opts,
+            cache_state=tier,
+        )
+        ctx = PassContext(comp=comp, opts=opts)
+        stats = PipelineStats(cached_prefix=tuple(p.name for p in prefix))
+        available = {a for p in prefix for a in p.provides}
+        make_manager(suffix).run(ctx, initial=sorted(available), stats=stats)
+        comp.pipeline_stats = stats
+        return comp
+
+    # -- batch / parallel ------------------------------------------------------
+
+    def compile_many(
+        self,
+        jobs: Sequence[tuple],
+        max_workers: Optional[int] = None,
+    ) -> list[Compilation]:
+        """Compile a batch of ``(source, filename[, options])`` jobs.
+
+        With more than one worker the batch fans out over a
+        ``ProcessPoolExecutor``; every worker shares this session's
+        on-disk cache tier (the in-memory tier is per-process).  Results
+        come back in job order.  ``max_workers=None`` uses
+        :func:`resolve_workers` (the ``REPRO_JOBS`` environment variable,
+        else one worker per core, capped by the job count).
+        """
+        normalized = [_normalize_job(j) for j in jobs]
+        workers = resolve_workers(max_workers, len(normalized))
+        if workers <= 1:
+            return [self.compile(*job) for job in normalized]
+        from concurrent.futures import ProcessPoolExecutor
+
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        with _trace.span("session.compile_many", jobs=len(normalized), workers=workers):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_compile_worker, cache_dir, src, fname, opts)
+                    for src, fname, opts in normalized
+                ]
+                results = [f.result() for f in futures]
+        for comp in results:
+            if comp.cache_state == "memory":
+                self.stats.hits_memory += 1
+            elif comp.cache_state == "disk":
+                self.stats.hits_disk += 1
+            else:
+                self.stats.misses += 1
+            _metrics.inc("session.cache.fanout", comp.cache_state or "cold")
+        return results
+
+
+def _normalize_job(job: tuple) -> tuple[str, str, Optional[CompileOptions]]:
+    if len(job) == 2:
+        return (job[0], job[1], None)
+    if len(job) == 3:
+        return (job[0], job[1], job[2])
+    raise ValueError("compile_many job must be (source, filename[, options])")
+
+
+#: Per-worker-process sessions, keyed by cache dir (fork-safe lazily built).
+_WORKER_SESSIONS: dict[Optional[str], CompilationSession] = {}
+
+
+def _worker_session(cache_dir: Optional[str]) -> CompilationSession:
+    sess = _WORKER_SESSIONS.get(cache_dir)
+    if sess is None:
+        sess = _WORKER_SESSIONS[cache_dir] = CompilationSession(cache_dir=cache_dir)
+    return sess
+
+
+def _compile_worker(
+    cache_dir: Optional[str],
+    source: str,
+    filename: str,
+    options: Optional[CompileOptions],
+) -> Compilation:
+    return _worker_session(cache_dir).compile(source, filename, options)
+
+
+# -- generic fan-out -----------------------------------------------------------
+
+
+def resolve_workers(requested: Optional[int], n_items: int) -> int:
+    """Worker-count policy shared by every fan-out entry point.
+
+    ``requested`` semantics: ``None`` → the ``REPRO_JOBS`` environment
+    variable if set, else one per core; ``0`` → one per core; anything
+    else is taken literally.  Always capped by ``n_items``.
+    """
+    if requested is None:
+        env = os.environ.get("REPRO_JOBS", "")
+        requested = int(env) if env.isdigit() and env != "" else 0
+    if requested <= 0:
+        requested = os.cpu_count() or 1
+    return max(1, min(requested, n_items))
+
+
+def parallel_map(fn, items: Sequence, max_workers: Optional[int] = None) -> list:
+    """Order-preserving process-pool map with a serial single-worker path.
+
+    ``fn`` must be a module-level (picklable) callable.
+    """
+    items = list(items)
+    workers = resolve_workers(max_workers, len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+
+def compile_many(
+    jobs: Sequence[tuple],
+    max_workers: Optional[int] = None,
+    session: Optional[CompilationSession] = None,
+) -> list[Compilation]:
+    """Module-level convenience: batch compile via ``session`` (or the default)."""
+    sess = session if session is not None else default_session()
+    return sess.compile_many(jobs, max_workers=max_workers)
+
+
+# -- the default session -------------------------------------------------------
+
+_DEFAULT: Optional[CompilationSession] = None
+
+
+def default_session() -> CompilationSession:
+    """Process-wide session (in-memory tier; ``REPRO_CACHE_DIR`` adds disk)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = CompilationSession(
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+            max_memory_entries=64,
+        )
+    return _DEFAULT
+
+
+def reset_default_session() -> None:
+    """Drop the process-wide session (tests use this for isolation)."""
+    global _DEFAULT
+    _DEFAULT = None

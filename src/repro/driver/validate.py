@@ -20,8 +20,9 @@ from ..hli.sizes import size_report
 from ..machine.executor import execute
 from ..obs import export as obs_export
 from ..obs import trace as obs_trace
-from ..workloads.suite import BENCHMARKS, float_benchmarks, integer_benchmarks
-from .compile import CompileOptions, compile_source
+from ..workloads.suite import BENCHMARKS, by_name, float_benchmarks, integer_benchmarks
+from .compile import CompileOptions
+from .session import CompilationSession, parallel_map
 from .timing import time_benchmark
 
 
@@ -62,9 +63,9 @@ class ValidationReport:
         self.claims.append(claim)
 
 
-def _collect_tables(report: ValidationReport) -> None:
+def _collect_tables(report: ValidationReport, session: CompilationSession) -> None:
     for b in BENCHMARKS:
-        comp = compile_source(b.source, b.name, CompileOptions(mode=DDGMode.COMBINED))
+        comp = session.compile(b.source, b.name, CompileOptions(mode=DDGMode.COMBINED))
         rep = size_report(comp.hli, b.source)
         stats = comp.total_dep_stats()
         unmapped = sum(m.unmapped for m in comp.map_stats.values())
@@ -91,7 +92,7 @@ def _collect_tables(report: ValidationReport) -> None:
         )
 
 
-def _collect_lint(report: ValidationReport) -> None:
+def _collect_lint(report: ValidationReport, session: CompilationSession) -> None:
     """Audit every benchmark with ``hli-lint`` in all three DDG modes."""
     from ..checker.lint import lint_compilation
 
@@ -100,7 +101,7 @@ def _collect_lint(report: ValidationReport) -> None:
         claims = 0
         for b in BENCHMARKS:
             for mode in DDGMode:
-                comp = compile_source(b.source, b.name, CompileOptions(mode=mode))
+                comp = session.compile(b.source, b.name, CompileOptions(mode=mode))
                 lint = lint_compilation(comp)
                 findings += len(lint.diagnostics)
                 claims += sum(lint.claims_checked.values())
@@ -141,18 +142,42 @@ def _collect_difftest(report: ValidationReport) -> None:
     report.add_claim(build)
 
 
-def _collect_speedups(report: ValidationReport) -> None:
-    for b in BENCHMARKS:
-        t = time_benchmark(b)
-        report.speedups.append(
-            {
-                "benchmark": b.name,
-                "speedup_r4600": round(t.speedup_r4600, 3),
-                "speedup_r10000": round(t.speedup_r10000, 3),
-                "results_match": t.results_match,
-                "dynamic_insns": t.dynamic_insns,
-            }
+def _speedup_row(t) -> dict:
+    return {
+        "benchmark": t.name,
+        "speedup_r4600": round(t.speedup_r4600, 3),
+        "speedup_r10000": round(t.speedup_r10000, 3),
+        "results_match": t.results_match,
+        "dynamic_insns": t.dynamic_insns,
+    }
+
+
+def _speedup_worker(job: tuple) -> dict:
+    """Module-level (picklable) fan-out worker: time one benchmark.
+
+    Each worker process builds its own session over the shared disk
+    cache, so the four compiles inside ``time_benchmark`` still share
+    one front end even across the pool.
+    """
+    name, cache_dir = job
+    sess = CompilationSession(cache_dir=cache_dir)
+    return _speedup_row(time_benchmark(by_name(name), sess))
+
+
+def _collect_speedups(
+    report: ValidationReport, session: CompilationSession, jobs: int
+) -> None:
+    if jobs != 1:
+        cache_dir = str(session.cache_dir) if session.cache_dir else None
+        rows = parallel_map(
+            _speedup_worker,
+            [(b.name, cache_dir) for b in BENCHMARKS],
+            max_workers=jobs,
         )
+        report.speedups.extend(rows)
+        return
+    for b in BENCHMARKS:
+        report.speedups.append(_speedup_row(time_benchmark(b, session)))
 
 
 def _check_claims(report: ValidationReport) -> None:
@@ -253,14 +278,23 @@ def validate(
     out_path: str = "RESULTS.json",
     include_lint: bool = True,
     trace_out: str | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> ValidationReport:
     """Run the full validation; writes ``RESULTS.json`` and returns the report.
 
     With ``trace_out`` set, the :mod:`repro.obs` subsystem is enabled for
     the run and a Chrome ``trace_event`` JSON profile of the whole
     validation is written to that path.
+
+    All compilations route through one :class:`CompilationSession`
+    (optionally disk-backed via ``cache_dir``), so the tables, lint, and
+    timing phases share front-end artifacts instead of re-parsing each
+    benchmark up to seven times.  ``jobs`` fans the speedup phase out
+    over a process pool (``0`` = one worker per core).
     """
     report = ValidationReport()
+    session = CompilationSession(cache_dir=cache_dir)
 
     def phase(name: str, fn) -> None:
         t0 = perf_counter()
@@ -271,17 +305,17 @@ def validate(
     with obs.enabled_scope(trace_out is not None):
         with obs_trace.span("driver.validate"):
             print("collecting Table 1 / Table 2 statistics ...", flush=True)
-            phase("tables", lambda: _collect_tables(report))
+            phase("tables", lambda: _collect_tables(report, session))
             if include_speedups:
                 print(
                     "running speedup measurements (4 executions per benchmark) ...",
                     flush=True,
                 )
-                phase("speedups", lambda: _collect_speedups(report))
+                phase("speedups", lambda: _collect_speedups(report, session, jobs))
             phase("claims", lambda: _check_claims(report))
             if include_lint:
                 print("replaying HLI claims with hli-lint (3 modes) ...", flush=True)
-                phase("lint", lambda: _collect_lint(report))
+                phase("lint", lambda: _collect_lint(report, session))
             print("running differential-fuzz batch (24 programs) ...", flush=True)
             phase("difftest", lambda: _collect_difftest(report))
     payload = {
@@ -290,6 +324,7 @@ def validate(
         "speedups": report.speedups,
         "claims": [asdict(c) for c in report.claims],
         "phase_seconds": report.phases,
+        "session_cache": session.stats.to_dict(),
         "elapsed_seconds": round(perf_counter() - report.started, 1),
     }
     with open(out_path, "w") as f:
@@ -336,12 +371,29 @@ def main(argv: list[str] | None = None) -> int:
         help="enable repro.obs instrumentation and write a Chrome "
         "trace_event JSON profile of the validation run to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the speedup phase out over N worker processes "
+        "(0 = one per core; default: %(default)s, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="back the compilation session with an on-disk artifact "
+        "cache shared across phases, workers, and reruns",
+    )
     args = parser.parse_args(argv)
     report = validate(
         include_speedups=not args.quick,
         out_path=args.out,
         include_lint=not args.no_lint,
         trace_out=args.trace_out,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     return 0 if report.all_passed else 1
 

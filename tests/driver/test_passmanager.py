@@ -1,0 +1,190 @@
+"""Pass-manager pipeline: ordering, validation, declared invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompileOptions, compile_source
+from repro.backend.ddg import DDGMode
+from repro.backend.passes import OptStats
+from repro.backend.pm import Pass, PassManager, PipelineError, split_frontend
+from repro.driver.passes import KNOWN_PASSES, default_pipeline
+from tests.conftest import SIMPLE_MAIN
+
+
+class TestPipelineOrdering:
+    def test_default_pipeline_runs_in_declared_order(self):
+        comp = compile_source(
+            SIMPLE_MAIN,
+            "simple.c",
+            CompileOptions(mode=DDGMode.COMBINED, cse=True, licm=True, unroll=2),
+        )
+        assert comp.pipeline_stats is not None
+        assert comp.pipeline_stats.passes_run == [
+            "parse", "hli-build", "lower", "map",
+            "unroll", "cse", "licm", "schedule",
+        ]
+
+    def test_explicit_pipeline_is_data(self):
+        opts = CompileOptions(
+            pipeline=("parse", "hli-build", "lower", "map", "schedule")
+        )
+        comp = compile_source(SIMPLE_MAIN, "simple.c", opts)
+        assert comp.pipeline_stats.passes_run == list(opts.pipeline)
+        assert comp.dep_stats  # schedule ran
+
+    def test_pipeline_without_schedule_skips_dep_stats(self):
+        opts = CompileOptions(pipeline=("parse", "hli-build", "lower", "map"))
+        comp = compile_source(SIMPLE_MAIN, "simple.c", opts)
+        assert comp.dep_stats == {}
+        assert comp.rtl is not None
+
+    def test_impossible_order_rejected_before_running(self):
+        # map requires rtl, which only lower provides
+        opts = CompileOptions(pipeline=("parse", "hli-build", "map", "lower"))
+        with pytest.raises(PipelineError, match="requires artifact 'rtl'"):
+            compile_source(SIMPLE_MAIN, "simple.c", opts)
+
+    def test_unknown_pass_name_is_a_clear_error(self):
+        opts = CompileOptions(pipeline=("parse", "frobnicate"))
+        with pytest.raises(PipelineError, match="unknown pass 'frobnicate'"):
+            compile_source(SIMPLE_MAIN, "simple.c", opts)
+
+    def test_duplicate_pass_rejected(self):
+        opts = CompileOptions(pipeline=("parse", "parse"))
+        with pytest.raises(PipelineError, match="duplicate pass"):
+            compile_source(SIMPLE_MAIN, "simple.c", opts)
+
+    def test_default_pipeline_uses_only_known_passes(self):
+        opts = CompileOptions(cse=True, licm=True, unroll=2, lint=True)
+        assert set(default_pipeline(opts)) <= set(KNOWN_PASSES)
+
+
+class TestDeclaredInvalidation:
+    """The old manual HLIQuery rebuild, now a declared effect."""
+
+    def test_no_opt_passes_no_rebuilds(self):
+        comp = compile_source(
+            SIMPLE_MAIN, "simple.c", CompileOptions(mode=DDGMode.COMBINED)
+        )
+        assert comp.pipeline_stats.rebuilds == {}
+
+    def test_single_mutating_pass_rebuilds_exactly_once(self):
+        comp = compile_source(
+            SIMPLE_MAIN,
+            "simple.c",
+            CompileOptions(mode=DDGMode.COMBINED, unroll=2),
+        )
+        # unroll invalidates queries; schedule is the next consumer
+        assert comp.pipeline_stats.rebuilds == {"queries": 1}
+
+    def test_each_consumer_after_invalidation_rebuilds_once(self):
+        comp = compile_source(
+            SIMPLE_MAIN,
+            "simple.c",
+            CompileOptions(mode=DDGMode.COMBINED, cse=True, licm=True),
+        )
+        # cse invalidates -> licm rebuilds; licm invalidates -> schedule
+        # rebuilds: exactly two, never one per function or per use
+        assert comp.pipeline_stats.rebuilds == {"queries": 2}
+
+    def test_gcc_mode_cse_still_invalidates_for_maintenance(self):
+        # cse deletes insns and maintains the tables in every mode, so
+        # the scheduler must get fresh queries even in GCC mode
+        comp = compile_source(
+            SIMPLE_MAIN,
+            "simple.c",
+            CompileOptions(mode=DDGMode.GCC, cse=True),
+        )
+        assert comp.pipeline_stats.rebuilds == {"queries": 1}
+        assert comp.dep_stats
+
+
+class TestGccModeUnroll:
+    """Regression: GCC-mode run_unroll must get query=None like cse/licm.
+
+    Handing it a live query made GCC-mode compiles consult (and
+    invalidate) HLI that the mode promises not to use.
+    """
+
+    def test_gcc_unroll_is_a_noop_and_consults_no_hli(self):
+        comp = compile_source(
+            SIMPLE_MAIN,
+            "simple.c",
+            CompileOptions(mode=DDGMode.GCC, unroll=4),
+        )
+        assert comp.opt_stats is not None
+        assert comp.opt_stats.unroll.loops_unrolled == 0
+        # no query consulted -> nothing invalidated -> no rebuild
+        assert comp.pipeline_stats.rebuilds == {}
+
+    def test_gcc_unroll_matches_gcc_baseline_code(self):
+        base = compile_source(SIMPLE_MAIN, "simple.c", CompileOptions(mode=DDGMode.GCC))
+        unrolled = compile_source(
+            SIMPLE_MAIN, "simple.c", CompileOptions(mode=DDGMode.GCC, unroll=4)
+        )
+        for name, fn in base.rtl.functions.items():
+            assert [i.op for i in fn.insns] == [
+                i.op for i in unrolled.rtl.functions[name].insns
+            ]
+
+    def test_combined_unroll_does_unroll(self):
+        comp = compile_source(
+            SIMPLE_MAIN,
+            "simple.c",
+            CompileOptions(mode=DDGMode.COMBINED, unroll=2),
+        )
+        assert comp.opt_stats.unroll.loops_unrolled > 0
+
+
+class TestOptStatsField:
+    def test_opt_stats_is_a_declared_optional_field(self):
+        from dataclasses import fields
+
+        from repro.driver.compile import Compilation
+
+        assert "opt_stats" in {f.name for f in fields(Compilation)}
+
+    def test_none_without_opt_passes(self):
+        comp = compile_source(SIMPLE_MAIN, "simple.c", CompileOptions())
+        assert comp.opt_stats is None
+
+    def test_populated_with_opt_passes(self):
+        comp = compile_source(
+            SIMPLE_MAIN, "simple.c", CompileOptions(mode=DDGMode.COMBINED, cse=True)
+        )
+        assert isinstance(comp.opt_stats, OptStats)
+
+
+class TestPassManagerUnit:
+    """The generic manager, exercised without the compiler pipeline."""
+
+    def test_rebuilder_restores_invalidated_artifact(self):
+        log = []
+        passes = [
+            Pass("a", lambda ctx: log.append("a"), provides=("x",)),
+            Pass("b", lambda ctx: log.append("b"), requires=("x",),
+                 invalidates=("x",)),
+            Pass("c", lambda ctx: log.append("c"), requires=("x",)),
+        ]
+        pm = PassManager(passes, rebuilders={"x": lambda ctx: log.append("rebuild")})
+        stats = pm.run(object())
+        assert log == ["a", "b", "rebuild", "c"]
+        assert stats.rebuilds == {"x": 1}
+
+    def test_invalidation_without_rebuilder_is_static_error(self):
+        passes = [
+            Pass("a", lambda ctx: None, provides=("x",)),
+            Pass("b", lambda ctx: None, requires=("x",), invalidates=("x",)),
+            Pass("c", lambda ctx: None, requires=("x",)),
+        ]
+        with pytest.raises(PipelineError, match="invalidated by an earlier pass"):
+            PassManager(passes).validate()
+
+    def test_split_frontend_requires_contiguous_prefix(self):
+        ok = [Pass("f", lambda c: None, frontend=True), Pass("b", lambda c: None)]
+        prefix, suffix = split_frontend(ok)
+        assert [p.name for p in prefix] == ["f"]
+        assert [p.name for p in suffix] == ["b"]
+        with pytest.raises(PipelineError, match="contiguous prefix"):
+            split_frontend(list(reversed(ok)))

@@ -1,0 +1,172 @@
+"""CompilationSession: cache tiers, corruption fallback, warm-path proof."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompileOptions, compile_source, obs
+from repro.backend.ddg import DDGMode
+from repro.difftest.diff import build_matrix
+from repro.driver.session import (
+    CacheCorruption,
+    CompilationSession,
+    _decode_blob,
+    _encode_blob,
+)
+from repro.obs import trace
+from tests.conftest import FIG2_SOURCE, SIMPLE_MAIN
+
+OTHER_SOURCE = "int x;\nint main() { x = 41; return x + 1; }\n"
+
+
+@pytest.fixture()
+def disk_session(tmp_path):
+    return CompilationSession(cache_dir=tmp_path / "cache")
+
+
+def _opcodes(comp) -> dict:
+    return {n: [i.op for i in f.insns] for n, f in comp.rtl.functions.items()}
+
+
+def _dep_stats(comp) -> dict:
+    return {n: vars(s) for n, s in comp.dep_stats.items()}
+
+
+class TestTiers:
+    def test_cold_then_memory_hit(self):
+        sess = CompilationSession()
+        c1 = sess.compile(SIMPLE_MAIN, "simple.c")
+        c2 = sess.compile(SIMPLE_MAIN, "simple.c")
+        assert (c1.cache_state, c2.cache_state) == ("cold", "memory")
+        assert sess.stats.misses == 1
+        assert sess.stats.hits_memory == 1
+        assert sess.stats.stores == 1
+        assert c2.pipeline_stats.cached_prefix == ("parse", "hli-build", "lower")
+
+    def test_disk_hit_across_sessions(self, tmp_path):
+        d = tmp_path / "cache"
+        CompilationSession(cache_dir=d).compile(SIMPLE_MAIN, "simple.c")
+        sess = CompilationSession(cache_dir=d)
+        comp = sess.compile(SIMPLE_MAIN, "simple.c")
+        assert comp.cache_state == "disk"
+        assert sess.stats.hits_disk == 1
+        assert sess.stats.misses == 0
+
+    def test_memory_tier_evicts_lru(self, tmp_path):
+        sess = CompilationSession(cache_dir=tmp_path / "c", max_memory_entries=1)
+        sess.compile(SIMPLE_MAIN, "simple.c")
+        sess.compile(OTHER_SOURCE, "other.c")  # evicts simple.c
+        assert sess.stats.evictions == 1
+        comp = sess.compile(SIMPLE_MAIN, "simple.c")  # falls through to disk
+        assert comp.cache_state == "disk"
+
+    def test_different_sources_do_not_collide(self):
+        sess = CompilationSession()
+        c1 = sess.compile(SIMPLE_MAIN, "a.c")
+        c2 = sess.compile(OTHER_SOURCE, "a.c")
+        assert sess.stats.misses == 2
+        assert _opcodes(c1) != _opcodes(c2)
+
+    def test_backend_options_share_the_frontend_entry(self):
+        # The key excludes back-end knobs: gcc and combined compiles of
+        # the same source hit the same cached front end (timing.py's
+        # double-compile relies on this).
+        sess = CompilationSession()
+        sess.compile(SIMPLE_MAIN, "simple.c", CompileOptions(mode=DDGMode.GCC))
+        comp = sess.compile(
+            SIMPLE_MAIN, "simple.c", CompileOptions(mode=DDGMode.COMBINED, cse=True)
+        )
+        assert comp.cache_state == "memory"
+        assert sess.stats.misses == 1
+
+
+class TestWarmPathSkipsFrontend:
+    def test_span_counts_prove_frontend_skipped(self):
+        sess = CompilationSession()
+        opts = CompileOptions(mode=DDGMode.COMBINED)
+        obs.reset()
+        with obs.enabled_scope():
+            sess.compile(FIG2_SOURCE, "fig2.c", opts)
+            cold_names = [s.name for s in trace.iter_spans()]
+            obs.reset()
+            comp = sess.compile(FIG2_SOURCE, "fig2.c", opts)
+            warm_names = [s.name for s in trace.iter_spans()]
+        assert cold_names.count("frontend.parse_and_check") == 1
+        assert "analysis.build_hli" in cold_names
+        assert "backend.lowering" in cold_names
+        # warm: parse, HLI construction, and lowering never run
+        assert "frontend.parse_and_check" not in warm_names
+        assert "analysis.build_hli" not in warm_names
+        assert "backend.lowering" not in warm_names
+        # ... while the back end still does
+        assert "backend.mapping" in warm_names
+        assert "backend.schedule" in warm_names
+        assert comp.cache_state == "memory"
+
+
+class TestResultEquivalence:
+    @pytest.mark.parametrize(
+        "config", build_matrix("quick"), ids=lambda c: c.name
+    )
+    def test_warm_compile_identical_to_cold_across_matrix(self, config, tmp_path):
+        opts = config.to_options()
+        cold = compile_source(SIMPLE_MAIN, "simple.c", opts)
+        sess = CompilationSession(cache_dir=tmp_path / "c")
+        sess.compile(SIMPLE_MAIN, "simple.c", opts)
+        warm = sess.compile(SIMPLE_MAIN, "simple.c", opts)
+        assert warm.cache_state == "memory"
+        assert _opcodes(warm) == _opcodes(cold)
+        assert _dep_stats(warm) == _dep_stats(cold)
+        if opts.lint:
+            assert warm.lint_report is not None
+            assert not warm.lint_report.diagnostics
+
+
+class TestCorruption:
+    def _one_entry(self, sess):
+        files = list(sess.cache_dir.glob("*.hlic"))
+        assert len(files) == 1
+        return files[0]
+
+    def test_bit_flip_degrades_to_cold_compile(self, disk_session):
+        ref = disk_session.compile(SIMPLE_MAIN, "simple.c")
+        path = self._one_entry(disk_session)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        fresh = CompilationSession(cache_dir=disk_session.cache_dir)
+        comp = fresh.compile(SIMPLE_MAIN, "simple.c")
+        assert comp.cache_state == "cold"
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+        assert _opcodes(comp) == _opcodes(ref)
+        assert _dep_stats(comp) == _dep_stats(ref)
+
+    def test_corrupt_entry_is_evicted_and_rewritten(self, disk_session):
+        disk_session.compile(SIMPLE_MAIN, "simple.c")
+        path = self._one_entry(disk_session)
+        path.write_bytes(b"garbage")
+        fresh = CompilationSession(cache_dir=disk_session.cache_dir)
+        fresh.compile(SIMPLE_MAIN, "simple.c")
+        # the cold recompile re-stored a valid entry over the bad one
+        comp = CompilationSession(cache_dir=disk_session.cache_dir).compile(
+            SIMPLE_MAIN, "simple.c"
+        )
+        assert comp.cache_state == "disk"
+
+    def test_truncated_blob_raises_corruption(self):
+        comp = compile_source(SIMPLE_MAIN, "simple.c")
+        blob = _encode_blob(comp)
+        for cut in (0, 3, 10, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CacheCorruption):
+                _decode_blob(blob[:cut])
+
+    def test_blob_round_trip(self):
+        comp = compile_source(SIMPLE_MAIN, "simple.c")
+        hli, frontend, rtl = _decode_blob(_encode_blob(comp))
+        assert set(hli.entries) == set(comp.hli.entries)
+        assert set(rtl.functions) == set(comp.rtl.functions)
+        for name, fn in comp.rtl.functions.items():
+            assert [i.op for i in fn.insns] == [
+                i.op for i in rtl.functions[name].insns
+            ]

@@ -37,7 +37,8 @@ class TestFormats:
         assert cli.main([source_file]) == 0
         out = capsys.readouterr().out
         assert out.startswith("driver.compile")
-        assert "\n  frontend.parse_and_check" in out
+        assert "\n  pm.pass" in out
+        assert "\n    frontend.parse_and_check" in out
 
     def test_out_writes_file(self, source_file, tmp_path, capsys):
         out_path = tmp_path / "trace.json"

@@ -51,7 +51,12 @@ class TestSpanTree:
             licm=True,
         )
         names = {s.name for s in trace.iter_spans()}
-        assert {"backend.optimize", "backend.cse", "backend.licm"} <= names
+        assert {"pm.pass", "backend.cse", "backend.licm"} <= names
+        # every pipeline stage runs under a pass-manager span
+        ran = {
+            s.attrs["pass"] for s in trace.iter_spans() if s.name == "pm.pass"
+        }
+        assert {"parse", "hli-build", "lower", "map", "cse", "licm", "schedule"} <= ran
 
     def test_trace_left_disabled_afterwards(self):
         _compile_traced(SIMPLE_MAIN, "simple.c")
