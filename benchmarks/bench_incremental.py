@@ -1,0 +1,179 @@
+"""Edit-recompile latency harness: ``python benchmarks/bench_incremental.py``.
+
+Measures what the function-grained artifact cache buys on the canonical
+incremental workload — *edit one function, rebuild the file* — across
+file sizes (1, 4, and 16 functions per file).  For each size it times
+three rebuild strategies on the same line-count-preserving edit:
+
+* **cold** — ``compile_source``, the whole pipeline from scratch; this
+  is also what PR 4's file-keyed cache does on any edit, since the edit
+  retires the whole-file key;
+* **warm-file** — a warm session with ``reuse_backend=False``: the
+  per-function front-end tier splices parse/HLI/lowering artifacts for
+  unedited functions, but the back end re-runs every function (the
+  whole-file warm residual PR 4 left on the table);
+* **warm-incremental** — the full function-grained session: back-end
+  passes run for exactly the edited function plus its transitive
+  callers; everything else is spliced from the back-end tier.
+
+The harness asserts the invalidation invariant (recompiled set ==
+edited function + transitive callers == 2 functions here, since every
+helper is called only by ``main``) and, for files of >= 8 functions,
+that warm-incremental beats both other strategies.  Results land in
+``BENCH_incremental.json`` (see benchmarks/TRAJECTORY.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from time import perf_counter
+
+SIZES = (1, 4, 16)
+
+
+def make_source(n_functions: int) -> str:
+    """A file of ``n_functions`` look-alike helpers, all called by main.
+
+    Each helper carries several scheduling-relevant loops so the
+    back-end passes (unroll, CSE, LICM, DDG + list scheduling) dominate
+    its compile time — the regime the back-end artifact tier targets.
+    """
+    lines = ["int gacc;"]
+    for k in range(n_functions):
+        lines += [
+            f"int f{k}(int a, int b) {{",
+            f"    int r = a * {k + 1} + b;",
+            "    int t;",
+            "    t = b;",
+        ]
+        # long straight-line blocks: DDG construction and list
+        # scheduling are superlinear in block size, keeping the
+        # back-end share representative of an optimizing compiler
+        for j in range(24):
+            lines.append(
+                f"    r = r + t * {j % 7 + 1} - a / {j % 5 + 2};"
+                f" t = t ^ r + {k + j};"
+            )
+        lines += ["    return r + t;", "}"]
+    lines += ["int main() {", "    int s = 1;"]
+    for k in range(n_functions):
+        lines.append(f"    s = s + f{k}(s, {k + 2});")
+    lines += ["    gacc = s;", "    return s - s / 2 * 2;", "}"]
+    return "\n".join(lines) + "\n"
+
+
+def edit_one(source: str) -> str:
+    """Perturb f0's seed expression; every line keeps its number."""
+    return source.replace("int r = a * 1 + b;", "int r = a * 1 + b + 9;")
+
+
+def _best(fn, repeats: int) -> tuple[float, object]:
+    best, result = None, None
+    for _ in range(repeats):
+        t0 = perf_counter()
+        out = fn()
+        dt = perf_counter() - t0
+        if best is None or dt < best:
+            best, result = dt, out
+    return best, result
+
+
+def bench_incremental(repeats: int = 3) -> dict:
+    from repro import CompileOptions
+    from repro.driver.compile import compile_source
+    from repro.driver.session import CompilationSession
+
+    opts = CompileOptions(cse=True, licm=True)
+    sizes = []
+    for n in SIZES:
+        base, edited = make_source(n), edit_one(make_source(n))
+        name = f"inc{n}.c"
+
+        cold_s, _ = _best(lambda: compile_source(edited, name, opts), repeats)
+
+        def warm_file():
+            sess = CompilationSession(reuse_backend=False)
+            sess.compile(base, name, opts)
+            t0 = perf_counter()
+            comp = sess.compile(edited, name, opts)
+            return perf_counter() - t0, comp
+
+        def warm_incremental():
+            sess = CompilationSession()
+            sess.compile(base, name, opts)
+            t0 = perf_counter()
+            comp = sess.compile(edited, name, opts)
+            return perf_counter() - t0, comp
+
+        file_s, (file_inner, _) = _best(warm_file, repeats)
+        inc_s, (inc_inner, comp) = _best(warm_incremental, repeats)
+
+        ran: set[str] = set()
+        for units in comp.pipeline_stats.function_runs.values():
+            ran |= set(units)
+        expected = {"f0", "main"} if n > 0 else {"main"}
+        assert ran == expected, f"{n} functions: recompiled {sorted(ran)}"
+        if n >= 8:
+            assert inc_inner < file_inner, (
+                f"{n} functions: warm-incremental {inc_inner:.4f}s not below "
+                f"whole-file warm {file_inner:.4f}s"
+            )
+        sizes.append(
+            {
+                "functions": n,
+                "recompiled": sorted(ran),
+                "cold_seconds": round(cold_s, 6),
+                "warm_file_seconds": round(file_inner, 6),
+                "warm_incremental_seconds": round(inc_inner, 6),
+                "speedup_vs_cold": round(cold_s / inc_inner, 2),
+                "speedup_vs_warm_file": round(file_inner / inc_inner, 2),
+            }
+        )
+    return {
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "sizes": sizes,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure edit-recompile latency vs file size under the "
+        "function-grained artifact cache."
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_incremental.json",
+        metavar="PATH",
+        help="output file (default: %(default)s); '-' for stdout",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="time each strategy N times, keep the fastest (default: 3)",
+    )
+    args = parser.parse_args(argv)
+    doc = bench_incremental(repeats=max(1, args.repeats))
+    rendered = json.dumps(doc, indent=2)
+    if args.out == "-":
+        print(rendered)
+    else:
+        with open(args.out, "w") as f:
+            f.write(rendered + "\n")
+        for row in doc["sizes"]:
+            print(
+                f"{row['functions']:3d} fn: cold {row['cold_seconds']:.4f}s, "
+                f"warm-file {row['warm_file_seconds']:.4f}s, "
+                f"warm-incremental {row['warm_incremental_seconds']:.4f}s "
+                f"({row['speedup_vs_cold']}x vs cold)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

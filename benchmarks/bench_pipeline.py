@@ -34,14 +34,17 @@ import sys
 from time import perf_counter
 
 
-def _session_for(cache_dir: str | None):
+def _session_for(cache_dir: str | None, cache_max_bytes: int | None = None):
     from repro.driver.session import CompilationSession
 
-    return CompilationSession(cache_dir=cache_dir)
+    return CompilationSession(cache_dir=cache_dir, max_disk_bytes=cache_max_bytes)
 
 
 def bench_suite(
-    repeats: int = 1, cache_dir: str | None = None, jobs: int = 1
+    repeats: int = 1,
+    cache_dir: str | None = None,
+    jobs: int = 1,
+    cache_max_bytes: int | None = None,
 ) -> dict:
     """Compile every benchmark ``repeats`` times with obs enabled."""
     from repro import CompileOptions, obs
@@ -49,7 +52,7 @@ def bench_suite(
     from repro.obs import export, trace
     from repro.workloads.suite import BENCHMARKS
 
-    session = _session_for(cache_dir)
+    session = _session_for(cache_dir, cache_max_bytes)
     per_benchmark: list[dict] = []
     obs.reset()
     with obs.enabled_scope():
@@ -135,6 +138,14 @@ def main(argv: list[str] | None = None) -> int:
         "rerun with the same DIR to measure the warm path",
     )
     parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict the disk cache above N bytes "
+        "(default: unbounded; requires --cache-dir)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -143,8 +154,13 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = one per core; default: 1, serial with stage breakdowns)",
     )
     args = parser.parse_args(argv)
+    if args.cache_max_bytes is not None and not args.cache_dir:
+        parser.error("--cache-max-bytes requires --cache-dir")
     doc = bench_suite(
-        repeats=max(1, args.repeats), cache_dir=args.cache_dir, jobs=args.jobs
+        repeats=max(1, args.repeats),
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        cache_max_bytes=args.cache_max_bytes,
     )
     rendered = json.dumps(doc, indent=2)
     if args.out == "-":

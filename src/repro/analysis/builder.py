@@ -102,14 +102,33 @@ class HLIBuilder:
             self.refmod = analyze_refmod(program, table, self.pts)
         self.partition_options = partition_options or PartitionOptions()
 
-    def build(self) -> tuple[HLIFile, FrontEndInfo]:
-        hli = HLIFile(source_filename=self.program.filename)
-        info = FrontEndInfo(
+    def frontend_info(self) -> FrontEndInfo:
+        """A :class:`FrontEndInfo` shell over the whole-program analyses.
+
+        Per-unit artifacts are added by :meth:`build_unit`; the
+        incremental driver fills cached units from its per-function
+        store instead.
+        """
+        return FrontEndInfo(
             program=self.program, table=self.table, pts=self.pts, refmod=self.refmod
         )
+
+    def build_unit(self, fn: ast.FuncDef) -> tuple[HLIEntry, UnitInfo]:
+        """ITEMGEN + TBLCONST for a single function.
+
+        Item, class, and region IDs are allocated from per-unit counters,
+        so one function's entry is byte-stable no matter what other
+        functions in the file look like — the property the per-function
+        artifact cache relies on.
+        """
+        with trace.span("analysis.unit", fn=fn.name):
+            return _UnitBuilder(fn, self).run()
+
+    def build(self) -> tuple[HLIFile, FrontEndInfo]:
+        hli = HLIFile(source_filename=self.program.filename)
+        info = self.frontend_info()
         for fn in self.program.functions:
-            with trace.span("analysis.unit", fn=fn.name):
-                entry, unit = _UnitBuilder(fn, self).run()
+            entry, unit = self.build_unit(fn)
             hli.add(entry)
             info.units[fn.name] = unit
             if metrics.is_enabled():

@@ -67,9 +67,16 @@ _ASSIGN_BINOP = {
 }
 
 
-def _unique_name(fn_name: str, sym: Symbol) -> str:
-    """Globally unique storage name for a local memory-resident symbol."""
-    return f"{fn_name}.{sym.name}.{sym.uid}"
+def _unique_name(fn_name: str, sym: Symbol, ordinal: int) -> str:
+    """Globally unique storage name for a local memory-resident symbol.
+
+    The suffix is the per-function *allocation ordinal*, not the
+    translation-unit-wide symbol uid: lowering an unchanged function must
+    produce identical storage names no matter what the rest of the file
+    looks like, or per-function cached RTL could never be spliced into a
+    recompiled unit (and would not match a from-scratch compile).
+    """
+    return f"{fn_name}.{sym.name}.{ordinal}"
 
 
 @dataclass
@@ -84,11 +91,18 @@ class ProgramLowering:
     BASE_ADDRESS = 0x1000
     HEAP_BASE = 0x4000000
 
-    def __init__(self, program: ast.Program, table: SymbolTable) -> None:
+    def __init__(
+        self,
+        program: ast.Program,
+        table: SymbolTable,
+        cached: Optional[dict[str, "RTLFunction"]] = None,
+    ) -> None:
         self.program = program
         self.table = table
         self.rtl = RTLProgram()
         self._next_addr = self.BASE_ADDRESS
+        #: pre-lowered functions spliced in from the per-function cache
+        self.cached = cached or {}
 
     def run(self) -> RTLProgram:
         # Lay out globals (incl. arg slots) first so every function sees them.
@@ -99,10 +113,28 @@ class ProgramLowering:
         for k in range(NUM_ARG_REGS, 16):
             self._alloc(arg_slot_symbol(k).name, 4)
         for fn in self.program.functions:
+            cached_fn = self.cached.get(fn.name)
+            if cached_fn is not None:
+                self._splice(cached_fn)
+                continue
             lowering = FunctionLowering(fn, self)
             self.rtl.functions[fn.name] = lowering.run()
         self._init_globals()
         return self.rtl
+
+    def _splice(self, fn: "RTLFunction") -> None:
+        """Adopt a cached function, replaying its frame layout in place.
+
+        The cached body is position-independent (all memory access is
+        symbolic), but its locals still need addresses.  Replaying the
+        recorded ``(name, size)`` allocations *at this function's slot in
+        program order* reproduces exactly the layout a from-scratch
+        compile of the whole file would have produced.
+        """
+        for name, (_addr, raw_size) in fn.frame.items():
+            addr = self._alloc(name, raw_size)
+            fn.frame[name] = (addr, raw_size)
+        self.rtl.functions[fn.name] = fn
 
     def _alloc(self, name: str, size: int) -> int:
         if name in self.rtl.globals_layout:
@@ -114,10 +146,8 @@ class ProgramLowering:
         self._next_addr += size
         return addr
 
-    def alloc_local(self, fn_name: str, sym: Symbol) -> str:
-        name = _unique_name(fn_name, sym)
-        self._alloc(name, max(sym.ty.size(), 1))
-        return name
+    def alloc_local(self, name: str, size: int) -> int:
+        return self._alloc(name, size)
 
     def _init_globals(self) -> None:
         """Record constant initializers of global scalars."""
@@ -193,12 +223,22 @@ class FunctionLowering:
     # -- storage ------------------------------------------------------------
 
     def _storage_name(self, sym: Symbol) -> str:
-        """Memory storage name for a memory-resident symbol."""
+        """Memory storage name for a memory-resident symbol.
+
+        First use allocates storage and records the ``(name, size)`` pair
+        in ``out.frame`` — the replay script that lets the incremental
+        driver splice this function into a later compile without
+        re-lowering it (see :meth:`ProgramLowering._splice`).
+        """
         if sym.storage is StorageClass.GLOBAL:
             return sym.name
         name = self.mem_name.get(sym.uid)
         if name is None:
-            name = self.parent.alloc_local(self.fn.name, sym)
+            name = _unique_name(self.fn.name, sym, len(self.mem_name) + 1)
+            size = max(sym.ty.size(), 1)
+            addr = self.parent.alloc_local(name, size)
+            self.out.frame[name] = (addr, size)
+            self.out.frame_size += size
             self.mem_name[sym.uid] = name
         return name
 
@@ -935,12 +975,22 @@ class FunctionLowering:
         return self.emit(insn)
 
 
-def lower_program(program: ast.Program, table: SymbolTable) -> RTLProgram:
-    """Lower a checked program to RTL."""
+def lower_program(
+    program: ast.Program,
+    table: SymbolTable,
+    cached: Optional[dict[str, RTLFunction]] = None,
+) -> RTLProgram:
+    """Lower a checked program to RTL.
+
+    ``cached`` maps function names to pre-lowered bodies (from the
+    per-function artifact cache); those functions are spliced instead of
+    re-lowered, with their frame layout replayed in program order so the
+    resulting address map matches a from-scratch compile.
+    """
     from ..obs import metrics, trace
 
     with trace.span("backend.lowering", file=program.filename):
-        rtl = ProgramLowering(program, table).run()
+        rtl = ProgramLowering(program, table, cached=cached).run()
     if metrics.is_enabled():
         metrics.add(
             "lowering.insns", sum(len(f.insns) for f in rtl.functions.values())

@@ -26,6 +26,14 @@ offer:
   and the fingerprint of the front-end prefix keys the
   :class:`~repro.driver.session.CompilationSession` artifact cache, so
   bumping a pass version transparently invalidates stale cache entries.
+
+Back-end passes that act on one function at a time declare
+``per_function=True``; the manager then drives them per compilation
+unit through a *units provider* (``PassManager(units=...)``).  On a cold
+compile the provider yields every function; on an incremental recompile
+the session narrows it to the invalidated set, so unchanged functions'
+passes are skipped entirely — the pipeline schedules at function, not
+file, granularity.
 """
 
 from __future__ import annotations
@@ -63,7 +71,7 @@ class Pass:
     """
 
     name: str
-    action: Callable[[object], None]
+    action: Callable[..., None]
     requires: tuple[str, ...] = ()
     provides: tuple[str, ...] = ()
     invalidates: tuple[str, ...] = ()
@@ -73,6 +81,11 @@ class Pass:
     #: bump when the pass's output format/semantics change; part of the
     #: cache-key fingerprint
     version: int = 1
+    #: per-function passes run once per *active* compilation unit with
+    #: ``action(ctx, unit)``; the manager's ``units`` provider decides
+    #: which units are active (all of them on a cold compile, only the
+    #: invalidated ones on an incremental recompile)
+    per_function: bool = False
 
     @property
     def fingerprint(self) -> str:
@@ -90,6 +103,9 @@ class PipelineStats:
     #: names of front-end passes skipped because a cache supplied their
     #: artifacts (set by the CompilationSession)
     cached_prefix: tuple[str, ...] = ()
+    #: per-function pass name -> the units it actually ran over; on an
+    #: incremental recompile this is the invalidated set, not the file
+    function_runs: dict[str, list[str]] = field(default_factory=dict)
 
 
 class PassManager:
@@ -106,9 +122,11 @@ class PassManager:
         self,
         passes: Sequence[Pass],
         rebuilders: Optional[Mapping[str, Callable[[object], None]]] = None,
+        units: Optional[Callable[[object], Sequence[str]]] = None,
     ) -> None:
         self.passes = list(passes)
         self.rebuilders = dict(rebuilders or {})
+        self.units = units
         seen: set[str] = set()
         for p in self.passes:
             if p.name in seen:
@@ -163,8 +181,20 @@ class PassManager:
                     stats.rebuilds[need] = stats.rebuilds.get(need, 0) + 1
                     metrics.inc("pm.rebuild", need)
                     available.add(need)
-            with trace.span("pm.pass", **{"pass": p.name}):
-                p.action(ctx)
+            if p.per_function:
+                if self.units is None:
+                    raise PipelineError(
+                        f"per-function pass '{p.name}' needs a units "
+                        "provider on the PassManager"
+                    )
+                names = list(self.units(ctx))
+                with trace.span("pm.pass", **{"pass": p.name, "units": len(names)}):
+                    for unit in names:
+                        p.action(ctx, unit)
+                stats.function_runs[p.name] = names
+            else:
+                with trace.span("pm.pass", **{"pass": p.name}):
+                    p.action(ctx)
             metrics.inc("pm.pass", p.name)
             stats.passes_run.append(p.name)
             available |= set(p.provides)

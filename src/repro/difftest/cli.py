@@ -39,7 +39,7 @@ from .diff import DiffResult, build_matrix, run_differential
 from .gen import GenConfig, generate
 from .reduce import reduce_source, write_crash
 
-__all__ = ["main", "run_fuzz", "run_inject"]
+__all__ = ["main", "run_fuzz", "run_incremental_fuzz", "run_inject"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +61,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject", action="store_true",
                    help="mutation mode: arm each known fault and verify the"
                         " harness detects it")
+    p.add_argument("--incremental", action="store_true",
+                   help="incremental mode: edit one function per program and"
+                        " verify the warm session's spliced recompile matches"
+                        " a cold compile (RTL, semantics, lint, and exact"
+                        " invalidation set)")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan the fuzz batch out over N worker processes"
                         " (0 = one per core; default 1, serial; normal"
@@ -218,6 +223,51 @@ _EXPECTED_CHANNELS = {
 }
 
 
+def run_incremental_fuzz(args: argparse.Namespace, out=None) -> int:
+    """Incremental mode: edited programs must splice-recompile exactly.
+
+    Each seed alternates between a computation-only edit and a
+    REF/MOD-changing one (which must transitively invalidate callers).
+    Returns non-zero if any program's incremental recompile diverges
+    from the cold compile in any dimension the oracle checks.
+    """
+    from .incremental import run_incremental
+
+    out = out if out is not None else sys.stdout
+    deadline = time.monotonic() + args.time_budget if args.time_budget else None
+    ran = 0
+    failing = 0
+    with _trace.span("difftest.incremental", count=args.count):
+        for k in range(args.count):
+            if deadline is not None and time.monotonic() > deadline:
+                if not args.quiet:
+                    print(f"time budget exhausted after {ran} programs", file=out)
+                break
+            seed = args.seed + k
+            res = run_incremental(
+                seed, _config_for(args, k), refmod_changing=bool(k % 2)
+            )
+            ran += 1
+            if not res.ok:
+                failing += 1
+                kind = "refmod" if k % 2 else "plain"
+                print(f"  seed {seed} ({kind} edit of {res.target}): FAIL", file=out)
+                for msg in res.failures:
+                    print(f"    {msg}", file=out)
+                if failing >= args.max_failures:
+                    print(f"stopping after {failing} failures", file=out)
+                    break
+            elif not args.quiet and ran % 50 == 0:
+                print(f"  {ran}/{args.count} programs clean", file=out)
+    verdict = "FAIL" if failing else "ok"
+    print(
+        f"repro-fuzz --incremental: {ran} edit-recompile checks:"
+        f" {failing} failing -> {verdict}",
+        file=out,
+    )
+    return 1 if failing else 0
+
+
 def run_inject(args: argparse.Namespace, out=None) -> int:
     """Mutation mode: every known fault must be detected. Returns exit code."""
     out = out if out is not None else sys.stdout
@@ -278,6 +328,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     with obs.enabled_scope(True):
         if args.inject:
             code = run_inject(args)
+        elif args.incremental:
+            code = run_incremental_fuzz(args)
         else:
             code = run_fuzz(args)
         if args.stats_out:

@@ -83,9 +83,15 @@ class Compilation:
     lint_report: Optional["LintReport"] = None
     #: what the pass manager actually ran (pass order, query rebuilds)
     pipeline_stats: Optional[PipelineStats] = None
-    #: which cache tier supplied the front-end artifacts: ``"cold"``
-    #: (fully compiled), ``"memory"``, or ``"disk"``
+    #: how the cache served this compile: ``"cold"`` (fully compiled),
+    #: ``"memory"``/``"disk"`` (whole-file manifest hit from that tier),
+    #: or ``"incremental"`` (manifest miss, but at least one function
+    #: was served from the per-function tier)
     cache_state: str = "cold"
+    #: per-function cache provenance (sessions only): ``"cold"``,
+    #: ``"fe:<tier>"`` (front-end entry reused, back end re-ran), or
+    #: ``"be:<tier>"`` (finished back-end artifacts spliced in)
+    fn_cache_states: dict[str, str] = field(default_factory=dict)
 
     def total_dep_stats(self) -> DepStats:
         total = DepStats()

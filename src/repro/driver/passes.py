@@ -44,6 +44,7 @@ from ..hli.query import HLIQuery
 from ..obs import trace as _trace
 
 if TYPE_CHECKING:  # no runtime import: driver.compile imports this module
+    from ..backend.passes import OptStats
     from ..frontend import ast_nodes as ast
     from ..frontend.symbols import SymbolTable
     from .compile import Compilation, CompileOptions
@@ -67,6 +68,21 @@ class PassContext:
     #: transient front-end state (never cached; only ``ast`` consumers use it)
     program: Optional["ast.Program"] = None
     table: Optional["SymbolTable"] = None
+    #: units the per-function passes run over; ``None`` means every
+    #: function in ``comp.rtl`` (the cold-compile default).  The
+    #: incremental session narrows this to the invalidated set.
+    active_units: Optional[list[str]] = None
+    #: per-function optimization-stats fragments (what the back-end
+    #: artifact cache stores, so spliced functions restore their share)
+    fn_opt_stats: dict[str, "OptStats"] = field(default_factory=dict)
+
+    def units(self) -> list[str]:
+        """The units per-function passes should visit, in program order."""
+        if self.active_units is not None:
+            return list(self.active_units)
+        if self.comp.rtl is None:
+            return []
+        return list(self.comp.rtl.functions)
 
 
 # -- pass actions -------------------------------------------------------------
@@ -84,15 +100,14 @@ def _lower(ctx: PassContext) -> None:
     ctx.comp.rtl = lower_program(ctx.program, ctx.table)
 
 
-def _map(ctx: PassContext) -> None:
+def _map(ctx: PassContext, unit: str) -> None:
     comp = ctx.comp
-    with _trace.span("backend.mapping", file=comp.filename):
-        for name, fn in comp.rtl.functions.items():
-            entry = comp.hli.entries.get(name)
-            if entry is None:
-                continue
-            comp.map_stats[name] = map_function(fn, entry)
-            comp.queries[name] = HLIQuery(entry)
+    entry = comp.hli.entries.get(unit)
+    if entry is None:
+        return
+    with _trace.span("backend.mapping", fn=unit):
+        comp.map_stats[unit] = map_function(comp.rtl.functions[unit], entry)
+        comp.queries[unit] = HLIQuery(entry)
 
 
 def _ensure_opt_stats(ctx: PassContext):
@@ -103,50 +118,62 @@ def _ensure_opt_stats(ctx: PassContext):
     return ctx.comp.opt_stats
 
 
-def _unroll(ctx: PassContext) -> None:
+def _fn_opt_stats(ctx: PassContext, unit: str):
+    stats = ctx.fn_opt_stats.get(unit)
+    if stats is None:
+        from ..backend.passes import OptStats
+
+        stats = ctx.fn_opt_stats[unit] = OptStats()
+    return stats
+
+
+def _unroll(ctx: PassContext, unit: str) -> None:
     from ..backend.unroll import run_unroll
 
     stats = _ensure_opt_stats(ctx)
     use_hli = ctx.opts.mode is not DDGMode.GCC
-    for name, fn in ctx.comp.rtl.functions.items():
-        # GCC mode consumes no HLI: unrolling is guided by the region
-        # header's trip/step, so without a query it is (correctly) a no-op.
-        query = ctx.comp.queries.get(name) if use_hli else None
-        entry = ctx.comp.hli.entries.get(name)
-        stats.unroll.merge(
-            run_unroll(fn, ctx.opts.unroll, query=query, entry=entry)
-        )
+    # GCC mode consumes no HLI: unrolling is guided by the region
+    # header's trip/step, so without a query it is (correctly) a no-op.
+    query = ctx.comp.queries.get(unit) if use_hli else None
+    entry = ctx.comp.hli.entries.get(unit)
+    s = run_unroll(ctx.comp.rtl.functions[unit], ctx.opts.unroll, query=query, entry=entry)
+    stats.unroll.merge(s)
+    _fn_opt_stats(ctx, unit).unroll.merge(s)
 
 
-def _cse(ctx: PassContext) -> None:
+def _cse(ctx: PassContext, unit: str) -> None:
     from ..backend.cse import run_cse
 
     stats = _ensure_opt_stats(ctx)
     use_hli = ctx.opts.mode is not DDGMode.GCC
-    for name, fn in ctx.comp.rtl.functions.items():
-        query = ctx.comp.queries.get(name) if use_hli else None
-        entry = ctx.comp.hli.entries.get(name)
-        stats.cse.merge(run_cse(fn, use_hli=use_hli, query=query, entry=entry))
+    query = ctx.comp.queries.get(unit) if use_hli else None
+    entry = ctx.comp.hli.entries.get(unit)
+    s = run_cse(ctx.comp.rtl.functions[unit], use_hli=use_hli, query=query, entry=entry)
+    stats.cse.merge(s)
+    _fn_opt_stats(ctx, unit).cse.merge(s)
 
 
-def _licm(ctx: PassContext) -> None:
+def _licm(ctx: PassContext, unit: str) -> None:
     from ..backend.licm import run_licm
 
     stats = _ensure_opt_stats(ctx)
     use_hli = ctx.opts.mode is not DDGMode.GCC
-    for name, fn in ctx.comp.rtl.functions.items():
-        query = ctx.comp.queries.get(name) if use_hli else None
-        entry = ctx.comp.hli.entries.get(name)
-        stats.licm.merge(run_licm(fn, use_hli=use_hli, query=query, entry=entry))
+    query = ctx.comp.queries.get(unit) if use_hli else None
+    entry = ctx.comp.hli.entries.get(unit)
+    s = run_licm(ctx.comp.rtl.functions[unit], use_hli=use_hli, query=query, entry=entry)
+    stats.licm.merge(s)
+    _fn_opt_stats(ctx, unit).licm.merge(s)
 
 
-def _schedule(ctx: PassContext) -> None:
-    for name, fn in ctx.comp.rtl.functions.items():
-        query = ctx.comp.queries.get(name)
-        sched = schedule_function(
-            fn, mode=ctx.opts.mode, query=query, latency=ctx.opts.latency
-        )
-        ctx.comp.dep_stats[name] = sched.stats
+def _schedule(ctx: PassContext, unit: str) -> None:
+    query = ctx.comp.queries.get(unit)
+    sched = schedule_function(
+        ctx.comp.rtl.functions[unit],
+        mode=ctx.opts.mode,
+        query=query,
+        latency=ctx.opts.latency,
+    )
+    ctx.comp.dep_stats[unit] = sched.stats
 
 
 def _lint(ctx: PassContext) -> None:
@@ -161,10 +188,12 @@ def rebuild_queries(ctx: PassContext) -> None:
     Called by the pass manager when a pass that declared
     ``invalidates=("queries",)`` ran and a later pass requires them —
     the centrally enforced version of the manual rebuild the old
-    ``run_optimizations`` carried.
+    ``run_optimizations`` carried.  Only the *active* units rebuild: on
+    an incremental recompile, untouched functions' indices are already
+    consistent with their (unmutated) cached tables.
     """
     comp = ctx.comp
-    for name in comp.rtl.functions:
+    for name in ctx.units():
         entry = comp.hli.entries.get(name)
         if entry is not None:
             comp.queries[name] = HLIQuery(entry)
@@ -179,9 +208,19 @@ _HLI_BUILD = Pass(
 )
 _LOWER = Pass("lower", _lower, requires=("ast",), provides=("rtl",), frontend=True)
 
-_MAP = Pass("map", _map, requires=("hli", "rtl"), provides=("mapping", "queries"))
+_MAP = Pass(
+    "map",
+    _map,
+    requires=("hli", "rtl"),
+    provides=("mapping", "queries"),
+    per_function=True,
+)
 _SCHEDULE = Pass(
-    "schedule", _schedule, requires=("rtl", "queries"), provides=("dep_stats",)
+    "schedule",
+    _schedule,
+    requires=("rtl", "queries"),
+    provides=("dep_stats",),
+    per_function=True,
 )
 _LINT = Pass(
     "lint", _lint, requires=("hli", "rtl", "mapping", "queries"), provides=("lint",)
@@ -211,6 +250,7 @@ def _opt_pass(
             requires=("rtl", "mapping", "queries"),
             provides=("opt_stats",),
             invalidates=("queries",),
+            per_function=True,
         )
     return Pass(
         name,
@@ -218,6 +258,7 @@ def _opt_pass(
         requires=("rtl", "mapping"),
         provides=("opt_stats",),
         invalidates=("queries",) if mutates_without_hli else (),
+        per_function=True,
     )
 
 
@@ -271,8 +312,12 @@ def build_pipeline(opts: "CompileOptions") -> list[Pass]:
 
 
 def make_manager(passes) -> PassManager:
-    """A PassManager wired with the driver's artifact rebuilders."""
-    return PassManager(passes, rebuilders={"queries": rebuild_queries})
+    """A PassManager wired with the driver's rebuilders + units provider."""
+    return PassManager(
+        passes,
+        rebuilders={"queries": rebuild_queries},
+        units=lambda ctx: ctx.units(),
+    )
 
 
 def run_pipeline(ctx: PassContext) -> None:

@@ -1,31 +1,45 @@
-"""Compilation sessions: artifact caching + parallel fan-out.
+"""Compilation sessions: function-grained artifact caching + parallel fan-out.
 
 The paper's whole premise is *separate compilation*: the front end
 writes each source file's HLI once and the back end re-uses it across
-builds (Section 3.2.1).  A :class:`CompilationSession` finally exercises
-that story end-to-end: the front-end prefix of the pipeline (parse → HLI
-construction → lowering) is keyed by a **content-addressed cache key**
-(hash of source + filename + the front-end pass fingerprint) and its
-artifacts are persisted as serialized bytes — the HLI through the
-paper's own binary format (:mod:`repro.hli.binio`), the RTL and
-front-end info through pickle — in two tiers:
+builds (Section 3.2.1).  A :class:`CompilationSession` exercises that
+story end-to-end — and, since the HLI is a *per-unit* format (one entry
+per function), the cache is keyed at **function granularity**:
 
-* an in-memory LRU of encoded blobs (per session);
-* an optional on-disk directory shared between sessions and processes.
+* a **manifest** blob per (source, filename, front-end fingerprint) —
+  the whole file's pristine front-end artifacts, so an unchanged file
+  skips parse/HLI-build/lowering entirely (the fast path);
+* a **front-end blob** per function, keyed by the chained dependency
+  fingerprint of :mod:`repro.driver.incremental` (own span + referenced
+  symbol facts + transitive callee REF/MOD), holding the function's HLI
+  entry (via :mod:`repro.hli.binio`), its analysis artifacts, and its
+  pristine RTL;
+* a **back-end blob** per function, keyed by the front-end key plus the
+  back-end pass fingerprint and scheduling knobs, holding the
+  optimized+scheduled RTL, the maintained HLI entry, and the mapping /
+  scheduling statistics — so a warm function skips the back end too.
 
-Cache entries are **verified, not trusted**: a checksum guards the whole
-blob, the HLI payload must decode through the real binio reader, and any
-failure (truncation, bit-flips, version skew) degrades to a cold compile
-— never a crash, never wrong code.  Hits, misses, corruption, and
-evictions are visible both in :attr:`CompilationSession.stats` and, when
-:mod:`repro.obs` is enabled, as ``session.cache.*`` counters.
+On a manifest miss the session parses, fingerprints every function, and
+splices cached functions around the edited ones: only the invalidated
+set (the edited functions plus their transitive callers) is re-built and
+re-optimized.  ``Compilation.cache_state`` reports ``"incremental"`` for
+such mixed compiles and ``Compilation.fn_cache_states`` breaks the
+story down per function.
 
-``compile_many`` adds **parallel fan-out**: a
-:class:`~concurrent.futures.ProcessPoolExecutor` spreads a batch of
-compilations across cores, with every worker sharing the session's
-on-disk tier.  ``driver.validate``, ``driver.timing``,
-``benchmarks/bench_pipeline.py``, and ``repro-fuzz`` batch mode all run
-on top of it.
+Cache entries are **verified, not trusted**: a checksum guards every
+blob, HLI payloads must decode through the real binio reader, and any
+failure (truncation, bit-flips, version skew) degrades to a cold build —
+never a crash, never wrong code.  The disk tier shards entries
+git-object style (``ab/cdef….hlic``), migrates legacy flat files on
+first touch, and enforces an optional size budget by least-recently-used
+eviction (``max_disk_bytes``).
+
+``compile_many`` fans a batch out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  With more files than
+workers it parallelizes per file (each worker shares the on-disk tier);
+with spare workers it parallelizes per *function* — the front ends run
+in-process and every invalidated function's back end becomes one pool
+task, so parallelism scales with program size rather than file count.
 """
 
 from __future__ import annotations
@@ -40,12 +54,22 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
-from ..analysis.builder import FrontEndInfo
+from ..analysis.builder import FrontEndInfo, UnitInfo
 from ..backend import rtl as _rtl
-from ..backend.pm import Pass, PipelineStats, frontend_fingerprint, split_frontend
-from ..backend.rtl import Reg, RTLProgram
-from ..hli.binio import decode_hli, encode_hli
-from ..hli.tables import HLIFile
+from ..backend.ddg import DepStats
+from ..backend.lowering import lower_program
+from ..backend.mapping import MapStats
+from ..backend.pm import (
+    Pass,
+    PipelineStats,
+    frontend_fingerprint,
+    pipeline_fingerprint,
+    split_frontend,
+)
+from ..backend.rtl import Reg, RTLFunction, RTLProgram
+from ..hli.binio import decode_entry, decode_hli, encode_entry, encode_hli
+from ..hli.query import HLIQuery
+from ..hli.tables import HLIEntry, HLIFile
 from ..obs import enabled_scope
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
@@ -65,7 +89,13 @@ __all__ = [
 
 #: Bumped whenever the blob layout or any serialized artifact changes.
 CACHE_MAGIC = b"HLIC"
-CACHE_VERSION = 1
+CACHE_VERSION = 2
+
+#: Blob kind tags (part of the frame, so a key collision across kinds
+#: can never deserialize through the wrong decoder).
+_TAG_MANIFEST = b"MF"
+_TAG_FE = b"FE"
+_TAG_BE = b"BE"
 
 
 class CacheCorruption(Exception):
@@ -74,7 +104,15 @@ class CacheCorruption(Exception):
 
 @dataclass
 class SessionStats:
-    """Cache effectiveness counters for one session."""
+    """Cache effectiveness counters for one session.
+
+    The first six counters are **file-level** (manifest tier), keeping
+    PR-4 semantics: one compile is one hit or one miss.  The ``fn_*``
+    and ``be_*`` counters are **function-level** and only move on a
+    manifest miss, when the session falls back to per-function lookups:
+    ``fn_*`` counts front-end entries (HLI + pristine RTL), ``be_*``
+    counts back-end entries (optimized + scheduled RTL).
+    """
 
     hits_memory: int = 0
     hits_disk: int = 0
@@ -82,6 +120,18 @@ class SessionStats:
     corrupt: int = 0
     evictions: int = 0
     stores: int = 0
+    # -- function-level (front-end entries) --
+    fn_hits_memory: int = 0
+    fn_hits_disk: int = 0
+    fn_misses: int = 0
+    fn_stores: int = 0
+    # -- function-level (back-end entries) --
+    be_hits_memory: int = 0
+    be_hits_disk: int = 0
+    be_misses: int = 0
+    be_stores: int = 0
+    #: disk-tier entries removed by the ``max_disk_bytes`` LRU budget
+    disk_evictions: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -90,12 +140,20 @@ class SessionStats:
     def hits(self) -> int:
         return self.hits_memory + self.hits_disk
 
+    @property
+    def fn_hits(self) -> int:
+        return self.fn_hits_memory + self.fn_hits_disk
+
+    @property
+    def be_hits(self) -> int:
+        return self.be_hits_memory + self.be_hits_disk
+
 
 # -- content-addressed keys ----------------------------------------------------
 
 
 def cache_key(source: str, filename: str, passes: Sequence[Pass]) -> str:
-    """Key = hash of source + filename + front-end pipeline fingerprint.
+    """Manifest key = hash of source + filename + front-end fingerprint.
 
     Back-end knobs (dependence mode, latency table, optimization flags)
     are deliberately absent: the front-end artifacts do not depend on
@@ -114,75 +172,215 @@ def cache_key(source: str, filename: str, passes: Sequence[Pass]) -> str:
     return h.hexdigest()
 
 
-# -- blob encode / verified decode --------------------------------------------
+def _fe_salt(prefix: Sequence[Pass], filename: str) -> str:
+    """Function-independent part of every per-function front-end key."""
+    return f"{CACHE_VERSION}:{pipeline_fingerprint(prefix)}:{filename}"
 
 
-def _encode_blob(comp: Compilation) -> bytes:
-    """Serialize the pristine front-end artifacts of ``comp``.
+def _be_key(fe_key: str, opts: CompileOptions, backend_fp: str) -> str:
+    """Back-end key: front-end key + every knob the back end reads.
 
-    Must be called right after the front-end prefix ran, *before* any
-    back-end pass mutates the HLI tables or the RTL.
+    ``backend_fp`` fingerprints the per-function suffix passes (file-only
+    passes like ``lint`` excluded — they produce no per-function
+    artifact, so toggling them must not duplicate entries).
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-fn-be\x00")
+    h.update(struct.pack("<H", CACHE_VERSION))
+    h.update(fe_key.encode("ascii"))
+    h.update(b"\x00")
+    h.update(backend_fp.encode("ascii"))
+    h.update(b"\x00")
+    h.update(opts.mode.value.encode("ascii"))
+    h.update(b"\x00")
+    h.update(str(opts.unroll).encode("ascii"))
+    h.update(b"\x00")
+    h.update(getattr(opts.latency, "__name__", repr(opts.latency)).encode())
+    return h.hexdigest()
+
+
+def _backend_fp(suffix: Sequence[Pass]) -> str:
+    return pipeline_fingerprint([p for p in suffix if p.per_function])
+
+
+# -- blob framing / verified decode -------------------------------------------
+
+
+def _frame(tag: bytes, payload: bytes) -> bytes:
+    digest = hashlib.sha256(payload).digest()
+    return CACHE_MAGIC + struct.pack("<H", CACHE_VERSION) + tag + digest + payload
+
+
+def _unframe(tag: bytes, data: bytes) -> bytes:
+    if data[:4] != CACHE_MAGIC:
+        raise CacheCorruption("bad magic")
+    (version,) = struct.unpack("<H", data[4:6])
+    if version != CACHE_VERSION:
+        raise CacheCorruption(f"cache version {version} != {CACHE_VERSION}")
+    if data[6:8] != tag:
+        raise CacheCorruption(f"blob kind {data[6:8]!r} != {tag!r}")
+    digest, payload = data[8:40], data[40:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CacheCorruption("checksum mismatch")
+    return payload
+
+
+def _w_chunk(out: io.BytesIO, chunk: bytes) -> None:
+    out.write(struct.pack("<I", len(chunk)))
+    out.write(chunk)
+
+
+def _r_chunk(payload: bytes, pos: int) -> tuple[bytes, int]:
+    (n,) = struct.unpack_from("<I", payload, pos)
+    pos += 4
+    chunk = payload[pos : pos + n]
+    if len(chunk) != n:
+        raise CacheCorruption("truncated chunk")
+    return chunk, pos + n
+
+
+@dataclass
+class _Manifest:
+    """Decoded file-level cache entry: the whole pristine front end."""
+
+    hli: HLIFile
+    frontend: FrontEndInfo
+    rtl: RTLProgram
+    #: function name -> its per-function front-end key (for be lookups)
+    fe_keys: dict[str, str]
+
+
+def _encode_blob(comp: Compilation, fe_keys: Optional[dict[str, str]] = None) -> bytes:
+    """Serialize the pristine front-end artifacts of ``comp`` (manifest).
+
+    Must be called right after the front end ran, *before* any back-end
+    pass mutates the HLI tables or the RTL.
     """
     hli_bytes = encode_hli(comp.hli)
-    # One pickle for (frontend, rtl) so Symbol/AST objects shared between
-    # them keep their identity on reload.
-    fe_rtl = pickle.dumps((comp.frontend, comp.rtl), protocol=pickle.HIGHEST_PROTOCOL)
+    # One pickle for (frontend, rtl, fe_keys) so Symbol/AST objects shared
+    # between them keep their identity on reload.
+    rest = pickle.dumps(
+        (comp.frontend, comp.rtl, dict(fe_keys or {})),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
     body = io.BytesIO()
-    body.write(struct.pack("<I", len(hli_bytes)))
-    body.write(hli_bytes)
-    body.write(struct.pack("<I", len(fe_rtl)))
-    body.write(fe_rtl)
-    payload = body.getvalue()
-    digest = hashlib.sha256(payload).digest()
-    return CACHE_MAGIC + struct.pack("<H", CACHE_VERSION) + digest + payload
+    _w_chunk(body, hli_bytes)
+    _w_chunk(body, rest)
+    return _frame(_TAG_MANIFEST, body.getvalue())
 
 
-def _decode_blob(data: bytes) -> tuple[HLIFile, FrontEndInfo, RTLProgram]:
+def _decode_blob(data: bytes) -> _Manifest:
     """Verified decode of :func:`_encode_blob` output.
 
     Raises :class:`CacheCorruption` on *any* defect; never returns a
     partially valid artifact.
     """
     try:
-        if data[:4] != CACHE_MAGIC:
-            raise CacheCorruption("bad magic")
-        (version,) = struct.unpack("<H", data[4:6])
-        if version != CACHE_VERSION:
-            raise CacheCorruption(f"cache version {version} != {CACHE_VERSION}")
-        digest, payload = data[6:38], data[38:]
-        if hashlib.sha256(payload).digest() != digest:
-            raise CacheCorruption("checksum mismatch")
-        pos = 0
-        (n,) = struct.unpack_from("<I", payload, pos)
-        pos += 4
-        hli_bytes = payload[pos : pos + n]
-        if len(hli_bytes) != n:
-            raise CacheCorruption("truncated HLI payload")
-        pos += n
-        (n,) = struct.unpack_from("<I", payload, pos)
-        pos += 4
-        fe_rtl = payload[pos : pos + n]
-        if len(fe_rtl) != n:
-            raise CacheCorruption("truncated RTL payload")
+        payload = _unframe(_TAG_MANIFEST, data)
+        hli_bytes, pos = _r_chunk(payload, 0)
+        rest, _ = _r_chunk(payload, pos)
         hli = decode_hli(bytes(hli_bytes))
-        frontend, rtl = pickle.loads(bytes(fe_rtl))
+        frontend, rtl, fe_keys = pickle.loads(bytes(rest))
         if not isinstance(hli, HLIFile) or not isinstance(rtl, RTLProgram):
             raise CacheCorruption("decoded artifacts have the wrong types")
         if not isinstance(frontend, FrontEndInfo):
             raise CacheCorruption("decoded front-end info has the wrong type")
-        _reserve_foreign_ids(rtl)
-        return hli, frontend, rtl
+        if not isinstance(fe_keys, dict) or set(fe_keys) != set(rtl.functions):
+            raise CacheCorruption("function key table does not match the RTL")
+        _reserve_foreign_ids(rtl.functions.values())
+        return _Manifest(hli=hli, frontend=frontend, rtl=rtl, fe_keys=fe_keys)
     except CacheCorruption:
         raise
     except Exception as exc:  # struct errors, pickle errors, binio errors, ...
         raise CacheCorruption(f"{type(exc).__name__}: {exc}") from exc
 
 
-def _reserve_foreign_ids(rtl: RTLProgram) -> None:
+def _encode_fn_fe(entry: HLIEntry, unit: UnitInfo, fn_rtl: RTLFunction) -> bytes:
+    """Serialize one function's pristine front-end artifacts."""
+    body = io.BytesIO()
+    _w_chunk(body, encode_entry(entry))
+    _w_chunk(body, pickle.dumps((unit, fn_rtl), protocol=pickle.HIGHEST_PROTOCOL))
+    return _frame(_TAG_FE, body.getvalue())
+
+
+def _decode_fn_fe(data: bytes) -> tuple[HLIEntry, UnitInfo, RTLFunction]:
+    try:
+        payload = _unframe(_TAG_FE, data)
+        entry_bytes, pos = _r_chunk(payload, 0)
+        rest, _ = _r_chunk(payload, pos)
+        entry = decode_entry(bytes(entry_bytes))
+        unit, fn_rtl = pickle.loads(bytes(rest))
+        if not isinstance(unit, UnitInfo) or not isinstance(fn_rtl, RTLFunction):
+            raise CacheCorruption("decoded unit artifacts have the wrong types")
+        if entry.unit_name != fn_rtl.name:
+            raise CacheCorruption("entry / RTL unit-name mismatch")
+        _reserve_foreign_ids([fn_rtl])
+        return entry, unit, fn_rtl
+    except CacheCorruption:
+        raise
+    except Exception as exc:
+        raise CacheCorruption(f"{type(exc).__name__}: {exc}") from exc
+
+
+def _encode_fn_be(
+    fn_rtl: RTLFunction,
+    entry: HLIEntry,
+    map_stats: Optional[MapStats],
+    dep_stats: Optional[DepStats],
+    opt_frag,
+) -> bytes:
+    """Serialize one function's finished back-end artifacts.
+
+    The entry is the *maintained* one (post unroll/cse/licm table
+    updates); its generation counter rides alongside so a restored query
+    sees exactly the state an in-process compile would have left.
+    """
+    body = io.BytesIO()
+    _w_chunk(body, encode_entry(entry))
+    _w_chunk(
+        body,
+        pickle.dumps(
+            (fn_rtl, entry.generation, map_stats, dep_stats, opt_frag),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        ),
+    )
+    return _frame(_TAG_BE, body.getvalue())
+
+
+def _decode_fn_be(data: bytes):
+    try:
+        payload = _unframe(_TAG_BE, data)
+        entry_bytes, pos = _r_chunk(payload, 0)
+        rest, _ = _r_chunk(payload, pos)
+        entry = decode_entry(bytes(entry_bytes))
+        fn_rtl, generation, map_stats, dep_stats, opt_frag = pickle.loads(bytes(rest))
+        if not isinstance(fn_rtl, RTLFunction) or entry.unit_name != fn_rtl.name:
+            raise CacheCorruption("decoded back-end RTL has the wrong shape")
+        if not isinstance(generation, int) or generation < 0:
+            raise CacheCorruption("bad entry generation")
+        if map_stats is not None and not isinstance(map_stats, MapStats):
+            raise CacheCorruption("decoded map stats have the wrong type")
+        if dep_stats is not None and not isinstance(dep_stats, DepStats):
+            raise CacheCorruption("decoded dep stats have the wrong type")
+        if opt_frag is not None:
+            from ..backend.passes import OptStats
+
+            if not isinstance(opt_frag, OptStats):
+                raise CacheCorruption("decoded opt stats have the wrong type")
+        entry.generation = generation
+        _reserve_foreign_ids([fn_rtl])
+        return fn_rtl, entry, map_stats, dep_stats, opt_frag
+    except CacheCorruption:
+        raise
+    except Exception as exc:
+        raise CacheCorruption(f"{type(exc).__name__}: {exc}") from exc
+
+
+def _reserve_foreign_ids(fns) -> None:
     """Keep fresh reg/insn IDs from colliding with deserialized ones."""
     max_reg = 0
     max_uid = 0
-    for fn in rtl.functions.values():
+    for fn in fns:
         for reg in fn.param_regs:
             max_reg = max(max_reg, reg.rid)
         if fn.ret_reg is not None:
@@ -199,6 +397,23 @@ def _reserve_foreign_ids(rtl: RTLProgram) -> None:
     _rtl.reserve_ids(max_reg, max_uid)
 
 
+# -- one prepared compile ------------------------------------------------------
+
+
+@dataclass
+class _Prepared:
+    """A compile whose front end is resolved but whose suffix has not run."""
+
+    comp: Compilation
+    opts: CompileOptions
+    prefix: list[Pass]
+    suffix: list[Pass]
+    stats: PipelineStats
+    fe_keys: dict[str, str]
+    #: functions the back-end passes must actually run over
+    active: list[str]
+
+
 # -- the session ---------------------------------------------------------------
 
 
@@ -208,18 +423,32 @@ class CompilationSession:
     def __init__(
         self,
         cache_dir: Optional[str | os.PathLike] = None,
-        max_memory_entries: int = 128,
+        max_memory_entries: int = 1024,
+        max_disk_bytes: Optional[int] = None,
+        reuse_backend: bool = True,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.max_memory_entries = max(0, max_memory_entries)
+        self.max_disk_bytes = max_disk_bytes
+        #: when False the session serves only front-end artifacts (the
+        #: PR-4 whole-file warm path) — the escape hatch benchmarks use
+        #: to compare against function-grained reuse
+        self.reuse_backend = reuse_backend
         self._memory: OrderedDict[str, bytes] = OrderedDict()
         self.stats = SessionStats()
 
     # -- tier plumbing ---------------------------------------------------------
 
     def _disk_path(self, key: str) -> Optional[Path]:
+        """Sharded location (``ab/cdef….hlic``), git-object style."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / key[:2] / f"{key[2:]}.hlic"
+
+    def _flat_path(self, key: str) -> Optional[Path]:
+        """Legacy unsharded location; migrated on first touch."""
         if self.cache_dir is None:
             return None
         return self.cache_dir / f"{key}.hlic"
@@ -231,14 +460,28 @@ class CompilationSession:
             self._memory.move_to_end(key)
             return blob, "memory"
         path = self._disk_path(key)
-        if path is not None:
+        if path is None:
+            return None, ""
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            blob = None
+        if blob is None:
+            flat = self._flat_path(key)
             try:
-                blob = path.read_bytes()
+                blob = flat.read_bytes()
             except OSError:
-                blob = None
-            if blob is not None:
-                return blob, "disk"
-        return None, ""
+                return None, ""
+            try:  # migrate the flat entry into the sharded layout
+                path.parent.mkdir(exist_ok=True)
+                os.replace(flat, path)
+            except OSError:
+                pass
+        try:  # LRU recency for the disk budget
+            os.utime(path)
+        except OSError:
+            pass
+        return blob, "disk"
 
     def _remember(self, key: str, blob: bytes) -> None:
         if self.max_memory_entries == 0:
@@ -250,30 +493,66 @@ class CompilationSession:
             self.stats.evictions += 1
             _metrics.inc("session.cache.evict")
 
-    def _store(self, key: str, blob: bytes) -> None:
-        self.stats.stores += 1
+    def _store(self, key: str, blob: bytes, kind: str = "manifest") -> None:
+        if kind == "manifest":
+            self.stats.stores += 1
+        elif kind == "fe":
+            self.stats.fn_stores += 1
+        else:
+            self.stats.be_stores += 1
         self._remember(key, blob)
         path = self._disk_path(key)
         if path is not None:
-            tmp = path.with_suffix(".tmp%d" % os.getpid())
+            tmp = path.parent / (path.name + ".tmp%d" % os.getpid())
             try:
+                path.parent.mkdir(exist_ok=True)
                 tmp.write_bytes(blob)
                 os.replace(tmp, path)
             except OSError:
                 # a read-only or full cache dir must never fail the compile
                 tmp.unlink(missing_ok=True)
+                return
+            self._enforce_disk_budget(keep=path)
+
+    def _enforce_disk_budget(self, keep: Optional[Path] = None) -> None:
+        """Evict least-recently-used disk entries above ``max_disk_bytes``."""
+        if self.cache_dir is None or self.max_disk_bytes is None:
+            return
+        entries = []
+        total = 0
+        for p in self.cache_dir.rglob("*.hlic"):
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, str(p), p, st.st_size))
+            total += st.st_size
+        if total <= self.max_disk_bytes:
+            return
+        for _, _, p, size in sorted(entries, key=lambda e: (e[0], e[1])):
+            if keep is not None and p == keep:
+                continue
+            try:
+                p.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.stats.disk_evictions += 1
+            _metrics.inc("session.cache.disk_evict")
+            if total <= self.max_disk_bytes:
+                return
 
     def _evict_corrupt(self, key: str, tier: str, why: str) -> None:
         self.stats.corrupt += 1
         _metrics.inc("session.cache.corrupt")
         self._memory.pop(key, None)
         if tier == "disk":
-            path = self._disk_path(key)
-            if path is not None:
-                try:
-                    path.unlink(missing_ok=True)
-                except OSError:
-                    pass
+            for path in (self._disk_path(key), self._flat_path(key)):
+                if path is not None:
+                    try:
+                        path.unlink(missing_ok=True)
+                    except OSError:
+                        pass
 
     # -- compilation -----------------------------------------------------------
 
@@ -283,7 +562,13 @@ class CompilationSession:
         filename: str = "<input>",
         options: Optional[CompileOptions] = None,
     ) -> Compilation:
-        """Compile through the cache: warm hits skip parse/HLI-build/lower."""
+        """Compile through the cache.
+
+        A manifest hit skips the whole front end; per-function back-end
+        hits then skip mapping/optimization/scheduling for every
+        unchanged function, so an edit recompiles only the invalidated
+        set (the edited functions plus their transitive callers).
+        """
         opts = options or CompileOptions()
         passes = build_pipeline(opts)
         prefix, suffix = split_frontend(passes)
@@ -296,61 +581,229 @@ class CompilationSession:
             with _trace.span(
                 "session.compile", file=filename, mode=opts.mode.value
             ) as span:
-                comp = self._compile_keyed(key, source, filename, opts, prefix, suffix)
-                span.set(cache=comp.cache_state)
-                return comp
+                prep = self._prepare(key, source, filename, opts, prefix, suffix)
+                self._run_suffix(prep)
+                span.set(cache=prep.comp.cache_state)
+                return prep.comp
 
-    def _compile_keyed(self, key, source, filename, opts, prefix, suffix):
+    def _prepare(self, key, source, filename, opts, prefix, suffix) -> _Prepared:
+        """Resolve the front end (cache or compile) and splice the back end."""
         blob, tier = self._lookup(key)
+        man = None
         if blob is not None:
             try:
-                hli, frontend, rtl = _decode_blob(blob)
+                man = _decode_blob(blob)
             except CacheCorruption as exc:
                 self._evict_corrupt(key, tier, str(exc))
+        if man is not None:
+            if tier == "memory":
+                self.stats.hits_memory += 1
             else:
-                if tier == "memory":
-                    self.stats.hits_memory += 1
-                else:
-                    self.stats.hits_disk += 1
-                    self._remember(key, blob)
-                _metrics.inc("session.cache.hit", tier)
-                return self._finish_warm(
-                    hli, frontend, rtl, source, filename, opts, prefix, suffix, tier
-                )
-        self.stats.misses += 1
-        _metrics.inc("session.cache.miss")
-        return self._compile_cold(key, source, filename, opts, prefix, suffix)
-
-    def _compile_cold(self, key, source, filename, opts, prefix, suffix):
-        comp = Compilation(source=source, filename=filename, options=opts)
-        ctx = PassContext(comp=comp, opts=opts)
-        stats = PipelineStats()
-        make_manager(prefix).run(ctx, stats=stats)
-        with _trace.span("session.cache.store"):
-            self._store(key, _encode_blob(comp))
-        available = {a for p in prefix for a in p.provides}
-        make_manager(suffix).run(ctx, initial=sorted(available), stats=stats)
-        comp.pipeline_stats = stats
-        return comp
-
-    def _finish_warm(
-        self, hli, frontend, rtl, source, filename, opts, prefix, suffix, tier
-    ):
-        comp = Compilation(
-            source=source,
-            filename=filename,
-            hli=hli,
-            frontend=frontend,
-            rtl=rtl,
-            options=opts,
-            cache_state=tier,
+                self.stats.hits_disk += 1
+                self._remember(key, blob)
+            _metrics.inc("session.cache.hit", tier)
+            comp = Compilation(
+                source=source,
+                filename=filename,
+                hli=man.hli,
+                frontend=man.frontend,
+                rtl=man.rtl,
+                options=opts,
+                cache_state=tier,
+            )
+            stats = PipelineStats(cached_prefix=tuple(p.name for p in prefix))
+            fe_keys = man.fe_keys
+            fn_states = {name: f"fe:{tier}" for name in man.rtl.functions}
+        else:
+            self.stats.misses += 1
+            _metrics.inc("session.cache.miss")
+            comp, stats, fe_keys, fn_states = self._frontend_incremental(
+                key, source, filename, opts, prefix
+            )
+        active = self._splice_backend(comp, fe_keys, opts, suffix, fn_states)
+        comp.fn_cache_states = fn_states
+        return _Prepared(
+            comp=comp,
+            opts=opts,
+            prefix=list(prefix),
+            suffix=list(suffix),
+            stats=stats,
+            fe_keys=fe_keys,
+            active=active,
         )
-        ctx = PassContext(comp=comp, opts=opts)
-        stats = PipelineStats(cached_prefix=tuple(p.name for p in prefix))
-        available = {a for p in prefix for a in p.provides}
-        make_manager(suffix).run(ctx, initial=sorted(available), stats=stats)
-        comp.pipeline_stats = stats
-        return comp
+
+    def _frontend_incremental(self, key, source, filename, opts, prefix):
+        """Manifest miss: rebuild only the functions whose keys changed.
+
+        Parses (unavoidable — fingerprints need the checked AST), then
+        serves each function's HLI entry + pristine RTL from the
+        per-function tier where the chained fingerprint still matches,
+        building only the invalidated rest.  Pristine artifacts are
+        stored *before* the back end runs, so later edits can splice
+        around this compile's functions.
+        """
+        from ..analysis.builder import HLIBuilder
+        from ..frontend import parse_and_check
+        from .incremental import function_keys
+
+        comp = Compilation(source=source, filename=filename, options=opts)
+        stats = PipelineStats()
+        program, table = parse_and_check(source, filename)
+        stats.passes_run.append("parse")
+        builder = HLIBuilder(program, table)
+        keys = function_keys(
+            source,
+            program,
+            table,
+            builder.pts,
+            builder.refmod,
+            salt=_fe_salt(prefix, filename),
+        )
+        hli = HLIFile(source_filename=program.filename)
+        frontend = builder.frontend_info()
+        cached_rtl: dict[str, RTLFunction] = {}
+        fn_states: dict[str, str] = {}
+        fresh: list[str] = []
+        any_hit = False
+        with _trace.span("analysis.build_hli", file=filename):
+            for fn in program.functions:
+                fe_key = keys.fe[fn.name]
+                blob, tier = self._lookup(fe_key)
+                decoded = None
+                if blob is not None:
+                    try:
+                        decoded = _decode_fn_fe(blob)
+                    except CacheCorruption as exc:
+                        self._evict_corrupt(fe_key, tier, str(exc))
+                if decoded is not None:
+                    entry, unit, fn_rtl = decoded
+                    entry.filename = program.filename
+                    if tier == "memory":
+                        self.stats.fn_hits_memory += 1
+                    else:
+                        self.stats.fn_hits_disk += 1
+                        self._remember(fe_key, blob)
+                    _metrics.inc("session.cache.fn_hit", tier)
+                    cached_rtl[fn.name] = fn_rtl
+                    fn_states[fn.name] = f"fe:{tier}"
+                    any_hit = True
+                else:
+                    self.stats.fn_misses += 1
+                    _metrics.inc("session.cache.fn_miss")
+                    entry, unit = builder.build_unit(fn)
+                    fn_states[fn.name] = "cold"
+                    fresh.append(fn.name)
+                hli.add(entry)
+                frontend.units[fn.name] = unit
+        stats.passes_run.append("hli-build")
+        rtl = lower_program(program, table, cached=cached_rtl)
+        stats.passes_run.append("lower")
+        comp.hli, comp.frontend, comp.rtl = hli, frontend, rtl
+        comp.cache_state = "incremental" if any_hit else "cold"
+        # Store pristine artifacts before any back-end pass mutates them.
+        with _trace.span("session.cache.store", fresh=len(fresh)):
+            for name in fresh:
+                self._store(
+                    keys.fe[name],
+                    _encode_fn_fe(hli.entries[name], frontend.units[name],
+                                  rtl.functions[name]),
+                    kind="fe",
+                )
+            self._store(key, _encode_blob(comp, keys.fe), kind="manifest")
+        return comp, stats, dict(keys.fe), fn_states
+
+    def _splice_backend(self, comp, fe_keys, opts, suffix, fn_states) -> list[str]:
+        """Restore finished back-end artifacts; return the still-active set."""
+        order = list(comp.rtl.functions)
+        if not self.reuse_backend or not any(p.per_function for p in suffix):
+            return order
+        backend_fp = _backend_fp(suffix)
+        active: list[str] = []
+        for name in order:
+            fe_key = fe_keys.get(name)
+            bkey = _be_key(fe_key, opts, backend_fp) if fe_key is not None else None
+            decoded = None
+            tier = ""
+            if bkey is not None:
+                blob, tier = self._lookup(bkey)
+                if blob is not None:
+                    try:
+                        decoded = _decode_fn_be(blob)
+                    except CacheCorruption as exc:
+                        self._evict_corrupt(bkey, tier, str(exc))
+            if decoded is None:
+                self.stats.be_misses += 1
+                _metrics.inc("session.cache.be_miss")
+                active.append(name)
+                continue
+            if tier == "memory":
+                self.stats.be_hits_memory += 1
+            else:
+                self.stats.be_hits_disk += 1
+                self._remember(bkey, blob)
+            _metrics.inc("session.cache.be_hit", tier)
+            self._install_be(comp, name, decoded)
+            fn_states[name] = f"be:{tier}"
+        return active
+
+    def _install_be(self, comp: Compilation, name: str, decoded) -> None:
+        """Splice one function's finished back-end artifacts into ``comp``.
+
+        The frame metadata is taken from the *current* pristine function
+        — the lowering splice already laid it out for this program, and
+        deterministic storage naming guarantees slot-for-slot agreement
+        — so the restored RTL is consistent with the rest of the file.
+        """
+        fn_rtl, entry, map_stats, dep_stats, opt_frag = decoded
+        pristine = comp.rtl.functions[name]
+        fn_rtl.frame = dict(pristine.frame)
+        fn_rtl.frame_size = pristine.frame_size
+        comp.rtl.functions[name] = fn_rtl
+        entry.filename = comp.hli.source_filename or comp.filename
+        comp.hli.entries[name] = entry
+        comp.queries[name] = HLIQuery(entry)
+        if map_stats is not None:
+            comp.map_stats[name] = map_stats
+        if dep_stats is not None:
+            comp.dep_stats[name] = dep_stats
+        if opt_frag is not None:
+            if comp.opt_stats is None:
+                from ..backend.passes import OptStats
+
+                comp.opt_stats = OptStats()
+            comp.opt_stats.cse.merge(opt_frag.cse)
+            comp.opt_stats.licm.merge(opt_frag.licm)
+            comp.opt_stats.unroll.merge(opt_frag.unroll)
+
+    def _run_suffix(self, prep: _Prepared) -> None:
+        """Run the back-end suffix over the active units, then store them."""
+        ctx = PassContext(comp=prep.comp, opts=prep.opts, active_units=prep.active)
+        initial = sorted({a for p in prep.prefix for a in p.provides})
+        make_manager(prep.suffix).run(ctx, initial=initial, stats=prep.stats)
+        prep.comp.pipeline_stats = prep.stats
+        self._store_backend(prep, ctx)
+
+    def _store_backend(self, prep: _Prepared, ctx: PassContext) -> None:
+        if not self.reuse_backend or not prep.active:
+            return
+        if not any(p.per_function for p in prep.suffix):
+            return
+        comp = prep.comp
+        backend_fp = _backend_fp(prep.suffix)
+        for name in prep.active:
+            entry = comp.hli.entries.get(name)
+            fn = comp.rtl.functions.get(name)
+            fe_key = prep.fe_keys.get(name)
+            if entry is None or fn is None or fe_key is None:
+                continue
+            blob = _encode_fn_be(
+                fn,
+                entry,
+                comp.map_stats.get(name),
+                comp.dep_stats.get(name),
+                ctx.fn_opt_stats.get(name),
+            )
+            self._store(_be_key(fe_key, prep.opts, backend_fp), blob, kind="be")
 
     # -- batch / parallel ------------------------------------------------------
 
@@ -358,18 +811,38 @@ class CompilationSession:
         self,
         jobs: Sequence[tuple],
         max_workers: Optional[int] = None,
+        granularity: str = "auto",
     ) -> list[Compilation]:
         """Compile a batch of ``(source, filename[, options])`` jobs.
 
-        With more than one worker the batch fans out over a
-        ``ProcessPoolExecutor``; every worker shares this session's
-        on-disk cache tier (the in-memory tier is per-process).  Results
-        come back in job order.  ``max_workers=None`` uses
-        :func:`resolve_workers` (the ``REPRO_JOBS`` environment variable,
-        else one worker per core, capped by the job count).
+        Fan-out happens at one of two granularities:
+
+        * ``"file"`` — one pool task per job; every worker process runs
+          the whole pipeline and shares this session's on-disk tier (the
+          in-memory tier is per-process).
+        * ``"function"`` — the front ends run in this process (through
+          the cache) and every *invalidated function's* back end becomes
+          one pool task, so a single large file still saturates the pool.
+
+        ``"auto"`` picks per-function when there are spare workers
+        (fewer jobs than workers), per-file otherwise.  Results come
+        back in job order.  ``max_workers=None`` uses
+        :func:`resolve_workers` (the ``REPRO_JOBS`` environment
+        variable, else one worker per core).
         """
         normalized = [_normalize_job(j) for j in jobs]
-        workers = resolve_workers(max_workers, len(normalized))
+        if not normalized:
+            return []
+        if granularity not in ("auto", "file", "function"):
+            raise ValueError("granularity must be 'auto', 'file', or 'function'")
+        cap = resolve_workers(max_workers, 1 << 30)
+        if granularity == "auto":
+            granularity = "function" if len(normalized) < cap else "file"
+        if cap <= 1:
+            return [self.compile(*job) for job in normalized]
+        if granularity == "function":
+            return self._compile_many_functions(normalized, cap)
+        workers = min(cap, len(normalized))
         if workers <= 1:
             return [self.compile(*job) for job in normalized]
         from concurrent.futures import ProcessPoolExecutor
@@ -392,6 +865,77 @@ class CompilationSession:
             _metrics.inc("session.cache.fanout", comp.cache_state or "cold")
         return results
 
+    def _compile_many_functions(self, normalized, cap: int) -> list[Compilation]:
+        """Function-granularity fan-out: one pool task per invalidated fn."""
+        from .compile import compile_source
+
+        preps: list[Optional[_Prepared]] = []
+        results: list[Optional[Compilation]] = [None] * len(normalized)
+        with _trace.span(
+            "session.compile_many",
+            jobs=len(normalized),
+            workers=cap,
+            granularity="function",
+        ):
+            for idx, (src, fname, options) in enumerate(normalized):
+                opts = options or CompileOptions()
+                passes = build_pipeline(opts)
+                prefix, suffix = split_frontend(passes)
+                if not prefix:
+                    results[idx] = compile_source(src, fname, opts)
+                    preps.append(None)
+                    continue
+                key = cache_key(src, fname, passes)
+                preps.append(self._prepare(key, src, fname, opts, prefix, suffix))
+            tasks: list[tuple[int, str]] = []
+            payloads: list[bytes] = []
+            for idx, prep in enumerate(preps):
+                if prep is None:
+                    continue
+                has_per_fn = any(p.per_function for p in prep.suffix)
+                for name in prep.active:
+                    if not has_per_fn:
+                        continue
+                    payloads.append(
+                        _encode_fn_task(prep.comp, name, prep.opts)
+                    )
+                    tasks.append((idx, name))
+            if payloads:
+                from concurrent.futures import ProcessPoolExecutor
+
+                workers = min(cap, len(payloads))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    blobs = list(pool.map(_backend_fn_worker, payloads))
+            else:
+                blobs = []
+            for (idx, name), blob in zip(tasks, blobs):
+                prep = preps[idx]
+                self._install_be(prep.comp, name, _decode_fn_be(blob))
+                if self.reuse_backend:
+                    self._store(
+                        _be_key(prep.fe_keys[name], prep.opts,
+                                _backend_fp(prep.suffix)),
+                        blob,
+                        kind="be",
+                    )
+            for idx, prep in enumerate(preps):
+                if prep is None:
+                    continue
+                worker_fns = [name for (j, name) in tasks if j == idx]
+                # Per-function passes already ran in the pool; run the
+                # suffix over zero units so file-level passes (lint) and
+                # artifact bookkeeping still execute in order.
+                ctx = PassContext(comp=prep.comp, opts=prep.opts, active_units=[])
+                initial = sorted({a for p in prep.prefix for a in p.provides})
+                make_manager(prep.suffix).run(ctx, initial=initial, stats=prep.stats)
+                for p in prep.suffix:
+                    if p.per_function:
+                        prep.stats.function_runs[p.name] = list(worker_fns)
+                prep.comp.pipeline_stats = prep.stats
+                results[idx] = prep.comp
+                _metrics.inc("session.cache.fanout", prep.comp.cache_state or "cold")
+        return results
+
 
 def _normalize_job(job: tuple) -> tuple[str, str, Optional[CompileOptions]]:
     if len(job) == 2:
@@ -399,6 +943,53 @@ def _normalize_job(job: tuple) -> tuple[str, str, Optional[CompileOptions]]:
     if len(job) == 3:
         return (job[0], job[1], job[2])
     raise ValueError("compile_many job must be (source, filename[, options])")
+
+
+def _encode_fn_task(comp: Compilation, name: str, opts: CompileOptions) -> bytes:
+    """Self-contained payload for one function's back-end pool task."""
+    return pickle.dumps(
+        (
+            comp.filename,
+            name,
+            comp.rtl.functions[name],
+            encode_entry(comp.hli.entries[name]),
+            opts,
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _backend_fn_worker(payload: bytes) -> bytes:
+    """Run the per-function back-end passes for one function, standalone.
+
+    The result is a verified back-end blob — the parent both splices it
+    into the compilation and stores it in the cache byte-for-byte.
+    """
+    fname, name, fn_rtl, entry_bytes, opts = pickle.loads(payload)
+    entry = decode_entry(entry_bytes)
+    entry.filename = fname
+    _reserve_foreign_ids([fn_rtl])
+    hli = HLIFile(source_filename=fname)
+    hli.add(entry)
+    comp = Compilation(
+        source="",
+        filename=fname,
+        hli=hli,
+        rtl=RTLProgram(functions={name: fn_rtl}),
+        options=opts,
+    )
+    ctx = PassContext(comp=comp, opts=opts, active_units=[name])
+    prefix, suffix = split_frontend(build_pipeline(opts))
+    per_fn = [p for p in suffix if p.per_function]
+    initial = sorted({a for p in prefix for a in p.provides})
+    make_manager(per_fn).run(ctx, initial=initial)
+    return _encode_fn_be(
+        comp.rtl.functions[name],
+        entry,
+        comp.map_stats.get(name),
+        comp.dep_stats.get(name),
+        ctx.fn_opt_stats.get(name),
+    )
 
 
 #: Per-worker-process sessions, keyed by cache dir (fork-safe lazily built).
@@ -459,10 +1050,11 @@ def compile_many(
     jobs: Sequence[tuple],
     max_workers: Optional[int] = None,
     session: Optional[CompilationSession] = None,
+    granularity: str = "auto",
 ) -> list[Compilation]:
     """Module-level convenience: batch compile via ``session`` (or the default)."""
     sess = session if session is not None else default_session()
-    return sess.compile_many(jobs, max_workers=max_workers)
+    return sess.compile_many(jobs, max_workers=max_workers, granularity=granularity)
 
 
 # -- the default session -------------------------------------------------------
@@ -471,12 +1063,15 @@ _DEFAULT: Optional[CompilationSession] = None
 
 
 def default_session() -> CompilationSession:
-    """Process-wide session (in-memory tier; ``REPRO_CACHE_DIR`` adds disk)."""
+    """Process-wide session (in-memory tier; ``REPRO_CACHE_DIR`` adds disk,
+    ``REPRO_CACHE_MAX_BYTES`` bounds it)."""
     global _DEFAULT
     if _DEFAULT is None:
+        env_max = os.environ.get("REPRO_CACHE_MAX_BYTES", "")
         _DEFAULT = CompilationSession(
             cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
-            max_memory_entries=64,
+            max_memory_entries=512,
+            max_disk_bytes=int(env_max) if env_max.isdigit() else None,
         )
     return _DEFAULT
 

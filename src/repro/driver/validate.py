@@ -280,6 +280,7 @@ def validate(
     trace_out: str | None = None,
     jobs: int = 1,
     cache_dir: str | None = None,
+    cache_max_bytes: int | None = None,
 ) -> ValidationReport:
     """Run the full validation; writes ``RESULTS.json`` and returns the report.
 
@@ -294,7 +295,7 @@ def validate(
     over a process pool (``0`` = one worker per core).
     """
     report = ValidationReport()
-    session = CompilationSession(cache_dir=cache_dir)
+    session = CompilationSession(cache_dir=cache_dir, max_disk_bytes=cache_max_bytes)
 
     def phase(name: str, fn) -> None:
         t0 = perf_counter()
@@ -386,7 +387,17 @@ def main(argv: list[str] | None = None) -> int:
         help="back the compilation session with an on-disk artifact "
         "cache shared across phases, workers, and reruns",
     )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict the disk cache above N bytes "
+        "(default: unbounded; requires --cache-dir)",
+    )
     args = parser.parse_args(argv)
+    if args.cache_max_bytes is not None and not args.cache_dir:
+        parser.error("--cache-max-bytes requires --cache-dir")
     report = validate(
         include_speedups=not args.quick,
         out_path=args.out,
@@ -394,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
         trace_out=args.trace_out,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
     )
     return 0 if report.all_passed else 1
 

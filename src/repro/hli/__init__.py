@@ -10,7 +10,7 @@
 """
 
 from . import faults
-from .binio import HLIFormatError, decode_hli, encode_hli
+from .binio import HLIFormatError, decode_entry, decode_hli, encode_entry, encode_hli
 from .query import CallAcc, EquivAcc, HLIQuery, RegionInfo
 from .reader import HLIFileReader, load_hli, save_hli
 from .sizes import SizeReport, hli_size_bytes, size_report
@@ -35,7 +35,9 @@ from .writer import format_entry, format_hli
 __all__ = [
     "faults",
     "HLIFormatError",
+    "decode_entry",
     "decode_hli",
+    "encode_entry",
     "encode_hli",
     "CallAcc",
     "EquivAcc",

@@ -37,6 +37,8 @@ from .tables import (
 )
 
 MAGIC = b"HLI1"
+#: Magic for a single serialized :class:`HLIEntry` (one function's HLI).
+ENTRY_MAGIC = b"HLE1"
 
 
 class HLIFormatError(Exception):
@@ -177,7 +179,33 @@ def _encode_region(out: io.BytesIO, r: RegionEntry) -> None:
         _w_ids(out, m.mod_classes)
 
 
+def encode_entry(entry: HLIEntry) -> bytes:
+    """Serialize one function's HLI entry on its own.
+
+    The per-function incremental cache stores each unit's HLI
+    independently, so one changed function does not force re-serializing
+    (or re-reading) the whole file.  The payload is exactly the
+    entry-level format used inside :func:`encode_hli`, framed by its own
+    magic.
+    """
+    out = io.BytesIO()
+    out.write(ENTRY_MAGIC)
+    _encode_entry(out, entry)
+    return out.getvalue()
+
+
 # -- decoding ---------------------------------------------------------------------
+
+
+def decode_entry(data: bytes) -> HLIEntry:
+    """Parse bytes produced by :func:`encode_entry`."""
+    r = _Reader(data)
+    if r.take(4) != ENTRY_MAGIC:
+        raise HLIFormatError("bad entry magic")
+    entry = _decode_entry(r)
+    if r.pos != len(data):
+        raise HLIFormatError("trailing bytes after HLI entry")
+    return entry
 
 
 def decode_hli(data: bytes) -> HLIFile:

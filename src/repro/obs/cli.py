@@ -77,6 +77,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also execute each workload and time it on both machine models",
     )
     p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="route compiles through a disk-backed CompilationSession; "
+        "the session.cache.* counters (file/function/back-end tiers) "
+        "then appear in --format stats",
+    )
+    p.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict the disk cache above N bytes (default: unbounded; "
+        "requires --cache-dir)",
+    )
+    p.add_argument(
         "--format",
         choices=("chrome", "stats", "text"),
         default="text",
@@ -118,8 +134,17 @@ def run_workloads(specs: list[BenchmarkSpec], args: argparse.Namespace) -> None:
         lint=args.lint,
         trace=True,
     )
+    if args.cache_dir:
+        from ..driver.session import CompilationSession
+
+        session = CompilationSession(
+            cache_dir=args.cache_dir, max_disk_bytes=args.cache_max_bytes
+        )
+        compile_fn = session.compile
+    else:
+        compile_fn = lambda src, name, opts: compile_source(src, name, opts)  # noqa: E731
     for spec in specs:
-        comp = compile_source(spec.source, spec.name, options)
+        comp = compile_fn(spec.source, spec.name, options)
         if args.execute:
             from ..machine.executor import execute
             from ..machine.pipeline import R4600Model
@@ -144,6 +169,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.unroll < 1:
         parser.error("--unroll must be >= 1")
+    if args.cache_max_bytes is not None and not args.cache_dir:
+        parser.error("--cache-max-bytes requires --cache-dir")
     obs.reset()
     try:
         specs = _workloads(args)

@@ -1,0 +1,195 @@
+"""Function-grained invalidation: fingerprints, sessions, and the oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompileOptions
+from repro.analysis.alias import analyze_points_to
+from repro.analysis.refmod import analyze_refmod
+from repro.difftest.incremental import (
+    canonical_rtl,
+    edit_helper,
+    run_incremental,
+)
+from repro.driver.compile import compile_source
+from repro.driver.incremental import (
+    function_keys,
+    function_spans,
+    transitive_callers,
+)
+from repro.driver.session import CompilationSession
+from repro.frontend import parse_and_check
+from repro.machine.executor import execute
+
+# main -> mid -> leaf, with `other` on a disconnected branch: an edit to
+# leaf must invalidate {leaf, mid, main} and spare other.
+CHAIN_SOURCE = """\
+int gs0;
+int leaf(int a, int b) {
+    int r = a * b + 1;
+    return r;
+}
+int mid(int a, int b) {
+    int r = leaf(a, b) + a;
+    return r;
+}
+int other(int a, int b) {
+    int r = a - b;
+    return r;
+}
+int main() {
+    int x = mid(3, 4);
+    int y = other(9, 2);
+    gs0 = x + y;
+    return gs0;
+}
+"""
+
+
+def _keys(source: str, salt: str = ""):
+    program, table = parse_and_check(source, "chain.c")
+    pts = analyze_points_to(program, table)
+    refmod = analyze_refmod(program, table, pts)
+    return function_keys(source, program, table, pts, refmod, salt=salt)
+
+
+class TestFingerprints:
+    def test_spans_partition_the_source(self):
+        program, _ = parse_and_check(CHAIN_SOURCE, "chain.c")
+        spans = function_spans(CHAIN_SOURCE, program)
+        assert set(spans) == {"leaf", "mid", "other", "main"}
+        # spans are disjoint, ordered, and cover every function body line
+        ordered = sorted(spans.values())
+        for (s1, e1), (s2, _) in zip(ordered, ordered[1:]):
+            assert s1 <= e1 < s2
+
+    def test_call_graph_edges(self):
+        keys = _keys(CHAIN_SOURCE)
+        assert keys.callees["main"] == {"mid", "other"}
+        assert keys.callees["mid"] == {"leaf"}
+        assert keys.callers["leaf"] == {"mid"}
+        assert transitive_callers(keys, {"leaf"}) == {"mid", "main"}
+        assert transitive_callers(keys, {"other"}) == {"main"}
+        assert transitive_callers(keys, {"main"}) == set()
+
+    def test_edit_changes_exactly_editee_and_callers(self):
+        # same line count, so nothing below the edit moves
+        edited = CHAIN_SOURCE.replace(
+            "int r = a * b + 1;", "int r = a * b + 2;"
+        )
+        before, after = _keys(CHAIN_SOURCE), _keys(edited)
+        changed = {n for n in before.fe if before.fe[n] != after.fe[n]}
+        assert changed == {"leaf", "mid", "main"}
+        assert before.local["other"] == after.local["other"]
+
+    def test_whitespace_shift_invalidates_functions_below(self):
+        # HLI joins on absolute line numbers: inserting a line between
+        # `mid` and `other` moves every later function, retiring their
+        # entries (and mid's, whose span absorbs the new blank line) —
+        # but leaf, fully above the insertion, survives.
+        edited = CHAIN_SOURCE.replace(
+            "int other(int a, int b) {", "\nint other(int a, int b) {"
+        )
+        before, after = _keys(CHAIN_SOURCE), _keys(edited)
+        changed = {n for n in before.fe if before.fe[n] != after.fe[n]}
+        assert "leaf" not in changed
+        assert {"other", "main"} <= changed
+
+    def test_salt_retires_every_key(self):
+        a, b = _keys(CHAIN_SOURCE, salt="v1"), _keys(CHAIN_SOURCE, salt="v2")
+        assert all(a.fe[n] != b.fe[n] for n in a.fe)
+        assert a.local == b.local  # salt only enters the chained key
+
+    def test_global_shape_change_retires_every_key(self):
+        edited = CHAIN_SOURCE.replace("int gs0;", "int gs0; int gs1;")
+        before, after = _keys(CHAIN_SOURCE), _keys(edited)
+        assert all(before.fe[n] != after.fe[n] for n in before.fe)
+
+
+class TestIncrementalSession:
+    OPTS = CompileOptions(cse=True, licm=True, lint=True)
+
+    def test_single_edit_recompiles_exactly_the_invalidated_set(self):
+        sess = CompilationSession()
+        sess.compile(CHAIN_SOURCE, "chain.c", self.OPTS)
+        edited = CHAIN_SOURCE.replace(
+            "int r = a * b + 1;", "int r = a * b + 3;"
+        )
+        comp = sess.compile(edited, "chain.c", self.OPTS)
+        assert comp.cache_state == "incremental"
+        ran: set[str] = set()
+        for units in comp.pipeline_stats.function_runs.values():
+            ran |= set(units)
+        assert ran == {"leaf", "mid", "main"}
+        assert comp.fn_cache_states["other"] == "be:memory"
+        assert comp.fn_cache_states["leaf"] == "cold"
+
+    def test_refmod_edit_transitively_invalidates_callers(self):
+        sess = CompilationSession()
+        sess.compile(CHAIN_SOURCE, "chain.c", self.OPTS)
+        # leaf grows a MOD of gs0: mid and main see a new callee effect
+        edited = CHAIN_SOURCE.replace(
+            "    int r = a * b + 1;\n    return r;",
+            "    int r = a * b + 1;\n    gs0 = gs0 + a; return r;",
+        )
+        comp = sess.compile(edited, "chain.c", self.OPTS)
+        ran: set[str] = set()
+        for units in comp.pipeline_stats.function_runs.values():
+            ran |= set(units)
+        assert ran == {"leaf", "mid", "main"}
+        # never served stale: the spliced result equals a cold compile
+        cold = compile_source(edited, "chain.c", self.OPTS)
+        assert canonical_rtl(comp.rtl) == canonical_rtl(cold.rtl)
+        assert execute(comp.rtl, collect_trace=False).ret == execute(
+            cold.rtl, collect_trace=False
+        ).ret
+        assert not comp.lint_report.findings
+
+    def test_fn_stats_distinguish_levels(self):
+        sess = CompilationSession()
+        sess.compile(CHAIN_SOURCE, "chain.c", self.OPTS)
+        edited = CHAIN_SOURCE.replace("a - b", "a - b - 1")  # edits `other`
+        sess.compile(edited, "chain.c", self.OPTS)
+        # file-level: one miss per distinct source; function-level: the
+        # second compile reused leaf/mid's fe entries
+        assert sess.stats.misses == 2
+        assert sess.stats.hits == 0
+        assert sess.stats.fn_hits >= 2
+        assert sess.stats.be_hits >= 2
+        d = sess.stats.to_dict()
+        assert d["fn_hits_memory"] == sess.stats.fn_hits_memory
+        assert d["be_hits_memory"] == sess.stats.be_hits_memory
+
+
+class TestOracle:
+    def test_canonicalization_is_stable_across_compiles(self):
+        a = compile_source(CHAIN_SOURCE, "chain.c", CompileOptions(cse=True))
+        b = compile_source(CHAIN_SOURCE, "chain.c", CompileOptions(cse=True))
+        assert canonical_rtl(a.rtl) == canonical_rtl(b.rtl)
+        edited = CHAIN_SOURCE.replace("a * b + 1", "a * b + 4")
+        c = compile_source(edited, "chain.c", CompileOptions(cse=True))
+        assert canonical_rtl(a.rtl) != canonical_rtl(c.rtl)
+
+    def test_edit_helper_preserves_line_count(self):
+        from repro.difftest.gen import generate
+
+        src = generate(7)
+        import random
+
+        for refmod in (False, True):
+            edit = edit_helper(src, random.Random(1), refmod_changing=refmod)
+            if edit is None:
+                continue
+            assert edit.source.count("\n") == src.count("\n")
+            assert edit.source != src
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_plain_edits_splice_correctly(self, seed):
+        res = run_incremental(seed)
+        assert res.ok, res.failures
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_refmod_edits_never_serve_stale(self, seed):
+        res = run_incremental(seed, refmod_changing=True)
+        assert res.ok, res.failures

@@ -51,6 +51,24 @@ class TestCompileMany:
         with pytest.raises(ValueError, match="source, filename"):
             CompilationSession().compile_many([("only-source",)])
 
+    def test_function_granularity_matches_serial(self, tmp_path):
+        serial = CompilationSession().compile_many(_jobs(2), max_workers=1)
+        sess = CompilationSession(cache_dir=tmp_path / "c")
+        par = sess.compile_many(_jobs(2), max_workers=2, granularity="function")
+        for a, b in zip(par, serial):
+            assert {n: [i.op for i in f.insns] for n, f in a.rtl.functions.items()} \
+                == {n: [i.op for i in f.insns] for n, f in b.rtl.functions.items()}
+            assert {n: vars(s) for n, s in a.dep_stats.items()} \
+                == {n: vars(s) for n, s in b.dep_stats.items()}
+        # the fan-out populated the per-function back-end tier: a warm
+        # serial recompile splices every function
+        warm = sess.compile_many(_jobs(2), max_workers=1)
+        assert all(
+            v.startswith("be:") or v.startswith("fe:")
+            for c in warm
+            for v in c.fn_cache_states.values()
+        )
+
 
 class TestParallelMap:
     def test_preserves_order(self):

@@ -55,8 +55,8 @@ class TestTiers:
     def test_memory_tier_evicts_lru(self, tmp_path):
         sess = CompilationSession(cache_dir=tmp_path / "c", max_memory_entries=1)
         sess.compile(SIMPLE_MAIN, "simple.c")
-        sess.compile(OTHER_SOURCE, "other.c")  # evicts simple.c
-        assert sess.stats.evictions == 1
+        sess.compile(OTHER_SOURCE, "other.c")  # evicts simple.c's entries
+        assert sess.stats.evictions >= 1
         comp = sess.compile(SIMPLE_MAIN, "simple.c")  # falls through to disk
         assert comp.cache_state == "disk"
 
@@ -98,10 +98,31 @@ class TestWarmPathSkipsFrontend:
         assert "frontend.parse_and_check" not in warm_names
         assert "analysis.build_hli" not in warm_names
         assert "backend.lowering" not in warm_names
-        # ... while the back end still does
-        assert "backend.mapping" in warm_names
-        assert "backend.schedule" in warm_names
+        # ... and neither does the back end: every function's finished
+        # artifacts come from the per-function back-end tier
+        assert "backend.mapping" not in warm_names
+        assert "backend.schedule" not in warm_names
         assert comp.cache_state == "memory"
+        assert all(v == "be:memory" for v in comp.fn_cache_states.values())
+        assert comp.pipeline_stats.function_runs["schedule"] == []
+
+    def test_new_backend_knobs_rerun_the_backend(self):
+        # A warm front end with unseen back-end options must still run
+        # the back-end passes (the be key folds the knobs in).
+        sess = CompilationSession()
+        opts = CompileOptions(mode=DDGMode.COMBINED)
+        obs.reset()
+        with obs.enabled_scope():
+            sess.compile(FIG2_SOURCE, "fig2.c", opts)
+            obs.reset()
+            comp = sess.compile(
+                FIG2_SOURCE, "fig2.c", CompileOptions(mode=DDGMode.GCC)
+            )
+            names = [s.name for s in trace.iter_spans()]
+        assert "frontend.parse_and_check" not in names
+        assert "backend.schedule" in names
+        assert comp.cache_state == "memory"
+        assert all(v == "fe:memory" for v in comp.fn_cache_states.values())
 
 
 class TestResultEquivalence:
@@ -123,32 +144,47 @@ class TestResultEquivalence:
 
 
 class TestCorruption:
-    def _one_entry(self, sess):
-        files = list(sess.cache_dir.glob("*.hlic"))
-        assert len(files) == 1
-        return files[0]
+    def _entries(self, sess):
+        # manifest + one fe blob + one be blob per function, sharded
+        files = sorted(sess.cache_dir.rglob("*.hlic"))
+        assert len(files) >= 3
+        return files
 
     def test_bit_flip_degrades_to_cold_compile(self, disk_session):
         ref = disk_session.compile(SIMPLE_MAIN, "simple.c")
-        path = self._one_entry(disk_session)
-        blob = bytearray(path.read_bytes())
-        blob[len(blob) // 2] ^= 0xFF
-        path.write_bytes(bytes(blob))
+        for path in self._entries(disk_session):
+            blob = bytearray(path.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF
+            path.write_bytes(bytes(blob))
         fresh = CompilationSession(cache_dir=disk_session.cache_dir)
         comp = fresh.compile(SIMPLE_MAIN, "simple.c")
         assert comp.cache_state == "cold"
-        assert fresh.stats.corrupt == 1
+        assert fresh.stats.corrupt >= 1
         assert fresh.stats.misses == 1
         assert _opcodes(comp) == _opcodes(ref)
         assert _dep_stats(comp) == _dep_stats(ref)
 
+    def test_corrupt_fn_entry_recompiles_just_that_function(self, disk_session):
+        ref = disk_session.compile(SIMPLE_MAIN, "simple.c")
+        # corrupt only the manifest-keyed blob? we can't tell blobs apart
+        # by name, so flip one file at a time and demand every outcome is
+        # a correct compile (cold, incremental, or warm — never wrong)
+        for path in self._entries(disk_session):
+            blob = bytearray(path.read_bytes())
+            blob[-1] ^= 0xFF
+            path.write_bytes(bytes(blob))
+            fresh = CompilationSession(cache_dir=disk_session.cache_dir)
+            comp = fresh.compile(SIMPLE_MAIN, "simple.c")
+            assert _opcodes(comp) == _opcodes(ref)
+            assert _dep_stats(comp) == _dep_stats(ref)
+
     def test_corrupt_entry_is_evicted_and_rewritten(self, disk_session):
         disk_session.compile(SIMPLE_MAIN, "simple.c")
-        path = self._one_entry(disk_session)
-        path.write_bytes(b"garbage")
+        for path in self._entries(disk_session):
+            path.write_bytes(b"garbage")
         fresh = CompilationSession(cache_dir=disk_session.cache_dir)
         fresh.compile(SIMPLE_MAIN, "simple.c")
-        # the cold recompile re-stored a valid entry over the bad one
+        # the cold recompile re-stored valid entries over the bad ones
         comp = CompilationSession(cache_dir=disk_session.cache_dir).compile(
             SIMPLE_MAIN, "simple.c"
         )
@@ -156,17 +192,67 @@ class TestCorruption:
 
     def test_truncated_blob_raises_corruption(self):
         comp = compile_source(SIMPLE_MAIN, "simple.c")
-        blob = _encode_blob(comp)
+        blob = _encode_blob(comp, {n: "x" for n in comp.rtl.functions})
         for cut in (0, 3, 10, len(blob) // 2, len(blob) - 1):
             with pytest.raises(CacheCorruption):
                 _decode_blob(blob[:cut])
 
     def test_blob_round_trip(self):
         comp = compile_source(SIMPLE_MAIN, "simple.c")
-        hli, frontend, rtl = _decode_blob(_encode_blob(comp))
-        assert set(hli.entries) == set(comp.hli.entries)
-        assert set(rtl.functions) == set(comp.rtl.functions)
+        fe_keys = {n: f"key-{n}" for n in comp.rtl.functions}
+        man = _decode_blob(_encode_blob(comp, fe_keys))
+        assert set(man.hli.entries) == set(comp.hli.entries)
+        assert set(man.rtl.functions) == set(comp.rtl.functions)
+        assert man.fe_keys == fe_keys
         for name, fn in comp.rtl.functions.items():
             assert [i.op for i in fn.insns] == [
-                i.op for i in rtl.functions[name].insns
+                i.op for i in man.rtl.functions[name].insns
             ]
+
+    def test_fn_key_table_mismatch_is_corruption(self):
+        comp = compile_source(SIMPLE_MAIN, "simple.c")
+        with pytest.raises(CacheCorruption):
+            _decode_blob(_encode_blob(comp))  # no fe_keys at all
+
+
+class TestShardedDisk:
+    def test_entries_are_sharded_git_object_style(self, disk_session):
+        disk_session.compile(SIMPLE_MAIN, "simple.c")
+        files = list(disk_session.cache_dir.rglob("*.hlic"))
+        assert files
+        for f in files:
+            shard = f.parent.name
+            assert f.parent.parent == disk_session.cache_dir
+            assert len(shard) == 2
+            # shard dir + stem reassemble the full 64-hex key
+            assert len(shard + f.stem) == 64
+
+    def test_flat_legacy_entry_is_migrated_on_first_touch(self, tmp_path):
+        d = tmp_path / "cache"
+        sess = CompilationSession(cache_dir=d)
+        sess.compile(SIMPLE_MAIN, "simple.c")
+        # flatten every sharded entry back into the legacy layout
+        for f in list(d.rglob("*.hlic")):
+            flat = d / (f.parent.name + f.stem + ".hlic")
+            f.rename(flat)
+        fresh = CompilationSession(cache_dir=d)
+        comp = fresh.compile(SIMPLE_MAIN, "simple.c")
+        assert comp.cache_state == "disk"
+        # the touched entry moved into its shard
+        moved = [f for f in d.rglob("*.hlic") if f.parent != d]
+        assert moved
+
+    def test_disk_budget_evicts_lru_entries(self, tmp_path):
+        d = tmp_path / "cache"
+        sess = CompilationSession(cache_dir=d, max_disk_bytes=1)
+        sess.compile(SIMPLE_MAIN, "simple.c")
+        sess.compile(OTHER_SOURCE, "other.c")
+        assert sess.stats.disk_evictions >= 1
+        total = sum(f.stat().st_size for f in d.rglob("*.hlic"))
+        # only the most recently written entry may survive the budget
+        assert len(list(d.rglob("*.hlic"))) <= 1, total
+
+    def test_unbounded_by_default(self, disk_session):
+        disk_session.compile(SIMPLE_MAIN, "simple.c")
+        disk_session.compile(OTHER_SOURCE, "other.c")
+        assert disk_session.stats.disk_evictions == 0
