@@ -1,0 +1,124 @@
+"""Whole-program linking benchmark: ``python benchmarks/bench_wpa.py``.
+
+For every curated multi-file workload
+(:data:`repro.workloads.WHOLE_PROGRAM_WORKLOADS`) plus a band of
+generated multi-unit programs, compiles per-file (conservative extern
+effects) and whole-program (linked summaries) and writes
+``BENCH_wpa.json`` capturing:
+
+* call-vs-memory dependence edges kept in each mode and the deletion
+  ratio — the paper's Table-style precision payoff, now cross-module;
+* semantic agreement of the two linked images (hard assertion — the
+  benchmark refuses to report numbers for an unsound configuration);
+* link-step overhead: wall time of per-file vs whole-program
+  compilation and the linker phases' share of it.
+
+Standalone script (no pytest-benchmark) so CI can run it bare, same as
+``bench_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from time import perf_counter
+
+
+def _measure(sources, options, whole_program):
+    from repro.driver.wpa import compile_whole_program
+    from repro.machine.executor import execute
+
+    t0 = perf_counter()
+    result = compile_whole_program(sources, options, whole_program=whole_program)
+    seconds = perf_counter() - t0
+    run = execute(result.image, collect_trace=False)
+    return result, run, seconds
+
+
+def bench_workloads(generated_seeds: int = 5) -> dict:
+    from repro.driver.compile import CompileOptions
+    from repro.difftest.gen import generate_units
+    from repro.workloads import WHOLE_PROGRAM_WORKLOADS
+
+    opts = CompileOptions()
+    cases = [(wl.name, list(wl.sources())) for wl in WHOLE_PROGRAM_WORKLOADS]
+    cases += [
+        (f"gen-{seed}", generate_units(seed, n_units=3))
+        for seed in range(generated_seeds)
+    ]
+
+    rows = []
+    for name, sources in cases:
+        wp, run_wp, t_wp = _measure(sources, opts, whole_program=True)
+        pf, run_pf, t_pf = _measure(sources, opts, whole_program=False)
+        assert (run_wp.ret, list(run_wp.output)) == (run_pf.ret, list(run_pf.output)), (
+            f"{name}: whole-program image diverges from per-file baseline"
+        )
+        s_wp, s_pf = wp.total_dep_stats(), pf.total_dep_stats()
+        assert s_wp.call_dep <= s_pf.call_dep, f"{name}: monotonicity violated"
+        report = wp.lint_report()
+        assert not report.diagnostics, f"{name}: whole-program lint not clean"
+        rows.append(
+            {
+                "workload": name,
+                "units": len(sources),
+                "functions": len(wp.link.summaries),
+                "sccs": len(wp.link.summary.sccs),
+                "ret": run_wp.ret,
+                "call_dep_pf": s_pf.call_dep,
+                "call_dep_wp": s_wp.call_dep,
+                "edges_deleted": s_pf.call_dep - s_wp.call_dep,
+                "call_tests": s_wp.call_tests,
+                "pf_seconds": round(t_pf, 6),
+                "wp_seconds": round(t_wp, 6),
+                "link_overhead_ratio": round(t_wp / t_pf, 3) if t_pf else None,
+                "wp_lint_claims": sum(report.claims_checked.values()),
+            }
+        )
+
+    total_pf = sum(r["call_dep_pf"] for r in rows)
+    total_wp = sum(r["call_dep_wp"] for r in rows)
+    return {
+        "python": platform.python_version(),
+        "workloads": rows,
+        "total_call_dep_pf": total_pf,
+        "total_call_dep_wp": total_wp,
+        "total_edges_deleted": total_pf - total_wp,
+        "deletion_ratio": round((total_pf - total_wp) / total_pf, 4)
+        if total_pf
+        else None,
+        "total_pf_seconds": round(sum(r["pf_seconds"] for r in rows), 6),
+        "total_wp_seconds": round(sum(r["wp_seconds"] for r in rows), 6),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_wpa.json", help="output JSON path")
+    parser.add_argument(
+        "--seeds", type=int, default=5, help="number of generated multi-unit programs"
+    )
+    args = parser.parse_args(argv)
+
+    doc = bench_workloads(generated_seeds=args.seeds)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+
+    print(f"{'workload':<12} {'units':>5} {'pf':>5} {'wp':>5} {'deleted':>8}")
+    for r in doc["workloads"]:
+        print(
+            f"{r['workload']:<12} {r['units']:>5} {r['call_dep_pf']:>5} "
+            f"{r['call_dep_wp']:>5} {r['edges_deleted']:>8}"
+        )
+    print(
+        f"total: {doc['total_edges_deleted']} of {doc['total_call_dep_pf']} "
+        f"call edges deleted ({doc['deletion_ratio']:.1%}), "
+        f"wp {doc['total_wp_seconds']:.3f}s vs pf {doc['total_pf_seconds']:.3f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,7 @@ from .items import (
     walk_rvalue,
     walk_stmt_accesses,
 )
-from .refmod import EffectSet, analyze_refmod
+from .refmod import EffectSet, ForeignObject, analyze_refmod
 from .regions import Region, RegionTreeBuilder
 from .subscripts import Affine
 
@@ -93,13 +93,17 @@ class HLIBuilder:
         program: ast.Program,
         table: SymbolTable,
         partition_options: PartitionOptions | None = None,
+        external_effects: dict[str, EffectSet] | None = None,
     ) -> None:
         self.program = program
         self.table = table
+        self.external_effects = external_effects
         with trace.span("analysis.points_to"):
             self.pts = analyze_points_to(program, table)
         with trace.span("analysis.refmod"):
-            self.refmod = analyze_refmod(program, table, self.pts)
+            self.refmod = analyze_refmod(
+                program, table, self.pts, external_effects=external_effects
+            )
         self.partition_options = partition_options or PartitionOptions()
 
     def frontend_info(self) -> FrontEndInfo:
@@ -388,6 +392,7 @@ class _UnitBuilder:
         return total
 
     def _classes_touched(self, objs: set, classes: list[ClassInfo]) -> list[int]:
+        foreign = any(isinstance(o, ForeignObject) for o in objs)
         out: list[int] = []
         for c in classes:
             if c.base is None:
@@ -395,6 +400,10 @@ class _UnitBuilder:
                 continue
             if c.is_deref:
                 if self.parent.pts.targets(c.base) & objs:
+                    out.append(c.class_id)
+                elif foreign and TOP in self.parent.pts.points_to.get(c.base, {TOP}):
+                    # A pointer that may point anywhere may reach storage
+                    # owned by another unit, so a foreign effect touches it.
                     out.append(c.class_id)
             elif c.base in objs:
                 out.append(c.class_id)
@@ -439,7 +448,14 @@ def build_hli(
     program: ast.Program,
     table: SymbolTable,
     partition_options: PartitionOptions | None = None,
+    external_effects: dict[str, EffectSet] | None = None,
 ) -> tuple[HLIFile, FrontEndInfo]:
-    """Convenience wrapper: build HLI for a checked program."""
+    """Convenience wrapper: build HLI for a checked program.
+
+    ``external_effects`` (whole-program mode) carries linker-computed
+    summaries for extern functions; see :mod:`repro.linker`.
+    """
     with trace.span("analysis.build_hli", file=program.filename):
-        return HLIBuilder(program, table, partition_options).build()
+        return HLIBuilder(
+            program, table, partition_options, external_effects=external_effects
+        ).build()

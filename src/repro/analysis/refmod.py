@@ -9,8 +9,15 @@ purge CSE tables selectively (paper Figure 4).
 Effects are expressed over:
 
 * named symbols (globals, statics, address-taken locals, arrays);
+* :class:`ForeignObject` markers naming storage owned by *another*
+  translation unit (injected by the whole-program linker's summaries,
+  :mod:`repro.linker`);
 * :data:`~repro.analysis.alias.TOP` meaning "any addressable object"
   (used for external functions and unanalyzable stores).
+
+In whole-program mode the linker passes ``external_effects`` — per-name
+:class:`EffectSet` values derived from cross-module summaries — and those
+replace the all-clobbering default for extern functions.
 """
 
 from __future__ import annotations
@@ -19,8 +26,8 @@ from dataclasses import dataclass, field
 
 from ..frontend import ast_nodes as ast
 from ..frontend.semantic import PURE_EXTERNALS
-from ..frontend.symbols import Symbol, SymbolTable
-from .alias import TOP, PointsToResult
+from ..frontend.symbols import StorageClass, Symbol, SymbolTable
+from .alias import TOP, HeapObject, PointsToResult
 from .items import (
     Access,
     AccessKind,
@@ -29,6 +36,20 @@ from .items import (
     ref_for_access,
     walk_stmt_accesses,
 )
+
+
+@dataclass(frozen=True)
+class ForeignObject:
+    """Abstract object for storage defined in another translation unit.
+
+    ``name`` is the linker's canonical spelling: a bare name for true
+    globals, ``{unit}::{name}@{line}`` for unit-private storage.  A
+    ForeignObject can never equal a unit's own :class:`Symbol`; overlap
+    with local equivalence classes is decided by the HLI builder (a deref
+    class whose base may point anywhere may reach foreign storage).
+    """
+
+    name: str
 
 
 @dataclass
@@ -67,14 +88,20 @@ class RefModAnalysis:
     """Fixpoint REF/MOD computation over the call graph."""
 
     def __init__(
-        self, program: ast.Program, table: SymbolTable, pts: PointsToResult
+        self,
+        program: ast.Program,
+        table: SymbolTable,
+        pts: PointsToResult,
+        external_effects: dict[str, EffectSet] | None = None,
     ) -> None:
         self.program = program
         self.table = table
         self.pts = pts
+        self.external_effects = external_effects or {}
         self.effects: dict[str, EffectSet] = {}
         self._local_effects: dict[str, EffectSet] = {}
         self._callees: dict[str, set[str]] = {}
+        self._naming: dict[str, object] | None = None
 
     def run(self) -> dict[str, EffectSet]:
         for fn in self.program.functions:
@@ -83,10 +110,15 @@ class RefModAnalysis:
                 ref=set(self._local_effects[fn.name].ref),
                 mod=set(self._local_effects[fn.name].mod),
             )
-        # external functions
+        # external functions: linker-provided summaries beat the
+        # all-clobbering default (whole-program mode); pure builtins are
+        # effect-free either way.
         for name, fsym in self.table.functions.items():
-            if fsym.external:
-                if name in PURE_EXTERNALS:
+            if fsym.external and name not in self.effects:
+                linked = self.external_effects.get(name)
+                if linked is not None:
+                    self.effects[name] = self._bind_linked(linked)
+                elif name in PURE_EXTERNALS:
                     self.effects[name] = EffectSet()
                 else:
                     self.effects[name] = EffectSet(ref={TOP}, mod={TOP})
@@ -131,6 +163,83 @@ class RefModAnalysis:
         else:
             eff.mod |= objs
 
+    # -- linked-summary binding -----------------------------------------------
+
+    def _bind_linked(self, linked: EffectSet) -> EffectSet:
+        """Rebind a linker effect set into this parse's object vocabulary.
+
+        The adapter ships name-keyed :class:`ForeignObject` markers —
+        :class:`Symbol` identity does not survive a re-parse, and the
+        driver parses each unit once for linking and once for code
+        generation (or restores a pickled table from the session cache).
+        Names that denote this unit's own storage — bare globals,
+        ``{this unit}::…`` qualified spellings, heap sites — become the
+        matching objects of the *current* parse, so direct equivalence
+        classes see cross-module effects; everything else stays foreign
+        and only matches may-point-anywhere deref classes.
+        """
+        naming = self._own_names()
+
+        def bind(objs: set) -> set:
+            return {
+                naming.get(o.name, o) if isinstance(o, ForeignObject) else o
+                for o in objs
+            }
+
+        return EffectSet(ref=bind(linked.ref), mod=bind(linked.mod))
+
+    def _own_names(self) -> dict[str, object]:
+        """Canonical link-space name -> this parse's abstract object.
+
+        Mirrors the linker's naming scheme (bare names for globals,
+        ``{unit}::{name}@{line}`` for unit-private storage,
+        ``{unit}::{heap}`` for allocation sites) over the current
+        program/table/points-to artifacts.
+        """
+        if self._naming is not None:
+            return self._naming
+        out: dict[str, object] = {}
+        unit = self.program.filename
+
+        def add(sym: object) -> None:
+            if not isinstance(sym, Symbol):
+                return
+            if sym.storage is StorageClass.GLOBAL:
+                if not sym.name.startswith("__argslot"):
+                    out[sym.name] = sym
+            elif (
+                sym.storage is StorageClass.STATIC
+                or sym.address_taken
+                or sym.ty.is_array
+            ):
+                out[f"{unit}::{sym.name}@{sym.line}"] = sym
+
+        for sym in self.table.global_scope.names.values():
+            add(sym)
+        for fn in self.program.functions:
+            for p in fn.params:
+                add(p.symbol)
+            if fn.body is not None:
+                for stmt in ast.walk_stmts(fn.body):
+                    if isinstance(stmt, ast.VarDecl):
+                        add(stmt.symbol)
+        for targets in self.pts.points_to.values():
+            for t in targets:
+                if isinstance(t, HeapObject):
+                    out[f"{unit}::{t.name}"] = t
+        self._naming = out
+        return out
+
+    # -- linker accessors -----------------------------------------------------
+
+    def local_effects(self, name: str) -> EffectSet:
+        """Intraprocedural (callee-free) effects of one function."""
+        return self._local_effects[name]
+
+    def callees(self, name: str) -> set[str]:
+        """Direct callee names of one function (after :meth:`run`)."""
+        return set(self._callees.get(name, ()))
+
     def _visible(self, obj, fn: ast.FuncDef) -> bool:
         """Is ``obj`` observable outside ``fn``?
 
@@ -142,9 +251,7 @@ class RefModAnalysis:
         if obj is TOP:
             return True
         if not isinstance(obj, Symbol):
-            return True  # HeapObject
-        from ..frontend.symbols import StorageClass
-
+            return True  # HeapObject / ForeignObject
         if obj.storage in (StorageClass.GLOBAL, StorageClass.STATIC):
             return True
         if obj.storage is StorageClass.PARAM:
@@ -153,7 +260,10 @@ class RefModAnalysis:
 
 
 def analyze_refmod(
-    program: ast.Program, table: SymbolTable, pts: PointsToResult
+    program: ast.Program,
+    table: SymbolTable,
+    pts: PointsToResult,
+    external_effects: dict[str, EffectSet] | None = None,
 ) -> dict[str, EffectSet]:
     """Compute transitive REF/MOD sets for every function (and externals)."""
-    return RefModAnalysis(program, table, pts).run()
+    return RefModAnalysis(program, table, pts, external_effects=external_effects).run()

@@ -41,12 +41,19 @@ class DepStats:
     gcc_yes: int = 0
     hli_yes: int = 0
     combined_yes: int = 0
+    #: call-vs-memory ordering decisions (one per call/reference pair)
+    call_tests: int = 0
+    #: decisions that kept the edge — GCC mode always keeps it; the HLI
+    #: REF/MOD summary (per-file or linked) is what deletes edges here
+    call_dep: int = 0
 
     def merge(self, other: "DepStats") -> None:
         self.total_tests += other.total_tests
         self.gcc_yes += other.gcc_yes
         self.hli_yes += other.hli_yes
         self.combined_yes += other.combined_yes
+        self.call_tests += other.call_tests
+        self.call_dep += other.call_dep
 
     @property
     def reduction(self) -> float:
@@ -192,7 +199,9 @@ class DDGBuilder:
             for i, insn in enumerate(ddg.insns):
                 if insn.mem is None:
                     continue
+                self.stats.call_tests += 1
                 if _call_mem_dependence(self.mode, self.query, call_insn, insn):
+                    self.stats.call_dep += 1
                     if i < c:
                         ddg.add_edge(i, c, "call")
                     elif i > c:

@@ -37,6 +37,7 @@ from .dynamic import dynamic_audit
 from .lint import HLILinter, lint_compilation
 from .oracle import CallEffectOracle, DependenceOracle, DepVerdict
 from .rules import Diagnostic, LintReport, Rule, RULES, Severity
+from .wplint import lint_whole_program
 
 __all__ = [
     "AvailableLoads",
@@ -56,5 +57,6 @@ __all__ = [
     "Severity",
     "dynamic_audit",
     "lint_compilation",
+    "lint_whole_program",
     "solve",
 ]

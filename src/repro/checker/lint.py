@@ -346,7 +346,9 @@ class HLILinter:
             from ..frontend import parse_and_check
 
             program, table = parse_and_check(self.comp.source, self.comp.filename)
-            hli, _ = build_hli(program, table)
+            hli, _ = build_hli(
+                program, table, external_effects=self.comp.external_effects
+            )
             self._reference = hli.entries
         return self._reference
 

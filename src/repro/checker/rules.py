@@ -1,6 +1,6 @@
 """``hli-lint`` rule catalogue and structured diagnostics.
 
-Every finding carries a *stable rule ID* (``HLI001`` … ``HLI008``), a
+Every finding carries a *stable rule ID* (``HLI001`` … ``HLI012``), a
 severity, the unit (function) and source line it anchors to, a message,
 and a fix hint.  Rule IDs are part of the tool's contract: tests, CI
 gates, and suppression lists key on them, so existing IDs must never be
@@ -93,6 +93,35 @@ HLI008_UNSOUND_DEFINITE = Rule(
     "a DEFINITE class contains references to distinct locations; "
     "store-forwarding consumers would produce wrong values",
 )
+HLI009_SUMMARY_UNSOUND = Rule(
+    "HLI009-summary-unsound",
+    "a linked REF/MOD summary under-approximates the whole-program reference",
+    Severity.ERROR,
+    "an interprocedural effect was lost between the local summaries and "
+    "the linked image; rerun the link step (a unit's units may use the "
+    "missing effect to delete a real cross-module DDG edge)",
+)
+HLI010_LINK_TABLE = Rule(
+    "HLI010-link-table-inconsistent",
+    "the link table disagrees with the units it was built from",
+    Severity.ERROR,
+    "symbol-resolution state was corrupted after reconciliation; rebuild "
+    "the link table from the unit symbol tables",
+)
+HLI011_SCC_NONCONVERGED = Rule(
+    "HLI011-scc-nonconverged",
+    "the SCC fixpoint stopped before the summaries stabilized",
+    Severity.ERROR,
+    "applying one more transfer step still grows a summary (or a summary "
+    "lost its own local effects); rerun the bottom-up fixpoint",
+)
+HLI012_STALE_SUMMARY = Rule(
+    "HLI012-stale-summary",
+    "a linked summary is bound to an outdated HLI generation",
+    Severity.ERROR,
+    "the per-unit HLI moved on after the summary was recorded; relink "
+    "against the units' current generations",
+)
 
 RULES: dict[str, Rule] = {
     r.rule_id: r
@@ -105,6 +134,10 @@ RULES: dict[str, Rule] = {
         HLI006_STALE_MAPPING,
         HLI007_STALE_QUERY,
         HLI008_UNSOUND_DEFINITE,
+        HLI009_SUMMARY_UNSOUND,
+        HLI010_LINK_TABLE,
+        HLI011_SCC_NONCONVERGED,
+        HLI012_STALE_SUMMARY,
     )
 }
 

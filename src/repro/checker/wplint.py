@@ -1,0 +1,183 @@
+"""Whole-program lint: audit the linked image against independent oracles.
+
+The per-unit ``hli-lint`` (:mod:`repro.checker.lint`) replays HLI claims
+inside one translation unit.  This module audits the artifacts only the
+*link step* produces — the link table, the cross-module summaries, and
+the summary/HLI generation bindings — with the same philosophy: every
+check recomputes its reference independently of the code under audit, so
+a corrupted linker cannot vouch for itself.
+
+Rules (stable IDs, catalogued in :mod:`repro.checker.rules`):
+
+* **HLI009** — *summary soundness.*  A naive whole-program Kleene
+  fixpoint (no SCC decomposition, no ordering cleverness) is recomputed
+  from the per-unit local summaries; every linked summary must cover its
+  reference.  Catches dropped/truncated summaries — the corruption that
+  lets a unit delete a real cross-module DDG edge.
+* **HLI010** — *link-table consistency.*  The link table is rebuilt from
+  the unit symbol tables and compared entry by entry.  Catches
+  symbol-resolution corruption (e.g. two entries swapping their defining
+  units).
+* **HLI011** — *fixpoint convergence.*  One more transfer application to
+  each linked summary must be a no-op, and every summary must still
+  cover its own local effects.  Catches a fixpoint that stopped early.
+* **HLI012** — *summary staleness.*  The generation each summary was
+  recorded against must equal the owning HLI entry's current generation
+  — the link-time analog of the paper's query-staleness protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..linker.summary import from_local, transfer
+from ..linker.table import build_link_table
+from .rules import (
+    HLI009_SUMMARY_UNSOUND,
+    HLI010_LINK_TABLE,
+    HLI011_SCC_NONCONVERGED,
+    HLI012_STALE_SUMMARY,
+    Diagnostic,
+    LintReport,
+    Rule,
+)
+
+if TYPE_CHECKING:
+    from ..driver.wpa import WholeProgramResult
+
+__all__ = ["lint_whole_program"]
+
+
+def lint_whole_program(wp: "WholeProgramResult") -> LintReport:
+    """Audit a whole-program compilation; findings are link-level."""
+    report = LintReport(target="<whole-program>")
+    _check_summary_soundness(wp, report)
+    _check_link_table(wp, report)
+    _check_convergence(wp, report)
+    _check_generations(wp, report)
+    return report
+
+
+def _emit(report: LintReport, rule: Rule, unit: str, message: str) -> None:
+    report.add(Diagnostic(rule=rule, unit=unit, line=0, message=message, source="static"))
+
+
+# -- HLI009: summary soundness vs an independent recompute ---------------------
+
+
+def _check_summary_soundness(wp: "WholeProgramResult", report: LintReport) -> None:
+    locals_by_name = {
+        name: local for u in wp.link.units for name, local in u.locals.items()
+    }
+    reference = {name: from_local(local) for name, local in locals_by_name.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(reference):
+            if transfer(reference[name], locals_by_name[name], reference):
+                changed = True
+    for name in sorted(reference):
+        report.count_claim("wp-summary")
+        linked = wp.link.summaries.get(name)
+        if linked is None:
+            _emit(
+                report,
+                HLI009_SUMMARY_UNSOUND,
+                name,
+                "no linked summary for a defined function",
+            )
+            continue
+        if not linked.covers(reference[name]):
+            _emit(
+                report,
+                HLI009_SUMMARY_UNSOUND,
+                name,
+                f"linked summary [{linked.fingerprint()}] does not cover the "
+                f"reference recompute [{reference[name].fingerprint()}]",
+            )
+
+
+# -- HLI010: link table vs a rebuild -------------------------------------------
+
+
+def _check_link_table(wp: "WholeProgramResult", report: LintReport) -> None:
+    rebuilt = build_link_table(wp.link.units)
+    have, want = wp.link.table.symbols, rebuilt.symbols
+    for name in sorted(set(have) | set(want)):
+        report.count_claim("wp-link-symbol")
+        a, b = have.get(name), want.get(name)
+        if a is None or b is None:
+            which = "missing from" if a is None else "not derivable from"
+            _emit(
+                report,
+                HLI010_LINK_TABLE,
+                name,
+                f"link-table entry {which} the unit symbol tables",
+            )
+        elif a != b:
+            _emit(
+                report,
+                HLI010_LINK_TABLE,
+                name,
+                f"link-table entry diverged: have defined_in={a.defined_in!r} "
+                f"kind={a.kind} size={a.size}, rebuild says "
+                f"defined_in={b.defined_in!r} kind={b.kind} size={b.size}",
+            )
+
+
+# -- HLI011: fixpoint convergence ----------------------------------------------
+
+
+def _check_convergence(wp: "WholeProgramResult", report: LintReport) -> None:
+    locals_by_name = {
+        name: local for u in wp.link.units for name, local in u.locals.items()
+    }
+    for name in sorted(wp.link.summaries):
+        local = locals_by_name.get(name)
+        if local is None:
+            continue
+        report.count_claim("wp-convergence")
+        linked = wp.link.summaries[name]
+        probe = linked.copy()
+        if transfer(probe, local, wp.link.summaries):
+            _emit(
+                report,
+                HLI011_SCC_NONCONVERGED,
+                name,
+                "one more transfer application still grows the summary "
+                f"(fixpoint stopped early): [{linked.fingerprint()}] -> "
+                f"[{probe.fingerprint()}]",
+            )
+        elif not linked.covers(from_local(local)):
+            _emit(
+                report,
+                HLI011_SCC_NONCONVERGED,
+                name,
+                "linked summary lost the function's own local effects",
+            )
+
+
+# -- HLI012: summary generation staleness --------------------------------------
+
+
+def _check_generations(wp: "WholeProgramResult", report: LintReport) -> None:
+    for name in sorted(wp.summary_generations):
+        summary = wp.link.summaries.get(name)
+        if summary is None:
+            continue
+        comp = wp.units.get(summary.unit)
+        if comp is None or comp.hli is None:
+            continue
+        entry = comp.hli.entries.get(name)
+        if entry is None:
+            continue
+        report.count_claim("wp-generation")
+        recorded = wp.summary_generations[name]
+        if recorded != entry.generation:
+            _emit(
+                report,
+                HLI012_STALE_SUMMARY,
+                name,
+                f"summary recorded against generation {recorded} but the "
+                f"unit's HLI entry is at generation {entry.generation}",
+            )

@@ -16,14 +16,20 @@ invariant into a generator-driven harness:
   maintenance accounting, ``hli-lint`` cleanliness);
 * :mod:`repro.difftest.reduce` — a delta-debugging reducer that shrinks
   any failing program to a minimal reproducer written to ``crashes/``;
+* :mod:`repro.difftest.wp`     — the whole-program differential: each
+  seeded program is split over 2–4 translation units and compiled both
+  per-file and linked (:mod:`repro.driver.wpa`); the runner checks
+  semantic agreement, dependence-edge monotonicity, and both lint tiers;
 * :mod:`repro.difftest.cli`    — the ``repro-fuzz`` command, including a
   mutation mode (``--inject``) that arms the known-miscompilation faults
-  of :mod:`repro.hli.faults` to measure the harness's detection power.
+  of :mod:`repro.hli.faults` (link-time faults included) to measure the
+  harness's detection power, and ``--wp`` for whole-program fuzzing.
 """
 
 from .diff import DiffResult, Failure, MatrixConfig, build_matrix, run_differential
-from .gen import GenConfig, ProgramGen, generate
+from .gen import GenConfig, ProgramGen, generate, generate_units
 from .reduce import ReducedCase, reduce_source, write_crash
+from .wp import WpDiffResult, run_wp_differential
 
 __all__ = [
     "DiffResult",
@@ -34,7 +40,10 @@ __all__ = [
     "GenConfig",
     "ProgramGen",
     "generate",
+    "generate_units",
     "ReducedCase",
     "reduce_source",
     "write_crash",
+    "WpDiffResult",
+    "run_wp_differential",
 ]

@@ -39,7 +39,7 @@ from .diff import DiffResult, build_matrix, run_differential
 from .gen import GenConfig, generate
 from .reduce import reduce_source, write_crash
 
-__all__ = ["main", "run_fuzz", "run_incremental_fuzz", "run_inject"]
+__all__ = ["main", "run_fuzz", "run_incremental_fuzz", "run_inject", "run_wp_fuzz"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,6 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         " verify the warm session's spliced recompile matches"
                         " a cold compile (RTL, semantics, lint, and exact"
                         " invalidation set)")
+    p.add_argument("--wp", action="store_true",
+                   help="whole-program mode: split each program over 2-4"
+                        " units and verify linked compilation agrees with"
+                        " per-file compilation semantically while keeping"
+                        " at most as many dependence edges")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan the fuzz batch out over N worker processes"
                         " (0 = one per core; default 1, serial; normal"
@@ -222,6 +227,14 @@ _EXPECTED_CHANNELS = {
     faults.FLIP_VERDICT: ("lint", "semantic", "memory"),
 }
 
+#: Which whole-program lint rule must fire for each link-time fault
+#: (detection channel: the HLI009–HLI012 auditor on a multi-file build).
+_EXPECTED_WP_RULES = {
+    faults.DROP_SUMMARY: "HLI009",
+    faults.SWAP_LINK_ENTRIES: "HLI010",
+    faults.STALE_SUMMARY: "HLI012",
+}
+
 
 def run_incremental_fuzz(args: argparse.Namespace, out=None) -> int:
     """Incremental mode: edited programs must splice-recompile exactly.
@@ -268,6 +281,52 @@ def run_incremental_fuzz(args: argparse.Namespace, out=None) -> int:
     return 1 if failing else 0
 
 
+def run_wp_fuzz(args: argparse.Namespace, out=None) -> int:
+    """Whole-program mode: linked and per-file builds must agree.
+
+    Each seeded program is split over 2–4 units; the differential
+    checks semantics, edge-count monotonicity, and both lint tiers
+    (see :mod:`repro.difftest.wp`).  Returns non-zero on any finding.
+    """
+    from .wp import run_wp_differential
+
+    out = out if out is not None else sys.stdout
+    deadline = time.monotonic() + args.time_budget if args.time_budget else None
+    ran = 0
+    failing = 0
+    deleted = 0
+    with _trace.span("difftest.wp.fuzz", count=args.count):
+        for k in range(args.count):
+            if deadline is not None and time.monotonic() > deadline:
+                if not args.quiet:
+                    print(f"time budget exhausted after {ran} programs", file=out)
+                break
+            seed = args.seed + k
+            res = run_wp_differential(
+                seed, _config_for(args, k), n_units=2 + k % 3
+            )
+            ran += 1
+            deleted += max(0, res.edges_deleted)
+            if not res.ok:
+                failing += 1
+                print(f"  seed {seed} ({res.n_units} units): FAIL", file=out)
+                for msg in res.failures:
+                    print(f"    {msg}", file=out)
+                if failing >= args.max_failures:
+                    print(f"stopping after {failing} failures", file=out)
+                    break
+            elif not args.quiet and ran % 50 == 0:
+                print(f"  {ran}/{args.count} programs clean", file=out)
+    verdict = "FAIL" if failing else "ok"
+    print(
+        f"repro-fuzz --wp: {ran} linked-vs-per-file checks"
+        f" ({deleted} extra call edges deleted by linking):"
+        f" {failing} failing -> {verdict}",
+        file=out,
+    )
+    return 1 if failing else 0
+
+
 def run_inject(args: argparse.Namespace, out=None) -> int:
     """Mutation mode: every known fault must be detected. Returns exit code."""
     out = out if out is not None else sys.stdout
@@ -276,25 +335,52 @@ def run_inject(args: argparse.Namespace, out=None) -> int:
     detected: dict[str, Optional[dict]] = {}
     with _trace.span("difftest.inject", count=args.count):
         for fault in faults.ALL_FAULTS:
-            channels = _EXPECTED_CHANNELS[fault]
             found: Optional[dict] = None
-            with faults.inject(fault):
-                for k in range(args.count):
-                    if deadline is not None and time.monotonic() > deadline:
-                        break
-                    seed = args.seed + k
-                    source = generate(seed, _config_for(args, k))
-                    res = run_differential(source, seed=seed, matrix=matrix)
-                    hits = [f for f in res.failures if f.kind in channels]
-                    if hits:
-                        found = {
-                            "seed": seed,
-                            "programs": k + 1,
-                            "kinds": sorted({f.kind for f in hits}),
-                        }
-                        _metrics.inc("difftest.inject.detected", fault)
-                        break
-            detected[fault] = found
+            if fault in faults.LINK_FAULTS:
+                # Link faults only exist on multi-file builds; the
+                # detection channel is the whole-program auditor.
+                from .wp import run_wp_differential
+
+                expected_rule = _EXPECTED_WP_RULES[fault]
+                with faults.inject(fault):
+                    for k in range(args.count):
+                        if deadline is not None and time.monotonic() > deadline:
+                            break
+                        seed = args.seed + k
+                        res = run_wp_differential(
+                            seed, _config_for(args, k), n_units=2 + k % 3
+                        )
+                        if any(
+                            r.startswith(expected_rule)
+                            for r in res.wp_lint_rules
+                        ):
+                            found = {
+                                "seed": seed,
+                                "programs": k + 1,
+                                "kinds": [f"wp-lint:{expected_rule}"],
+                            }
+                            _metrics.inc("difftest.inject.detected", fault)
+                            break
+                detected[fault] = found
+            else:
+                channels = _EXPECTED_CHANNELS[fault]
+                with faults.inject(fault):
+                    for k in range(args.count):
+                        if deadline is not None and time.monotonic() > deadline:
+                            break
+                        seed = args.seed + k
+                        source = generate(seed, _config_for(args, k))
+                        res = run_differential(source, seed=seed, matrix=matrix)
+                        hits = [f for f in res.failures if f.kind in channels]
+                        if hits:
+                            found = {
+                                "seed": seed,
+                                "programs": k + 1,
+                                "kinds": sorted({f.kind for f in hits}),
+                            }
+                            _metrics.inc("difftest.inject.detected", fault)
+                            break
+                detected[fault] = found
             if found is not None:
                 print(
                     f"  fault {fault}: DETECTED after {found['programs']}"
@@ -330,6 +416,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             code = run_inject(args)
         elif args.incremental:
             code = run_incremental_fuzz(args)
+        elif args.wp:
+            code = run_wp_fuzz(args)
         else:
             code = run_fuzz(args)
         if args.stats_out:

@@ -33,7 +33,7 @@ import random
 from dataclasses import dataclass, replace
 from typing import Optional
 
-__all__ = ["GenConfig", "ProgramGen", "generate"]
+__all__ = ["GenConfig", "ProgramGen", "generate", "generate_units"]
 
 
 @dataclass(frozen=True)
@@ -400,7 +400,7 @@ class ProgramGen:
 
     # -- helper functions --------------------------------------------------
 
-    def _helper(self, k: int) -> str:
+    def _helper(self, k: int, chain: bool = False) -> str:
         body = [f"    int r;"]
         self._in_helper = True
         expr = self._int_expr(0, ["a", "b"])
@@ -413,12 +413,17 @@ class ProgramGen:
         if self.rng.random() < 0.4:
             arr = self.rng.choice(self.arrays)
             body.append(f"    r = r + {arr}[(b) & {self.mask}];")
+        if chain and k + 1 < self.cfg.functions and self.rng.random() < 0.6:
+            # cross-unit call chain: f_k -> f_{k+1} (still a DAG, so
+            # termination holds; feeds the linker's SCC fixpoint)
+            body.append(f"    r = r + f{k + 1}(b, a);")
         body.append(f"    return r;")
         return f"int f{k}(int a, int b) {{\n" + "\n".join(body) + "\n}\n"
 
     # -- top level ---------------------------------------------------------
 
-    def build(self) -> str:
+    def _global_defs(self) -> list[str]:
+        """Defining declarations for every global (one unit owns these)."""
         cfg = self.cfg
         parts: list[str] = []
         if cfg.structs:
@@ -432,10 +437,79 @@ class ProgramGen:
             parts.append(f"double {d};")
         if cfg.pointers:
             parts.append("int *gp;")
+        return parts
+
+    def _global_externs(self) -> list[str]:
+        """Extern declarations mirroring :meth:`_global_defs`."""
+        cfg = self.cfg
+        parts: list[str] = []
+        if cfg.structs:
+            parts.append("struct rec { int fa; int fb; };")
+            parts.append("extern struct rec gr;")
+        for a in self.arrays:
+            parts.append(f"extern int {a}[{self.size}];")
+        for s in self.scalars:
+            parts.append(f"extern int {s};")
+        for d in self.floats:
+            parts.append(f"extern double {d};")
+        if cfg.pointers:
+            parts.append("extern int *gp;")
+        return parts
+
+    @staticmethod
+    def _proto(k: int) -> str:
+        return f"extern int f{k}(int a, int b);"
+
+    def build(self) -> str:
+        cfg = self.cfg
+        parts: list[str] = self._global_defs()
         parts.append("")
         for k in range(cfg.functions if cfg.calls else 0):
             parts.append(self._helper(k))
+        parts.append(self._main_text())
+        return "\n".join(parts) + "\n"
 
+    def build_units(self, n_units: int) -> list[tuple[str, str]]:
+        """Render the program split across ``n_units`` translation units.
+
+        Unit 0 (``u0.c``) owns every global definition and ``main``;
+        helper functions are distributed round-robin over the remaining
+        units, each of which sees the globals through extern declarations
+        and the other units' helpers through extern prototypes.  Helpers
+        may chain-call the next helper, so calls cross unit boundaries in
+        both directions.  Deterministic for a fixed ``(seed, config,
+        n_units)``.
+        """
+        cfg = self.cfg
+        n_helpers = cfg.functions if cfg.calls else 0
+        n_units = max(2, min(n_units, 1 + n_helpers))
+        if n_helpers == 0:
+            return [("u0.c", self.build())]
+        helpers = [self._helper(k, chain=True) for k in range(n_helpers)]
+        main_text = self._main_text()
+        owner = {k: 1 + (k % (n_units - 1)) for k in range(n_helpers)}
+        units: list[tuple[str, str]] = []
+        for u in range(n_units):
+            parts: list[str] = []
+            if u == 0:
+                parts.extend(self._global_defs())
+                parts.append("")
+                parts.extend(self._proto(k) for k in range(n_helpers))
+                parts.append("")
+                parts.append(main_text)
+            else:
+                parts.extend(self._global_externs())
+                parts.append("")
+                parts.extend(
+                    self._proto(k) for k in range(n_helpers) if owner[k] != u
+                )
+                parts.append("")
+                parts.extend(h for k, h in enumerate(helpers) if owner[k] == u)
+            units.append((f"u{u}.c", "\n".join(parts) + "\n"))
+        return units
+
+    def _main_text(self) -> str:
+        cfg = self.cfg
         main: list[str] = ["int main() {"]
         main.append(f"    int {', '.join(_IDX)};")
         main.append(f"    int {', '.join(_DW)};")
@@ -479,8 +553,7 @@ class ProgramGen:
             main.append('    printf("chk=%d\\n", chk);')
         main.append("    return chk & 65535;")
         main.append("}")
-        parts.append("\n".join(main))
-        return "\n".join(parts) + "\n"
+        return "\n".join(main)
 
 
 def generate(
@@ -490,3 +563,18 @@ def generate(
 ) -> str:
     """Generate one deterministic random MiniC program."""
     return ProgramGen(rng if rng is not None else random.Random(seed), config).build()
+
+
+def generate_units(
+    seed: int,
+    config: Optional[GenConfig] = None,
+    n_units: int = 3,
+    rng: Optional[random.Random] = None,
+) -> list[tuple[str, str]]:
+    """Generate one deterministic random *multi-file* MiniC program.
+
+    Returns ``(filename, source)`` pairs suitable for
+    :func:`repro.driver.wpa.compile_whole_program`.
+    """
+    gen = ProgramGen(rng if rng is not None else random.Random(seed), config)
+    return gen.build_units(n_units)

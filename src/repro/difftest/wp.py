@@ -1,0 +1,127 @@
+"""Differential testing of whole-program vs per-file compilation.
+
+For one seeded multi-file program (:func:`repro.difftest.gen.generate_units`)
+this runner compiles the same unit list twice — once per-file
+(conservative extern effects) and once whole-program (linked summaries)
+— links both into executable images, and checks:
+
+* **semantic agreement** — return value, output stream, and final data
+  memory of the two images are identical (the linked summaries may only
+  delete *redundant* ordering edges, never change behaviour);
+* **monotonicity** — whole-program mode keeps at most as many
+  call-vs-memory edges (``DepStats.call_dep``) and combined dependence
+  edges as per-file mode: more information can only delete edges;
+* **link hygiene** — no link or image diagnostics on generated programs
+  (they are well-formed by construction);
+* **lint** — per-unit ``hli-lint`` is clean in both modes and the
+  whole-program auditor (HLI009–HLI012) is clean.
+
+Any violated check is a finding: either the linker computed an unsound
+summary (and the schedule diverged) or the monotonicity argument of the
+adapter broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..backend.ddg import DepStats
+from ..driver.compile import CompileOptions
+from ..driver.wpa import compile_whole_program
+from ..machine.executor import execute
+from ..obs import trace as _trace
+from .gen import GenConfig, generate_units
+
+__all__ = ["WpDiffResult", "run_wp_differential"]
+
+
+@dataclass
+class WpDiffResult:
+    """Outcome of one whole-program differential run."""
+
+    seed: int
+    n_units: int
+    failures: list[str] = field(default_factory=list)
+    wp_stats: DepStats = field(default_factory=DepStats)
+    pf_stats: DepStats = field(default_factory=DepStats)
+    #: rule IDs the whole-program lint raised (empty when clean)
+    wp_lint_rules: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def fail(self, message: str) -> None:
+        self.failures.append(message)
+
+    @property
+    def edges_deleted(self) -> int:
+        """Call-ordering edges whole-program mode deleted beyond per-file."""
+        return self.pf_stats.call_dep - self.wp_stats.call_dep
+
+
+def run_wp_differential(
+    seed: int,
+    config: Optional[GenConfig] = None,
+    n_units: int = 3,
+    options: Optional[CompileOptions] = None,
+) -> WpDiffResult:
+    """Compile one seeded multi-file program both ways and compare."""
+    sources = generate_units(seed, config, n_units=n_units)
+    res = WpDiffResult(seed=seed, n_units=len(sources))
+    opts = options or CompileOptions(lint=True)
+    with _trace.span("difftest.wp", seed=seed, units=len(sources)):
+        wp = compile_whole_program(sources, opts, whole_program=True)
+        pf = compile_whole_program(sources, opts, whole_program=False)
+        res.wp_stats = wp.total_dep_stats()
+        res.pf_stats = pf.total_dep_stats()
+
+        for diag in wp.link.diagnostics:
+            res.fail(f"link diagnostic: {diag.code} '{diag.name}': {diag.message}")
+        for diag in wp.image_diagnostics:
+            res.fail(f"image diagnostic: {diag.code} '{diag.name}': {diag.message}")
+
+        r_wp = execute(wp.image, collect_trace=False)
+        r_pf = execute(pf.image, collect_trace=False)
+        if r_wp.ret != r_pf.ret:
+            res.fail(f"return value diverges: wp={r_wp.ret} pf={r_pf.ret}")
+        if list(r_wp.output) != list(r_pf.output):
+            res.fail("output stream diverges between wp and per-file images")
+        if r_wp.memory != r_pf.memory:
+            diff = {
+                addr
+                for addr in set(r_wp.memory) | set(r_pf.memory)
+                if r_wp.memory.get(addr) != r_pf.memory.get(addr)
+            }
+            res.fail(f"final memory diverges at {len(diff)} address(es)")
+
+        if res.wp_stats.call_dep > res.pf_stats.call_dep:
+            res.fail(
+                "monotonicity violated: whole-program kept more call edges "
+                f"({res.wp_stats.call_dep}) than per-file ({res.pf_stats.call_dep})"
+            )
+        if res.wp_stats.combined_yes > res.pf_stats.combined_yes:
+            res.fail(
+                "monotonicity violated: whole-program kept more combined "
+                f"edges ({res.wp_stats.combined_yes}) than per-file "
+                f"({res.pf_stats.combined_yes})"
+            )
+
+        if opts.lint:
+            for mode_name, result in (("wp", wp), ("per-file", pf)):
+                for fname, comp in result.units.items():
+                    if comp.lint_report is not None and not comp.lint_report.clean:
+                        res.fail(
+                            f"{mode_name} unit lint not clean for {fname}: "
+                            f"{[d.rule.rule_id for d in comp.lint_report.findings]}"
+                        )
+        wp_report = wp.lint_report()
+        res.wp_lint_rules = sorted(
+            {d.rule.rule_id for d in wp_report.diagnostics}
+        )
+        if not wp_report.clean:
+            res.fail(
+                f"whole-program lint not clean: {res.wp_lint_rules}"
+            )
+    return res

@@ -9,14 +9,17 @@ from .session import (
     parallel_map,
 )
 from .timing import BenchTiming, time_benchmark
+from .wpa import WholeProgramResult, compile_whole_program
 
 __all__ = [
     "Compilation",
     "CompilationSession",
     "CompileOptions",
     "SessionStats",
+    "WholeProgramResult",
     "compile_source",
     "compile_many",
+    "compile_whole_program",
     "default_session",
     "parallel_map",
     "BenchTiming",

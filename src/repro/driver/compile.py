@@ -92,6 +92,11 @@ class Compilation:
     #: ``"fe:<tier>"`` (front-end entry reused, back end re-ran), or
     #: ``"be:<tier>"`` (finished back-end artifacts spliced in)
     fn_cache_states: dict[str, str] = field(default_factory=dict)
+    #: linked cross-module effects for extern functions (whole-program
+    #: mode): function name -> :class:`~repro.analysis.refmod.EffectSet`.
+    #: Consumed by the ``hli-build`` pass and by the lint reference
+    #: rebuild, so both see the same external world.
+    external_effects: Optional[dict] = None
 
     def total_dep_stats(self) -> DepStats:
         total = DepStats()
@@ -104,15 +109,26 @@ def compile_source(
     source: str,
     filename: str = "<input>",
     options: Optional[CompileOptions] = None,
+    external_effects: Optional[dict] = None,
 ) -> Compilation:
-    """Compile MiniC source through the full HLI pipeline (cold, uncached)."""
+    """Compile MiniC source through the full HLI pipeline (cold, uncached).
+
+    ``external_effects`` (whole-program mode) maps extern function names
+    to linked :class:`~repro.analysis.refmod.EffectSet` summaries; the
+    HLI builder uses them instead of the conservative TOP/TOP default.
+    """
     from .passes import PassContext, run_pipeline
 
     opts = options or CompileOptions()
     with enabled_scope(opts.trace):
         with _trace.span("driver.compile", file=filename, mode=opts.mode.value):
             ctx = PassContext(
-                comp=Compilation(source=source, filename=filename, options=opts),
+                comp=Compilation(
+                    source=source,
+                    filename=filename,
+                    options=opts,
+                    external_effects=external_effects,
+                ),
                 opts=opts,
             )
             run_pipeline(ctx)

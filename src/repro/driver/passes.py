@@ -93,7 +93,9 @@ def _parse(ctx: PassContext) -> None:
 
 
 def _build_hli(ctx: PassContext) -> None:
-    ctx.comp.hli, ctx.comp.frontend = build_hli(ctx.program, ctx.table)
+    ctx.comp.hli, ctx.comp.frontend = build_hli(
+        ctx.program, ctx.table, external_effects=ctx.comp.external_effects
+    )
 
 
 def _lower(ctx: PassContext) -> None:

@@ -89,7 +89,7 @@ __all__ = [
 
 #: Bumped whenever the blob layout or any serialized artifact changes.
 CACHE_MAGIC = b"HLIC"
-CACHE_VERSION = 2
+CACHE_VERSION = 3  # 3: Symbol grew ``is_extern`` (pickled shape changed)
 
 #: Blob kind tags (part of the frame, so a key collision across kinds
 #: can never deserialize through the wrong decoder).
@@ -152,7 +152,9 @@ class SessionStats:
 # -- content-addressed keys ----------------------------------------------------
 
 
-def cache_key(source: str, filename: str, passes: Sequence[Pass]) -> str:
+def cache_key(
+    source: str, filename: str, passes: Sequence[Pass], salt: str = ""
+) -> str:
     """Manifest key = hash of source + filename + front-end fingerprint.
 
     Back-end knobs (dependence mode, latency table, optimization flags)
@@ -160,11 +162,18 @@ def cache_key(source: str, filename: str, passes: Sequence[Pass]) -> str:
     them, which is exactly what lets ``timing``'s gcc-vs-hli double
     compile share one parse.  Bumping any front-end pass's ``version``
     changes the fingerprint and retires stale entries automatically.
+
+    ``salt`` folds external state the source cannot express into the
+    key — the whole-program driver passes a fingerprint of the linked
+    cross-module summaries, so per-file and whole-program artifacts for
+    the same source never collide (and relinking retires stale entries).
     """
     h = hashlib.sha256()
     h.update(b"repro-hli-cache\x00")
     h.update(struct.pack("<H", CACHE_VERSION))
     h.update(frontend_fingerprint(passes).encode("ascii"))
+    h.update(b"\x00")
+    h.update(salt.encode("utf-8", "surrogatepass"))
     h.update(b"\x00")
     h.update(filename.encode("utf-8", "surrogatepass"))
     h.update(b"\x00")
@@ -172,9 +181,9 @@ def cache_key(source: str, filename: str, passes: Sequence[Pass]) -> str:
     return h.hexdigest()
 
 
-def _fe_salt(prefix: Sequence[Pass], filename: str) -> str:
+def _fe_salt(prefix: Sequence[Pass], filename: str, salt: str = "") -> str:
     """Function-independent part of every per-function front-end key."""
-    return f"{CACHE_VERSION}:{pipeline_fingerprint(prefix)}:{filename}"
+    return f"{CACHE_VERSION}:{pipeline_fingerprint(prefix)}:{filename}:{salt}"
 
 
 def _be_key(fe_key: str, opts: CompileOptions, backend_fp: str) -> str:
@@ -561,6 +570,8 @@ class CompilationSession:
         source: str,
         filename: str = "<input>",
         options: Optional[CompileOptions] = None,
+        external_effects: Optional[dict] = None,
+        extra_salt: str = "",
     ) -> Compilation:
         """Compile through the cache.
 
@@ -568,6 +579,11 @@ class CompilationSession:
         hits then skip mapping/optimization/scheduling for every
         unchanged function, so an edit recompiles only the invalidated
         set (the edited functions plus their transitive callers).
+
+        ``external_effects``/``extra_salt`` support whole-program mode:
+        the effects feed the HLI builder and the salt keys the cached
+        artifacts to the link state they were built under (callers must
+        derive the salt from the effects — the session only hashes it).
         """
         opts = options or CompileOptions()
         passes = build_pipeline(opts)
@@ -575,18 +591,37 @@ class CompilationSession:
         if not prefix:  # nothing cacheable in this pipeline
             from .compile import compile_source
 
-            return compile_source(source, filename, opts)
-        key = cache_key(source, filename, passes)
+            return compile_source(source, filename, opts, external_effects)
+        key = cache_key(source, filename, passes, salt=extra_salt)
         with enabled_scope(opts.trace):
             with _trace.span(
                 "session.compile", file=filename, mode=opts.mode.value
             ) as span:
-                prep = self._prepare(key, source, filename, opts, prefix, suffix)
+                prep = self._prepare(
+                    key,
+                    source,
+                    filename,
+                    opts,
+                    prefix,
+                    suffix,
+                    external_effects=external_effects,
+                    extra_salt=extra_salt,
+                )
                 self._run_suffix(prep)
                 span.set(cache=prep.comp.cache_state)
                 return prep.comp
 
-    def _prepare(self, key, source, filename, opts, prefix, suffix) -> _Prepared:
+    def _prepare(
+        self,
+        key,
+        source,
+        filename,
+        opts,
+        prefix,
+        suffix,
+        external_effects=None,
+        extra_salt="",
+    ) -> _Prepared:
         """Resolve the front end (cache or compile) and splice the back end."""
         blob, tier = self._lookup(key)
         man = None
@@ -610,6 +645,7 @@ class CompilationSession:
                 rtl=man.rtl,
                 options=opts,
                 cache_state=tier,
+                external_effects=external_effects,
             )
             stats = PipelineStats(cached_prefix=tuple(p.name for p in prefix))
             fe_keys = man.fe_keys
@@ -618,7 +654,13 @@ class CompilationSession:
             self.stats.misses += 1
             _metrics.inc("session.cache.miss")
             comp, stats, fe_keys, fn_states = self._frontend_incremental(
-                key, source, filename, opts, prefix
+                key,
+                source,
+                filename,
+                opts,
+                prefix,
+                external_effects=external_effects,
+                extra_salt=extra_salt,
             )
         active = self._splice_backend(comp, fe_keys, opts, suffix, fn_states)
         comp.fn_cache_states = fn_states
@@ -632,7 +674,16 @@ class CompilationSession:
             active=active,
         )
 
-    def _frontend_incremental(self, key, source, filename, opts, prefix):
+    def _frontend_incremental(
+        self,
+        key,
+        source,
+        filename,
+        opts,
+        prefix,
+        external_effects=None,
+        extra_salt="",
+    ):
         """Manifest miss: rebuild only the functions whose keys changed.
 
         Parses (unavoidable — fingerprints need the checked AST), then
@@ -646,18 +697,23 @@ class CompilationSession:
         from ..frontend import parse_and_check
         from .incremental import function_keys
 
-        comp = Compilation(source=source, filename=filename, options=opts)
+        comp = Compilation(
+            source=source,
+            filename=filename,
+            options=opts,
+            external_effects=external_effects,
+        )
         stats = PipelineStats()
         program, table = parse_and_check(source, filename)
         stats.passes_run.append("parse")
-        builder = HLIBuilder(program, table)
+        builder = HLIBuilder(program, table, external_effects=external_effects)
         keys = function_keys(
             source,
             program,
             table,
             builder.pts,
             builder.refmod,
-            salt=_fe_salt(prefix, filename),
+            salt=_fe_salt(prefix, filename, extra_salt),
         )
         hli = HLIFile(source_filename=program.filename)
         frontend = builder.frontend_info()

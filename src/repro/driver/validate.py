@@ -48,6 +48,8 @@ class ValidationReport:
     table2: list[dict] = field(default_factory=list)
     speedups: list[dict] = field(default_factory=list)
     claims: list[Claim] = field(default_factory=list)
+    #: per-workload whole-program vs per-file comparison rows
+    whole_program: list[dict] = field(default_factory=list)
     #: per-phase wall times (seconds), keyed by phase name
     phases: dict = field(default_factory=dict)
 
@@ -140,6 +142,78 @@ def _collect_difftest(report: ValidationReport) -> None:
         )
 
     report.add_claim(build)
+
+
+def _collect_whole_program(report: ValidationReport) -> None:
+    """Whole-program linking gate over the multi-file workloads.
+
+    For every workload in
+    :data:`~repro.workloads.multifile.WHOLE_PROGRAM_WORKLOADS` the units
+    are compiled twice — per-file (conservative extern effects) and
+    linked (cross-module summaries) — and three claims are checked:
+    identical execution, a *strict* reduction in call-ordering edges,
+    and a clean whole-program lint (HLI009–HLI012).
+    """
+    from ..workloads.multifile import WHOLE_PROGRAM_WORKLOADS
+    from .wpa import compile_whole_program
+
+    rows: list[dict] = []
+    opts = CompileOptions(lint=True)
+    for w in WHOLE_PROGRAM_WORKLOADS:
+        wp = compile_whole_program(w.sources(), opts, whole_program=True)
+        pf = compile_whole_program(w.sources(), opts, whole_program=False)
+        r_wp = execute(wp.image, collect_trace=False)
+        r_pf = execute(pf.image, collect_trace=False)
+        s_wp, s_pf = wp.total_dep_stats(), pf.total_dep_stats()
+        lint = wp.lint_report()
+        rows.append(
+            {
+                "workload": w.name,
+                "units": len(w.units),
+                "agree": (
+                    r_wp.ret == r_pf.ret
+                    and list(r_wp.output) == list(r_pf.output)
+                    and not wp.link.diagnostics
+                    and not wp.image_diagnostics
+                ),
+                "call_dep_pf": s_pf.call_dep,
+                "call_dep_wp": s_wp.call_dep,
+                "lint_findings": len(lint.diagnostics),
+                "lint_claims": sum(lint.claims_checked.values()),
+            }
+        )
+    report.whole_program = rows
+    report.add_claim(
+        lambda: Claim(
+            "wp_semantics_agree",
+            "linked and per-file images execute identically on every "
+            "multi-file workload",
+            bool(rows) and all(r["agree"] for r in rows),
+            {r["workload"]: r["agree"] for r in rows},
+        )
+    )
+    report.add_claim(
+        lambda: Claim(
+            "wp_edges_strictly_reduced",
+            "whole-program summaries delete strictly more call-ordering "
+            "edges than per-file compilation on every multi-file workload",
+            bool(rows) and all(r["call_dep_wp"] < r["call_dep_pf"] for r in rows),
+            {r["workload"]: (r["call_dep_pf"], r["call_dep_wp"]) for r in rows},
+        )
+    )
+    report.add_claim(
+        lambda: Claim(
+            "wp_lint_clean",
+            "the whole-program auditor (HLI009-HLI012) replays every "
+            "linked claim with zero findings",
+            bool(rows)
+            and all(r["lint_findings"] == 0 and r["lint_claims"] > 0 for r in rows),
+            {
+                "claims_replayed": sum(r["lint_claims"] for r in rows),
+                "findings": sum(r["lint_findings"] for r in rows),
+            },
+        )
+    )
 
 
 def _speedup_row(t) -> dict:
@@ -281,6 +355,7 @@ def validate(
     jobs: int = 1,
     cache_dir: str | None = None,
     cache_max_bytes: int | None = None,
+    include_whole_program: bool = False,
 ) -> ValidationReport:
     """Run the full validation; writes ``RESULTS.json`` and returns the report.
 
@@ -319,10 +394,17 @@ def validate(
                 phase("lint", lambda: _collect_lint(report, session))
             print("running differential-fuzz batch (24 programs) ...", flush=True)
             phase("difftest", lambda: _collect_difftest(report))
+            if include_whole_program:
+                print(
+                    "linking multi-file workloads (whole-program vs per-file) ...",
+                    flush=True,
+                )
+                phase("whole_program", lambda: _collect_whole_program(report))
     payload = {
         "table1": report.table1,
         "table2": report.table2,
         "speedups": report.speedups,
+        "whole_program": report.whole_program,
         "claims": [asdict(c) for c in report.claims],
         "phase_seconds": report.phases,
         "session_cache": session.stats.to_dict(),
@@ -358,6 +440,13 @@ def main(argv: list[str] | None = None) -> int:
         "--no-lint",
         action="store_true",
         help="skip the hli-lint claim-replay gate",
+    )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="also link the multi-file workloads and check the "
+        "whole-program claims (semantic agreement, strict edge "
+        "reduction, HLI009-HLI012 lint)",
     )
     parser.add_argument(
         "--out",
@@ -406,6 +495,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
+        include_whole_program=args.whole_program,
     )
     return 0 if report.all_passed else 1
 

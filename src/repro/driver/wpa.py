@@ -1,0 +1,171 @@
+"""Whole-program compilation: per-unit pipelines around one link step.
+
+``compile_whole_program`` is the driver for multi-file MiniC programs.
+It runs in two phases around :func:`repro.linker.link_units`:
+
+1. **Analyze + link.**  Every unit is parsed, checked, and summarized
+   (:func:`repro.linker.unit.analyze_unit`); the linker reconciles the
+   global symbols and runs the bottom-up SCC fixpoint over the
+   cross-unit call graph.
+2. **Compile.**  Every unit is compiled through the ordinary per-unit
+   pipeline, but with ``external_effects`` — the linked summaries of the
+   extern functions it calls, translated back into its own object
+   vocabulary by :mod:`repro.linker.adapter` — so the HLI builder,
+   queries, DDG, and lint all see precise cross-module REF/MOD facts
+   instead of the conservative TOP/TOP default.
+
+The per-unit RTL programs are then merged into one executable image
+(:func:`repro.linker.image.link_image`).  When a
+:class:`~repro.driver.session.CompilationSession` is supplied, phase 2
+compiles through it with an ``extra_salt`` derived from the link
+fingerprint, so per-file and whole-program artifacts never collide and a
+relink retires stale cache entries automatically.
+
+After phase 2 the driver snapshots each summarized function's HLI
+generation (``summary_generations``).  The whole-program lint's HLI012
+rule replays that snapshot against the entries' current generations —
+the link-time analog of the paper's staleness protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import TYPE_CHECKING, Optional
+
+from ..backend.ddg import DepStats
+from ..backend.rtl import RTLProgram
+from ..frontend import parse_and_check
+from ..hli import faults
+from ..linker import (
+    LinkResult,
+    analyze_unit,
+    effects_fingerprint,
+    effects_for_unit,
+    link_image,
+    link_units,
+)
+from ..linker.table import LinkDiagnostic
+from ..obs import enabled_scope
+from ..obs import trace as _trace
+from .compile import Compilation, CompileOptions, compile_source
+
+if TYPE_CHECKING:
+    from ..checker.rules import LintReport
+    from .session import CompilationSession
+
+__all__ = ["WholeProgramResult", "compile_whole_program"]
+
+
+@dataclass
+class WholeProgramResult:
+    """Everything whole-program compilation produced."""
+
+    #: unit filename -> its per-unit compilation (program order)
+    units: dict[str, Compilation] = field(default_factory=dict)
+    #: link table + cross-module summaries (phase 1)
+    link: LinkResult = field(default_factory=LinkResult)
+    #: the merged executable image (runs on the unmodified executor)
+    image: Optional[RTLProgram] = None
+    #: diagnostics from the image merge (size/duplicate/orphan issues)
+    image_diagnostics: list[LinkDiagnostic] = field(default_factory=list)
+    #: function -> HLI generation its summary was recorded against
+    #: (whole-program mode only; audited by lint rule HLI012)
+    summary_generations: dict[str, int] = field(default_factory=dict)
+    options: Optional[CompileOptions] = None
+    #: whether phase 2 consumed the linked summaries
+    whole_program: bool = True
+
+    def total_dep_stats(self) -> DepStats:
+        """Scheduling statistics summed over every unit."""
+        total = DepStats()
+        for comp in self.units.values():
+            total.merge(comp.total_dep_stats())
+        return total
+
+    def lint_report(self) -> "LintReport":
+        """Run the whole-program auditor (rules HLI009–HLI012)."""
+        from ..checker.wplint import lint_whole_program
+
+        return lint_whole_program(self)
+
+
+def _link_salt(link: LinkResult, effects: dict) -> str:
+    """Cache salt binding a unit's artifacts to the link state."""
+    h = sha256()
+    h.update(b"repro-wpa-link\x00")
+    h.update(link.fingerprint().encode("utf-8", "surrogatepass"))
+    h.update(b"\x00")
+    h.update(effects_fingerprint(effects).encode("utf-8", "surrogatepass"))
+    return "wpa:" + h.hexdigest()
+
+
+def compile_whole_program(
+    sources: list[tuple[str, str]],
+    options: Optional[CompileOptions] = None,
+    whole_program: bool = True,
+    session: Optional["CompilationSession"] = None,
+) -> WholeProgramResult:
+    """Compile ``(filename, source)`` units as one linked program.
+
+    With ``whole_program=False`` the link step still runs (the image and
+    diagnostics are always produced) but phase 2 compiles every unit
+    with the conservative per-file defaults — the baseline the
+    whole-program mode is measured against.
+    """
+    opts = options or CompileOptions()
+    result = WholeProgramResult(options=opts, whole_program=whole_program)
+    with enabled_scope(opts.trace):
+        with _trace.span("driver.wpa", units=len(sources), wp=whole_program):
+            analyses = []
+            for filename, source in sources:
+                program, table = parse_and_check(source, filename)
+                analyses.append(analyze_unit(program, table, filename=filename))
+            result.link = link_units(analyses)
+
+            for (filename, source), unit in zip(sources, analyses):
+                if whole_program:
+                    effects = effects_for_unit(unit, result.link.summaries)
+                    salt = _link_salt(result.link, effects)
+                else:
+                    effects, salt = None, ""
+                if session is not None:
+                    comp = session.compile(
+                        source,
+                        filename,
+                        opts,
+                        external_effects=effects,
+                        extra_salt=salt,
+                    )
+                else:
+                    comp = compile_source(source, filename, opts, effects)
+                result.units[filename] = comp
+
+            result.image, result.image_diagnostics = link_image(
+                [(fname, comp.rtl) for fname, comp in result.units.items()]
+            )
+
+            if whole_program:
+                _snapshot_generations(result)
+    return result
+
+
+def _snapshot_generations(result: WholeProgramResult) -> None:
+    """Record each summarized function's HLI generation *after* phase 2.
+
+    The back-end passes bump ``HLIEntry.generation`` through table
+    maintenance, so the binding must be taken from the finished
+    compilations — a link-time snapshot would be stale by construction.
+    The :data:`~repro.hli.faults.STALE_SUMMARY` fault corrupts one
+    binding here, modelling a summary reused across a relink.
+    """
+    for name, summary in result.link.summaries.items():
+        comp = result.units.get(summary.unit)
+        if comp is None or comp.hli is None:
+            continue
+        entry = comp.hli.entries.get(name)
+        if entry is not None:
+            result.summary_generations[name] = entry.generation
+    if faults.is_active(faults.STALE_SUMMARY) and result.summary_generations:
+        victim = sorted(result.summary_generations)[0]
+        result.summary_generations[victim] -= 1

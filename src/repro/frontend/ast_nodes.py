@@ -200,6 +200,7 @@ class VarDecl(Stmt):
     ty: Type | None = None
     init: Expr | None = None
     is_static: bool = False
+    is_extern: bool = False
     symbol: object = field(default=None, compare=False)
 
 
@@ -298,6 +299,22 @@ class FuncDef(Node):
 
 
 @dataclass
+class FuncProto(Node):
+    """A function declaration without a body (``extern`` or plain prototype).
+
+    Prototypes only contribute a signature to the symbol table; the
+    definition may live in another translation unit and is resolved by
+    the whole-program linker (:mod:`repro.linker`).
+    """
+
+    line: int
+    name: str = ""
+    ret: Type | None = None
+    params: list[Param] = field(default_factory=list)
+    is_extern: bool = False
+
+
+@dataclass
 class StructDef(Node):
     line: int
     name: str = ""
@@ -313,6 +330,7 @@ class Program(Node):
     globals: list[VarDecl] = field(default_factory=list)
     structs: list[StructDef] = field(default_factory=list)
     functions: list[FuncDef] = field(default_factory=list)
+    protos: list[FuncProto] = field(default_factory=list)
 
     def function(self, name: str) -> FuncDef:
         """Look up a function definition by name (KeyError if absent)."""

@@ -157,15 +157,22 @@ class Parser:
             if self._peek().kind is TokenKind.KW_STRUCT and self._peek(2).kind is TokenKind.LBRACE:
                 prog.structs.append(self._parse_struct_def())
                 continue
+            is_extern = self._accept(TokenKind.KW_EXTERN) is not None
             is_static = self._accept(TokenKind.KW_STATIC) is not None
+            if is_extern and is_static:
+                raise ParseError("'extern' and 'static' cannot be combined", self._peek().pos)
             self._accept(TokenKind.KW_CONST)
             base = self._parse_base_type()
             ty = self._parse_pointers(base)
             name_tok = self._expect(TokenKind.IDENT)
             if self._at(TokenKind.LPAREN):
-                prog.functions.append(self._parse_func_def(ty, name_tok, is_static))
+                node = self._parse_func_def(ty, name_tok, is_static, is_extern)
+                if isinstance(node, ast.FuncProto):
+                    prog.protos.append(node)
+                else:
+                    prog.functions.append(node)
             else:
-                self._parse_global_decl(prog, ty, name_tok, is_static)
+                self._parse_global_decl(prog, ty, name_tok, is_static, is_extern)
         return prog
 
     def _parse_struct_def(self) -> ast.StructDef:
@@ -189,11 +196,21 @@ class Parser:
         return ast.StructDef(line=kw.pos.line, name=name_tok.text, fields=fields)
 
     def _parse_global_decl(
-        self, prog: ast.Program, first_ty: Type, first_name: Token, is_static: bool
+        self,
+        prog: ast.Program,
+        first_ty: Type,
+        first_name: Token,
+        is_static: bool,
+        is_extern: bool = False,
     ) -> None:
         ty = self._parse_array_suffix(first_ty)
         init = None
         if self._accept(TokenKind.ASSIGN):
+            if is_extern:
+                raise ParseError(
+                    f"extern declaration of '{first_name.text}' cannot have an initializer",
+                    first_name.pos,
+                )
             init = self._parse_assignment_expr()
         prog.globals.append(
             ast.VarDecl(
@@ -202,6 +219,7 @@ class Parser:
                 ty=ty,
                 init=init,
                 is_static=is_static,
+                is_extern=is_extern,
             )
         )
         while self._accept(TokenKind.COMMA):
@@ -213,6 +231,11 @@ class Parser:
             dty = self._parse_array_suffix(dty)
             dinit = None
             if self._accept(TokenKind.ASSIGN):
+                if is_extern:
+                    raise ParseError(
+                        f"extern declaration of '{name_tok.text}' cannot have an initializer",
+                        name_tok.pos,
+                    )
                 dinit = self._parse_assignment_expr()
             prog.globals.append(
                 ast.VarDecl(
@@ -221,11 +244,14 @@ class Parser:
                     ty=dty,
                     init=dinit,
                     is_static=is_static,
+                    is_extern=is_extern,
                 )
             )
         self._expect(TokenKind.SEMI)
 
-    def _parse_func_def(self, ret: Type, name_tok: Token, is_static: bool) -> ast.FuncDef:
+    def _parse_func_def(
+        self, ret: Type, name_tok: Token, is_static: bool, is_extern: bool = False
+    ) -> ast.FuncDef | ast.FuncProto:
         self._expect(TokenKind.LPAREN)
         params: list[ast.Param] = []
         if not self._at(TokenKind.RPAREN):
@@ -249,6 +275,18 @@ class Parser:
                     if not self._accept(TokenKind.COMMA):
                         break
         self._expect(TokenKind.RPAREN)
+        if self._accept(TokenKind.SEMI):
+            return ast.FuncProto(
+                line=name_tok.pos.line,
+                name=name_tok.text,
+                ret=ret,
+                params=params,
+                is_extern=is_extern,
+            )
+        if is_extern:
+            raise ParseError(
+                f"extern function '{name_tok.text}' cannot have a body", name_tok.pos
+            )
         body = self._parse_block()
         return ast.FuncDef(
             line=name_tok.pos.line,

@@ -77,9 +77,32 @@ class SemanticAnalyzer:
             self.table.structs[sdef.name] = StructType(sdef.name, tuple(sdef.fields))
         for decl in self.program.globals:
             self._declare_global(decl)
+        # Declare prototypes first (regardless of source position) so a
+        # definition anywhere in the unit can check against them.
+        proto_types: dict[str, FunctionType] = {}
+        for proto in self.program.protos:
+            ptype = FunctionType(proto.ret or VOID, tuple(p.ty or INT for p in proto.params))
+            seen = proto_types.get(proto.name)
+            if seen is not None and seen != ptype:
+                raise SemanticError(
+                    f"conflicting declarations of function '{proto.name}'",
+                    SourcePos(proto.line, 1),
+                )
+            proto_types[proto.name] = ptype
+            self.table.declare_function(
+                FunctionSymbol(
+                    name=proto.name, ty=ptype, line=proto.line, defined=False, external=True
+                )
+            )
         # Pre-declare all functions so mutual recursion works.
         for fn in self.program.functions:
             ftype = FunctionType(fn.ret or VOID, tuple(p.ty or INT for p in fn.params))
+            declared = proto_types.get(fn.name)
+            if declared is not None and declared != ftype:
+                raise SemanticError(
+                    f"definition of '{fn.name}' conflicts with its prototype",
+                    SourcePos(fn.line, 1),
+                )
             try:
                 self.table.declare_function(
                     FunctionSymbol(name=fn.name, ty=ftype, line=fn.line, defined=True)
@@ -96,13 +119,33 @@ class SemanticAnalyzer:
 
     def _declare_global(self, decl: ast.VarDecl) -> None:
         storage = StorageClass.STATIC if decl.is_static else StorageClass.GLOBAL
-        sym = Symbol(name=decl.name, ty=decl.ty or INT, storage=storage, line=decl.line)
-        try:
-            self.table.global_scope.declare(sym)
-        except KeyError:
-            raise SemanticError(
-                f"redeclaration of global '{decl.name}'", SourcePos(decl.line, 1)
-            ) from None
+        existing = self.table.global_scope.names.get(decl.name)
+        if existing is not None:
+            # An extern declaration may coexist with (or precede) the
+            # defining declaration of the same global; both resolve to one
+            # Symbol.  Anything else is a redeclaration error.
+            if not (decl.is_extern or existing.is_extern):
+                raise SemanticError(
+                    f"redeclaration of global '{decl.name}'", SourcePos(decl.line, 1)
+                )
+            if existing.ty != (decl.ty or INT):
+                raise SemanticError(
+                    f"conflicting types for global '{decl.name}'", SourcePos(decl.line, 1)
+                )
+            if not decl.is_extern:
+                existing.is_extern = False  # the defining declaration wins
+            decl.symbol = existing
+            if decl.init is not None:
+                self._check_expr(decl.init, self.table.global_scope)
+            return
+        sym = Symbol(
+            name=decl.name,
+            ty=decl.ty or INT,
+            storage=storage,
+            line=decl.line,
+            is_extern=decl.is_extern,
+        )
+        self.table.global_scope.declare(sym)
         decl.symbol = sym
         if decl.init is not None:
             self._check_expr(decl.init, self.table.global_scope)

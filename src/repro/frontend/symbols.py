@@ -37,6 +37,9 @@ class Symbol:
     #: Set by semantic analysis if the program takes the symbol's address;
     #: an address-taken scalar cannot be register-promoted.
     address_taken: bool = False
+    #: True for ``extern`` globals declared here but defined in another
+    #: translation unit (reconciled by :mod:`repro.linker`).
+    is_extern: bool = False
     #: Unique id across the translation unit (stable ordering for tables).
     uid: int = field(default_factory=lambda: next(_symbol_ids))
 

@@ -35,6 +35,7 @@ class TokenKind(enum.Enum):
     KW_STRUCT = "struct"
     KW_STATIC = "static"
     KW_CONST = "const"
+    KW_EXTERN = "extern"
 
     # punctuation
     LPAREN = "("
@@ -100,6 +101,7 @@ KEYWORDS: dict[str, TokenKind] = {
     "struct": TokenKind.KW_STRUCT,
     "static": TokenKind.KW_STATIC,
     "const": TokenKind.KW_CONST,
+    "extern": TokenKind.KW_EXTERN,
 }
 
 

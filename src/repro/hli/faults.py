@@ -19,6 +19,18 @@ mutation/answer points:
   references that may conflict — the classic miscompilation the paper's
   whole design guards against (the scheduler deletes real DDG edges).
 
+Link-time faults (consulted by :mod:`repro.linker` and the
+whole-program driver; audited by lint rules HLI009–HLI012):
+
+* :data:`DROP_SUMMARY` — the linker blanks one function's cross-module
+  summary after the SCC fixpoint, modelling a lost/truncated summary
+  record (under-approximate effects → unsound DDG edge deletion);
+* :data:`SWAP_LINK_ENTRIES` — two link-table entries exchange their
+  ``defined_in`` units, modelling symbol-resolution corruption;
+* :data:`STALE_SUMMARY` — the whole-program driver records one summary
+  against an outdated HLI generation, modelling summaries reused after
+  the per-unit HLI moved on (the generation protocol's link-time analog).
+
 Faults are activated with the :func:`inject` context manager and are
 strictly scoped: the registry is empty outside every ``with`` block, so
 production code paths never pay more than one set-membership test, and a
@@ -34,7 +46,11 @@ __all__ = [
     "DROP_MAINTENANCE",
     "STALE_GENERATION",
     "FLIP_VERDICT",
+    "DROP_SUMMARY",
+    "SWAP_LINK_ENTRIES",
+    "STALE_SUMMARY",
     "ALL_FAULTS",
+    "LINK_FAULTS",
     "inject",
     "is_active",
     "active_faults",
@@ -46,8 +62,21 @@ DROP_MAINTENANCE = "drop-maintenance"
 STALE_GENERATION = "stale-generation"
 #: ``get_equiv_acc`` flips MAYBE/DEFINITE verdicts to NONE.
 FLIP_VERDICT = "flip-verdict"
+#: the linker blanks one cross-module summary after the fixpoint.
+DROP_SUMMARY = "drop-summary"
+#: two link-table entries swap their defining units.
+SWAP_LINK_ENTRIES = "swap-link-entries"
+#: one summary is recorded against an outdated HLI generation.
+STALE_SUMMARY = "stale-summary"
 
-ALL_FAULTS: tuple[str, ...] = (DROP_MAINTENANCE, STALE_GENERATION, FLIP_VERDICT)
+#: Faults applied at link time (whole-program mode only).
+LINK_FAULTS: tuple[str, ...] = (DROP_SUMMARY, SWAP_LINK_ENTRIES, STALE_SUMMARY)
+
+ALL_FAULTS: tuple[str, ...] = (
+    DROP_MAINTENANCE,
+    STALE_GENERATION,
+    FLIP_VERDICT,
+) + LINK_FAULTS
 
 _active: set[str] = set()
 

@@ -1,0 +1,91 @@
+"""Query adapter: cross-module summaries → unit-local REF/MOD effects.
+
+The per-unit HLI pipeline (builder → :class:`repro.hli.query.HLIQuery` →
+DDG) reasons in terms of :class:`~repro.analysis.refmod.EffectSet`
+values over the unit's own abstract objects.  This module converts the
+linker's name-based :class:`~repro.linker.summary.FnSummary` records
+into that vocabulary, so rebuilding a unit's HLI with the converted
+``external_effects`` makes every downstream consumer — call-acc queries,
+dependence tests, the DDG builder, lint replay — transparently
+whole-program aware.  No query or back-end code changes: the adapter
+*is* the cross-unit query path.
+
+Conversion rules:
+
+* every summary name is carried as a
+  :class:`~repro.analysis.refmod.ForeignObject` keyed by its canonical
+  link-space spelling; symbol binding is deliberately *deferred* — the
+  consuming :class:`~repro.analysis.refmod.RefModAnalysis` rebinds names
+  that denote the unit's own storage (bare globals, own-unit qualified
+  names, heap sites) to the abstract objects of **its** parse.  Effect
+  sets cross a process/parse boundary (the driver re-parses each unit in
+  phase 2, and the session cache restores pickled tables), and
+  :class:`~repro.frontend.symbols.Symbol` identity does not survive
+  that — a summary resolved against the link-time parse would silently
+  match nothing downstream;
+* ``ref_any``/``mod_any`` flags and (conservatively) parameter effects
+  fold to :data:`~repro.analysis.alias.TOP`, which is never worse than
+  the per-file default of TOP on both sets.
+"""
+
+from __future__ import annotations
+
+from ..analysis.alias import TOP
+from ..analysis.refmod import EffectSet, ForeignObject
+from .summary import FnSummary
+from .unit import UnitAnalysis
+
+__all__ = ["effects_for_unit", "effects_fingerprint"]
+
+
+def _convert(summary: FnSummary) -> EffectSet:
+    eff = EffectSet()
+    if summary.ref_any or summary.param_ref:
+        eff.ref.add(TOP)
+    else:
+        for name in summary.ref_names:
+            eff.ref.add(ForeignObject(name))
+    if summary.mod_any or summary.param_mod:
+        eff.mod.add(TOP)
+    else:
+        for name in summary.mod_names:
+            eff.mod.add(ForeignObject(name))
+    return eff
+
+
+def effects_for_unit(
+    unit: UnitAnalysis, summaries: dict[str, FnSummary]
+) -> dict[str, EffectSet]:
+    """External-function effects for rebuilding one unit's HLI.
+
+    Covers every function the unit declares but does not define whose
+    definition the linker found in another unit.
+    """
+    defined = set(unit.defined_functions())
+    out: dict[str, EffectSet] = {}
+    for name, fsym in unit.table.functions.items():
+        if name in defined or not fsym.external:
+            continue
+        summary = summaries.get(name)
+        if summary is None or summary.unit == unit.filename:
+            continue
+        out[name] = _convert(summary)
+    return out
+
+
+def effects_fingerprint(effects: dict[str, EffectSet]) -> str:
+    """Stable text form of converted effects (session cache salt)."""
+
+    def obj_name(obj: object) -> str:
+        if obj is TOP or obj == TOP:
+            return "<top>"
+        name = getattr(obj, "name", None)
+        return str(name) if name is not None else repr(obj)
+
+    lines = []
+    for fn in sorted(effects):
+        eff = effects[fn]
+        ref = ",".join(sorted(obj_name(o) for o in eff.ref))
+        mod = ",".join(sorted(obj_name(o) for o in eff.mod))
+        lines.append(f"{fn} ref={ref} mod={mod}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Merge per-unit RTL programs into one linked, executable image.
+
+Each unit was lowered in isolation, so every unit laid out its own copy
+of the global data segment (extern declarations included).  The linker
+re-layouts the union of all global names deterministically, remaps each
+unit's ``init_data`` through the owning symbol, and merges the function
+dictionaries.  The result runs on the unmodified
+:mod:`repro.machine.executor` — all addressing is symbolic through
+``globals_layout`` and calls dispatch by name.
+"""
+
+from __future__ import annotations
+
+from ..backend.lowering import ProgramLowering
+from ..backend.rtl import RTLProgram
+from .table import LinkDiagnostic
+
+__all__ = ["link_image"]
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def link_image(
+    unit_rtls: list[tuple[str, RTLProgram]],
+) -> tuple[RTLProgram, list[LinkDiagnostic]]:
+    """Merge ``(unit filename, rtl)`` pairs into one linked image."""
+    diagnostics: list[LinkDiagnostic] = []
+    image = RTLProgram()
+
+    # Pass 1: reconcile global sizes; remember where each function came from.
+    sizes: dict[str, int] = {}
+    order: list[str] = []
+    sym_units: dict[str, str] = {}
+    fn_units: dict[str, str] = {}
+    for unit_name, rtl in unit_rtls:
+        for sym, (_addr, size) in rtl.globals_layout.items():
+            prior = sizes.get(sym)
+            if prior is None:
+                sizes[sym] = size
+                sym_units[sym] = unit_name
+                order.append(sym)
+            else:
+                if prior != size and not sym.startswith("__argslot"):
+                    diagnostics.append(
+                        LinkDiagnostic(
+                            code="size-mismatch",
+                            name=sym,
+                            units=(sym_units[sym], unit_name),
+                            message=(
+                                f"'{sym}' laid out with {prior} bytes in "
+                                f"{sym_units[sym]} and {size} in {unit_name}"
+                            ),
+                        )
+                    )
+                sizes[sym] = max(prior, size)
+        for name, fn in rtl.functions.items():
+            if name in image.functions:
+                diagnostics.append(
+                    LinkDiagnostic(
+                        code="duplicate-definition",
+                        name=name,
+                        units=(fn_units[name], unit_name),
+                        message=f"function '{name}' lowered in both "
+                        f"{fn_units[name]} and {unit_name}",
+                    )
+                )
+                continue
+            image.functions[name] = fn
+            fn_units[name] = unit_name
+
+    # Pass 2: deterministic re-layout from the base address.
+    addr = ProgramLowering.BASE_ADDRESS
+    for sym in order:
+        size = _align8(max(sizes[sym], 1))
+        image.globals_layout[sym] = (addr, size)
+        addr += size
+
+    # Pass 3: remap each unit's initial data through the owning symbol.
+    for unit_name, rtl in unit_rtls:
+        for old_addr, value in rtl.init_data.items():
+            owner = None
+            for sym, (base, size) in rtl.globals_layout.items():
+                if base <= old_addr < base + size:
+                    owner = (sym, old_addr - base)
+                    break
+            if owner is None:
+                diagnostics.append(
+                    LinkDiagnostic(
+                        code="orphan-init",
+                        name=hex(old_addr),
+                        units=(unit_name,),
+                        message=f"initial datum at {old_addr:#x} in {unit_name} "
+                        "belongs to no global",
+                    )
+                )
+                continue
+            sym, offset = owner
+            new_base, _ = image.globals_layout[sym]
+            image.init_data[new_base + offset] = value
+    return image, diagnostics

@@ -1,0 +1,168 @@
+"""Global symbol reconciliation — the whole-program link table.
+
+The link table unifies extern declarations with definitions across
+translation units, exactly like a (static) linker's global symbol table:
+every global variable and function name maps to one :class:`LinkSymbol`
+recording where it is defined and where it is referenced.  Mismatches
+(duplicate definitions, conflicting types or sizes, unresolved externs)
+become :class:`LinkDiagnostic` records instead of silent misbehaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.semantic import EXTERNAL_SIGNATURES
+from ..frontend.symbols import StorageClass
+from .unit import UnitAnalysis
+
+__all__ = ["LinkSymbol", "LinkDiagnostic", "LinkTable", "build_link_table"]
+
+
+@dataclass(frozen=True)
+class LinkSymbol:
+    """One reconciled global name (variable or function)."""
+
+    name: str
+    kind: str  # "var" | "func"
+    defined_in: str | None  # unit filename, None for unresolved externs
+    declared_in: tuple[str, ...]  # units referencing the name (sorted)
+    type_repr: str  # rendered type of the defining declaration
+    size: int  # byte size for variables, 0 for functions
+
+
+@dataclass(frozen=True)
+class LinkDiagnostic:
+    """One reconciliation problem found while building the link table."""
+
+    code: str  # duplicate-definition | type-mismatch | undefined-symbol
+    name: str
+    units: tuple[str, ...]
+    message: str
+
+
+@dataclass
+class LinkTable:
+    """The reconciled global namespace of a multi-unit program."""
+
+    symbols: dict[str, LinkSymbol] = field(default_factory=dict)
+    diagnostics: list[LinkDiagnostic] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def fingerprint(self) -> str:
+        """Stable text form used by session cache keys and lint replay."""
+        lines = []
+        for name in sorted(self.symbols):
+            s = self.symbols[name]
+            lines.append(
+                f"{s.kind} {name} def={s.defined_in} decl={','.join(s.declared_in)} "
+                f"ty={s.type_repr} size={s.size}"
+            )
+        return "\n".join(lines)
+
+
+def _var_size(ty: object) -> int:
+    size = getattr(ty, "size", None)
+    if callable(size):
+        try:
+            return max(int(size()), 1)
+        except Exception:  # pragma: no cover - defensive
+            return 1
+    return 1
+
+
+def build_link_table(units: list[UnitAnalysis]) -> LinkTable:
+    """Reconcile the global namespaces of ``units`` into one link table."""
+    table = LinkTable()
+    # name -> (kind, defining unit, type repr, size)
+    defs: dict[str, tuple[str, str, str, int]] = {}
+    decls: dict[str, set[str]] = {}
+    kinds: dict[str, str] = {}
+    type_reprs: dict[str, dict[str, str]] = {}
+
+    def diag(code: str, name: str, unit_names: tuple[str, ...], message: str) -> None:
+        table.diagnostics.append(
+            LinkDiagnostic(code=code, name=name, units=unit_names, message=message)
+        )
+
+    for unit in units:
+        # Global variables (externs and definitions alike live in the
+        # global scope; statics are unit-private and never reconciled).
+        for name, sym in unit.table.global_scope.names.items():
+            if sym.storage is not StorageClass.GLOBAL or name.startswith("__argslot"):
+                continue
+            kinds.setdefault(name, "var")
+            decls.setdefault(name, set()).add(unit.filename)
+            type_reprs.setdefault(name, {})[unit.filename] = str(sym.ty)
+            if not sym.is_extern:
+                prior = defs.get(name)
+                if prior is not None and kinds[name] == "var":
+                    diag(
+                        "duplicate-definition",
+                        name,
+                        tuple(sorted((prior[1], unit.filename))),
+                        f"global '{name}' defined in both {prior[1]} and {unit.filename}",
+                    )
+                else:
+                    defs[name] = ("var", unit.filename, str(sym.ty), _var_size(sym.ty))
+        # Functions: definitions and prototypes.
+        for name, fsym in unit.table.functions.items():
+            if name in EXTERNAL_SIGNATURES and not fsym.defined:
+                continue  # library builtins are not link-table material
+            kinds.setdefault(name, "func")
+            decls.setdefault(name, set()).add(unit.filename)
+            type_reprs.setdefault(name, {})[unit.filename] = str(fsym.ty)
+            if fsym.defined:
+                prior = defs.get(name)
+                if prior is not None:
+                    diag(
+                        "duplicate-definition",
+                        name,
+                        tuple(sorted((prior[1], unit.filename))),
+                        f"function '{name}' defined in both {prior[1]} and {unit.filename}",
+                    )
+                else:
+                    defs[name] = ("func", unit.filename, str(fsym.ty), 0)
+
+    for name in sorted(kinds):
+        d = defs.get(name)
+        declared = tuple(sorted(decls.get(name, set())))
+        reprs = type_reprs.get(name, {})
+        if d is None:
+            diag(
+                "undefined-symbol",
+                name,
+                declared,
+                f"'{name}' is declared extern but defined in no unit",
+            )
+            any_repr = reprs[declared[0]] if declared else ""
+            table.symbols[name] = LinkSymbol(
+                name=name,
+                kind=kinds[name],
+                defined_in=None,
+                declared_in=declared,
+                type_repr=any_repr,
+                size=0,
+            )
+            continue
+        kind, def_unit, def_repr, size = d
+        mismatched = sorted(u for u, r in reprs.items() if r != def_repr)
+        if mismatched:
+            diag(
+                "type-mismatch",
+                name,
+                tuple(sorted(set(mismatched) | {def_unit})),
+                f"'{name}' declared as {sorted(set(reprs.values()))} across units",
+            )
+        table.symbols[name] = LinkSymbol(
+            name=name,
+            kind=kind,
+            defined_in=def_unit,
+            declared_in=declared,
+            type_repr=def_repr,
+            size=size,
+        )
+    return table

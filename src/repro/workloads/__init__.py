@@ -7,6 +7,7 @@ from .generators import (
     reduction_program,
     stencil_program,
 )
+from .multifile import MultiFileWorkload, WHOLE_PROGRAM_WORKLOADS, wp_by_name
 from .suite import (
     BENCHMARKS,
     BenchmarkSpec,
@@ -17,6 +18,9 @@ from .suite import (
 )
 
 __all__ = [
+    "MultiFileWorkload",
+    "WHOLE_PROGRAM_WORKLOADS",
+    "wp_by_name",
     "ReductionParams",
     "StencilParams",
     "random_affine_loop",

@@ -1,0 +1,196 @@
+"""Hand-written multi-unit workloads for whole-program validation.
+
+Each workload is a small MiniC program split over 2–3 translation units
+with cross-unit calls on shared globals.  They are constructed so the
+linked REF/MOD summaries have *narrow* effects — the per-file compile
+must assume every extern call clobbers all of memory, while the
+whole-program compile learns the callee touches only its own counters —
+so ``--whole-program`` validation can demand a strict dependence-edge
+reduction on top of semantic agreement.
+
+The third workload mixes a may-point-anywhere pointer deref (which folds
+to TOP even under linking: no unsound deletion allowed) with a narrow
+counter helper, exercising both halves of the adapter's conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MultiFileWorkload:
+    """One multi-unit program: a name plus ``(filename, source)`` units."""
+
+    name: str
+    units: tuple
+
+    def sources(self) -> list:
+        return list(self.units)
+
+
+_COUNTERS_U0 = """\
+int data[32];
+int sum;
+
+extern int bump(int k);
+extern int weigh(int k);
+
+int main() {
+    int i;
+    int acc;
+    sum = 0;
+    for (i = 0; i < 32; i++) {
+        data[i] = i * 7 - 3;
+    }
+    acc = 0;
+    for (i = 0; i < 32; i++) {
+        acc = acc + bump(data[i]);
+        acc = acc + data[i];
+    }
+    acc = acc + weigh(acc);
+    printf("acc=%d\\n", acc);
+    printf("sum=%d\\n", sum);
+    return acc & 65535;
+}
+"""
+
+_COUNTERS_U1 = """\
+extern int data[32];
+extern int sum;
+int tally;
+
+int bump(int k) {
+    tally = tally + k;
+    return tally & 255;
+}
+
+int weigh(int k) {
+    int i;
+    int t;
+    t = 0;
+    for (i = 0; i < 32; i++) {
+        t = t + data[i];
+    }
+    sum = sum + t;
+    return (t ^ k) & 1023;
+}
+"""
+
+_STAGES_U0 = """\
+int src[16];
+int checksum;
+
+extern int stage1(int i);
+
+int main() {
+    int i;
+    int r;
+    checksum = 0;
+    for (i = 0; i < 16; i++) {
+        src[i] = i * i + 1;
+    }
+    r = 0;
+    for (i = 0; i < 16; i++) {
+        r = r + stage1(i);
+        checksum = checksum + src[i];
+    }
+    printf("r=%d\\n", r);
+    printf("checksum=%d\\n", checksum);
+    return (r + checksum) & 65535;
+}
+"""
+
+_STAGES_U1 = """\
+extern int src[16];
+extern int stage2(int v);
+int hist1;
+
+int stage1(int i) {
+    int v;
+    v = src[(i) & 15];
+    hist1 = hist1 + v;
+    return stage2(v);
+}
+"""
+
+_STAGES_U2 = """\
+int hist2;
+
+int stage2(int v) {
+    hist2 = hist2 + (v | 3);
+    return (hist2 ^ v) & 4095;
+}
+"""
+
+_ALIASING_U0 = """\
+int left[16];
+int right[16];
+int *cur;
+int total;
+
+extern int scale(int k);
+extern int note(int k);
+
+int main() {
+    int i;
+    int t;
+    for (i = 0; i < 16; i++) {
+        left[i] = i + 1;
+        right[i] = 31 - i;
+    }
+    cur = left;
+    t = scale(3);
+    cur = right;
+    t = t + scale(5);
+    total = 0;
+    for (i = 0; i < 16; i++) {
+        t = t + note(left[i]);
+        total = total + right[i];
+    }
+    printf("t=%d\\n", t);
+    printf("total=%d\\n", total);
+    return (t + total) & 65535;
+}
+"""
+
+_ALIASING_U1 = """\
+extern int *cur;
+int marks;
+
+int scale(int k) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        (*cur) = (*cur) + k;
+    }
+    return k;
+}
+
+int note(int k) {
+    marks = marks + k;
+    return marks & 511;
+}
+"""
+
+
+WHOLE_PROGRAM_WORKLOADS: list[MultiFileWorkload] = [
+    MultiFileWorkload(
+        name="counters",
+        units=(("u0.c", _COUNTERS_U0), ("u1.c", _COUNTERS_U1)),
+    ),
+    MultiFileWorkload(
+        name="stages",
+        units=(("u0.c", _STAGES_U0), ("u1.c", _STAGES_U1), ("u2.c", _STAGES_U2)),
+    ),
+    MultiFileWorkload(
+        name="aliasing",
+        units=(("u0.c", _ALIASING_U0), ("u1.c", _ALIASING_U1)),
+    ),
+]
+
+
+def wp_by_name(name: str) -> MultiFileWorkload:
+    for w in WHOLE_PROGRAM_WORKLOADS:
+        if w.name == name:
+            return w
+    raise KeyError(name)

@@ -1,0 +1,83 @@
+"""Whole-program lint (HLI009–HLI012): clean images audit clean, and every
+injected link corruption is detected by its dedicated rule."""
+
+import pytest
+
+from repro.driver.wpa import compile_whole_program
+from repro.hli import faults
+
+UNITS = [
+    (
+        "main.c",
+        "int total;\n"
+        "extern int bump(int k);\n"
+        "extern int weigh(int k);\n"
+        "int main() {\n"
+        "    int i;\n"
+        "    for (i = 0; i < 4; i++) { total = total + bump(i); }\n"
+        "    return weigh(total);\n"
+        "}\n",
+    ),
+    (
+        "lib.c",
+        "int tally;\n"
+        "int bump(int k) {\n"
+        "    tally = tally + k;\n"
+        "    return tally;\n"
+        "}\n"
+        "int weigh(int k) { return k * 2 + tally; }\n",
+    ),
+]
+
+
+def _rules_fired(report):
+    return {d.rule.rule_id for d in report.diagnostics}
+
+
+class TestCleanImage:
+    def test_no_findings_and_claims_counted(self):
+        wp = compile_whole_program(UNITS)
+        report = wp.lint_report()
+        assert report.diagnostics == []
+        # every rule must have actually replayed claims, not vacuously passed
+        assert report.claims_checked
+        assert sum(report.claims_checked.values()) > 0
+
+
+class TestFaultDetection:
+    def test_drop_summary_caught_by_hli009(self):
+        with faults.inject(faults.DROP_SUMMARY):
+            wp = compile_whole_program(UNITS)
+            report = wp.lint_report()
+        assert "HLI009-summary-unsound" in _rules_fired(report)
+
+    def test_swap_link_entries_caught_by_hli010(self):
+        with faults.inject(faults.SWAP_LINK_ENTRIES):
+            wp = compile_whole_program(UNITS)
+            report = wp.lint_report()
+        assert "HLI010-link-table-inconsistent" in _rules_fired(report)
+
+    def test_drop_summary_also_breaks_convergence(self):
+        # a blanked summary loses its own local effects, which HLI011's
+        # one-more-step probe must notice independently of HLI009
+        with faults.inject(faults.DROP_SUMMARY):
+            wp = compile_whole_program(UNITS)
+            report = wp.lint_report()
+        assert "HLI011-scc-nonconverged" in _rules_fired(report)
+
+    def test_stale_summary_caught_by_hli012(self):
+        with faults.inject(faults.STALE_SUMMARY):
+            wp = compile_whole_program(UNITS)
+            report = wp.lint_report()
+        assert "HLI012-stale-summary" in _rules_fired(report)
+
+    @pytest.mark.parametrize("fault", faults.LINK_FAULTS)
+    def test_every_link_fault_detected(self, fault):
+        with faults.inject(fault):
+            wp = compile_whole_program(UNITS)
+            report = wp.lint_report()
+        assert report.diagnostics, f"{fault} produced a clean lint report"
+
+    def test_detection_requires_the_fault(self):
+        wp = compile_whole_program(UNITS)
+        assert wp.lint_report().diagnostics == []

@@ -18,7 +18,7 @@ def test_inject_mode_detects_all_faults_and_exits_zero(capsys):
     code = cli.main(["--inject", "--count", "6", "--gen", "medium"])
     out = capsys.readouterr().out
     assert code == 0
-    assert "3/3 seeded faults detected" in out
+    assert "6/6 seeded faults detected" in out
     assert "DETECTED" in out
     assert "NOT DETECTED" not in out
 

@@ -1,0 +1,68 @@
+"""``extern`` declarations: the front-end surface the linker builds on."""
+
+import pytest
+
+from repro.frontend import parse_and_check
+from repro.frontend.errors import CompileError
+from repro.frontend.symbols import StorageClass
+
+
+class TestExternVariables:
+    def test_extern_global_is_marked(self):
+        _, table = parse_and_check(
+            "extern int remote;\nint main() { return remote; }\n", "a.c"
+        )
+        sym = table.global_scope.lookup("remote")
+        assert sym is not None
+        assert sym.is_extern
+        assert sym.storage is StorageClass.GLOBAL
+        assert sym.in_memory
+
+    def test_defined_global_is_not_extern(self):
+        _, table = parse_and_check("int local;\nint main() { return local; }\n", "a.c")
+        assert not table.global_scope.lookup("local").is_extern
+
+    def test_extern_array_keeps_element_count(self):
+        _, table = parse_and_check(
+            "extern int tab[32];\nint main() { return tab[0]; }\n", "a.c"
+        )
+        sym = table.global_scope.lookup("tab")
+        assert sym.is_extern
+        assert sym.ty.is_array
+        assert sym.ty.dims == (32,)
+        assert sym.ty.size() == 128
+
+
+class TestExternFunctions:
+    def test_prototype_without_body_is_external(self):
+        _, table = parse_and_check(
+            "extern int f(int k);\nint main() { return f(1); }\n", "a.c"
+        )
+        fsym = table.functions["f"]
+        assert fsym.external
+        assert not fsym.defined
+
+    def test_definition_satisfies_earlier_prototype(self):
+        _, table = parse_and_check(
+            "extern int f(int k);\n"
+            "int f(int k) { return k + 1; }\n"
+            "int main() { return f(1); }\n",
+            "a.c",
+        )
+        fsym = table.functions["f"]
+        assert fsym.defined
+        assert not fsym.external
+
+    def test_arity_checked_for_defined_functions(self):
+        with pytest.raises(CompileError):
+            parse_and_check(
+                "int f(int k) { return k; }\nint main() { return f(1, 2); }\n", "a.c"
+            )
+
+    def test_extern_prototype_arity_is_lenient(self):
+        # K&R-style leniency: an external body we cannot see may take
+        # more than the prototype says; the linker reconciles for real
+        _, table = parse_and_check(
+            "extern int f(int k);\nint main() { return f(1, 2); }\n", "a.c"
+        )
+        assert table.functions["f"].external

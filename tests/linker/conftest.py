@@ -1,0 +1,18 @@
+"""Shared helpers: parse + analyze a set of MiniC translation units."""
+
+import pytest
+
+from repro.frontend import parse_and_check
+from repro.linker import analyze_unit
+
+
+@pytest.fixture
+def make_units():
+    def build(*pairs):
+        units = []
+        for filename, source in pairs:
+            program, table = parse_and_check(source, filename)
+            units.append(analyze_unit(program, table, filename))
+        return units
+
+    return build

@@ -1,0 +1,105 @@
+"""Summary → EffectSet conversion: deferred name binding across parses."""
+
+from repro.analysis.alias import TOP
+from repro.analysis.refmod import ForeignObject
+from repro.linker import (
+    compute_summaries,
+    effects_fingerprint,
+    effects_for_unit,
+)
+
+CALLER = """\
+int knob;
+extern int twist(int k);
+int main() {
+    knob = twist(5);
+    return knob;
+}
+"""
+
+CALLEE = """\
+int gauge;
+int twist(int k) {
+    gauge = gauge + k;
+    return gauge;
+}
+"""
+
+
+def _analyze(make_units):
+    units = make_units(("caller.c", CALLER), ("callee.c", CALLEE))
+    return units, compute_summaries(units).summaries
+
+
+class TestEffectsForUnit:
+    def test_only_foreign_definitions_covered(self, make_units):
+        units, summaries = _analyze(make_units)
+        caller, callee = units
+        eff = effects_for_unit(caller, summaries)
+        assert set(eff) == {"twist"}
+        # the defining unit needs no external effects for its own fn
+        assert effects_for_unit(callee, summaries) == {}
+
+    def test_names_cross_as_unbound_markers(self, make_units):
+        units, summaries = _analyze(make_units)
+        eff = effects_for_unit(units[0], summaries)["twist"]
+        # Deferred binding: the adapter must never emit Symbol objects —
+        # symbol identity dies at the parse boundary.  Names travel as
+        # ForeignObject and get rebound by the consuming RefModAnalysis.
+        assert all(isinstance(o, ForeignObject) for o in eff.ref)
+        assert all(isinstance(o, ForeignObject) for o in eff.mod)
+        assert {o.name for o in eff.mod} == {"gauge"}
+
+    def test_any_flags_fold_to_top(self, make_units):
+        units = make_units(
+            (
+                "a.c",
+                "extern int wild(int k);\n"
+                "extern int opaque(int k);\n"
+                "int main() { return opaque(wild(1)); }\n",
+            ),
+            (
+                "b.c",
+                "extern int mystery(int k);\n"
+                "int opaque(int k) { return mystery(k); }\n",
+            ),
+        )
+        summaries = compute_summaries(units).summaries
+        eff = effects_for_unit(units[0], summaries)["opaque"]
+        assert eff.ref == {TOP}
+        assert eff.mod == {TOP}
+
+    def test_param_effects_fold_to_top(self, make_units):
+        units = make_units(
+            (
+                "a.c",
+                "int buf[4];\n"
+                "extern int fill(int *p);\n"
+                "int main() { return fill(buf); }\n",
+            ),
+            ("b.c", "int fill(int *p) { p[0] = 1; return 0; }\n"),
+        )
+        summaries = compute_summaries(units).summaries
+        assert summaries["fill"].param_mod == {0}
+        eff = effects_for_unit(units[0], summaries)["fill"]
+        # conservative: a through-parameter write may land anywhere the
+        # caller can point, so it folds to TOP rather than a name
+        assert TOP in eff.mod
+
+
+class TestFingerprint:
+    def test_stable_and_order_independent(self, make_units):
+        units, summaries = _analyze(make_units)
+        fp1 = effects_fingerprint(effects_for_unit(units[0], summaries))
+        units2, summaries2 = _analyze(make_units)
+        fp2 = effects_fingerprint(effects_for_unit(units2[0], summaries2))
+        assert fp1 == fp2
+        assert "twist" in fp1 and "gauge" in fp1
+
+    def test_distinguishes_effect_changes(self, make_units):
+        units, summaries = _analyze(make_units)
+        eff = effects_for_unit(units[0], summaries)
+        fp_before = effects_fingerprint(eff)
+        eff["twist"].mod.add(TOP)
+        assert effects_fingerprint(eff) != fp_before
+        assert "<top>" in effects_fingerprint(eff)

@@ -1,0 +1,78 @@
+"""Merging per-unit RTL into one linked image."""
+
+from repro.backend.lowering import ProgramLowering
+from repro.backend.rtl import RTLProgram
+from repro.linker import link_image
+
+BASE = ProgramLowering.BASE_ADDRESS
+
+
+def _unit(globals_layout, functions=(), init_data=()):
+    rtl = RTLProgram()
+    rtl.globals_layout = dict(globals_layout)
+    for name in functions:
+        rtl.functions[name] = object()  # executor only needs the mapping here
+    rtl.init_data = dict(init_data)
+    return rtl
+
+
+class TestLayout:
+    def test_union_relayout_is_deterministic_and_aligned(self):
+        a = _unit({"g": (BASE, 4), "shared": (BASE + 8, 4)})
+        b = _unit({"shared": (BASE, 4), "h": (BASE + 8, 12)})
+        image, diags = link_image([("a.c", a), ("b.c", b)])
+        assert diags == []
+        # first-seen order, 8-byte aligned slots from the base address
+        assert image.globals_layout["g"] == (BASE, 8)
+        assert image.globals_layout["shared"] == (BASE + 8, 8)
+        assert image.globals_layout["h"] == (BASE + 16, 16)
+
+    def test_functions_merged_by_name(self):
+        a = _unit({}, functions=["main"])
+        b = _unit({}, functions=["f", "g"])
+        image, diags = link_image([("a.c", a), ("b.c", b)])
+        assert diags == []
+        assert set(image.functions) == {"main", "f", "g"}
+
+    def test_init_data_remapped_through_owner(self):
+        # unit b laid 'tab' at its own BASE; the linked image moves it
+        # behind a's 'g', and the initialiser must follow.
+        a = _unit({"g": (BASE, 4)})
+        b = _unit({"tab": (BASE, 16)}, init_data={BASE + 4: 77})
+        image, diags = link_image([("a.c", a), ("b.c", b)])
+        assert diags == []
+        new_base, _size = image.globals_layout["tab"]
+        assert new_base != BASE
+        assert image.init_data == {new_base + 4: 77}
+
+
+class TestDiagnostics:
+    def test_size_mismatch_takes_max(self):
+        a = _unit({"v": (BASE, 4)})
+        b = _unit({"v": (BASE, 16)})
+        image, diags = link_image([("a.c", a), ("b.c", b)])
+        assert [d.code for d in diags] == ["size-mismatch"]
+        assert diags[0].name == "v"
+        assert diags[0].units == ("a.c", "b.c")
+        assert image.globals_layout["v"][1] == 16
+
+    def test_argslot_size_difference_is_benign(self):
+        a = _unit({"__argslot0": (BASE, 4)})
+        b = _unit({"__argslot0": (BASE, 8)})
+        _image, diags = link_image([("a.c", a), ("b.c", b)])
+        assert diags == []
+
+    def test_duplicate_function_keeps_first(self):
+        a = _unit({}, functions=["f"])
+        b = _unit({}, functions=["f"])
+        first = a.functions["f"]
+        image, diags = link_image([("a.c", a), ("b.c", b)])
+        assert [d.code for d in diags] == ["duplicate-definition"]
+        assert diags[0].units == ("a.c", "b.c")
+        assert image.functions["f"] is first
+
+    def test_orphan_init_reported(self):
+        a = _unit({"g": (BASE, 4)}, init_data={BASE + 4096: 9})
+        image, diags = link_image([("a.c", a)])
+        assert [d.code for d in diags] == ["orphan-init"]
+        assert image.init_data == {}

@@ -1,0 +1,74 @@
+"""Deterministic link-time corruptions used by the lint property tests."""
+
+from repro.hli import faults
+from repro.linker import link_units
+
+SRC_A = """\
+int knob;
+extern int twist(int k);
+int main() {
+    knob = twist(5);
+    return knob;
+}
+"""
+
+SRC_B = """\
+int gauge;
+int twist(int k) {
+    gauge = gauge + k;
+    return gauge;
+}
+"""
+
+
+def _link(make_units):
+    return link_units(make_units(("a.c", SRC_A), ("b.c", SRC_B)))
+
+
+class TestDropSummary:
+    def test_blanks_one_non_main_summary(self, make_units):
+        clean = _link(make_units)
+        assert clean.summaries["twist"].mod_names == {"gauge"}
+        with faults.inject(faults.DROP_SUMMARY):
+            broken = _link(make_units)
+        s = broken.summaries["twist"]
+        assert not (s.ref_names or s.mod_names or s.ref_any or s.mod_any)
+
+    def test_main_is_never_the_victim(self, make_units):
+        with faults.inject(faults.DROP_SUMMARY):
+            broken = _link(make_units)
+        m = broken.summaries["main"]
+        assert m.ref_names or m.mod_names or m.ref_any or m.mod_any
+
+
+class TestSwapLinkEntries:
+    def test_two_defined_symbols_swap_homes(self, make_units):
+        clean = _link(make_units)
+        with faults.inject(faults.SWAP_LINK_ENTRIES):
+            broken = _link(make_units)
+        swapped = [
+            n
+            for n in clean.table.symbols
+            if clean.table.symbols[n].defined_in != broken.table.symbols[n].defined_in
+        ]
+        assert len(swapped) == 2
+        a, b = sorted(swapped)
+        assert broken.table.symbols[a].defined_in == clean.table.symbols[b].defined_in
+        assert broken.table.symbols[b].defined_in == clean.table.symbols[a].defined_in
+        # everything but the home field is preserved
+        for n in swapped:
+            assert broken.table.symbols[n].type_repr == clean.table.symbols[n].type_repr
+            assert (
+                broken.table.symbols[n].declared_in == clean.table.symbols[n].declared_in
+            )
+
+    def test_fingerprint_changes(self, make_units):
+        clean = _link(make_units)
+        with faults.inject(faults.SWAP_LINK_ENTRIES):
+            broken = _link(make_units)
+        assert clean.fingerprint() != broken.fingerprint()
+
+
+class TestInactiveByDefault:
+    def test_no_fault_no_change(self, make_units):
+        assert _link(make_units).fingerprint() == _link(make_units).fingerprint()

@@ -1,0 +1,167 @@
+"""Whole-program call graph, SCC decomposition, and the summary fixpoint."""
+
+from repro.linker import (
+    build_call_graph,
+    compute_summaries,
+    tarjan_sccs,
+)
+
+
+class TestCallGraph:
+    def test_cross_unit_edges(self, make_units):
+        units = make_units(
+            (
+                "a.c",
+                "extern int f(int k);\n"
+                "int main() { return f(1); }\n",
+            ),
+            (
+                "b.c",
+                "extern int g(int k);\n"
+                "int f(int k) { return g(k + 1); }\n",
+            ),
+            ("c.c", "int g(int k) { return k * 2; }\n"),
+        )
+        graph = build_call_graph(units)
+        assert graph["main"] == {"f"}
+        assert graph["f"] == {"g"}
+        assert graph["g"] == set()
+
+    def test_undefined_callee_not_an_edge(self, make_units):
+        units = make_units(
+            ("a.c", "extern int mystery(int k);\nint main() { return mystery(1); }\n")
+        )
+        assert build_call_graph(units)["main"] == set()
+
+
+class TestTarjan:
+    def test_bottom_up_order(self):
+        graph = {"main": {"f"}, "f": {"g"}, "g": set()}
+        sccs = tarjan_sccs(graph)
+        assert sccs.index(["g"]) < sccs.index(["f"]) < sccs.index(["main"])
+
+    def test_mutual_recursion_is_one_scc(self):
+        graph = {"even": {"odd"}, "odd": {"even"}, "main": {"even"}}
+        sccs = tarjan_sccs(graph)
+        assert ["even", "odd"] in sccs
+        assert sccs.index(["even", "odd"]) < sccs.index(["main"])
+
+    def test_self_loop_is_singleton_scc(self):
+        sccs = tarjan_sccs({"r": {"r"}})
+        assert sccs == [["r"]]
+
+    def test_deep_chain_does_not_overflow(self):
+        n = 5000
+        graph = {f"f{i}": {f"f{i + 1}"} for i in range(n)}
+        graph[f"f{n}"] = set()
+        sccs = tarjan_sccs(graph)
+        assert len(sccs) == n + 1
+
+
+class TestFixpoint:
+    def test_effects_propagate_up_call_chain(self, make_units):
+        units = make_units(
+            (
+                "a.c",
+                "extern int f(int k);\n"
+                "int main() { return f(1); }\n",
+            ),
+            (
+                "b.c",
+                "int counter;\n"
+                "int f(int k) { counter = counter + k; return counter; }\n",
+            ),
+        )
+        result = compute_summaries(units)
+        assert "counter" in result.summaries["f"].mod_names
+        # main inherits the callee's effects transitively
+        assert "counter" in result.summaries["main"].mod_names
+        assert not result.summaries["main"].mod_any
+
+    def test_param_effect_instantiated_at_call_site(self, make_units):
+        units = make_units(
+            (
+                "a.c",
+                "int buf[8];\n"
+                "extern int fill(int *p, int n);\n"
+                "int main() { return fill(buf, 8); }\n",
+            ),
+            (
+                "b.c",
+                "int fill(int *p, int n) {\n"
+                "    int i;\n"
+                "    for (i = 0; i < n; i++) { p[i] = i; }\n"
+                "    return n;\n"
+                "}\n",
+            ),
+        )
+        result = compute_summaries(units)
+        assert result.summaries["fill"].param_mod == {0}
+        # instantiating p := buf at main's call site names the array
+        assert "buf" in result.summaries["main"].mod_names
+
+    def test_unknown_external_degrades_to_any(self, make_units):
+        units = make_units(
+            ("a.c", "extern int mystery(int k);\nint main() { return mystery(1); }\n")
+        )
+        result = compute_summaries(units)
+        assert result.summaries["main"].ref_any
+        assert result.summaries["main"].mod_any
+
+    def test_pure_builtin_stays_narrow(self, make_units):
+        units = make_units(
+            ("a.c", "int g;\nint main() { g = abs(0 - 3); return g; }\n")
+        )
+        result = compute_summaries(units)
+        assert not result.summaries["main"].mod_any
+        assert not result.summaries["main"].ref_any
+
+    def test_recursive_scc_iterates_to_fixpoint(self, make_units):
+        units = make_units(
+            (
+                "a.c",
+                "int depth;\n"
+                "extern int odd(int n);\n"
+                "int even(int n) {\n"
+                "    if (n == 0) { return 1; }\n"
+                "    depth = depth + 1;\n"
+                "    return odd(n - 1);\n"
+                "}\n"
+                "int main() { return even(6); }\n",
+            ),
+            (
+                "b.c",
+                "int seen;\n"
+                "extern int even(int n);\n"
+                "int odd(int n) {\n"
+                "    if (n == 0) { return 0; }\n"
+                "    seen = seen + 1;\n"
+                "    return even(n - 1);\n"
+                "}\n",
+            ),
+        )
+        result = compute_summaries(units)
+        scc = next(c for c in result.sccs if len(c) == 2)
+        assert sorted(scc) == ["even", "odd"]
+        # both counters visible in both summaries after the fixpoint
+        for fn in ("even", "odd"):
+            assert {"depth", "seen"} <= result.summaries[fn].mod_names
+        scc_id = result.summaries["even"].scc_id
+        assert result.iterations[scc_id] >= 2  # at least one re-iteration
+
+    def test_summary_covers_and_fingerprint(self, make_units):
+        units = make_units(
+            (
+                "a.c",
+                "int g;\nint f(int k) { g = k; return g; }\n"
+                "int main() { return f(2); }\n",
+            )
+        )
+        result = compute_summaries(units)
+        s = result.summaries["f"]
+        assert s.covers(s.copy())
+        narrowed = s.copy()
+        narrowed.mod_names.clear()
+        assert s.covers(narrowed)
+        assert not narrowed.covers(s)
+        assert s.fingerprint() == result.summaries["f"].fingerprint()

@@ -1,0 +1,101 @@
+"""Global symbol reconciliation: the link table and its diagnostics."""
+
+from repro.linker import build_link_table
+
+
+U_DEF = """\
+int shared;
+int arr[16];
+
+extern int helper(int k);
+
+int main() {
+    shared = helper(3);
+    return shared;
+}
+"""
+
+U_USE = """\
+extern int shared;
+extern int arr[16];
+
+int helper(int k) {
+    arr[(k) & 15] = k;
+    return shared + k;
+}
+"""
+
+
+class TestCleanLink:
+    def test_vars_and_functions_reconciled(self, make_units):
+        table = build_link_table(make_units(("a.c", U_DEF), ("b.c", U_USE)))
+        assert table.clean
+        shared = table.symbols["shared"]
+        assert shared.kind == "var"
+        assert shared.defined_in == "a.c"
+        assert shared.declared_in == ("a.c", "b.c")
+        helper = table.symbols["helper"]
+        assert helper.kind == "func"
+        assert helper.defined_in == "b.c"
+        assert table.symbols["main"].defined_in == "a.c"
+
+    def test_array_size_recorded(self, make_units):
+        table = build_link_table(make_units(("a.c", U_DEF), ("b.c", U_USE)))
+        assert table.symbols["arr"].size == 64  # 16 x 4-byte ints
+
+    def test_builtins_not_link_material(self, make_units):
+        src = 'int main() { printf("x\\n"); return 0; }\n'
+        table = build_link_table(make_units(("a.c", src)))
+        assert "printf" not in table.symbols
+
+    def test_fingerprint_is_stable(self, make_units):
+        t1 = build_link_table(make_units(("a.c", U_DEF), ("b.c", U_USE)))
+        t2 = build_link_table(make_units(("a.c", U_DEF), ("b.c", U_USE)))
+        assert t1.fingerprint() == t2.fingerprint()
+        assert "var shared def=a.c" in t1.fingerprint()
+
+
+class TestDiagnostics:
+    def test_duplicate_global_definition(self, make_units):
+        units = make_units(
+            ("a.c", "int g;\nint main() { g = 1; return g; }\n"),
+            ("b.c", "int g;\nint f(int k) { g = k; return g; }\n"),
+        )
+        table = build_link_table(units)
+        codes = [d.code for d in table.diagnostics]
+        assert "duplicate-definition" in codes
+        diag = next(d for d in table.diagnostics if d.code == "duplicate-definition")
+        assert diag.name == "g"
+        assert diag.units == ("a.c", "b.c")
+
+    def test_duplicate_function_definition(self, make_units):
+        units = make_units(
+            ("a.c", "int f(int k) { return k; }\nint main() { return f(1); }\n"),
+            ("b.c", "int f(int k) { return k + 1; }\n"),
+        )
+        table = build_link_table(units)
+        assert any(
+            d.code == "duplicate-definition" and d.name == "f"
+            for d in table.diagnostics
+        )
+
+    def test_undefined_extern(self, make_units):
+        units = make_units(
+            ("a.c", "extern int ghost;\nint main() { return ghost; }\n")
+        )
+        table = build_link_table(units)
+        assert any(
+            d.code == "undefined-symbol" and d.name == "ghost"
+            for d in table.diagnostics
+        )
+        assert table.symbols["ghost"].defined_in is None
+
+    def test_conflicting_types(self, make_units):
+        units = make_units(
+            ("a.c", "int v;\nint main() { v = 2; return v; }\n"),
+            ("b.c", "extern float v;\nint f(int k) { return k; }\n"),
+        )
+        table = build_link_table(units)
+        assert any(
+            d.code == "type-mismatch" and d.name == "v" for d in table.diagnostics
+        )
