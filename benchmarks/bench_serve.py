@@ -1,0 +1,368 @@
+"""Load harness for repro-serve: ``python benchmarks/bench_serve.py``.
+
+Spawns a real daemon subprocess (``python -m repro.serve.cli --port 0``),
+drives it with many concurrent clients, and reports requests/s, latency
+percentiles (p50/p95/p99), and cache-hit ratio per phase:
+
+* **cold**  — N distinct sources, first contact: every request is a
+  miss and runs the full pipeline;
+* **warm**  — the same sources re-requested several times each: the
+  shared session should serve (nearly) everything from its memory tier;
+* **storm** — 32 byte-identical concurrent requests for a fresh source:
+  the coalescer must collapse them into **exactly one** pipeline
+  execution, every response carrying the same artifact.
+
+Built-in assertions (the ISSUE's acceptance criteria) fail the run:
+
+* >= 8 concurrent clients, zero failed requests, zero incorrect results
+  (per source, every response across every phase agrees on the
+  alpha-equivalent ``rtl_sha256``);
+* warm p95 latency < cold median latency;
+* warm cache-hit ratio > 80%;
+* the 32-request storm increments the daemon's ``pipeline_runs`` by
+  exactly 1;
+* the daemon drains cleanly on ``shutdown`` and exits 0.
+
+``--quick`` shrinks the corpus for CI smoke (the ``serve-smoke`` job);
+``--out`` writes the full JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.protocol import recv_frame, send_frame  # noqa: E402
+
+_LISTEN_RE = re.compile(r"repro-serve: listening on (\S+):(\d+)")
+
+
+def make_source(k: int, loops: int = 12) -> str:
+    """A distinct, pipeline-heavy source per index ``k``."""
+    lines = [f"int acc{k};", f"int buf{k}[16];"]
+    lines += [
+        f"int work{k}(int a, int b) {{",
+        "    int r = a + b;",
+        "    int i;",
+        "    for (i = 0; i < 16; i++) {",
+        f"        buf{k}[i] = r * {k % 7 + 2} + i;",
+        f"        r = r + buf{k}[i] / {k % 3 + 2};",
+        "    }",
+    ]
+    for j in range(loops):
+        lines.append(f"    r = r ^ (a * {j + 1} + b % {j % 5 + 2});")
+    lines += ["    return r;", "}"]
+    lines += [
+        "int main() {",
+        "    int s = 1;",
+        "    int i;",
+        "    for (i = 0; i < 4; i++) {",
+        f"        s = s + work{k}(s, i + {k});",
+        "    }",
+        f"    acc{k} = s;",
+        "    return s - s / 8 * 8;",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def spawn_daemon(cache_dir: str, workers: int) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serve.cli",
+            "--port", "0",
+            "--workers", str(workers),
+            "--max-inflight", "64",
+            "--cache-dir", cache_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    m = _LISTEN_RE.search(line)
+    if not m:
+        proc.kill()
+        raise SystemExit(f"daemon failed to start: {line!r}")
+    return proc, m.group(1), int(m.group(2))
+
+
+class PhaseResult:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.latencies: list[float] = []
+        self.responses: list[tuple[str, dict]] = []  # (filename, summary)
+        self.rejections = 0
+        self.errors: list[str] = []
+        self.wall = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, filename: str, summary: dict, dt: float, rejections: int) -> None:
+        with self._lock:
+            self.latencies.append(dt)
+            self.responses.append((filename, summary))
+            self.rejections += rejections
+
+    def fail(self, msg: str) -> None:
+        with self._lock:
+            self.errors.append(msg)
+
+    @property
+    def hit_ratio(self) -> float:
+        if not self.responses:
+            return 0.0
+        hits = sum(
+            1 for _, s in self.responses if s.get("cache_state") in ("memory", "disk")
+        )
+        return hits / len(self.responses)
+
+    def percentile(self, p: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def report(self) -> dict:
+        n = len(self.responses)
+        return {
+            "requests": n,
+            "failed": len(self.errors),
+            "rejections_retried": self.rejections,
+            "wall_seconds": round(self.wall, 3),
+            "requests_per_second": round(n / self.wall, 1) if self.wall else 0.0,
+            "latency_ms": {
+                "p50": round(self.percentile(50) * 1e3, 2),
+                "p95": round(self.percentile(95) * 1e3, 2),
+                "p99": round(self.percentile(99) * 1e3, 2),
+            },
+            "hit_ratio": round(self.hit_ratio, 3),
+        }
+
+
+def run_phase(
+    name: str, host: str, port: int, jobs: list[tuple[str, str]], clients: int
+) -> PhaseResult:
+    """Fan ``jobs`` out over ``clients`` threads, one connection each."""
+    result = PhaseResult(name)
+    barrier = threading.Barrier(clients)
+    it = iter(jobs)
+    pick = threading.Lock()
+
+    def worker() -> None:
+        try:
+            with ServeClient(host, port, timeout=120.0) as client:
+                barrier.wait(timeout=30)
+                while True:
+                    with pick:
+                        job = next(it, None)
+                    if job is None:
+                        return
+                    source, filename = job
+                    t0 = perf_counter()
+                    summary, rejections = client.compile_retry(
+                        source, filename, retries=64
+                    )
+                    result.record(filename, summary, perf_counter() - t0, rejections)
+        except Exception as exc:  # noqa: BLE001 - the report asserts on this
+            result.fail(f"{type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    t0 = perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    result.wall = perf_counter() - t0
+    return result
+
+
+def run_storm(
+    host: str, port: int, source: str, filename: str, n: int = 32
+) -> PhaseResult:
+    """Pipeline ``n`` byte-identical requests down one connection at once.
+
+    Every frame is written before any response is read, so all ``n``
+    requests are in flight together — the regime the coalescer must
+    collapse into a single pipeline execution.  (The daemon's
+    ``max_inflight`` must exceed ``n``: coalesced waiters hold their
+    admission slots, and a queued request that is only admitted after
+    the leader finishes would miss the coalescing window and count as a
+    fresh — if cache-warm — pipeline run.)
+    """
+    import socket
+
+    result = PhaseResult("storm")
+    t0 = perf_counter()
+    with socket.create_connection((host, port), timeout=120.0) as sock:
+        for rid in range(n):
+            send_frame(
+                sock,
+                {"op": "compile", "id": rid, "source": source, "filename": filename},
+            )
+        for _ in range(n):
+            resp = recv_frame(sock)
+            if resp is None:
+                result.fail("connection closed mid-storm")
+                break
+            if resp.get("status") != "ok":
+                result.fail(f"storm request failed: {resp!r}")
+                continue
+            result.record(filename, resp["result"], perf_counter() - t0, 0)
+    result.wall = perf_counter() - t0
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client connections (default %(default)s)")
+    parser.add_argument("--sources", type=int, default=12,
+                        help="distinct programs in the corpus (default %(default)s)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="warm re-requests per source (default %(default)s)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="daemon worker threads (default %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus for CI smoke (keeps 8 clients)")
+    parser.add_argument("--out", default="BENCH_serve.json", metavar="PATH",
+                        help="JSON report path (default %(default)s)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.sources = min(args.sources, 6)
+        args.repeats = min(args.repeats, 2)
+    if args.clients < 8:
+        parser.error("--clients must be >= 8 (the acceptance floor)")
+
+    corpus = [(make_source(k), f"bench_{k}.c") for k in range(args.sources)]
+    cache_dir = str(REPO_ROOT / ".bench-serve-cache")
+    proc, host, port = spawn_daemon(cache_dir, args.workers)
+    failures: list[str] = []
+    report: dict = {
+        "clients": args.clients,
+        "sources": args.sources,
+        "workers": args.workers,
+        "python": platform.python_version(),
+        "phases": {},
+    }
+    try:
+        cold = run_phase("cold", host, port, list(corpus), args.clients)
+        warm = run_phase(
+            "warm", host, port, list(corpus) * args.repeats, args.clients
+        )
+
+        with ServeClient(host, port) as c:
+            before = c.stats()["counters"]
+        storm = run_storm(host, port, make_source(9901, loops=32), "storm.c", n=32)
+        with ServeClient(host, port) as c:
+            after = c.stats()["counters"]
+            server_stats = c.stats()
+
+        for phase in (cold, warm, storm):
+            report["phases"][phase.name] = phase.report()
+            for msg in phase.errors:
+                failures.append(f"{phase.name}: request failed: {msg}")
+
+        # -- correctness: every response for a filename agrees on the RTL --
+        digests: dict[str, set] = {}
+        for phase in (cold, warm, storm):
+            for filename, summary in phase.responses:
+                digests.setdefault(filename, set()).add(summary.get("rtl_sha256"))
+        for filename, seen in sorted(digests.items()):
+            if len(seen) != 1 or None in seen:
+                failures.append(
+                    f"incorrect results: {filename} produced {len(seen)} distinct"
+                    f" rtl digests across phases"
+                )
+        report["distinct_digests_per_source"] = {
+            f: len(s) for f, s in sorted(digests.items())
+        }
+
+        # -- latency: the warm path must actually be faster -----------------
+        cold_median = cold.percentile(50)
+        warm_p95 = warm.percentile(95)
+        if not warm_p95 < cold_median:
+            failures.append(
+                f"warm p95 {warm_p95 * 1e3:.1f}ms not below cold median"
+                f" {cold_median * 1e3:.1f}ms"
+            )
+
+        # -- cache: the warm phase must ride the shared session -------------
+        if not warm.hit_ratio > 0.8:
+            failures.append(f"warm hit ratio {warm.hit_ratio:.1%} <= 80%")
+
+        # -- coalescing: 32 identical requests, one pipeline execution ------
+        storm_runs = after["pipeline_runs"] - before["pipeline_runs"]
+        report["storm"] = {
+            "requests": 32,
+            "pipeline_runs": storm_runs,
+            "coalesced_hits": after["coalesced_hits"] - before["coalesced_hits"],
+        }
+        if storm_runs != 1:
+            failures.append(
+                f"storm of 32 identical requests ran the pipeline {storm_runs}"
+                f" times (want exactly 1)"
+            )
+
+        report["server_counters"] = server_stats["counters"]
+        report["server_session_cache"] = server_stats["session_cache"]
+
+        # -- graceful shutdown ----------------------------------------------
+        with ServeClient(host, port) as c:
+            c.shutdown()
+    finally:
+        try:
+            exit_code = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            exit_code = -1
+            failures.append("daemon did not drain within 30s of shutdown")
+    drain_log = proc.stdout.read()
+    if exit_code != 0:
+        failures.append(f"daemon exited {exit_code} (want 0)")
+    if "drained" not in drain_log:
+        failures.append(f"daemon never reported a drain: {drain_log!r}")
+    report["daemon_exit_code"] = exit_code
+    report["failures"] = failures
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for name, phase in report["phases"].items():
+        lat = phase["latency_ms"]
+        print(
+            f"{name:>6}: {phase['requests']} requests in {phase['wall_seconds']}s"
+            f" ({phase['requests_per_second']} req/s),"
+            f" p50={lat['p50']}ms p95={lat['p95']}ms p99={lat['p99']}ms,"
+            f" hit ratio {phase['hit_ratio']:.0%},"
+            f" {phase['rejections_retried']} rejection(s) retried"
+        )
+    print(
+        f" storm: 32 identical requests -> {report['storm']['pipeline_runs']}"
+        f" pipeline run(s), {report['storm']['coalesced_hits']} coalesced"
+    )
+    print(f"wrote {args.out}")
+    if failures:
+        print("\nFAILURES:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("bench_serve: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ through an address register and lose the base (see
 from __future__ import annotations
 
 import enum
-import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -77,7 +77,38 @@ NO_RESULT_OPS = {
     Opcode.NOP,
 }
 
-_reg_ids = itertools.count(1)
+class _IdAllocator:
+    """Monotonic id source, safe under threads *and* reservation.
+
+    ``itertools.count`` hands out ids atomically, but :func:`reserve_ids`
+    used to *replace* the counter object — a concurrent ``next()`` on the
+    old counter could then re-issue an id the replacement also covers.
+    The daemon compiles in worker threads that decode cached RTL (and so
+    reserve foreign id ranges) while other threads allocate, which turns
+    that window into duplicate registers, i.e. silent miscompiles.  One
+    lock per allocation closes it.
+    """
+
+    __slots__ = ("_next", "_lock")
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+        self._lock = threading.Lock()
+
+    def __next__(self) -> int:
+        with self._lock:
+            n = self._next
+            self._next = n + 1
+            return n
+
+    def reserve(self, floor: int) -> None:
+        """Never hand out an id <= ``floor`` from now on."""
+        with self._lock:
+            if floor >= self._next:
+                self._next = floor + 1
+
+
+_reg_ids = _IdAllocator(1)
 
 
 @dataclass(frozen=True)
@@ -108,11 +139,8 @@ def reserve_ids(max_reg: int, max_insn: int) -> None:
     process could collide with them.  Callers that import foreign RTL
     must reserve its ID ranges first.
     """
-    global _reg_ids, _insn_ids
-    cur = next(_reg_ids)
-    _reg_ids = itertools.count(max(cur, max_reg + 1))
-    cur = next(_insn_ids)
-    _insn_ids = itertools.count(max(cur, max_insn + 1))
+    _reg_ids.reserve(max_reg)
+    _insn_ids.reserve(max_insn)
 
 
 @dataclass
@@ -149,7 +177,7 @@ class MemRef:
         return f"{tag}[{self.addr}]"
 
 
-_insn_ids = itertools.count(1)
+_insn_ids = _IdAllocator(1)
 
 
 @dataclass

@@ -75,6 +75,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="fan the fuzz batch out over N worker processes"
                         " (0 = one per core; default 1, serial; normal"
                         " mode only)")
+    p.add_argument("--server", metavar="HOST:PORT",
+                   help="route matrix compiles through a running repro-serve"
+                        " daemon, sharing its hot cache (normal serial mode"
+                        " only; falls back in-process if unreachable)")
     p.add_argument("--crash-dir", default="crashes", metavar="DIR",
                    help="directory for reduced reproducers (default crashes/)")
     p.add_argument("--no-reduce", action="store_true",
@@ -176,6 +180,13 @@ def run_fuzz(args: argparse.Namespace, out=None) -> int:
     if getattr(args, "jobs", 1) != 1:
         return _run_fuzz_batch(args, out)
     matrix = build_matrix(args.matrix)
+    compile_fn = None
+    remote = None
+    if getattr(args, "server", None):
+        from ..serve.client import RemoteSession
+
+        remote = RemoteSession(args.server)
+        compile_fn = remote.compile
     deadline = time.monotonic() + args.time_budget if args.time_budget else None
     ran = 0
     failing: list[DiffResult] = []
@@ -187,7 +198,9 @@ def run_fuzz(args: argparse.Namespace, out=None) -> int:
                 break
             seed = args.seed + k
             source = generate(seed, _config_for(args, k))
-            res = run_differential(source, seed=seed, matrix=matrix)
+            res = run_differential(
+                source, seed=seed, matrix=matrix, compile_fn=compile_fn
+            )
             ran += 1
             if not res.ok:
                 failing.append(res)
@@ -212,9 +225,16 @@ def run_fuzz(args: argparse.Namespace, out=None) -> int:
                 print(f"  {ran}/{args.count} programs clean", file=out)
 
     verdict = "FAIL" if failing else "ok"
+    via = ""
+    if remote is not None:
+        via = (
+            f" via {args.server}"
+            if remote.using_remote
+            else f" ({args.server} unreachable; ran in-process)"
+        )
     print(
         f"repro-fuzz: {ran} programs x {len(matrix)} configs"
-        f" ({args.matrix} matrix): {len(failing)} failing -> {verdict}",
+        f" ({args.matrix} matrix){via}: {len(failing)} failing -> {verdict}",
         file=out,
     )
     return 1 if failing else 0
@@ -410,6 +430,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.count < 1:
         print("--count must be >= 1", file=sys.stderr)
+        return 2
+    if args.server and (
+        args.inject or args.incremental or args.wp or args.jobs != 1
+    ):
+        print(
+            "--server applies to normal serial fuzzing only"
+            " (not --inject/--incremental/--wp/--jobs)",
+            file=sys.stderr,
+        )
         return 2
     with obs.enabled_scope(True):
         if args.inject:

@@ -46,9 +46,11 @@ from __future__ import annotations
 
 import hashlib
 import io
+import itertools
 import os
 import pickle
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -426,8 +428,22 @@ class _Prepared:
 # -- the session ---------------------------------------------------------------
 
 
+#: Distinguishes concurrent same-key temp files within one process (the
+#: pid alone is not enough once worker *threads* share a session).
+_tmp_ids = itertools.count(1)
+
+
 class CompilationSession:
-    """Cached, optionally parallel compilation over a shared artifact store."""
+    """Cached, optionally parallel compilation over a shared artifact store.
+
+    Safe for concurrent use from multiple threads: the in-memory LRU,
+    the :class:`SessionStats` counters, and the disk-budget enforcement
+    are all guarded by one reentrant lock (``repro-serve`` hammers one
+    session from a worker pool).  The lock is *not* held across pipeline
+    work — two threads cold-compiling the same key may both compute and
+    both store, which is wasteful but correct (stores are idempotent;
+    the daemon's request coalescer removes the waste where it matters).
+    """
 
     def __init__(
         self,
@@ -447,6 +463,13 @@ class CompilationSession:
         self.reuse_backend = reuse_backend
         self._memory: OrderedDict[str, bytes] = OrderedDict()
         self.stats = SessionStats()
+        #: guards ``_memory``, ``stats``, and the disk-budget sweep
+        self._lock = threading.RLock()
+
+    def _bump(self, counter: str, n: int = 1) -> None:
+        """Thread-safe increment of one :class:`SessionStats` counter."""
+        with self._lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + n)
 
     # -- tier plumbing ---------------------------------------------------------
 
@@ -464,10 +487,11 @@ class CompilationSession:
 
     def _lookup(self, key: str) -> tuple[Optional[bytes], str]:
         """Return ``(blob, tier)``; tier is ``"memory"``, ``"disk"``, or ``""``."""
-        blob = self._memory.get(key)
-        if blob is not None:
-            self._memory.move_to_end(key)
-            return blob, "memory"
+        with self._lock:
+            blob = self._memory.get(key)
+            if blob is not None:
+                self._memory.move_to_end(key)
+                return blob, "memory"
         path = self._disk_path(key)
         if path is None:
             return None, ""
@@ -495,24 +519,27 @@ class CompilationSession:
     def _remember(self, key: str, blob: bytes) -> None:
         if self.max_memory_entries == 0:
             return
-        self._memory[key] = blob
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
-            self.stats.evictions += 1
-            _metrics.inc("session.cache.evict")
+        with self._lock:
+            self._memory[key] = blob
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+                _metrics.inc("session.cache.evict")
 
     def _store(self, key: str, blob: bytes, kind: str = "manifest") -> None:
         if kind == "manifest":
-            self.stats.stores += 1
+            self._bump("stores")
         elif kind == "fe":
-            self.stats.fn_stores += 1
+            self._bump("fn_stores")
         else:
-            self.stats.be_stores += 1
+            self._bump("be_stores")
         self._remember(key, blob)
         path = self._disk_path(key)
         if path is not None:
-            tmp = path.parent / (path.name + ".tmp%d" % os.getpid())
+            tmp = path.parent / (
+                path.name + ".tmp%d.%d" % (os.getpid(), next(_tmp_ids))
+            )
             try:
                 path.parent.mkdir(exist_ok=True)
                 tmp.write_bytes(blob)
@@ -524,9 +551,17 @@ class CompilationSession:
             self._enforce_disk_budget(keep=path)
 
     def _enforce_disk_budget(self, keep: Optional[Path] = None) -> None:
-        """Evict least-recently-used disk entries above ``max_disk_bytes``."""
+        """Evict least-recently-used disk entries above ``max_disk_bytes``.
+
+        Serialized under the session lock so two threads finishing
+        stores at once do not race the scan and double-evict.
+        """
         if self.cache_dir is None or self.max_disk_bytes is None:
             return
+        with self._lock:
+            self._enforce_disk_budget_locked(keep)
+
+    def _enforce_disk_budget_locked(self, keep: Optional[Path] = None) -> None:
         entries = []
         total = 0
         for p in self.cache_dir.rglob("*.hlic"):
@@ -552,9 +587,10 @@ class CompilationSession:
                 return
 
     def _evict_corrupt(self, key: str, tier: str, why: str) -> None:
-        self.stats.corrupt += 1
+        self._bump("corrupt")
         _metrics.inc("session.cache.corrupt")
-        self._memory.pop(key, None)
+        with self._lock:
+            self._memory.pop(key, None)
         if tier == "disk":
             for path in (self._disk_path(key), self._flat_path(key)):
                 if path is not None:
@@ -632,9 +668,9 @@ class CompilationSession:
                 self._evict_corrupt(key, tier, str(exc))
         if man is not None:
             if tier == "memory":
-                self.stats.hits_memory += 1
+                self._bump("hits_memory")
             else:
-                self.stats.hits_disk += 1
+                self._bump("hits_disk")
                 self._remember(key, blob)
             _metrics.inc("session.cache.hit", tier)
             comp = Compilation(
@@ -651,7 +687,7 @@ class CompilationSession:
             fe_keys = man.fe_keys
             fn_states = {name: f"fe:{tier}" for name in man.rtl.functions}
         else:
-            self.stats.misses += 1
+            self._bump("misses")
             _metrics.inc("session.cache.miss")
             comp, stats, fe_keys, fn_states = self._frontend_incremental(
                 key,
@@ -735,16 +771,16 @@ class CompilationSession:
                     entry, unit, fn_rtl = decoded
                     entry.filename = program.filename
                     if tier == "memory":
-                        self.stats.fn_hits_memory += 1
+                        self._bump("fn_hits_memory")
                     else:
-                        self.stats.fn_hits_disk += 1
+                        self._bump("fn_hits_disk")
                         self._remember(fe_key, blob)
                     _metrics.inc("session.cache.fn_hit", tier)
                     cached_rtl[fn.name] = fn_rtl
                     fn_states[fn.name] = f"fe:{tier}"
                     any_hit = True
                 else:
-                    self.stats.fn_misses += 1
+                    self._bump("fn_misses")
                     _metrics.inc("session.cache.fn_miss")
                     entry, unit = builder.build_unit(fn)
                     fn_states[fn.name] = "cold"
@@ -788,14 +824,14 @@ class CompilationSession:
                     except CacheCorruption as exc:
                         self._evict_corrupt(bkey, tier, str(exc))
             if decoded is None:
-                self.stats.be_misses += 1
+                self._bump("be_misses")
                 _metrics.inc("session.cache.be_miss")
                 active.append(name)
                 continue
             if tier == "memory":
-                self.stats.be_hits_memory += 1
+                self._bump("be_hits_memory")
             else:
-                self.stats.be_hits_disk += 1
+                self._bump("be_hits_disk")
                 self._remember(bkey, blob)
             _metrics.inc("session.cache.be_hit", tier)
             self._install_be(comp, name, decoded)
@@ -913,11 +949,11 @@ class CompilationSession:
                 results = [f.result() for f in futures]
         for comp in results:
             if comp.cache_state == "memory":
-                self.stats.hits_memory += 1
+                self._bump("hits_memory")
             elif comp.cache_state == "disk":
-                self.stats.hits_disk += 1
+                self._bump("hits_disk")
             else:
-                self.stats.misses += 1
+                self._bump("misses")
             _metrics.inc("session.cache.fanout", comp.cache_state or "cold")
         return results
 

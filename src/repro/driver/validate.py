@@ -356,6 +356,7 @@ def validate(
     cache_dir: str | None = None,
     cache_max_bytes: int | None = None,
     include_whole_program: bool = False,
+    server: str | None = None,
 ) -> ValidationReport:
     """Run the full validation; writes ``RESULTS.json`` and returns the report.
 
@@ -368,9 +369,20 @@ def validate(
     timing phases share front-end artifacts instead of re-parsing each
     benchmark up to seven times.  ``jobs`` fans the speedup phase out
     over a process pool (``0`` = one worker per core).
+
+    ``server`` (``HOST:PORT``) routes compilations through a running
+    ``repro-serve`` daemon instead, sharing its hot cache with every
+    other client; if the daemon is unreachable the run degrades to the
+    in-process session and still completes.
     """
     report = ValidationReport()
-    session = CompilationSession(cache_dir=cache_dir, max_disk_bytes=cache_max_bytes)
+    local = CompilationSession(cache_dir=cache_dir, max_disk_bytes=cache_max_bytes)
+    if server is not None:
+        from ..serve.client import RemoteSession
+
+        session = RemoteSession(server, fallback=local)
+    else:
+        session = local
 
     def phase(name: str, fn) -> None:
         t0 = perf_counter()
@@ -410,6 +422,13 @@ def validate(
         "session_cache": session.stats.to_dict(),
         "elapsed_seconds": round(perf_counter() - report.started, 1),
     }
+    if server is not None:
+        payload["server"] = {
+            "spec": server,
+            "remote_compiles": session.remote_compiles,
+            "fallback_compiles": session.fallback_compiles,
+            "using_remote": session.using_remote,
+        }
     with open(out_path, "w") as f:
         json.dump(payload, f, indent=2)
     print(f"\nwrote {out_path}")
@@ -477,6 +496,13 @@ def main(argv: list[str] | None = None) -> int:
         "cache shared across phases, workers, and reruns",
     )
     parser.add_argument(
+        "--server",
+        default=None,
+        metavar="HOST:PORT",
+        help="route compilations through a running repro-serve daemon "
+        "(falls back in-process if unreachable)",
+    )
+    parser.add_argument(
         "--cache-max-bytes",
         type=int,
         default=None,
@@ -496,6 +522,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
         include_whole_program=args.whole_program,
+        server=args.server,
     )
     return 0 if report.all_passed else 1
 

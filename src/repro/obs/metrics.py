@@ -21,6 +21,7 @@ Metric kinds
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 __all__ = [
@@ -41,6 +42,12 @@ __all__ = [
 ]
 
 _enabled: bool = False
+
+#: Serializes registry mutations.  Acquired only *after* the enabled
+#: check, so the disabled fast path stays a single boolean test; the
+#: read-modify-write updates below are not atomic under free-threaded
+#: access, and the repro-serve worker pool mutates from many threads.
+_lock = threading.Lock()
 
 _counters: dict[str, int] = {}
 _gauges: dict[str, float] = {}
@@ -116,10 +123,11 @@ def inc(name: str, label: Optional[str] = None, n: int = 1) -> None:
     if not _enabled:
         return
     global _mutations
-    _mutations += 1
     if label is not None:
         name = name + "." + label
-    _counters[name] = _counters.get(name, 0) + n
+    with _lock:
+        _mutations += 1
+        _counters[name] = _counters.get(name, 0) + n
 
 
 def add(name: str, n: int) -> None:
@@ -127,8 +135,9 @@ def add(name: str, n: int) -> None:
     if not _enabled or n == 0:
         return
     global _mutations
-    _mutations += 1
-    _counters[name] = _counters.get(name, 0) + n
+    with _lock:
+        _mutations += 1
+        _counters[name] = _counters.get(name, 0) + n
 
 
 def gauge(name: str, value: float) -> None:
@@ -136,8 +145,9 @@ def gauge(name: str, value: float) -> None:
     if not _enabled:
         return
     global _mutations
-    _mutations += 1
-    _gauges[name] = value
+    with _lock:
+        _mutations += 1
+        _gauges[name] = value
 
 
 def observe(name: str, value: float) -> None:
@@ -145,11 +155,12 @@ def observe(name: str, value: float) -> None:
     if not _enabled:
         return
     global _mutations
-    _mutations += 1
-    h = _hists.get(name)
-    if h is None:
-        h = _hists[name] = Histogram()
-    h.observe(value)
+    with _lock:
+        _mutations += 1
+        h = _hists.get(name)
+        if h is None:
+            h = _hists[name] = Histogram()
+        h.observe(value)
 
 
 # -- switches -----------------------------------------------------------------

@@ -31,6 +31,7 @@ with :func:`enable` / :func:`enabled_scope`.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Iterator, Optional
@@ -57,11 +58,22 @@ _enabled: bool = False
 #: timestamps are relative to this.
 _epoch: float = 0.0
 
-#: Completed + in-flight top-level spans, in start order.
+#: Completed + in-flight top-level spans, in start order.  Appends are
+#: atomic under the GIL, so threads may share this list; their root
+#: spans interleave in global start order.
 _roots: list["Span"] = []
 
-#: Currently open spans, innermost last.
-_stack: list["Span"] = []
+#: Currently open spans, innermost last — **per thread**, so concurrent
+#: compiles (the repro-serve worker pool) nest their own spans correctly
+#: instead of parenting under whichever span another thread has open.
+_tls = threading.local()
+
+
+def _span_stack() -> list["Span"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
 
 #: Total Span objects ever allocated (diagnostic for the no-op tests).
 _allocations: int = 0
@@ -105,19 +117,21 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
-        if _stack:
-            _stack[-1].children.append(self)
+        stack = _span_stack()
+        if stack:
+            stack[-1].children.append(self)
         else:
             _roots.append(self)
-        _stack.append(self)
+        stack.append(self)
         self.ts = perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> bool:
         self.dur = perf_counter() - self.ts
         # Tolerate mispaired exits (e.g. disabled mid-span): unwind to self.
-        while _stack:
-            if _stack.pop() is self:
+        stack = _span_stack()
+        while stack:
+            if stack.pop() is self:
                 break
         return False
 
@@ -173,10 +187,14 @@ def enabled_scope(on: bool = True) -> Iterator[None]:
 
 
 def reset() -> None:
-    """Drop all recorded spans and re-zero the epoch (keeps the switch)."""
+    """Drop all recorded spans and re-zero the epoch (keeps the switch).
+
+    Clears the *calling* thread's open-span stack; a span still open on
+    another thread simply unwinds into its own (cleared) stack on exit.
+    """
     global _epoch
     _roots.clear()
-    _stack.clear()
+    _span_stack().clear()
     _epoch = perf_counter()
 
 

@@ -1,0 +1,47 @@
+"""repro.serve — compilation as a service.
+
+The batch pipeline becomes a long-lived daemon: one hot
+:class:`~repro.driver.session.CompilationSession` (memory LRU + sharded
+disk cache) behind an asyncio TCP listener, shared by every client.
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON frames, option
+  codecs, request identity;
+* :mod:`repro.serve.server`   — the daemon: worker pool, per-request
+  timeouts, graceful drain;
+* :mod:`repro.serve.coalesce` — singleflight: duplicate in-flight
+  requests share one pipeline run;
+* :mod:`repro.serve.limiter`  — admission control: bounded queue,
+  max in-flight, 429-style rejection with ``retry_after``;
+* :mod:`repro.serve.client`   — sync client + :class:`RemoteSession`
+  (a session façade with in-process fallback);
+* :mod:`repro.serve.cli`      — ``repro-serve`` / ``repro-serve-client``.
+
+See docs/SERVING.md for the protocol, backpressure semantics, and
+deployment knobs; ``benchmarks/bench_serve.py`` is the load harness.
+"""
+
+from .client import (
+    RemoteSession,
+    ServeClient,
+    ServerError,
+    ServerRejected,
+    ServerUnavailable,
+    parse_server_spec,
+)
+from .protocol import DEFAULT_PORT, MAX_FRAME_BYTES, FrameTooLarge, ProtocolError
+from .server import CompileServer, ServeConfig
+
+__all__ = [
+    "CompileServer",
+    "DEFAULT_PORT",
+    "FrameTooLarge",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "RemoteSession",
+    "ServeClient",
+    "ServeConfig",
+    "ServerError",
+    "ServerRejected",
+    "ServerUnavailable",
+    "parse_server_spec",
+]

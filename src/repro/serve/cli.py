@@ -1,0 +1,254 @@
+"""Command-line entry points: ``repro-serve`` and ``repro-serve-client``.
+
+Daemon::
+
+    repro-serve --port 8454 --workers 4 --max-inflight 8 --cache-dir .hli-cache
+    repro-serve --port 0          # bind a free port; printed on stdout
+
+The daemon prints ``repro-serve: listening on HOST:PORT`` once bound
+(machine-parseable — the load harness and CI scrape it), serves until
+SIGTERM/SIGINT or a ``shutdown`` request, drains gracefully, and exits 0
+on a clean drain.
+
+Client::
+
+    repro-serve-client --server 127.0.0.1:8454 ping
+    repro-serve-client --server HOST:PORT compile file.c --mode hli --unroll 2
+    repro-serve-client --server HOST:PORT lint file.c
+    repro-serve-client --server HOST:PORT stats
+    repro-serve-client --server HOST:PORT shutdown
+
+Exit codes (client): ``0`` ok; ``1`` lint/validate findings; ``2`` bad
+arguments or protocol error; ``3`` server unreachable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Optional
+
+from ..backend.ddg import DDGMode
+from ..driver.compile import CompileOptions
+from .client import ServeClient, ServerError, ServerUnavailable, parse_server_spec
+from .protocol import DEFAULT_PORT, MAX_FRAME_BYTES
+from .server import CompileServer, ServeConfig
+
+__all__ = ["main", "client_main"]
+
+_MODES = {m.value: m for m in DDGMode}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Compilation-as-a-service daemon over one shared "
+        "CompilationSession (see docs/SERVING.md).",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default %(default)s)")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help="TCP port; 0 binds a free one (default %(default)s)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="pipeline worker threads (default %(default)s)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="requests executing at once (default %(default)s)",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="admitted requests allowed to wait; beyond this the server "
+        "sheds load with retry_after (default %(default)s)",
+    )
+    p.add_argument(
+        "--request-timeout", type=float, default=120.0, metavar="SECONDS",
+        help="per-request deadline; 0 disables (default %(default)s)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="graceful-drain budget after SIGTERM (default %(default)s)",
+    )
+    p.add_argument(
+        "--max-frame-bytes", type=int, default=MAX_FRAME_BYTES, metavar="N",
+        help="largest accepted request/response frame (default %(default)s)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="back the shared session with a sharded on-disk artifact cache",
+    )
+    p.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="LRU-evict the disk cache above N bytes (requires --cache-dir)",
+    )
+    p.add_argument(
+        "--max-memory-entries", type=int, default=1024, metavar="N",
+        help="in-memory LRU capacity (default %(default)s)",
+    )
+    p.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the repro.obs counter registry in the daemon",
+    )
+    p.add_argument(
+        "--trace-spans", action="store_true",
+        help="record repro.obs spans too (debugging only: the span tree "
+        "grows without bound in a long-lived process)",
+    )
+    return p
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+        max_frame_bytes=args.max_frame_bytes,
+        cache_dir=args.cache_dir,
+        max_memory_entries=args.max_memory_entries,
+        max_disk_bytes=args.cache_max_bytes,
+        metrics=not args.no_metrics,
+        trace_spans=args.trace_spans,
+    )
+
+
+async def _run_daemon(config: ServeConfig) -> int:
+    server = CompileServer(config)
+    await server.start()
+    server.install_signal_handlers()
+    print(f"repro-serve: listening on {server.host}:{server.port}", flush=True)
+    interrupted = await server.serve_until_drained()
+    stats = server.counters
+    print(
+        f"repro-serve: drained ({stats.ok} ok, {stats.rejected} rejected, "
+        f"{stats.errors} errors, {server.coalescer.coalesced_hits} coalesced, "
+        f"{interrupted} in flight at drain)",
+        flush=True,
+    )
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_max_bytes is not None and not args.cache_dir:
+        parser.error("--cache-max-bytes requires --cache-dir")
+    if args.workers < 1 or args.max_inflight < 1:
+        parser.error("--workers and --max-inflight must be >= 1")
+    try:
+        return asyncio.run(_run_daemon(config_from_args(args)))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        return 0
+
+
+# -- repro-serve-client --------------------------------------------------------
+
+
+def build_client_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-serve-client",
+        description="Talk to a running repro-serve daemon.",
+    )
+    p.add_argument(
+        "--server", default=f"127.0.0.1:{DEFAULT_PORT}", metavar="HOST:PORT",
+        help="daemon address (default %(default)s)",
+    )
+    p.add_argument(
+        "op",
+        choices=("compile", "lint", "validate-claims", "stats", "ping", "shutdown"),
+        help="request to send",
+    )
+    p.add_argument("files", nargs="*", help="MiniC source files (compile/lint ops)")
+    p.add_argument("--mode", choices=sorted(_MODES), default="combined",
+                   help="dependence mode (default %(default)s)")
+    p.add_argument("--cse", action="store_true", help="run local CSE")
+    p.add_argument("--licm", action="store_true", help="run LICM")
+    p.add_argument("--unroll", type=int, default=1, metavar="N",
+                   help="unroll factor (default: off)")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="SECONDS",
+                   help="client-side socket timeout (default %(default)s)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print raw JSON results")
+    return p
+
+
+def _print_result(op: str, name: str, result: dict, as_json: bool, out) -> int:
+    if as_json:
+        print(json.dumps({"file": name, "result": result}, indent=2), file=out)
+    exit_code = 0
+    if not as_json:
+        state = result.get("cache_state", "?")
+        fns = result.get("functions", [])
+        print(
+            f"{name}: {state} ({len(fns)} function(s), "
+            f"{result.get('insns', 0)} insns, rtl {str(result.get('rtl_sha256'))[:12]})",
+            file=out,
+        )
+    lint = result.get("lint")
+    if lint is not None:
+        findings = lint.get("findings", [])
+        if not as_json:
+            claims = sum(lint.get("claims_checked", {}).values())
+            print(
+                f"  lint: {len(findings)} finding(s), {claims} claim(s) replayed",
+                file=out,
+            )
+            for f in findings:
+                print(f"    {f['rule']} {f['unit']}: {f['message']}", file=out)
+        if findings:
+            exit_code = 1
+    return exit_code
+
+
+def client_main(argv: Optional[list[str]] = None) -> int:
+    parser = build_client_parser()
+    args = parser.parse_args(argv)
+    host, port = parse_server_spec(args.server)
+    options = CompileOptions(
+        mode=_MODES[args.mode], cse=args.cse, licm=args.licm, unroll=args.unroll
+    )
+    try:
+        with ServeClient(host, port, timeout=args.timeout) as client:
+            if args.op == "ping":
+                print("pong" if client.ping() else "no pong")
+                return 0
+            if args.op == "stats":
+                print(json.dumps(client.stats(), indent=2))
+                return 0
+            if args.op == "shutdown":
+                client.shutdown()
+                print(f"repro-serve-client: asked {host}:{port} to drain")
+                return 0
+            if not args.files:
+                parser.error(f"op {args.op!r} needs at least one source file")
+            code = 0
+            for path in args.files:
+                with open(path) as f:
+                    source = f.read()
+                if args.op == "compile":
+                    result = client.compile(source, path, options)
+                elif args.op == "lint":
+                    result = client.lint(source, path, options)
+                else:
+                    result = client.validate_claims(source, path, options)
+                code = max(code, _print_result(args.op, path, result, args.as_json, sys.stdout))
+            return code
+    except ServerUnavailable as exc:
+        print(f"repro-serve-client: {exc}", file=sys.stderr)
+        return 3
+    except (ServerError, OSError) as exc:
+        print(f"repro-serve-client: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,326 @@
+"""Synchronous client for the ``repro-serve`` daemon.
+
+Two layers:
+
+* :class:`ServeClient` — one TCP connection speaking the framed-JSON
+  protocol: ``compile`` / ``lint`` / ``validate_claims`` / ``stats`` /
+  ``ping`` / ``shutdown``, plus :meth:`ServeClient.compile_retry` which
+  honours the server's 429-style ``retry_after`` hints.
+* :class:`RemoteSession` — a :class:`~repro.driver.session.
+  CompilationSession`-shaped façade whose ``compile`` routes through a
+  daemon and returns a full :class:`~repro.driver.compile.Compilation`
+  (the server pickles it over the wire), **falling back to in-process
+  compilation** when the daemon is unreachable.  ``validate`` and
+  ``repro-fuzz --server`` plug this in where a session is expected.
+
+The pickled-object wire mode deserializes server-produced payloads, so
+point a client only at daemons you trust — the same trust boundary as
+the on-disk artifact cache (see docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import socket
+import threading
+from typing import Optional
+
+from ..driver.compile import Compilation, CompileOptions
+from ..driver.session import CompilationSession, SessionStats
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    options_to_wire,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = [
+    "RemoteSession",
+    "ServeClient",
+    "ServerError",
+    "ServerRejected",
+    "ServerUnavailable",
+    "parse_server_spec",
+]
+
+
+class ServerError(Exception):
+    """The server answered with ``status:"error"``."""
+
+    def __init__(self, message: str, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServerRejected(ServerError):
+    """Admission control refused the request (retry after a delay)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message, code="rejected")
+        self.retry_after = retry_after
+
+
+class ServerUnavailable(Exception):
+    """The daemon cannot be reached (connect / transport failure)."""
+
+
+def parse_server_spec(spec: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``HOST``, defaulting the port)."""
+    spec = spec.strip()
+    if ":" in spec:
+        host, _, port_s = spec.rpartition(":")
+        try:
+            return host or "127.0.0.1", int(port_s)
+        except ValueError as exc:
+            raise ValueError(f"bad server spec {spec!r} (want HOST:PORT)") from exc
+    return spec or "127.0.0.1", DEFAULT_PORT
+
+
+class ServeClient:
+    """One connection to a daemon.  Not thread-safe: one client per thread."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 120.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame = max_frame
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+
+    # -- connection ------------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as exc:
+                raise ServerUnavailable(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from exc
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- raw request -----------------------------------------------------------
+
+    def request(self, op: str, **fields: object) -> dict:
+        """One request/response exchange.  Raises on every non-ok status."""
+        self.connect()
+        self._next_id += 1
+        msg = {"op": op, "id": self._next_id, **fields}
+        try:
+            send_frame(self._sock, msg, self.max_frame)
+            resp = recv_frame(self._sock, self.max_frame)
+        except ProtocolError:
+            raise
+        except OSError as exc:
+            self.close()
+            raise ServerUnavailable(f"transport failure: {exc}") from exc
+        if resp is None:
+            self.close()
+            raise ServerUnavailable("server closed the connection")
+        status = resp.get("status")
+        if status == "ok":
+            return resp.get("result", {})
+        if status == "rejected":
+            raise ServerRejected(
+                resp.get("error", "rejected"),
+                float(resp.get("retry_after") or 0.5),
+            )
+        raise ServerError(
+            resp.get("error", "unknown server error"),
+            code=resp.get("code", "internal"),
+        )
+
+    # -- ops -------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.request("ping") == "pong"
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain gracefully."""
+        return {"result": self.request("shutdown")}
+
+    def compile(
+        self,
+        source: str,
+        filename: str = "<serve>",
+        options: Optional[CompileOptions] = None,
+        want: str = "summary",
+    ) -> dict:
+        return self.request(
+            "compile",
+            source=source,
+            filename=filename,
+            options=options_to_wire(options),
+            want=want,
+        )
+
+    def lint(
+        self,
+        source: str,
+        filename: str = "<serve>",
+        options: Optional[CompileOptions] = None,
+    ) -> dict:
+        return self.request(
+            "lint", source=source, filename=filename, options=options_to_wire(options)
+        )
+
+    def validate_claims(
+        self,
+        source: str,
+        filename: str = "<serve>",
+        options: Optional[CompileOptions] = None,
+    ) -> dict:
+        return self.request(
+            "validate-claims",
+            source=source,
+            filename=filename,
+            options=options_to_wire(options),
+        )
+
+    def compile_object(
+        self,
+        source: str,
+        filename: str = "<serve>",
+        options: Optional[CompileOptions] = None,
+    ) -> Compilation:
+        """Compile remotely and reconstruct the full :class:`Compilation`."""
+        result = self.compile(source, filename, options, want="object")
+        blob = base64.b64decode(result["pickle_b64"])
+        comp = pickle.loads(blob)
+        if not isinstance(comp, Compilation):
+            raise ServerError("server returned a non-Compilation object payload")
+        return comp
+
+    def compile_retry(
+        self,
+        source: str,
+        filename: str = "<serve>",
+        options: Optional[CompileOptions] = None,
+        want: str = "summary",
+        retries: int = 8,
+        max_backoff: float = 5.0,
+    ) -> tuple[dict, int]:
+        """Compile, sleeping out ``retry_after`` on rejection.
+
+        Returns ``(result, rejections_seen)`` so load harnesses can report
+        shed load separately from failures.  Raises :class:`ServerRejected`
+        once the retry budget is exhausted.
+        """
+        import time
+
+        rejections = 0
+        while True:
+            try:
+                return self.compile(source, filename, options, want=want), rejections
+            except ServerRejected as exc:
+                rejections += 1
+                if rejections > retries:
+                    raise
+                time.sleep(min(exc.retry_after, max_backoff))
+
+
+class RemoteSession:
+    """Session façade: remote compiles with graceful in-process fallback.
+
+    Mirrors the slice of :class:`CompilationSession` the drivers use —
+    ``compile``, ``stats``, ``cache_dir`` — so ``validate --server`` and
+    ``repro-fuzz --server`` can swap it in without touching their phase
+    logic.  ``stats`` counts the *server's* cache verdicts as seen from
+    this client (one hit or miss per compile), keeping RESULTS.json
+    meaningful.  After the first transport failure the session stops
+    trying the daemon and serves everything from the local fallback.
+    """
+
+    def __init__(
+        self,
+        spec: str,
+        fallback: Optional[CompilationSession] = None,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host, self.port = parse_server_spec(spec)
+        self.timeout = timeout
+        self.fallback = fallback or CompilationSession()
+        self.stats = SessionStats()
+        self.cache_dir = None
+        self.remote_compiles = 0
+        self.fallback_compiles = 0
+        self._gave_up = False
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _client(self) -> ServeClient:
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = self._local.client = ServeClient(
+                self.host, self.port, timeout=self.timeout
+            )
+        return client
+
+    @property
+    def using_remote(self) -> bool:
+        return not self._gave_up
+
+    def compile(
+        self,
+        source: str,
+        filename: str = "<input>",
+        options: Optional[CompileOptions] = None,
+        **kwargs: object,
+    ) -> Compilation:
+        """Compile via the daemon; fall back in-process if it is gone.
+
+        ``kwargs`` (``external_effects``/``extra_salt``, whole-program
+        mode) cannot cross the wire, so any such compile goes straight
+        to the fallback session.
+        """
+        if self._gave_up or kwargs:
+            self.fallback_compiles += 1
+            return self.fallback.compile(source, filename, options, **kwargs)
+        try:
+            comp = self._client().compile_object(source, filename, options)
+        except ServerUnavailable:
+            with self._lock:
+                self._gave_up = True
+            self.fallback_compiles += 1
+            return self.fallback.compile(source, filename, options)
+        self.remote_compiles += 1
+        with self._lock:
+            if comp.cache_state == "memory":
+                self.stats.hits_memory += 1
+            elif comp.cache_state == "disk":
+                self.stats.hits_disk += 1
+            else:
+                self.stats.misses += 1
+        return comp
+
+    def close(self) -> None:
+        client = getattr(self._local, "client", None)
+        if client is not None:
+            client.close()

@@ -1,0 +1,64 @@
+"""Per-key request coalescing: duplicate in-flight work runs once.
+
+When N clients ask the daemon to compile the same (source, filename,
+options) at the same moment, only the first request (the *leader*)
+executes the pipeline; the other N-1 (*followers*) await the leader's
+result and receive byte-identical responses.  This is the classic
+"singleflight" pattern: it protects the cold path the artifact cache
+cannot — the cache only helps *after* a result is stored, while the
+coalescer collapses the thundering herd *while* it is being computed.
+
+The shared computation runs in its own task, deliberately not tied to
+any request's lifetime: a leader whose client disconnects (or whose
+per-request deadline fires) must not cancel work that followers are
+still waiting for — and even with no waiters left, finishing the
+computation populates the cache for the next asker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Async singleflight table.  All methods run on the event loop."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Task] = {}
+        #: followers served from an in-flight leader (the saved executions)
+        self.coalesced_hits = 0
+        #: leader executions actually started
+        self.executions = 0
+
+    def inflight_keys(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, key: str, thunk: Callable[[], Awaitable]) -> object:
+        """Return ``thunk()``'s result, sharing it with concurrent callers.
+
+        The first caller for ``key`` starts ``thunk()`` in a standalone
+        task; every caller (leader included) awaits that task through
+        :func:`asyncio.shield`, so cancelling one request never cancels
+        the shared work.  Exceptions propagate to every waiter.
+        """
+        task = self._inflight.get(key)
+        if task is None or task.done():
+            self.executions += 1
+            task = asyncio.ensure_future(thunk())
+            self._inflight[key] = task
+            task.add_done_callback(lambda _t, _k=key: self._forget(_k, _t))
+        else:
+            self.coalesced_hits += 1
+        return await asyncio.shield(task)
+
+    def _forget(self, key: str, task: asyncio.Task) -> None:
+        if self._inflight.get(key) is task:
+            del self._inflight[key]
+        if task.cancelled():
+            return
+        # Touch the exception so an all-waiters-gone failure does not
+        # spew "exception was never retrieved" into the daemon's log.
+        task.exception()

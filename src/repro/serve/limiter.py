@@ -1,0 +1,128 @@
+"""Admission control for the daemon: bounded queue + max in-flight.
+
+The controller admits at most ``max_inflight`` requests into execution
+at once and lets at most ``max_queue`` more wait for a slot.  Anything
+beyond that is *rejected immediately* with a ``retry_after`` hint —
+load-shedding at the door (HTTP-429 semantics) instead of an unbounded
+backlog whose latency grows without limit.  This is the standard
+admission-control discipline of production web servers: under overload,
+fail fast and cheap so the work you do accept finishes predictably.
+
+``retry_after`` is an honest estimate: the queue's current depth times
+the recent mean service time, divided by the parallel width — i.e. how
+long until a slot plausibly frees up, not a constant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..obs import metrics as _metrics
+
+__all__ = ["AdmissionController", "Rejected", "Slot"]
+
+
+class Rejected(Exception):
+    """The request was refused at admission; retry after ``retry_after`` s."""
+
+    def __init__(self, retry_after: float, reason: str) -> None:
+        super().__init__(reason)
+        self.retry_after = retry_after
+        self.reason = reason
+
+
+class Slot:
+    """One admitted request's capacity reservation (async context manager)."""
+
+    __slots__ = ("_ctrl", "_released")
+
+    def __init__(self, ctrl: "AdmissionController") -> None:
+        self._ctrl = ctrl
+        self._released = False
+
+    async def __aenter__(self) -> "Slot":
+        await self._ctrl._enter(self)
+        return self
+
+    async def __aexit__(self, *exc: object) -> bool:
+        self.release()
+        return False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._ctrl._leave()
+
+
+class AdmissionController:
+    """Bounded-queue admission control.  All methods run on the event loop."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 64,
+        default_retry_after: float = 0.5,
+    ) -> None:
+        self.max_inflight = max(1, max_inflight)
+        self.max_queue = max(0, max_queue)
+        self.default_retry_after = default_retry_after
+        self._sem = asyncio.Semaphore(self.max_inflight)
+        self.inflight = 0
+        self.queued = 0
+        self.rejected = 0
+        self.admitted = 0
+        #: exponentially-weighted mean service seconds (drives retry_after)
+        self._mean_service = 0.0
+
+    # -- admission -------------------------------------------------------------
+
+    def admit(self) -> Slot:
+        """Reserve capacity or raise :class:`Rejected`.
+
+        Must be called (and the returned slot entered) on the event
+        loop.  Capacity is charged at admission time — a queued request
+        counts against ``max_queue`` until it gets an in-flight slot.
+        """
+        if self.queued >= self.max_queue and self._sem.locked():
+            self.rejected += 1
+            _metrics.inc("serve.admission.rejected")
+            raise Rejected(
+                self.retry_after(),
+                f"at capacity ({self.inflight} in-flight, {self.queued} queued)",
+            )
+        self.admitted += 1
+        return Slot(self)
+
+    async def _enter(self, slot: Slot) -> None:
+        self.queued += 1
+        _metrics.gauge("serve.queue_depth", self.queued)
+        try:
+            await self._sem.acquire()
+        finally:
+            self.queued -= 1
+            _metrics.gauge("serve.queue_depth", self.queued)
+        self.inflight += 1
+        _metrics.gauge("serve.inflight", self.inflight)
+
+    def _leave(self) -> None:
+        self.inflight -= 1
+        _metrics.gauge("serve.inflight", self.inflight)
+        self._sem.release()
+
+    # -- hints -----------------------------------------------------------------
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Feed one completed request's duration into the retry hint."""
+        if self._mean_service == 0.0:
+            self._mean_service = seconds
+        else:
+            self._mean_service += 0.2 * (seconds - self._mean_service)
+
+    def retry_after(self) -> float:
+        """Seconds until a slot plausibly frees up (never zero)."""
+        if self._mean_service <= 0.0:
+            return self.default_retry_after
+        backlog = self.queued + self.inflight
+        est = self._mean_service * max(1.0, backlog / self.max_inflight)
+        return round(max(0.05, min(est, 60.0)), 3)

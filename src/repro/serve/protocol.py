@@ -1,0 +1,232 @@
+"""Wire protocol for ``repro-serve``: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Both directions use the same framing, so a
+request/response exchange is two frames.  The framing keeps the stream
+self-synchronizing: a malformed JSON body consumes exactly one frame and
+the connection stays usable, while an oversized length prefix is the one
+unrecoverable defect (the peer cannot skip bytes it refuses to read) and
+closes the connection after an error response.
+
+Requests are JSON objects with at least ``op`` and usually ``id`` (an
+opaque client token echoed back so responses can be matched when a
+client pipelines).  Responses carry ``status``:
+
+* ``"ok"``        — ``result`` holds the op's payload;
+* ``"rejected"``  — admission control refused the request; ``retry_after``
+  (seconds, float) hints when to try again (HTTP-429 semantics);
+* ``"error"``     — the request failed; ``error`` describes it and
+  ``code`` classifies it (``bad-request``, ``compile-error``,
+  ``timeout``, ``frame-too-large``, ``shutting-down``, ``internal``).
+
+:class:`~repro.driver.compile.CompileOptions` crosses the wire as a
+plain dict of its JSON-able knobs (:func:`options_to_wire` /
+:func:`options_from_wire`); the latency callable is named, not pickled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import socket
+import struct
+from typing import Optional
+
+from ..backend.ddg import DDGMode
+from ..driver.compile import CompileOptions
+from ..machine.latencies import r4600_latency, r10000_latency
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "FrameTooLarge",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "options_to_wire",
+    "options_from_wire",
+    "request_key",
+]
+
+#: Default TCP port ("HLI" on a phone keypad is 454; keep it ephemeral-free).
+DEFAULT_PORT = 8454
+
+#: Default cap on one frame's payload (requests carry whole source files,
+#: responses may carry pickled compilations; 16 MiB is generous for both).
+MAX_FRAME_BYTES = 16 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes that do not parse as a protocol frame."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame's declared length exceeds the configured maximum."""
+
+    def __init__(self, declared: int, limit: int) -> None:
+        super().__init__(f"frame of {declared} bytes exceeds the {limit}-byte limit")
+        self.declared = declared
+        self.limit = limit
+
+
+def encode_frame(obj: dict, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize ``obj`` into one wire frame (header + JSON payload)."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame:
+        raise FrameTooLarge(len(payload), max_frame)
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame payload is {type(obj).__name__}, expected object")
+    return obj
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on clean EOF before a header; raises
+    :class:`FrameTooLarge` / :class:`ProtocolError` on defects and
+    :class:`asyncio.IncompleteReadError` on mid-frame disconnect.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLarge(length, max_frame)
+    payload = await reader.readexactly(length)
+    return _decode_payload(payload)
+
+
+def send_frame(sock: socket.socket, obj: dict, max_frame: int = MAX_FRAME_BYTES) -> None:
+    """Blocking send of one frame over a connected socket."""
+    sock.sendall(encode_frame(obj, max_frame))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, max_frame: int = MAX_FRAME_BYTES) -> Optional[dict]:
+    """Blocking read of one frame; ``None`` on clean EOF before a header."""
+    first = sock.recv(_HEADER.size)
+    if not first:
+        return None
+    header = first + (_recv_exact(sock, _HEADER.size - len(first)) if len(first) < _HEADER.size else b"")
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLarge(length, max_frame)
+    return _decode_payload(_recv_exact(sock, length))
+
+
+# -- CompileOptions over the wire ---------------------------------------------
+
+_LATENCIES = {"r4600": r4600_latency, "r10000": r10000_latency}
+_LATENCY_NAMES = {id(fn): name for name, fn in _LATENCIES.items()}
+
+
+def options_to_wire(opts: Optional[CompileOptions]) -> dict:
+    """JSON-able view of the knobs the daemon honours.
+
+    ``trace`` is deliberately dropped: the daemon owns its own
+    observability switches and a client must not be able to leak spans
+    into (or flip instrumentation on in) a shared server process.
+    """
+    opts = opts or CompileOptions()
+    latency = _LATENCY_NAMES.get(id(opts.latency))
+    if latency is None:
+        raise ProtocolError(
+            f"latency function {opts.latency!r} has no wire name "
+            f"(known: {sorted(_LATENCIES)})"
+        )
+    return {
+        "mode": opts.mode.value,
+        "schedule": bool(opts.schedule),
+        "latency": latency,
+        "cse": bool(opts.cse),
+        "licm": bool(opts.licm),
+        "unroll": int(opts.unroll),
+        "lint": bool(opts.lint),
+        "pipeline": list(opts.pipeline) if opts.pipeline is not None else None,
+    }
+
+
+def options_from_wire(wire: Optional[dict]) -> CompileOptions:
+    """Rebuild :class:`CompileOptions` from :func:`options_to_wire` output.
+
+    Raises :class:`ProtocolError` on unknown modes/latencies or wrongly
+    typed fields, so a bad request fails before any pipeline work.
+    """
+    wire = wire or {}
+    if not isinstance(wire, dict):
+        raise ProtocolError(f"options must be an object, got {type(wire).__name__}")
+    mode_name = wire.get("mode", DDGMode.COMBINED.value)
+    try:
+        mode = DDGMode(mode_name)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown dependence mode {mode_name!r}") from exc
+    latency_name = wire.get("latency", "r4600")
+    latency = _LATENCIES.get(latency_name)
+    if latency is None:
+        raise ProtocolError(f"unknown latency table {latency_name!r}")
+    unroll = wire.get("unroll", 1)
+    if not isinstance(unroll, int) or unroll < 1:
+        raise ProtocolError(f"unroll must be a positive int, got {unroll!r}")
+    pipeline = wire.get("pipeline")
+    if pipeline is not None:
+        if not isinstance(pipeline, list) or not all(isinstance(p, str) for p in pipeline):
+            raise ProtocolError("pipeline must be a list of pass names")
+        pipeline = tuple(pipeline)
+    return CompileOptions(
+        mode=mode,
+        schedule=bool(wire.get("schedule", True)),
+        latency=latency,
+        cse=bool(wire.get("cse", False)),
+        licm=bool(wire.get("licm", False)),
+        unroll=unroll,
+        lint=bool(wire.get("lint", False)),
+        pipeline=pipeline,
+    )
+
+
+def request_key(op: str, source: str, filename: str, wire_opts: dict) -> str:
+    """Coalescing identity of one request.
+
+    Two requests share one pipeline execution iff every input the
+    pipeline reads is identical: the op, the source text, the filename
+    (it is part of the cache key), and the full option set.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-serve-req\x00")
+    h.update(op.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(filename.encode("utf-8", "surrogatepass"))
+    h.update(b"\x00")
+    h.update(json.dumps(wire_opts, sort_keys=True).encode("utf-8"))
+    h.update(b"\x00")
+    h.update(source.encode("utf-8", "surrogatepass"))
+    return h.hexdigest()

@@ -1,0 +1,516 @@
+"""``repro-serve`` — the compilation-as-a-service daemon.
+
+One long-lived process owns one hot :class:`~repro.driver.session.
+CompilationSession` (in-memory LRU + sharded disk cache) and serves
+concurrent ``compile`` / ``lint`` / ``validate-claims`` / ``stats``
+requests over the length-prefixed JSON protocol of
+:mod:`repro.serve.protocol`.  This is the paper's separate-compilation
+bet turned into a serving architecture: the front end's persisted HLI
+makes re-requests cheap, so many clients can share one set of artifacts
+the way GCC's WHOPR splits compilation into a pipeline that shares one
+set of summaries.
+
+Request lifecycle::
+
+    accept → admission control → coalescer → worker pool → respond
+               (bounded queue,     (identical     (threads run the
+                429 + retry_after   in-flight      CPU-bound pipeline
+                when full)          keys share     against the shared
+                                    one run)       session)
+
+Concurrency model
+-----------------
+The event loop owns all protocol and bookkeeping state; pipeline work
+runs in a thread pool so the loop stays responsive.  Worker threads
+share the session — its cache tiers and counters are lock-guarded, and
+the RTL id allocators and obs registry are thread-safe — so a warm hit
+in any thread warms every future request.
+
+Failure semantics
+-----------------
+* Admission overflow → ``status:"rejected"`` with ``retry_after``.
+* Per-request deadline (``request_timeout``) → ``status:"error"``,
+  ``code:"timeout"``; the slot is freed immediately.  A thread already
+  executing cannot be interrupted, but its result still lands in the
+  cache and completes the coalesced future for other waiters.
+* Client disconnect mid-request → the request task is cancelled and its
+  slot freed; coalesced work keeps running for the remaining waiters.
+* Oversized frame → one error response, then the connection closes (the
+  stream cannot be resynchronized without reading the refused bytes).
+* Malformed JSON → error response; the connection stays usable (framing
+  already consumed the bad payload).
+* SIGTERM/SIGINT → graceful drain: stop accepting, let in-flight
+  requests finish (bounded by ``drain_timeout``), then exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import pickle
+import signal
+import time
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Optional
+
+from ..driver.compile import Compilation, CompileOptions
+from ..driver.session import CompilationSession
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..obs.metrics import Histogram
+from .coalesce import Coalescer
+from .limiter import AdmissionController, Rejected
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    FrameTooLarge,
+    ProtocolError,
+    encode_frame,
+    options_from_wire,
+    read_frame,
+    request_key,
+)
+
+__all__ = ["ServeConfig", "CompileServer", "rtl_digest", "compile_summary"]
+
+#: Ops that run the pipeline (admitted, coalesced, pooled).
+PIPELINE_OPS = ("compile", "lint", "validate-claims")
+#: Ops answered inline on the event loop (cheap, never queued).
+CONTROL_OPS = ("stats", "ping", "shutdown")
+
+
+@dataclass
+class ServeConfig:
+    """Deployment knobs for one daemon (see docs/SERVING.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    #: worker threads running pipeline work (CPU-bound; they share the
+    #: session's cache, so more threads buy concurrency, not raw speed)
+    workers: int = 4
+    #: requests executing at once (admission control)
+    max_inflight: int = 8
+    #: admitted requests allowed to wait for an in-flight slot
+    max_queue: int = 64
+    #: per-request deadline in seconds (0 disables)
+    request_timeout: float = 120.0
+    #: graceful-drain budget after SIGTERM before in-flight work is abandoned
+    drain_timeout: float = 30.0
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    cache_dir: Optional[str] = None
+    max_memory_entries: int = 1024
+    max_disk_bytes: Optional[int] = None
+    #: record obs metrics (counters/gauges) in the daemon process.
+    #: Spans stay off by default: a long-lived process must not
+    #: accumulate an unbounded span tree.
+    metrics: bool = True
+    trace_spans: bool = False
+
+
+@dataclass
+class _ServerCounters:
+    """Plain-int counters, event-loop-owned (valid even with obs off)."""
+
+    requests: dict = field(default_factory=dict)  # per-op totals
+    ok: int = 0
+    errors: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    disconnects: int = 0
+    protocol_errors: int = 0
+    #: pipeline executions actually started (the coalescer's leaders)
+    pipeline_runs: int = 0
+
+
+def rtl_digest(comp: Compilation) -> str:
+    """Content digest of the compiled code, stable across id renaming.
+
+    Uses the differential harness's alpha-equivalent canonical rendering,
+    so two pipeline runs of the same request digest identically even
+    though their raw register ids differ — the load harness's
+    correctness oracle.
+    """
+    from ..difftest.incremental import canonical_rtl
+
+    h = sha256()
+    for name, lines in sorted(canonical_rtl(comp.rtl).items()):
+        h.update(name.encode())
+        h.update(b"\x00")
+        for line in lines:
+            h.update(line.encode())
+            h.update(b"\n")
+    return h.hexdigest()
+
+
+def compile_summary(comp: Compilation) -> dict:
+    """JSON-able result payload for one compilation."""
+    stats = comp.total_dep_stats()
+    return {
+        "filename": comp.filename,
+        "cache_state": comp.cache_state,
+        "fn_cache_states": dict(comp.fn_cache_states),
+        "functions": sorted(comp.rtl.functions) if comp.rtl is not None else [],
+        "insns": (
+            sum(len(f.insns) for f in comp.rtl.functions.values())
+            if comp.rtl is not None
+            else 0
+        ),
+        "rtl_sha256": rtl_digest(comp) if comp.rtl is not None else None,
+        "dep_stats": {
+            "total_tests": stats.total_tests,
+            "gcc_yes": stats.gcc_yes,
+            "hli_yes": stats.hli_yes,
+            "combined_yes": stats.combined_yes,
+        },
+    }
+
+
+class CompileServer:
+    """The daemon: one session, one listener, many concurrent requests."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        session: Optional[CompilationSession] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.session = session or CompilationSession(
+            cache_dir=self.config.cache_dir,
+            max_memory_entries=self.config.max_memory_entries,
+            max_disk_bytes=self.config.max_disk_bytes,
+        )
+        self.coalescer = Coalescer()
+        self.limiter = AdmissionController(
+            max_inflight=self.config.max_inflight, max_queue=self.config.max_queue
+        )
+        self.counters = _ServerCounters()
+        self.latency: dict[str, Histogram] = {}
+        self._pool = None  # ThreadPoolExecutor, created on start()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = asyncio.Event()
+        self._started = 0.0
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener (``port=0`` picks a free port) and start serving."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        if self.config.metrics:
+            _metrics.enable()
+        if self.config.trace_spans:
+            _trace.enable()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        self._server = await asyncio.start_server(
+            self._on_client, self.config.host, self.config.port
+        )
+        self._started = time.monotonic()
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into a graceful drain (POSIX only)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.initiate_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+
+    def initiate_drain(self) -> None:
+        """Stop accepting; let in-flight requests finish.  Idempotent."""
+        if not self._draining.is_set():
+            self._draining.set()
+            if self._server is not None:
+                self._server.close()
+
+    async def serve_until_drained(self) -> int:
+        """Block until a drain is requested, then wind down.
+
+        Returns the number of requests that were still in flight when the
+        drain began (0 for a quiet shutdown — the clean-exit signal the
+        smoke test asserts on).
+        """
+        await self._draining.wait()
+        draining_inflight = self.limiter.inflight + self.limiter.queued
+        if self._server is not None:
+            await self._server.wait_closed()
+        pending = [t for t in self._conn_tasks if not t.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=self.config.drain_timeout)
+        for t in self._conn_tasks:
+            if not t.done():
+                t.cancel()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        return draining_inflight
+
+    async def aclose(self) -> None:
+        """Hard stop (tests): drain immediately and drop connections."""
+        self.initiate_drain()
+        await self.serve_until_drained()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _on_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        write_lock = asyncio.Lock()
+        requests: set[asyncio.Task] = set()
+
+        async def send(obj: dict) -> None:
+            async with write_lock:
+                try:
+                    writer.write(encode_frame(obj, self.config.max_frame_bytes))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass  # peer is gone; the read loop will notice
+
+        try:
+            while True:
+                try:
+                    req = await read_frame(reader, self.config.max_frame_bytes)
+                except FrameTooLarge as exc:
+                    self.counters.protocol_errors += 1
+                    _metrics.inc("serve.protocol_error", "frame_too_large")
+                    await send(
+                        {"status": "error", "code": "frame-too-large", "error": str(exc)}
+                    )
+                    break  # stream is unsynchronized; must close
+                except ProtocolError as exc:
+                    self.counters.protocol_errors += 1
+                    _metrics.inc("serve.protocol_error", "malformed")
+                    await send({"status": "error", "code": "bad-request", "error": str(exc)})
+                    continue  # framing consumed the bad payload
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    self.counters.disconnects += 1
+                    _metrics.inc("serve.disconnect")
+                    break
+                if req is None:
+                    break  # clean EOF
+                t = asyncio.create_task(self._dispatch(req, send))
+                requests.add(t)
+                t.add_done_callback(requests.discard)
+        finally:
+            # Client gone: cancel its outstanding requests so their
+            # admission slots free up.  Coalesced pipeline work survives
+            # the cancellation (see repro.serve.coalesce).
+            for t in requests:
+                if not t.done():
+                    self.counters.disconnects += 1
+                    _metrics.inc("serve.cancelled_by_disconnect")
+                    t.cancel()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- request dispatch ------------------------------------------------------
+
+    async def _dispatch(self, req: dict, send) -> None:
+        op = req.get("op")
+        rid = req.get("id")
+        t0 = time.monotonic()
+        self.counters.requests[op] = self.counters.requests.get(op, 0) + 1
+        _metrics.inc("serve.request", str(op))
+        try:
+            if op == "ping":
+                await send({"id": rid, "status": "ok", "result": "pong"})
+                return
+            if op == "stats":
+                await send({"id": rid, "status": "ok", "result": self._stats()})
+                return
+            if op == "shutdown":
+                await send({"id": rid, "status": "ok", "result": "draining"})
+                self.initiate_drain()
+                return
+            if op not in PIPELINE_OPS:
+                self.counters.errors += 1
+                await send(
+                    {
+                        "id": rid,
+                        "status": "error",
+                        "code": "bad-request",
+                        "error": f"unknown op {op!r} (known: "
+                        f"{', '.join(PIPELINE_OPS + CONTROL_OPS)})",
+                    }
+                )
+                return
+            if self._draining.is_set():
+                self.counters.rejected += 1
+                await send(
+                    {
+                        "id": rid,
+                        "status": "error",
+                        "code": "shutting-down",
+                        "error": "server is draining",
+                    }
+                )
+                return
+            await self._serve_pipeline_op(op, rid, req, send, t0)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never let one request kill the loop
+            self.counters.errors += 1
+            _metrics.inc("serve.error", "internal")
+            await send(
+                {
+                    "id": rid,
+                    "status": "error",
+                    "code": "internal",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+
+    async def _serve_pipeline_op(self, op, rid, req, send, t0) -> None:
+        source = req.get("source")
+        filename = req.get("filename", "<serve>")
+        if not isinstance(source, str) or not isinstance(filename, str):
+            self.counters.errors += 1
+            await send(
+                {
+                    "id": rid,
+                    "status": "error",
+                    "code": "bad-request",
+                    "error": "compile requests need string 'source' (and 'filename')",
+                }
+            )
+            return
+        wire_opts = req.get("options") or {}
+        want = req.get("want", "summary")
+        try:
+            opts = options_from_wire(wire_opts)
+        except ProtocolError as exc:
+            self.counters.errors += 1
+            await send(
+                {"id": rid, "status": "error", "code": "bad-request", "error": str(exc)}
+            )
+            return
+        try:
+            slot = self.limiter.admit()
+        except Rejected as exc:
+            self.counters.rejected += 1
+            _metrics.inc("serve.rejected")
+            await send(
+                {
+                    "id": rid,
+                    "status": "rejected",
+                    "error": exc.reason,
+                    "retry_after": exc.retry_after,
+                }
+            )
+            return
+        key = request_key(op, source, filename, wire_opts)
+        try:
+            async with slot:
+                timeout = self.config.request_timeout or None
+                result = await asyncio.wait_for(
+                    self.coalescer.run(key, lambda: self._run_in_pool(op, source, filename, opts)),
+                    timeout=timeout,
+                )
+        except asyncio.TimeoutError:
+            self.counters.timeouts += 1
+            _metrics.inc("serve.timeout")
+            await send(
+                {
+                    "id": rid,
+                    "status": "error",
+                    "code": "timeout",
+                    "error": f"request exceeded {self.config.request_timeout}s",
+                }
+            )
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.counters.errors += 1
+            _metrics.inc("serve.error", "compile")
+            await send(
+                {
+                    "id": rid,
+                    "status": "error",
+                    "code": "compile-error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        summary, comp = result
+        payload = dict(summary)
+        if want == "object":
+            payload["pickle_b64"] = base64.b64encode(
+                pickle.dumps(comp, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii")
+        elapsed = time.monotonic() - t0
+        self.limiter.observe_service_time(elapsed)
+        self.latency.setdefault(op, Histogram()).observe(elapsed * 1e3)
+        _metrics.observe(f"serve.latency_ms.{op}", elapsed * 1e3)
+        self.counters.ok += 1
+        await send({"id": rid, "status": "ok", "result": payload})
+
+    async def _run_in_pool(self, op, source, filename, opts):
+        """Hand the CPU-bound pipeline to a worker thread."""
+        self.counters.pipeline_runs += 1
+        _metrics.inc("serve.pipeline_run", op)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, self._execute, op, source, filename, opts
+        )
+
+    def _execute(self, op, source, filename, opts: CompileOptions):
+        """Worker-thread body: run the pipeline against the shared session."""
+        with _trace.span("serve.execute", op=op, file=filename):
+            if op == "lint" or op == "validate-claims":
+                opts.lint = True
+            comp = self.session.compile(source, filename, opts)
+            summary = compile_summary(comp)
+            if op in ("lint", "validate-claims"):
+                report = comp.lint_report
+                summary["lint"] = {
+                    "findings": [
+                        {"rule": d.rule.rule_id, "unit": d.unit, "message": d.message}
+                        for d in (report.diagnostics if report else [])
+                    ],
+                    "claims_checked": dict(report.claims_checked) if report else {},
+                    "clean": bool(report and not report.diagnostics),
+                }
+            return summary, comp
+
+    # -- stats -----------------------------------------------------------------
+
+    def _stats(self) -> dict:
+        """The ``stats`` op's payload (also what ``repro-stats`` ingests)."""
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "config": {
+                "workers": self.config.workers,
+                "max_inflight": self.config.max_inflight,
+                "max_queue": self.config.max_queue,
+                "request_timeout": self.config.request_timeout,
+                "cache_dir": self.config.cache_dir,
+            },
+            "queue_depth": self.limiter.queued,
+            "inflight": self.limiter.inflight,
+            "draining": self._draining.is_set(),
+            "counters": {
+                "requests": dict(self.counters.requests),
+                "ok": self.counters.ok,
+                "errors": self.counters.errors,
+                "rejected": self.counters.rejected,
+                "timeouts": self.counters.timeouts,
+                "disconnects": self.counters.disconnects,
+                "protocol_errors": self.counters.protocol_errors,
+                "pipeline_runs": self.counters.pipeline_runs,
+                "coalesced_hits": self.coalescer.coalesced_hits,
+                "admitted": self.limiter.admitted,
+            },
+            "latency_ms": {op: h.to_dict() for op, h in sorted(self.latency.items())},
+            "session_cache": self.session.stats.to_dict(),
+        }

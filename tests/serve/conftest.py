@@ -1,0 +1,102 @@
+"""Fixtures for the repro-serve tests: a real daemon on a real socket.
+
+The server runs its own asyncio loop on a background thread; tests speak
+to it through the synchronous :class:`~repro.serve.client.ServeClient`,
+exactly like production clients.  The fixture exposes the live
+:class:`~repro.serve.server.CompileServer` object too, so tests can
+assert on internal counters (coalescer executions, limiter slots)
+without a stats round-trip.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.driver.session import CompilationSession
+from repro.obs import metrics as _metrics
+from repro.serve.server import CompileServer, ServeConfig
+
+
+class SlowSession(CompilationSession):
+    """A session whose compiles dawdle — makes request overlap deterministic."""
+
+    def __init__(self, delay: float = 0.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.delay = delay
+
+    def compile(self, source, filename="<input>", options=None, **kwargs):
+        if self.delay:
+            time.sleep(self.delay)
+        return super().compile(source, filename, options, **kwargs)
+
+
+class ServerThread:
+    """Run one CompileServer on a dedicated event-loop thread."""
+
+    def __init__(self, config: ServeConfig, session=None) -> None:
+        self.config = config
+        self.session = session
+        self.server: CompileServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = CompileServer(self.config, session=self.session)
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_drained()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.host, self.server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.initiate_drain)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=timeout)
+        assert not self._thread.is_alive(), "server failed to drain"
+
+
+@pytest.fixture()
+def make_server(tmp_path):
+    """Factory fixture: spin up daemons with per-test knobs, always torn down."""
+    started: list[ServerThread] = []
+    metrics_was_enabled = _metrics.is_enabled()
+
+    def factory(session=None, **overrides) -> ServerThread:
+        overrides.setdefault("port", 0)
+        overrides.setdefault("metrics", False)
+        overrides.setdefault("request_timeout", 30.0)
+        overrides.setdefault("drain_timeout", 10.0)
+        st = ServerThread(ServeConfig(**overrides), session=session)
+        started.append(st)
+        return st.start()
+
+    yield factory
+    for st in started:
+        st.stop()
+    if not metrics_was_enabled:
+        _metrics.disable()
+
+
+@pytest.fixture()
+def server(make_server):
+    """One default daemon: 4 workers, generous limits, metrics off."""
+    return make_server()

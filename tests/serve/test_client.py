@@ -1,0 +1,203 @@
+"""Client-side tests: RemoteSession fallback, CLIs, repro-stats ingestion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.driver.compile import Compilation, CompileOptions
+from repro.machine.executor import execute
+from repro.obs import metrics as _metrics
+from repro.serve.cli import client_main
+from repro.serve.client import RemoteSession, ServeClient, parse_server_spec
+from tests.conftest import FIG2_SOURCE, SIMPLE_MAIN
+
+#: A port from the TCP test range nothing listens on (RFC 5737 spirit).
+DEAD_SPEC = "127.0.0.1:1"
+
+
+class TestParseServerSpec:
+    def test_host_and_port(self):
+        assert parse_server_spec("example.com:9000") == ("example.com", 9000)
+
+    def test_bare_host_defaults_port(self):
+        from repro.serve.protocol import DEFAULT_PORT
+
+        assert parse_server_spec("example.com") == ("example.com", DEFAULT_PORT)
+
+    def test_bare_port_defaults_host(self):
+        assert parse_server_spec(":9000") == ("127.0.0.1", 9000)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_server_spec("host:notaport")
+
+
+class TestCompileObject:
+    def test_object_round_trip_executes(self, server):
+        from repro.driver.compile import compile_source
+
+        host, port = server.address
+        with ServeClient(host, port) as c:
+            comp = c.compile_object(SIMPLE_MAIN, "simple.c")
+        assert isinstance(comp, Compilation)
+        want = execute(compile_source(SIMPLE_MAIN, "simple.c").rtl, collect_trace=False)
+        got = execute(comp.rtl, collect_trace=False)
+        assert (got.ret, got.output) == (want.ret, want.output)
+
+
+class TestRemoteSession:
+    def test_routes_remotely_and_counts_stats(self, server):
+        host, port = server.address
+        sess = RemoteSession(f"{host}:{port}")
+        c1 = sess.compile(SIMPLE_MAIN, "simple.c")
+        c2 = sess.compile(SIMPLE_MAIN, "simple.c")
+        assert sess.using_remote
+        assert sess.remote_compiles == 2 and sess.fallback_compiles == 0
+        assert (c1.cache_state, c2.cache_state) == ("cold", "memory")
+        assert sess.stats.misses == 1 and sess.stats.hits_memory == 1
+        # the daemon's shared session did the work
+        assert server.server.session.stats.misses == 1
+
+    def test_falls_back_when_unreachable(self):
+        sess = RemoteSession(DEAD_SPEC)
+        comp = sess.compile(SIMPLE_MAIN, "simple.c")
+        assert comp.cache_state == "cold"
+        assert not sess.using_remote
+        assert sess.fallback_compiles == 1 and sess.remote_compiles == 0
+        # subsequent compiles stay in-process (no reconnect storms)
+        sess.compile(FIG2_SOURCE, "fig2.c")
+        assert sess.fallback_compiles == 2
+
+    def test_kwargs_bypass_the_wire(self, server):
+        host, port = server.address
+        sess = RemoteSession(f"{host}:{port}")
+        comp = sess.compile(SIMPLE_MAIN, "simple.c", extra_salt="wp-fingerprint")
+        assert comp.cache_state == "cold"
+        assert sess.fallback_compiles == 1 and sess.remote_compiles == 0
+        assert sess.using_remote  # the daemon was not marked dead
+
+    def test_options_cross_the_wire(self, server):
+        host, port = server.address
+        sess = RemoteSession(f"{host}:{port}")
+        comp = sess.compile(FIG2_SOURCE, "fig2.c", CompileOptions(cse=True, unroll=2))
+        assert comp.options.cse is True
+        assert comp.options.unroll == 2
+
+
+class TestClientCli:
+    def test_compile_json_output(self, server, tmp_path, capsys):
+        host, port = server.address
+        src = tmp_path / "prog.c"
+        src.write_text(SIMPLE_MAIN)
+        code = client_main(["--server", f"{host}:{port}", "compile", str(src), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["result"]["cache_state"] == "cold"
+        assert doc["result"]["functions"] == ["main"]
+
+    def test_lint_clean_exits_zero(self, server, tmp_path, capsys):
+        host, port = server.address
+        src = tmp_path / "prog.c"
+        src.write_text(FIG2_SOURCE)
+        assert client_main(["--server", f"{host}:{port}", "lint", str(src)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_ping_and_stats(self, server, capsys):
+        host, port = server.address
+        assert client_main(["--server", f"{host}:{port}", "ping"]) == 0
+        assert client_main(["--server", f"{host}:{port}", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pong" in out
+        assert '"counters"' in out
+
+    def test_unreachable_exits_three(self, capsys):
+        assert client_main(["--server", DEAD_SPEC, "ping"]) == 3
+
+
+class TestReproStatsIngestion:
+    def _warm(self, server):
+        host, port = server.address
+        with ServeClient(host, port) as c:
+            c.compile(SIMPLE_MAIN, "simple.c")
+            c.compile(SIMPLE_MAIN, "simple.c")
+        return f"{host}:{port}"
+
+    def test_stats_format_embeds_server_payload(self, server, tmp_path, capsys):
+        from repro.obs.cli import main as stats_main
+
+        spec = self._warm(server)
+        out = tmp_path / "stats.json"
+        code = stats_main(["--server", spec, "--format", "stats", "--out", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["server"]["counters"]["requests"]["compile"] == 2
+        assert doc["server"]["session_cache"]["hits_memory"] == 1
+        # ingested into the metrics registry too
+        assert doc["counters"]["serve.requests.compile"] == 2
+        # zero-valued counters are skipped by metrics.add (tidy exports)
+        assert "serve.coalesced_hits" not in doc["counters"]
+        assert doc["gauges"]["serve.queue_depth"] == 0.0
+
+    def test_chrome_format_gains_counter_events(self, server, tmp_path):
+        from repro.obs.cli import main as stats_main
+
+        spec = self._warm(server)
+        out = tmp_path / "trace.json"
+        assert stats_main(["--server", spec, "--format", "chrome", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        counter_events = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counter_events}
+        assert "serve.queue_depth" in names
+        assert "serve.counters.pipeline_runs" in names
+
+    def test_text_format_has_serve_section(self, server, capsys):
+        from repro.obs.cli import main as stats_main
+
+        spec = self._warm(server)
+        assert stats_main(["--server", spec, "--format", "text"]) == 0
+        out = capsys.readouterr().out
+        assert f"repro-serve @ {spec}" in out
+        assert "coalescing" in out
+        assert "hits_memory=1" in out
+
+    def test_unreachable_server_errors_cleanly(self, capsys):
+        from repro.obs.cli import main as stats_main
+
+        assert stats_main(["--server", DEAD_SPEC, "--format", "text"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_ingest_is_pure_registry_translation(self):
+        from repro.obs.cli import ingest_server_stats
+
+        _metrics.reset()
+        _metrics.enable()
+        try:
+            ingest_server_stats(
+                {
+                    "uptime_seconds": 12.5,
+                    "queue_depth": 3,
+                    "inflight": 2,
+                    "draining": False,
+                    "counters": {
+                        "requests": {"compile": 9, "lint": 1},
+                        "rejected": 4,
+                        "coalesced_hits": 5,
+                    },
+                    "session_cache": {"hits_memory": 7, "misses": 2},
+                    "latency_ms": {"compile": {"count": 9, "mean": 5.0, "p50": 4.0,
+                                               "p95": 11.0, "max": 12.0}},
+                }
+            )
+            counters = _metrics.counters()
+            gauges = _metrics.gauges()
+            assert counters["serve.requests.compile"] == 9
+            assert counters["serve.rejected"] == 4
+            assert counters["serve.session.hits_memory"] == 7
+            assert counters["serve.latency_ms.compile.count"] == 9
+            assert gauges["serve.queue_depth"] == 3.0
+            assert gauges["serve.latency_ms.compile.p95"] == 11.0
+        finally:
+            _metrics.disable()
+            _metrics.reset()

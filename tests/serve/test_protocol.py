@@ -1,0 +1,153 @@
+"""Wire-level tests: framing, option codecs, request identity."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.backend.ddg import DDGMode
+from repro.driver.compile import CompileOptions
+from repro.machine.latencies import r10000_latency
+from repro.serve.protocol import (
+    FrameTooLarge,
+    ProtocolError,
+    encode_frame,
+    options_from_wire,
+    options_to_wire,
+    read_frame,
+    request_key,
+)
+
+
+def _read(data: bytes, max_frame=None):
+    """Drive the async reader over an in-memory stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        if max_frame is None:
+            return await read_frame(reader)
+        return await read_frame(reader, max_frame)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        obj = {"op": "compile", "source": "int main() { return 0; }", "id": 7}
+        assert _read(encode_frame(obj)) == obj
+
+    def test_two_frames_back_to_back(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"a": 1}) + encode_frame({"b": 2}))
+            reader.feed_eof()
+            return await read_frame(reader), await read_frame(reader)
+
+        assert asyncio.run(go()) == ({"a": 1}, {"b": 2})
+
+    def test_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_mid_frame_eof_raises(self):
+        with pytest.raises(asyncio.IncompleteReadError):
+            _read(encode_frame({"x": 1})[:-3])
+
+    def test_oversized_header_raises_frame_too_large(self):
+        data = struct.pack(">I", 1 << 30) + b"x"
+        with pytest.raises(FrameTooLarge):
+            _read(data, 1024)
+
+    def test_oversized_encode_refused(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame({"source": "x" * 2048}, max_frame=1024)
+
+    def test_malformed_json_raises_protocol_error(self):
+        payload = b"{not json"
+        data = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            _read(data)
+
+    def test_non_object_payload_raises(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        data = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            _read(data)
+
+
+class TestOptionsCodec:
+    def test_round_trip_preserves_knobs(self):
+        opts = CompileOptions(
+            mode=DDGMode.HLI,
+            schedule=False,
+            latency=r10000_latency,
+            cse=True,
+            licm=True,
+            unroll=3,
+            lint=True,
+        )
+        back = options_from_wire(options_to_wire(opts))
+        assert back.mode is DDGMode.HLI
+        assert back.schedule is False
+        assert back.latency is r10000_latency
+        assert (back.cse, back.licm, back.unroll, back.lint) == (True, True, 3, True)
+
+    def test_defaults(self):
+        back = options_from_wire(None)
+        assert back.mode is DDGMode.COMBINED
+        assert back.schedule is True
+
+    def test_trace_never_crosses_the_wire(self):
+        wire = options_to_wire(CompileOptions(trace=True))
+        assert "trace" not in wire
+        assert options_from_wire(wire).trace is False
+
+    @pytest.mark.parametrize(
+        "wire",
+        [
+            {"mode": "quantum"},
+            {"latency": "cray-1"},
+            {"unroll": 0},
+            {"unroll": "two"},
+            {"pipeline": "cse"},
+            {"pipeline": [1, 2]},
+        ],
+    )
+    def test_bad_fields_rejected(self, wire):
+        with pytest.raises(ProtocolError):
+            options_from_wire(wire)
+
+    def test_options_must_be_object(self):
+        with pytest.raises(ProtocolError):
+            options_from_wire(["mode", "gcc"])
+
+
+class TestRequestKey:
+    def test_identical_inputs_share_a_key(self):
+        w = options_to_wire(CompileOptions())
+        assert request_key("compile", "int main(){}", "a.c", w) == request_key(
+            "compile", "int main(){}", "a.c", w
+        )
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (("compile", "s", "a.c"), ("lint", "s", "a.c")),
+            (("compile", "s", "a.c"), ("compile", "t", "a.c")),
+            (("compile", "s", "a.c"), ("compile", "s", "b.c")),
+        ],
+    )
+    def test_any_differing_input_changes_the_key(self, a, b):
+        w = options_to_wire(CompileOptions())
+        assert request_key(*a, w) != request_key(*b, w)
+
+    def test_options_change_the_key(self):
+        w1 = options_to_wire(CompileOptions())
+        w2 = options_to_wire(CompileOptions(cse=True))
+        assert request_key("compile", "s", "a.c", w1) != request_key(
+            "compile", "s", "a.c", w2
+        )

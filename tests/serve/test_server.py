@@ -1,0 +1,285 @@
+"""End-to-end daemon tests over real sockets.
+
+Covers the ISSUE's protocol edge cases — oversized frames, malformed
+JSON, client disconnect mid-request — plus coalescing correctness,
+admission rejection, per-request timeout, and graceful drain.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServerError, ServerRejected
+from repro.serve.protocol import encode_frame, recv_frame, send_frame
+from tests.conftest import FIG2_SOURCE, SIMPLE_MAIN
+from tests.serve.conftest import SlowSession
+
+
+def _client(st, **kwargs) -> ServeClient:
+    host, port = st.address
+    kwargs.setdefault("timeout", 30.0)
+    return ServeClient(host, port, **kwargs)
+
+
+def _wait_until(predicate, timeout=10.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+class TestBasicOps:
+    def test_ping(self, server):
+        with _client(server) as c:
+            assert c.ping()
+
+    def test_compile_summary_and_warm_hit(self, server):
+        with _client(server) as c:
+            cold = c.compile(SIMPLE_MAIN, "simple.c")
+            warm = c.compile(SIMPLE_MAIN, "simple.c")
+        assert cold["cache_state"] == "cold"
+        assert warm["cache_state"] == "memory"
+        assert cold["rtl_sha256"] == warm["rtl_sha256"]
+        assert cold["functions"] == ["main"]
+        assert cold["insns"] > 0
+
+    def test_warm_hits_cross_connections(self, server):
+        with _client(server) as c:
+            c.compile(FIG2_SOURCE, "fig2.c")
+        with _client(server) as c:
+            assert c.compile(FIG2_SOURCE, "fig2.c")["cache_state"] == "memory"
+
+    def test_lint_clean_program(self, server):
+        with _client(server) as c:
+            result = c.lint(FIG2_SOURCE, "fig2.c")
+        assert result["lint"]["clean"] is True
+        assert result["lint"]["findings"] == []
+        assert sum(result["lint"]["claims_checked"].values()) > 0
+
+    def test_stats_endpoint_shape(self, server):
+        with _client(server) as c:
+            c.compile(SIMPLE_MAIN, "simple.c")
+            stats = c.stats()
+        assert stats["counters"]["requests"]["compile"] == 1
+        assert stats["counters"]["pipeline_runs"] == 1
+        assert stats["session_cache"]["misses"] == 1
+        assert stats["latency_ms"]["compile"]["count"] == 1
+        assert stats["queue_depth"] == 0 and stats["inflight"] == 0
+
+    def test_compile_error_reported_not_fatal(self, server):
+        with _client(server) as c:
+            with pytest.raises(ServerError) as exc:
+                c.compile("int main( {", "broken.c")
+            assert exc.value.code == "compile-error"
+            assert c.ping()  # connection and server both survive
+
+    def test_unknown_op_is_bad_request(self, server):
+        with _client(server) as c:
+            with pytest.raises(ServerError) as exc:
+                c.request("transmogrify")
+            assert exc.value.code == "bad-request"
+
+    def test_bad_options_rejected_before_admission(self, server):
+        with _client(server) as c:
+            with pytest.raises(ServerError) as exc:
+                c.request(
+                    "compile", source="int main(){}", filename="a.c",
+                    options={"mode": "quantum"},
+                )
+            assert exc.value.code == "bad-request"
+        assert server.server.limiter.admitted == 0
+
+
+class TestProtocolDefects:
+    def test_oversized_frame_gets_error_then_close(self, make_server):
+        st = make_server(max_frame_bytes=1024)
+        host, port = st.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(struct.pack(">I", 1 << 20))
+            resp = recv_frame(sock)
+            assert resp["status"] == "error"
+            assert resp["code"] == "frame-too-large"
+            assert recv_frame(sock) is None  # server closed the stream
+        assert st.server.counters.protocol_errors == 1
+
+    def test_malformed_json_keeps_connection_usable(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            payload = b"{definitely not json"
+            sock.sendall(struct.pack(">I", len(payload)) + payload)
+            resp = recv_frame(sock)
+            assert resp["status"] == "error"
+            assert resp["code"] == "bad-request"
+            # same connection still serves real requests
+            send_frame(sock, {"op": "ping", "id": 1})
+            resp = recv_frame(sock)
+            assert resp == {"id": 1, "status": "ok", "result": "pong"}
+
+    def test_disconnect_mid_request_frees_the_slot(self, make_server):
+        st = make_server(session=SlowSession(delay=1.0), max_inflight=1)
+        host, port = st.address
+        sock = socket.create_connection((host, port), timeout=10)
+        send_frame(
+            sock, {"op": "compile", "source": SIMPLE_MAIN, "filename": "s.c", "id": 1}
+        )
+        _wait_until(
+            lambda: st.server.limiter.inflight == 1, what="request to start"
+        )
+        sock.close()  # walk away mid-request
+        _wait_until(
+            lambda: st.server.limiter.inflight == 0, what="slot to free"
+        )
+        # ... and the server still serves new clients on the freed slot.
+        with _client(st) as c:
+            assert c.compile(SIMPLE_MAIN, "s.c")["cache_state"] in (
+                "cold", "memory",  # the abandoned run may still warm the cache
+            )
+
+
+class TestCoalescing:
+    def test_n_identical_concurrent_requests_one_pipeline_run(self, make_server):
+        st = make_server(session=SlowSession(delay=0.4), max_inflight=16)
+        n = 8
+        results, errors = [], []
+        barrier = threading.Barrier(n)
+
+        def worker():
+            try:
+                with _client(st) as c:
+                    barrier.wait()
+                    results.append(c.compile(FIG2_SOURCE, "fig2.c"))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors[:2]
+        assert len(results) == n
+        # exactly one pipeline execution; everyone saw the same artifact
+        assert st.server.counters.pipeline_runs == 1
+        assert st.server.coalescer.coalesced_hits == n - 1
+        assert len({r["rtl_sha256"] for r in results}) == 1
+        assert sum(1 for r in results if r["cache_state"] == "cold") == n
+
+    def test_different_options_do_not_coalesce(self, make_server):
+        st = make_server(session=SlowSession(delay=0.2), max_inflight=16)
+        from repro.driver.compile import CompileOptions
+
+        done = []
+        barrier = threading.Barrier(2)
+
+        def worker(opts):
+            with _client(st) as c:
+                barrier.wait()
+                done.append(c.compile(FIG2_SOURCE, "fig2.c", options=opts))
+
+        threads = [
+            threading.Thread(target=worker, args=(CompileOptions(),)),
+            threading.Thread(target=worker, args=(CompileOptions(cse=True),)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(done) == 2
+        assert st.server.counters.pipeline_runs == 2
+
+
+class TestAdmissionControl:
+    def test_overload_rejected_with_retry_after(self, make_server):
+        st = make_server(
+            session=SlowSession(delay=1.0), workers=1, max_inflight=1, max_queue=0
+        )
+        first_started = threading.Event()
+        first_result = []
+
+        def occupant():
+            with _client(st) as c:
+                first_started.set()
+                first_result.append(c.compile(SIMPLE_MAIN, "a.c"))
+
+        t = threading.Thread(target=occupant)
+        t.start()
+        first_started.wait(timeout=10)
+        _wait_until(
+            lambda: st.server.limiter.inflight == 1, what="first request in flight"
+        )
+        with _client(st) as c:
+            with pytest.raises(ServerRejected) as exc:
+                # distinct source so it cannot coalesce with the occupant
+                c.compile(FIG2_SOURCE, "b.c")
+        assert exc.value.retry_after > 0
+        t.join(timeout=30)
+        assert first_result and first_result[0]["cache_state"] == "cold"
+        assert st.server.counters.rejected == 1
+
+    def test_retry_after_eventually_admits(self, make_server):
+        st = make_server(
+            session=SlowSession(delay=0.3), workers=1, max_inflight=1, max_queue=0
+        )
+        occupied = threading.Event()
+
+        def occupant():
+            with _client(st) as c:
+                occupied.set()
+                c.compile(SIMPLE_MAIN, "a.c")
+
+        t = threading.Thread(target=occupant)
+        t.start()
+        occupied.wait(timeout=10)
+        with _client(st) as c:
+            result, rejections = c.compile_retry(FIG2_SOURCE, "b.c", retries=20)
+        t.join(timeout=30)
+        assert result["cache_state"] == "cold"
+
+
+class TestTimeoutsAndDrain:
+    def test_request_timeout_frees_slot_and_reports(self, make_server):
+        st = make_server(session=SlowSession(delay=2.0), request_timeout=0.3)
+        with _client(st) as c:
+            with pytest.raises(ServerError) as exc:
+                c.compile(SIMPLE_MAIN, "slow.c")
+            assert exc.value.code == "timeout"
+        _wait_until(lambda: st.server.limiter.inflight == 0, what="slot release")
+        assert st.server.counters.timeouts == 1
+        # the abandoned run still completes and warms the cache
+        _wait_until(
+            lambda: st.server.session.stats.stores >= 1, what="cache store"
+        )
+
+    def test_shutdown_op_drains(self, make_server):
+        st = make_server()
+        with _client(st) as c:
+            c.compile(SIMPLE_MAIN, "a.c")
+            c.shutdown()
+        st._thread.join(timeout=10)
+        assert not st._thread.is_alive()
+
+    def test_draining_server_refuses_new_pipeline_work(self, make_server):
+        st = make_server(session=SlowSession(delay=1.0))
+        with _client(st) as c:
+            slow = threading.Thread(
+                target=lambda: _client(st).compile(SIMPLE_MAIN, "a.c")
+            )
+            slow.start()
+            _wait_until(
+                lambda: st.server.limiter.inflight == 1, what="in-flight request"
+            )
+            st._loop.call_soon_threadsafe(st.server.initiate_drain)
+            _wait_until(lambda: st.server._draining.is_set(), what="drain flag")
+            with pytest.raises(ServerError) as exc:
+                c.compile(FIG2_SOURCE, "b.c")
+            assert exc.value.code == "shutting-down"
+            slow.join(timeout=30)
+        st._thread.join(timeout=15)
+        assert not st._thread.is_alive()
