@@ -21,6 +21,8 @@ from repro.workloads.generators import StencilParams, stencil_program
 from repro.workloads.suite import by_name
 
 
+pytestmark = pytest.mark.bench
+
 def _build_with(src: str, options: PartitionOptions):
     prog, table = parse_and_check(src)
     hli, _ = build_hli(prog, table, options)

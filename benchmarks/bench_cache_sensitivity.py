@@ -21,6 +21,8 @@ from repro.machine.superscalar import R10000Model
 from repro.workloads.suite import by_name
 
 
+pytestmark = pytest.mark.bench
+
 @pytest.fixture(scope="module")
 def traces():
     bench = by_name("102.swim")

@@ -15,6 +15,8 @@ from repro import CompileOptions, compile_source
 from repro.backend.cse import run_cse
 from repro.hli.query import HLIQuery
 
+pytestmark = pytest.mark.bench
+
 #: A kernel where a cheap logging call sits between reuses of array data.
 CALL_HEAVY = """int table_a[64];
 int table_b[64];

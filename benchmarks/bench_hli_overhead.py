@@ -20,6 +20,8 @@ from repro.hli.query import HLIQuery
 from repro.workloads.suite import by_name
 
 
+pytestmark = pytest.mark.bench
+
 @pytest.fixture(scope="module")
 def big_compilation():
     bench = by_name("034.mdljdp2")

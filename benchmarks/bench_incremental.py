@@ -31,6 +31,8 @@ import platform
 import sys
 from time import perf_counter
 
+from repro.bench.stats import Summary
+
 SIZES = (1, 4, 16)
 
 
@@ -70,15 +72,17 @@ def edit_one(source: str) -> str:
     return source.replace("int r = a * 1 + b;", "int r = a * 1 + b + 9;")
 
 
-def _best(fn, repeats: int) -> tuple[float, object]:
-    best, result = None, None
+def _best(fn, repeats: int) -> tuple[float, object, Summary]:
+    """Fastest-of-N plus the full distribution over the N repeats."""
+    best, result, samples = None, None, []
     for _ in range(repeats):
         t0 = perf_counter()
         out = fn()
         dt = perf_counter() - t0
+        samples.append(dt)
         if best is None or dt < best:
             best, result = dt, out
-    return best, result
+    return best, result, Summary.from_values(samples)
 
 
 def bench_incremental(repeats: int = 3) -> dict:
@@ -92,24 +96,38 @@ def bench_incremental(repeats: int = 3) -> dict:
         base, edited = make_source(n), edit_one(make_source(n))
         name = f"inc{n}.c"
 
-        cold_s, _ = _best(lambda: compile_source(edited, name, opts), repeats)
+        cold_s, _, cold_sum = _best(
+            lambda: compile_source(edited, name, opts), repeats
+        )
+
+        # the warm strategies time only the post-edit rebuild, so their
+        # distributions are collected over the inner interval, not the
+        # whole closure (which is dominated by session setup)
+        file_samples: list[float] = []
+        inc_samples: list[float] = []
 
         def warm_file():
             sess = CompilationSession(reuse_backend=False)
             sess.compile(base, name, opts)
             t0 = perf_counter()
             comp = sess.compile(edited, name, opts)
-            return perf_counter() - t0, comp
+            dt = perf_counter() - t0
+            file_samples.append(dt)
+            return dt, comp
 
         def warm_incremental():
             sess = CompilationSession()
             sess.compile(base, name, opts)
             t0 = perf_counter()
             comp = sess.compile(edited, name, opts)
-            return perf_counter() - t0, comp
+            dt = perf_counter() - t0
+            inc_samples.append(dt)
+            return dt, comp
 
-        file_s, (file_inner, _) = _best(warm_file, repeats)
-        inc_s, (inc_inner, comp) = _best(warm_incremental, repeats)
+        _best(warm_file, repeats)
+        _, (_, comp), _ = _best(warm_incremental, repeats)
+        file_inner = min(file_samples)
+        inc_inner = min(inc_samples)
 
         ran: set[str] = set()
         for units in comp.pipeline_stats.function_runs.values():
@@ -130,6 +148,11 @@ def bench_incremental(repeats: int = 3) -> dict:
                 "warm_incremental_seconds": round(inc_inner, 6),
                 "speedup_vs_cold": round(cold_s / inc_inner, 2),
                 "speedup_vs_warm_file": round(file_inner / inc_inner, 2),
+                "cold_summary": cold_sum.to_dict(),
+                "warm_file_summary": Summary.from_values(file_samples).to_dict(),
+                "warm_incremental_summary": Summary.from_values(
+                    inc_samples
+                ).to_dict(),
             }
         )
     return {

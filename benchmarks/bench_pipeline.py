@@ -33,6 +33,8 @@ import platform
 import sys
 from time import perf_counter
 
+from repro.bench.stats import Summary
+
 
 def _session_for(cache_dir: str | None, cache_max_bytes: int | None = None):
     from repro.driver.session import CompilationSession
@@ -75,6 +77,7 @@ def bench_suite(
             total = batch_seconds
         else:
             for spec in BENCHMARKS:
+                samples: list[float] = []
                 best = None
                 state = "cold"
                 for _ in range(repeats):
@@ -84,6 +87,7 @@ def bench_suite(
                         spec.source, spec.name, CompileOptions(mode=DDGMode.COMBINED)
                     )
                     elapsed = perf_counter() - t0
+                    samples.append(elapsed)
                     if best is None or elapsed < best:
                         best = elapsed
                         state = comp.cache_state
@@ -93,6 +97,7 @@ def bench_suite(
                         "benchmark": spec.name,
                         "suite": spec.suite,
                         "compile_seconds": round(best or 0.0, 6),
+                        "compile_summary": Summary.from_values(samples).to_dict(),
                         "cache_state": state,
                         "stages": export.span_aggregates(roots),
                     }

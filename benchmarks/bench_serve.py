@@ -43,6 +43,7 @@ from time import perf_counter
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.bench.stats import percentile as _percentile  # noqa: E402
 from repro.serve.client import ServeClient  # noqa: E402
 from repro.serve.protocol import recv_frame, send_frame  # noqa: E402
 
@@ -134,9 +135,7 @@ class PhaseResult:
     def percentile(self, p: float) -> float:
         if not self.latencies:
             return 0.0
-        ordered = sorted(self.latencies)
-        idx = min(len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1))))
-        return ordered[idx]
+        return _percentile(self.latencies, p)
 
     def report(self) -> dict:
         n = len(self.responses)

@@ -20,12 +20,7 @@ import pytest
 from repro.driver.timing import time_benchmark
 from repro.workloads.suite import BENCHMARKS
 
-
-def _geomean(vals):
-    prod = 1.0
-    for v in vals:
-        prod *= v
-    return prod ** (1.0 / len(vals))
+pytestmark = pytest.mark.bench
 
 
 @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)

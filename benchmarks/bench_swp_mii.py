@@ -18,6 +18,8 @@ from repro.backend.swp import analyze_loop_pipelining
 from repro.hli.query import HLIQuery
 from repro.workloads.suite import by_name
 
+pytestmark = pytest.mark.bench
+
 #: fp benchmarks whose innermost loops are pipelinable (no calls inside).
 CANDIDATES = ["101.tomcatv", "102.swim", "107.mgrid", "052.alvinn", "103.su2cor"]
 

@@ -16,6 +16,8 @@ from repro.hli.sizes import size_report
 from repro.workloads.suite import BENCHMARKS, float_benchmarks, integer_benchmarks
 
 
+pytestmark = pytest.mark.bench
+
 def _row(bench):
     comp = compile_source(bench.source, bench.name, CompileOptions(schedule=False))
     return size_report(comp.hli, bench.source)

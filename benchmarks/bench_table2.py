@@ -17,6 +17,8 @@ from repro.hli.sizes import size_report
 from repro.workloads.suite import BENCHMARKS, float_benchmarks, integer_benchmarks
 
 
+pytestmark = pytest.mark.bench
+
 def _stats(bench):
     comp = compile_source(bench.source, bench.name, CompileOptions(mode=DDGMode.COMBINED))
     return comp.total_dep_stats(), size_report(comp.hli, bench.source)

@@ -17,6 +17,8 @@ from repro.backend.ddg import DDGMode
 from repro.machine.executor import execute
 from repro.machine.superscalar import R10000Model
 
+pytestmark = pytest.mark.bench
+
 RECURRENCE = """double acc[256];
 double src[256];
 int main() {

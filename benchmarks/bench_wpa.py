@@ -25,19 +25,24 @@ import platform
 import sys
 from time import perf_counter
 
+from repro.bench.stats import Summary
 
-def _measure(sources, options, whole_program):
+
+def _measure(sources, options, whole_program, repeats=1):
     from repro.driver.wpa import compile_whole_program
     from repro.machine.executor import execute
 
-    t0 = perf_counter()
-    result = compile_whole_program(sources, options, whole_program=whole_program)
-    seconds = perf_counter() - t0
+    samples = []
+    result = None
+    for _ in range(repeats):
+        t0 = perf_counter()
+        result = compile_whole_program(sources, options, whole_program=whole_program)
+        samples.append(perf_counter() - t0)
     run = execute(result.image, collect_trace=False)
-    return result, run, seconds
+    return result, run, min(samples), Summary.from_values(samples)
 
 
-def bench_workloads(generated_seeds: int = 5) -> dict:
+def bench_workloads(generated_seeds: int = 5, repeats: int = 1) -> dict:
     from repro.driver.compile import CompileOptions
     from repro.difftest.gen import generate_units
     from repro.workloads import WHOLE_PROGRAM_WORKLOADS
@@ -51,8 +56,12 @@ def bench_workloads(generated_seeds: int = 5) -> dict:
 
     rows = []
     for name, sources in cases:
-        wp, run_wp, t_wp = _measure(sources, opts, whole_program=True)
-        pf, run_pf, t_pf = _measure(sources, opts, whole_program=False)
+        wp, run_wp, t_wp, sum_wp = _measure(
+            sources, opts, whole_program=True, repeats=repeats
+        )
+        pf, run_pf, t_pf, sum_pf = _measure(
+            sources, opts, whole_program=False, repeats=repeats
+        )
         assert (run_wp.ret, list(run_wp.output)) == (run_pf.ret, list(run_pf.output)), (
             f"{name}: whole-program image diverges from per-file baseline"
         )
@@ -73,6 +82,8 @@ def bench_workloads(generated_seeds: int = 5) -> dict:
                 "call_tests": s_wp.call_tests,
                 "pf_seconds": round(t_pf, 6),
                 "wp_seconds": round(t_wp, 6),
+                "pf_summary": sum_pf.to_dict(),
+                "wp_summary": sum_wp.to_dict(),
                 "link_overhead_ratio": round(t_wp / t_pf, 3) if t_pf else None,
                 "wp_lint_claims": sum(report.claims_checked.values()),
             }
@@ -82,6 +93,7 @@ def bench_workloads(generated_seeds: int = 5) -> dict:
     total_wp = sum(r["call_dep_wp"] for r in rows)
     return {
         "python": platform.python_version(),
+        "repeats": repeats,
         "workloads": rows,
         "total_call_dep_pf": total_pf,
         "total_call_dep_wp": total_wp,
@@ -100,9 +112,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seeds", type=int, default=5, help="number of generated multi-unit programs"
     )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="time each compile N times; reports keep fastest plus the "
+        "full distribution summary (default: 1)",
+    )
     args = parser.parse_args(argv)
 
-    doc = bench_workloads(generated_seeds=args.seeds)
+    doc = bench_workloads(generated_seeds=args.seeds, repeats=max(1, args.repeats))
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2)
 

@@ -1,0 +1,62 @@
+"""SPEC-style workload registry, statistical benchmarking, and gates.
+
+Four layers, consumed together by the ``repro-bench`` CLI:
+
+* :mod:`repro.bench.registry` — named, versioned workload sets with
+  pinned seeds and a source-digest manifest;
+* :mod:`repro.bench.stats` — one implementation of median / IQR /
+  percentile math for every reporter in the repo;
+* :mod:`repro.bench.report` — measurement collection with per-profile
+  breakdowns and brief/full/CSV/JSON rendering;
+* :mod:`repro.bench.gates` — declared regression thresholds keyed to
+  TRAJECTORY.md baselines, with a CI-friendly exit-code contract.
+
+See docs/BENCHMARKING.md for the workflow.
+"""
+
+from .gates import Gate, GateError, GateResult, evaluate, load_gates
+from .registry import (
+    PROFILES,
+    REGISTRY,
+    WorkloadProgram,
+    WorkloadSet,
+    get_set,
+    materialize,
+    program_digests,
+    set_digest,
+    set_names,
+    suite_specs,
+    verify_manifest,
+    write_manifests,
+)
+from .report import Measurement, Report
+from .stats import Summary, geomean, percentile, summarize
+from .runner import PATHS, run_set
+
+__all__ = [
+    "Gate",
+    "GateError",
+    "GateResult",
+    "Measurement",
+    "PATHS",
+    "PROFILES",
+    "REGISTRY",
+    "Report",
+    "Summary",
+    "WorkloadProgram",
+    "WorkloadSet",
+    "evaluate",
+    "geomean",
+    "get_set",
+    "load_gates",
+    "materialize",
+    "percentile",
+    "program_digests",
+    "run_set",
+    "set_digest",
+    "set_names",
+    "suite_specs",
+    "summarize",
+    "verify_manifest",
+    "write_manifests",
+]

@@ -1,0 +1,150 @@
+"""Regression gates: declared thresholds over report metrics.
+
+A gate names a metric in a :class:`~repro.bench.report.Report` — either
+a statistical summary over a path (``path.metric`` with a ``stat`` and
+optional ``profile`` restriction) or a scalar fact recorded by the
+runner (``fact:key``) — an operator, and a threshold.  Baseline files
+(committed under ``benchmarks/baselines/``) carry a list of gates plus
+a ``why`` string tying each threshold to its TRAJECTORY.md entry, so a
+number in CI is never an orphan.
+
+Exit-code contract (enforced by the ``repro-bench`` CLI and asserted by
+``tests/bench/test_gates.py``):
+
+* ``0`` — every gate passed;
+* ``1`` — at least one gate failed (a measured regression);
+* ``2`` — the gates could not be evaluated (unknown metric, malformed
+  baseline file): a broken harness must not masquerade as a pass.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from .report import Report
+
+__all__ = ["Gate", "GateError", "GateResult", "evaluate", "load_gates"]
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_ERROR = 2
+
+_OPS = {
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    "==": lambda a, b: a == b,
+}
+
+_STATS = ("median", "mean", "stddev", "iqr", "min", "max", "q1", "q3", "count")
+
+
+class GateError(Exception):
+    """The gate could not be evaluated against this report."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One declared threshold."""
+
+    #: report path the metric lives on, or the literal ``"fact"``
+    path: str
+    #: metric name (``warm_speedup``) or fact key (``facts["..."]``)
+    metric: str
+    op: str
+    value: float
+    #: summary statistic to compare (ignored for facts)
+    stat: str = "median"
+    #: restrict to one profile class; ``None`` = all programs
+    profile: Optional[str] = None
+    #: provenance, e.g. "TRAJECTORY.md 2026-08-06: warm suite ~5x"
+    why: str = ""
+
+    @property
+    def name(self) -> str:
+        prof = f"[{self.profile}]" if self.profile else ""
+        stat = f".{self.stat}" if self.path != "fact" else ""
+        return f"{self.path}.{self.metric}{prof}{stat}"
+
+    def measure(self, report: Report) -> float:
+        if self.op not in _OPS:
+            raise GateError(f"{self.name}: unknown operator {self.op!r}")
+        if self.path == "fact":
+            try:
+                value = report.facts[self.metric]
+            except KeyError:
+                raise GateError(
+                    f"{self.name}: fact {self.metric!r} not in report"
+                ) from None
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise GateError(f"{self.name}: fact {self.metric!r} is not numeric")
+            return float(value)
+        if self.stat not in _STATS:
+            raise GateError(f"{self.name}: unknown stat {self.stat!r}")
+        if self.profile is None:
+            summary = report.overall_summary(self.path, self.metric)
+        else:
+            summary = report.profile_summary(self.path, self.metric).get(self.profile)
+        if summary is None:
+            raise GateError(
+                f"{self.name}: no measurements for {self.path}/{self.metric}"
+                + (f" profile {self.profile}" if self.profile else "")
+            )
+        return float(getattr(summary, self.stat))
+
+
+@dataclass(frozen=True)
+class GateResult:
+    gate: Gate
+    measured: float
+    passed: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.gate.name,
+            "op": self.gate.op,
+            "value": self.gate.value,
+            "measured": round(self.measured, 6),
+            "passed": self.passed,
+            "why": self.gate.why,
+        }
+
+
+def evaluate(report: Report, gates: list[Gate]) -> list[GateResult]:
+    """Evaluate every gate; raises :class:`GateError` if any gate cannot
+    be measured (the CLI maps that to exit code 2, not a pass)."""
+    results = []
+    for gate in gates:
+        measured = gate.measure(report)
+        results.append(
+            GateResult(gate, measured, _OPS[gate.op](measured, gate.value))
+        )
+    return results
+
+
+def load_gates(path: str) -> tuple[str, list[Gate]]:
+    """Load a baseline file; returns ``(set_name, gates)``."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GateError(f"cannot load baseline {path}: {exc}") from exc
+    try:
+        gates = [
+            Gate(
+                path=g["path"],
+                metric=g["metric"],
+                op=g["op"],
+                value=float(g["value"]),
+                stat=g.get("stat", "median"),
+                profile=g.get("profile"),
+                why=g.get("why", ""),
+            )
+            for g in doc["gates"]
+        ]
+        return doc["set"], gates
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GateError(f"malformed baseline {path}: {exc}") from exc

@@ -1,0 +1,558 @@
+"""Named, versioned benchmark workload sets (SPEC-style registry).
+
+Every perf or precision number this repo reports should name the
+workload population it was measured on.  This module is that naming
+authority: a **set** is an immutable, versioned list of programs —
+either the curated MiniC suite, parametric kernels, or corpora derived
+from the seeded generators with a declared **profile** (pointer-heavy,
+float-heavy, branchy, deep-call-graph, multi-unit).
+
+Reproducibility is enforced, not assumed:
+
+* every generated program comes from a pinned seed flowing through one
+  explicit ``random.Random`` — no module-global RNG state;
+* profile membership is checked by a predicate at materialization time,
+  and seeds that fail the predicate are skipped deterministically, so a
+  set is a pure function of this file's code;
+* a **digest manifest** (:mod:`repro.bench.manifest_data`, regenerated
+  with ``python -m repro.bench.registry --write-manifests``) pins the
+  sha256 of every program's source; :func:`verify_manifest` regenerates
+  a set and diffs it against the pinned digests, and CI runs it so a
+  drive-by generator change cannot silently redefine what "suite-v1"
+  means.  Changing a generator on purpose means bumping the set version
+  and rewriting the manifest in the same commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Optional
+
+from ..difftest.gen import GenConfig, generate, generate_units
+from ..workloads.generators import (
+    ReductionParams,
+    StencilParams,
+    random_affine_loop,
+    reduction_program,
+    stencil_program,
+)
+from ..workloads.suite import BENCHMARKS, BenchmarkSpec
+
+__all__ = [
+    "DEEPCALL_DEPTH_FLOOR",
+    "Profile",
+    "PROFILES",
+    "WorkloadProgram",
+    "WorkloadSet",
+    "REGISTRY",
+    "get_set",
+    "set_names",
+    "materialize",
+    "set_digest",
+    "program_digests",
+    "verify_manifest",
+    "write_manifests",
+    "suite_specs",
+    "call_depth",
+    "pointer_op_count",
+    "float_op_count",
+    "branch_count",
+]
+
+#: Declared floor for the deep-call-graph profile: the longest call
+#: chain from ``main`` must be at least this many edges.
+DEEPCALL_DEPTH_FLOOR = 4
+
+#: Minimum body statements of the shape a profile is named after.
+POINTER_OP_FLOOR = 3
+FLOAT_OP_FLOOR = 3
+BRANCH_FLOOR = 4
+
+
+@dataclass(frozen=True)
+class WorkloadProgram:
+    """One runnable program: one or more (filename, source) units."""
+
+    name: str
+    profile: str
+    units: tuple[tuple[str, str], ...]
+    #: generator seed for generated programs; ``None`` for curated ones
+    seed: Optional[int] = None
+
+    @property
+    def multi_unit(self) -> bool:
+        return len(self.units) > 1
+
+    @property
+    def source(self) -> str:
+        """The single-unit source (raises for multi-unit programs)."""
+        if self.multi_unit:
+            raise ValueError(f"{self.name} is multi-unit; iterate .units")
+        return self.units[0][1]
+
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        for fname, source in self.units:
+            h.update(fname.encode())
+            h.update(b"\x00")
+            h.update(source.encode())
+            h.update(b"\x00")
+        return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# profile predicates (pure text analysis; generated programs only)
+# ---------------------------------------------------------------------------
+
+_FN_DEF_RE = re.compile(r"^int (f\d+|main)\(", re.M)
+_CALL_RE = re.compile(r"\b(f\d+)\s*\(")
+
+
+def _whole_source(prog: WorkloadProgram) -> str:
+    return "\n".join(src for _, src in prog.units)
+
+
+def call_depth(source: str) -> int:
+    """Longest call chain (in edges) from ``main`` through the ``f<k>``
+    helpers, computed from the source text.  Generated programs name
+    helpers ``f0..fN`` and never shadow them, so a textual scan is
+    exact for them."""
+    defs = list(_FN_DEF_RE.finditer(source))
+    calls: dict[str, set[str]] = {}
+    for i, m in enumerate(defs):
+        end = defs[i + 1].start() if i + 1 < len(defs) else len(source)
+        body = source[m.start():end]
+        body = body[body.index("{") + 1:] if "{" in body else body
+        calls[m.group(1)] = set(_CALL_RE.findall(body))
+
+    depth_memo: dict[str, int] = {}
+
+    def depth(fn: str, seen: frozenset[str]) -> int:
+        if fn in depth_memo:
+            return depth_memo[fn]
+        best = 0
+        for callee in calls.get(fn, ()):
+            if callee in seen or callee not in calls:
+                continue
+            best = max(best, 1 + depth(callee, seen | {callee}))
+        depth_memo[fn] = best
+        return best
+
+    return depth("main", frozenset({"main"})) if "main" in calls else 0
+
+
+def pointer_op_count(source: str) -> int:
+    """Pointer operations in the body: dereferences, bumps, re-aims."""
+    return source.count("*gp") + source.count("gp++") + source.count("gp =")
+
+
+def float_op_count(source: str) -> int:
+    """Float-typed body statements: lines touching a ``gd<k>`` global,
+    excluding the declarations, the deterministic init, and the
+    checksum epilogue every floats-enabled program shares."""
+    count = 0
+    for line in source.splitlines():
+        s = line.strip()
+        if not re.search(r"\bgd\d", s):
+            continue
+        if s.startswith("double ") or s.startswith("extern double "):
+            continue
+        if re.fullmatch(r"gd\d = \d\.5;", s):
+            continue
+        if "chk" in s:
+            continue
+        count += 1
+    return count
+
+
+def branch_count(source: str) -> int:
+    return source.count("if (")
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A program-shape class with a generator config and a membership
+    predicate the registry enforces at materialization time."""
+
+    name: str
+    description: str
+    config: Optional[GenConfig]
+    predicate: Callable[[WorkloadProgram], bool]
+
+
+def _always(_: WorkloadProgram) -> bool:
+    return True
+
+
+PROFILES: dict[str, Profile] = {
+    "pointer": Profile(
+        "pointer",
+        f"pointer walks and dereferences (>= {POINTER_OP_FLOOR} pointer ops)",
+        GenConfig(
+            pointers=True, structs=False, floats=False, calls=False,
+            prints=False, max_stmts=12,
+        ),
+        lambda p: pointer_op_count(_whole_source(p)) >= POINTER_OP_FLOOR,
+    ),
+    "float": Profile(
+        "float",
+        f"double arithmetic and compares (>= {FLOAT_OP_FLOOR} float stmts)",
+        GenConfig(
+            floats=True, pointers=False, structs=False, calls=False,
+            prints=False, max_stmts=12,
+        ),
+        lambda p: float_op_count(_whole_source(p)) >= FLOAT_OP_FLOOR,
+    ),
+    "branchy": Profile(
+        "branchy",
+        f"dense control flow (>= {BRANCH_FLOOR} conditionals)",
+        GenConfig(
+            pointers=False, structs=False, floats=False, calls=False,
+            prints=False, max_stmts=14, max_depth=3,
+        ),
+        lambda p: branch_count(_whole_source(p)) >= BRANCH_FLOOR,
+    ),
+    "deepcall": Profile(
+        "deepcall",
+        f"chained helper calls (call depth >= {DEEPCALL_DEPTH_FLOOR})",
+        GenConfig(
+            functions=6, chain_calls=True, pointers=False, structs=False,
+            prints=False, max_stmts=12,
+        ),
+        lambda p: call_depth(_whole_source(p)) >= DEEPCALL_DEPTH_FLOOR,
+    ),
+    "multiunit": Profile(
+        "multiunit",
+        "3 translation units with cross-unit calls and extern globals",
+        GenConfig(functions=4, structs=False, prints=False),
+        lambda p: p.multi_unit,
+    ),
+    # curated / parametric profiles (no generator config, no filtering)
+    "int": Profile("int", "curated integer suite programs", None, _always),
+    "fp": Profile("fp", "curated floating-point suite programs", None, _always),
+    "stencil": Profile("stencil", "parametric 1-D stencil kernels", None, _always),
+    "reduction": Profile("reduction", "parametric reduction chains", None, _always),
+    "affine": Profile("affine", "seeded affine-subscript loops", None, _always),
+}
+
+
+# ---------------------------------------------------------------------------
+# set definitions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadSet:
+    """A named, versioned workload population."""
+
+    name: str
+    version: int
+    description: str
+    builder: Callable[[], list[WorkloadProgram]] = field(repr=False)
+    profiles: tuple[str, ...] = ()
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.name}-v{self.version}"
+
+
+def _generated(profile_name: str, count: int, seed_base: int) -> list[WorkloadProgram]:
+    """``count`` programs of ``profile_name``, scanning seeds from
+    ``seed_base`` upward and keeping exactly those the profile predicate
+    admits — a pure function of the registry code."""
+    profile = PROFILES[profile_name]
+    assert profile.config is not None
+    out: list[WorkloadProgram] = []
+    seed = seed_base
+    budget = max(1000, count * 400)
+    while len(out) < count:
+        if seed - seed_base >= budget:
+            raise RuntimeError(
+                f"profile '{profile_name}' admitted only {len(out)}/{count} "
+                f"programs in {budget} seeds — predicate/config mismatch"
+            )
+        if profile_name == "multiunit":
+            units = tuple(generate_units(seed, profile.config, n_units=3))
+        else:
+            units = ((f"{profile_name}_{seed}.c", generate(seed, profile.config)),)
+        prog = WorkloadProgram(
+            name=f"{profile_name}-{len(out):03d}",
+            profile=profile_name,
+            units=units,
+            seed=seed,
+        )
+        if profile.predicate(prog):
+            out.append(prog)
+        seed += 1
+    return out
+
+
+def _suite() -> list[WorkloadProgram]:
+    return [
+        WorkloadProgram(
+            name=b.name,
+            profile="fp" if b.is_float else "int",
+            units=((f"{b.name}.c", b.source),),
+        )
+        for b in BENCHMARKS
+    ]
+
+
+def _kernels() -> list[WorkloadProgram]:
+    out: list[WorkloadProgram] = []
+    for arrays in (2, 3, 4):
+        for size in (32, 64):
+            p = StencilParams(arrays=arrays, size=size)
+            out.append(
+                WorkloadProgram(
+                    name=f"stencil-a{arrays}-s{size}",
+                    profile="stencil",
+                    units=((f"stencil_a{arrays}_s{size}.c", stencil_program(p)),),
+                )
+            )
+    for arrays in (1, 2, 4):
+        p = ReductionParams(arrays=arrays, size=64)
+        out.append(
+            WorkloadProgram(
+                name=f"reduction-a{arrays}",
+                profile="reduction",
+                units=((f"reduction_a{arrays}.c", reduction_program(p)),),
+            )
+        )
+    for seed in range(6):
+        src, _ = random_affine_loop(seed)
+        out.append(
+            WorkloadProgram(
+                name=f"affine-{seed:03d}",
+                profile="affine",
+                units=((f"affine_{seed}.c", src),),
+                seed=seed,
+            )
+        )
+    return out
+
+
+def _quick() -> list[WorkloadProgram]:
+    """Small mixed set for CI gating: two curated programs plus a couple
+    of each generated profile.  Seed bases are offset from the big sets
+    so quick-v1 stays stable even if those grow."""
+    curated = [p for p in _suite() if p.name in ("wc", "129.compress")]
+    return (
+        curated
+        + _generated("pointer", 2, seed_base=10_000)
+        + _generated("float", 2, seed_base=11_000)
+        + _generated("branchy", 2, seed_base=12_000)
+        + _generated("deepcall", 1, seed_base=13_000)
+        + _generated("multiunit", 1, seed_base=14_000)
+    )
+
+
+def _corpus() -> list[WorkloadProgram]:
+    """The big mixed population: 30 programs per generated profile."""
+    progs: list[WorkloadProgram] = []
+    for i, name in enumerate(("pointer", "float", "branchy", "deepcall")):
+        progs.extend(_generated(name, 30, seed_base=20_000 + 1_000 * i))
+    return progs
+
+
+REGISTRY: dict[str, WorkloadSet] = {
+    s.full_name: s
+    for s in [
+        WorkloadSet(
+            "suite", 1,
+            "the 14 curated SPEC-shaped MiniC programs (paper Tables 1/2)",
+            _suite, ("int", "fp"),
+        ),
+        WorkloadSet(
+            "kernels", 1,
+            "parametric stencil / reduction / affine-loop kernels",
+            _kernels, ("stencil", "reduction", "affine"),
+        ),
+        WorkloadSet(
+            "quick", 1,
+            "small mixed set for CI regression gating",
+            _quick, ("int", "pointer", "float", "branchy", "deepcall", "multiunit"),
+        ),
+        WorkloadSet(
+            "gen-pointer", 1,
+            "24 seeded pointer-heavy programs",
+            lambda: _generated("pointer", 24, seed_base=100_000), ("pointer",),
+        ),
+        WorkloadSet(
+            "gen-float", 1,
+            "24 seeded float-heavy programs",
+            lambda: _generated("float", 24, seed_base=110_000), ("float",),
+        ),
+        WorkloadSet(
+            "gen-branchy", 1,
+            "24 seeded branch-dense programs",
+            lambda: _generated("branchy", 24, seed_base=120_000), ("branchy",),
+        ),
+        WorkloadSet(
+            "gen-deepcall", 1,
+            f"16 seeded programs with call depth >= {DEEPCALL_DEPTH_FLOOR}",
+            lambda: _generated("deepcall", 16, seed_base=130_000), ("deepcall",),
+        ),
+        WorkloadSet(
+            "gen-multiunit", 1,
+            "12 seeded 3-unit whole-program workloads",
+            lambda: _generated("multiunit", 12, seed_base=140_000), ("multiunit",),
+        ),
+        WorkloadSet(
+            "corpus", 1,
+            "120 seeded programs, 30 per generated profile",
+            _corpus, ("pointer", "float", "branchy", "deepcall"),
+        ),
+    ]
+}
+
+
+def set_names() -> list[str]:
+    return sorted(REGISTRY)
+
+
+def get_set(name: str) -> WorkloadSet:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload set '{name}' (have: {', '.join(set_names())})"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def materialize(name: str) -> tuple[WorkloadProgram, ...]:
+    """Build the set's program list (deterministic; cached per process)."""
+    return tuple(get_set(name).builder())
+
+
+def suite_specs() -> list[BenchmarkSpec]:
+    """The :class:`BenchmarkSpec` rows backing ``suite-v1`` — the paper
+    tables and validation claims consume the suite through this registry
+    hook rather than importing the raw list."""
+    materialize("suite-v1")  # assert the set still builds
+    return list(BENCHMARKS)
+
+
+# ---------------------------------------------------------------------------
+# digest manifest
+# ---------------------------------------------------------------------------
+
+def program_digests(name: str) -> dict[str, str]:
+    return {p.name: p.digest() for p in materialize(name)}
+
+
+def set_digest(name: str) -> str:
+    h = hashlib.sha256()
+    for pname, digest in sorted(program_digests(name).items()):
+        h.update(pname.encode())
+        h.update(b"\x00")
+        h.update(digest.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def verify_manifest(name: str) -> list[str]:
+    """Regenerate ``name`` and diff it against the pinned manifest.
+    Returns a list of human-readable mismatches (empty = reproducible)."""
+    from . import manifest_data
+
+    problems: list[str] = []
+    pinned = manifest_data.MANIFESTS.get(name)
+    if pinned is None:
+        return [f"{name}: no pinned manifest (run --write-manifests)"]
+    fresh = program_digests(name)
+    for pname in sorted(set(pinned) | set(fresh)):
+        a, b = pinned.get(pname), fresh.get(pname)
+        if a != b:
+            problems.append(f"{name}/{pname}: pinned {a} != regenerated {b}")
+    pinned_set = manifest_data.SET_DIGESTS.get(name)
+    if pinned_set != set_digest(name):
+        problems.append(
+            f"{name}: set digest {set_digest(name)} != pinned {pinned_set}"
+        )
+    return problems
+
+
+_MANIFEST_HEADER = '''\
+"""Pinned source digests for every registry workload set.
+
+GENERATED by ``python -m repro.bench.registry --write-manifests`` —
+do not edit by hand.  A mismatch between these digests and a freshly
+materialized set means a generator or set definition changed without a
+version bump; :func:`repro.bench.registry.verify_manifest` (run by the
+test suite and the validation gate) will fail until the manifest is
+regenerated in the same commit as the intentional change.
+"""
+
+from __future__ import annotations
+'''
+
+
+def write_manifests(path: Optional[str] = None) -> str:
+    """Regenerate :mod:`repro.bench.manifest_data` next to this module
+    (or at ``path``) and return the file's location."""
+    import pathlib
+
+    target = (
+        pathlib.Path(path)
+        if path is not None
+        else pathlib.Path(__file__).with_name("manifest_data.py")
+    )
+    lines = [_MANIFEST_HEADER]
+    lines.append("MANIFESTS: dict[str, dict[str, str]] = {")
+    for name in set_names():
+        lines.append(f"    {name!r}: {{")
+        for pname, digest in sorted(program_digests(name).items()):
+            lines.append(f"        {pname!r}: {digest!r},")
+        lines.append("    },")
+    lines.append("}")
+    lines.append("")
+    lines.append("SET_DIGESTS: dict[str, str] = {")
+    for name in set_names():
+        lines.append(f"    {name!r}: {set_digest(name)!r},")
+    lines.append("}")
+    target.write_text("\n".join(lines) + "\n")
+    return str(target)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.registry",
+        description="Inspect or re-pin the workload-set digest manifests.",
+    )
+    parser.add_argument(
+        "--write-manifests", action="store_true",
+        help="regenerate manifest_data.py from the current definitions",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="regenerate every set and diff against the pinned manifest",
+    )
+    args = parser.parse_args(argv)
+    if args.write_manifests:
+        print(f"wrote {write_manifests()}")
+        return 0
+    failures = 0
+    for name in set_names():
+        progs = materialize(name)
+        profiles = sorted({p.profile for p in progs})
+        line = f"{name}: {len(progs)} programs, profiles {', '.join(profiles)}"
+        if args.verify:
+            problems = verify_manifest(name)
+            line += "  [reproducible]" if not problems else "  [MISMATCH]"
+            failures += len(problems)
+            for p in problems:
+                line += f"\n    {p}"
+        print(line)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

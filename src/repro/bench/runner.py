@@ -1,0 +1,297 @@
+"""Run a registry workload set through the compilation paths.
+
+For every program in a named set the runner measures, with N timed
+iterations after W discarded warmup iterations:
+
+* **session** — cold compile latency (fresh
+  :class:`~repro.driver.session.CompilationSession` per observation),
+  warm compile latency against a populated session, the warm/cold
+  speedup, and the DDG edge-reduction percentage (the paper's headline
+  precision claim, now characterized per profile class instead of per
+  anecdote).  Multi-unit programs go through
+  :func:`~repro.driver.wpa.compile_whole_program` twice (linked vs
+  per-file) and report the cross-module edge deletion and link
+  overhead; the two images must agree semantically or the run aborts —
+  the bench refuses to report numbers for an unsound configuration.
+* **incremental** — edit-one-function rebuild latency: a
+  line-count-preserving edit to ``main`` against a warm session, with
+  the invalidation invariant (back-end re-runs *exactly* ``main``)
+  checked every iteration.
+* **serve** — request latency through a
+  :class:`~repro.serve.client.RemoteSession` (a live ``repro-serve``
+  daemon when ``server`` is given, the in-process fallback otherwise,
+  so the path always completes).
+
+Everything lands in a :class:`~repro.bench.report.Report`; regression
+gates from a committed baseline file are evaluated by the CLI.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Optional
+
+from ..backend.ddg import DDGMode
+from ..driver.compile import CompileOptions
+from ..driver.session import CompilationSession
+from ..obs import metrics
+from .registry import WorkloadProgram, get_set, materialize, program_digests, set_digest
+from .report import Report
+
+__all__ = ["PATHS", "run_set"]
+
+PATHS = ("session", "incremental", "serve")
+
+#: the deterministic, line-count-preserving edit the incremental path
+#: applies: an unused declaration at the head of ``main``'s body, so
+#: only ``main``'s local fingerprint changes
+_EDIT_ANCHOR = "int main() {"
+_EDIT_REPLACEMENT = "int main() { int zzbench0;"
+
+
+def _timed(fn: Callable[[], object]) -> tuple[float, object]:
+    t0 = perf_counter()
+    out = fn()
+    return perf_counter() - t0, out
+
+
+def _observe(fn: Callable[[], object], iterations: int, warmup: int):
+    """``warmup`` discarded runs, then ``iterations`` timed ones.
+    Returns ``(seconds_list, last_result)``."""
+    last = None
+    for _ in range(warmup):
+        last = fn()
+    seconds = []
+    for _ in range(iterations):
+        dt, last = _timed(fn)
+        seconds.append(dt)
+    return seconds, last
+
+
+def _options() -> CompileOptions:
+    return CompileOptions(mode=DDGMode.COMBINED)
+
+
+def _reduction_pct(comp) -> float:
+    stats = comp.total_dep_stats()
+    return 100.0 * stats.reduction
+
+
+# ---------------------------------------------------------------------------
+# session path
+# ---------------------------------------------------------------------------
+
+def _session_single(report: Report, prog: WorkloadProgram, n: int, w: int) -> dict:
+    fname = prog.units[0][0]
+
+    def cold():
+        return CompilationSession().compile(prog.source, fname, _options())
+
+    cold_secs, comp = _observe(cold, n, w)
+    metrics.inc("bench.compiles", "cold", n + w)
+
+    sess = CompilationSession()
+    sess.compile(prog.source, fname, _options())
+
+    def warm():
+        return sess.compile(prog.source, fname, _options())
+
+    warm_secs, warm_comp = _observe(warm, n, w)
+    metrics.inc("bench.compiles", "warm", n + w)
+
+    from .stats import Summary
+
+    cold_med = Summary.from_values(cold_secs).median
+    warm_med = Summary.from_values(warm_secs).median
+    report.add("session", prog.name, prog.profile, "cold_seconds", cold_secs)
+    report.add("session", prog.name, prog.profile, "warm_seconds", warm_secs)
+    report.add(
+        "session", prog.name, prog.profile, "warm_speedup",
+        [cold_med / warm_med if warm_med > 0 else float("inf")],
+    )
+    report.add(
+        "session", prog.name, prog.profile, "ddg_reduction_pct",
+        [_reduction_pct(comp)],
+    )
+    return {"warm_hit": warm_comp.cache_state in ("memory", "disk")}
+
+
+def _session_multiunit(report: Report, prog: WorkloadProgram, n: int, w: int) -> dict:
+    from ..driver.wpa import compile_whole_program
+    from ..machine.executor import execute
+
+    sources = list(prog.units)
+    opts = _options()
+
+    def wp():
+        return compile_whole_program(sources, opts, whole_program=True)
+
+    def pf():
+        return compile_whole_program(sources, opts, whole_program=False)
+
+    wp_secs, wp_res = _observe(wp, n, w)
+    pf_secs, pf_res = _observe(pf, n, w)
+    metrics.inc("bench.compiles", "whole_program", 2 * (n + w))
+
+    run_wp = execute(wp_res.image, collect_trace=False)
+    run_pf = execute(pf_res.image, collect_trace=False)
+    agree = run_wp.ret == run_pf.ret and list(run_wp.output) == list(run_pf.output)
+    if not agree:
+        raise RuntimeError(
+            f"{prog.name}: whole-program image diverges from per-file baseline"
+        )
+    s_wp, s_pf = wp_res.total_dep_stats(), pf_res.total_dep_stats()
+    deleted_pct = (
+        100.0 * (s_pf.call_dep - s_wp.call_dep) / s_pf.call_dep
+        if s_pf.call_dep
+        else 0.0
+    )
+    report.add("session", prog.name, prog.profile, "wp_seconds", wp_secs)
+    report.add("session", prog.name, prog.profile, "pf_seconds", pf_secs)
+    report.add(
+        "session", prog.name, prog.profile, "wp_edges_deleted_pct", [deleted_pct]
+    )
+    return {"wp_agree": agree}
+
+
+# ---------------------------------------------------------------------------
+# incremental path
+# ---------------------------------------------------------------------------
+
+def _incremental(report: Report, prog: WorkloadProgram, n: int, w: int) -> dict:
+    fname = prog.units[0][0]
+    base = prog.source
+    edited = base.replace(_EDIT_ANCHOR, _EDIT_REPLACEMENT, 1)
+
+    recompiled_ok = True
+
+    def rebuild():
+        nonlocal recompiled_ok
+        sess = CompilationSession()
+        sess.compile(base, fname, _options())
+        dt, comp = _timed(lambda: sess.compile(edited, fname, _options()))
+        ran: set[str] = set()
+        for units in comp.pipeline_stats.function_runs.values():
+            ran |= set(units)
+        if ran != {"main"}:
+            recompiled_ok = False
+        return dt
+
+    # the session setup dominates wall time, so time inside the closure
+    secs = []
+    for _ in range(w):
+        rebuild()
+    for _ in range(n):
+        secs.append(rebuild())
+    metrics.inc("bench.compiles", "incremental", n + w)
+    report.add("incremental", prog.name, prog.profile, "rebuild_seconds", secs)
+    return {"exact_invalidation": recompiled_ok}
+
+
+# ---------------------------------------------------------------------------
+# serve path
+# ---------------------------------------------------------------------------
+
+def _serve(
+    report: Report,
+    progs: list[WorkloadProgram],
+    n: int,
+    w: int,
+    server: Optional[str],
+) -> dict:
+    from ..serve.client import RemoteSession
+
+    fallback = CompilationSession()
+    # with no daemon given, point at a closed port: the first request
+    # fails fast and every compile rides the in-process fallback, so
+    # the path is always runnable (CI has no daemon)
+    session = RemoteSession(server or "127.0.0.1:1", fallback=fallback)
+    for prog in progs:
+        if prog.multi_unit:
+            continue
+        fname = prog.units[0][0]
+
+        def request():
+            return session.compile(prog.source, fname, _options())
+
+        secs, _ = _observe(request, n, w)
+        metrics.inc("bench.compiles", "serve", n + w)
+        report.add("serve", prog.name, prog.profile, "request_seconds", secs)
+    return {
+        "remote_compiles": session.remote_compiles,
+        "fallback_compiles": session.fallback_compiles,
+        "using_remote": session.using_remote,
+    }
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def run_set(
+    name: str,
+    iterations: int = 3,
+    warmup: int = 1,
+    paths: tuple[str, ...] = PATHS,
+    server: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Report:
+    """Run workload set ``name`` and return the populated report."""
+    unknown = [p for p in paths if p not in PATHS]
+    if unknown:
+        raise ValueError(f"unknown paths {unknown}; choose from {PATHS}")
+    workload_set = get_set(name)
+    progs = list(materialize(name))
+    report = Report(
+        set_name=workload_set.full_name,
+        set_digest=set_digest(name),
+        iterations=iterations,
+        warmup=warmup,
+        program_digests=program_digests(name),
+    )
+    metrics.inc("bench.sets_run")
+    say = progress or (lambda _msg: None)
+
+    if "session" in paths:
+        hits = 0
+        eligible = 0
+        wp_agree = 0
+        wp_total = 0
+        for prog in progs:
+            say(f"session: {prog.name}")
+            if prog.multi_unit:
+                facts = _session_multiunit(report, prog, iterations, warmup)
+                wp_total += 1
+                wp_agree += bool(facts["wp_agree"])
+            else:
+                facts = _session_single(report, prog, iterations, warmup)
+                eligible += 1
+                hits += bool(facts["warm_hit"])
+        if eligible:
+            report.facts["session.warm_hit_ratio"] = hits / eligible
+        if wp_total:
+            report.facts["session.wp_agree_ratio"] = wp_agree / wp_total
+
+    if "incremental" in paths:
+        exact = 0
+        eligible = 0
+        for prog in progs:
+            if prog.multi_unit or _EDIT_ANCHOR not in prog.source:
+                continue
+            say(f"incremental: {prog.name}")
+            facts = _incremental(report, prog, iterations, warmup)
+            eligible += 1
+            exact += bool(facts["exact_invalidation"])
+        if eligible:
+            report.facts["incremental.exact_invalidation"] = exact / eligible
+
+    if "serve" in paths:
+        say("serve: all programs")
+        facts = _serve(report, progs, iterations, warmup, server)
+        report.facts["serve.remote_compiles"] = facts["remote_compiles"]
+        report.facts["serve.fallback_compiles"] = facts["fallback_compiles"]
+        report.facts["serve.using_remote"] = facts["using_remote"]
+
+    report.facts["programs"] = len(progs)
+    metrics.add("bench.programs_measured", len(progs))
+    return report

@@ -64,6 +64,10 @@ class GenConfig:
     floats: bool = False
     #: emit printf statements (adds output-stream observability)
     prints: bool = True
+    #: let helper ``f_k`` chain-call ``f_{k+1}`` even in single-unit
+    #: programs (always a DAG, so termination holds); this is what the
+    #: deep-call-graph benchmark profile dials up
+    chain_calls: bool = False
 
     def __post_init__(self) -> None:
         if self.array_size & (self.array_size - 1) or self.array_size < 8:
@@ -465,7 +469,7 @@ class ProgramGen:
         parts: list[str] = self._global_defs()
         parts.append("")
         for k in range(cfg.functions if cfg.calls else 0):
-            parts.append(self._helper(k))
+            parts.append(self._helper(k, chain=cfg.chain_calls))
         parts.append(self._main_text())
         return "\n".join(parts) + "\n"
 

@@ -17,6 +17,7 @@ import argparse
 import sys
 
 from ..backend.ddg import DDGMode
+from ..bench.stats import geomean
 from ..hli.sizes import size_report
 from ..workloads.suite import BENCHMARKS, BenchmarkSpec
 from .compile import CompileOptions, compile_source
@@ -26,10 +27,7 @@ from .timing import time_benchmark
 def _geomean(values: list[float]) -> float:
     if not values:
         return 0.0
-    prod = 1.0
-    for v in values:
-        prod *= max(v, 1e-12)
-    return prod ** (1.0 / len(values))
+    return geomean(max(v, 1e-12) for v in values)
 
 
 def report_table1(out=None) -> None:

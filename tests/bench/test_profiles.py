@@ -1,0 +1,123 @@
+"""Property tests: every program in a profiled set exhibits its profile.
+
+The registry *filters* generated seeds through these predicates, so the
+tests assert the contract end to end: materialize each set and check
+the declared shape holds for every member — pointer-heavy programs
+contain pointer operations, float-heavy programs contain float
+arithmetic, deep-call-graph programs exceed the declared depth floor.
+The predicates themselves are exercised on hand-written sources too, so
+a predicate that degenerates to "always true" cannot pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import (
+    BRANCH_FLOOR,
+    DEEPCALL_DEPTH_FLOOR,
+    FLOAT_OP_FLOOR,
+    POINTER_OP_FLOOR,
+    branch_count,
+    call_depth,
+    float_op_count,
+    materialize,
+    pointer_op_count,
+)
+from repro.frontend import parse_and_check
+
+
+def _whole(prog) -> str:
+    return "\n".join(src for _, src in prog.units)
+
+
+@pytest.mark.parametrize("set_name", ["gen-pointer-v1"])
+def test_pointer_sets_contain_pointer_ops(set_name):
+    for prog in materialize(set_name):
+        assert prog.profile == "pointer"
+        assert pointer_op_count(_whole(prog)) >= POINTER_OP_FLOOR, prog.name
+
+
+@pytest.mark.parametrize("set_name", ["gen-float-v1"])
+def test_float_sets_contain_float_ops(set_name):
+    for prog in materialize(set_name):
+        assert prog.profile == "float"
+        assert float_op_count(_whole(prog)) >= FLOAT_OP_FLOOR, prog.name
+
+
+@pytest.mark.parametrize("set_name", ["gen-branchy-v1"])
+def test_branchy_sets_contain_branches(set_name):
+    for prog in materialize(set_name):
+        assert branch_count(_whole(prog)) >= BRANCH_FLOOR, prog.name
+
+
+@pytest.mark.parametrize("set_name", ["gen-deepcall-v1"])
+def test_deepcall_sets_exceed_depth_floor(set_name):
+    for prog in materialize(set_name):
+        assert call_depth(_whole(prog)) >= DEEPCALL_DEPTH_FLOOR, prog.name
+
+
+def test_multiunit_sets_are_multi_unit():
+    for prog in materialize("gen-multiunit-v1"):
+        assert prog.multi_unit
+        assert len(prog.units) == 3
+
+
+def test_quick_set_spans_profiles():
+    profiles = {p.profile for p in materialize("quick-v1")}
+    assert {"pointer", "float", "branchy", "deepcall", "multiunit"} <= profiles
+
+
+@pytest.mark.parametrize(
+    "set_name", ["quick-v1", "gen-deepcall-v1", "gen-multiunit-v1"]
+)
+def test_profiled_programs_typecheck(set_name):
+    """Membership is textual; compilability is the real floor."""
+    for prog in materialize(set_name):
+        for _, source in prog.units:
+            parse_and_check(source)
+
+
+# -- predicate unit fixtures (guard against degenerate predicates) ----------
+
+_FLAT = """int ga;
+int main() {
+    ga = 2;
+    return ga;
+}
+"""
+
+_CHAIN = """int f3(int a) { return a + 1; }
+int f2(int a) { return f3(a) + 1; }
+int f1(int a) { return f2(a) + 1; }
+int f0(int a) { return f1(a) + 1; }
+int main() {
+    return f0(1);
+}
+"""
+
+
+def test_call_depth_hand_checked():
+    assert call_depth(_FLAT) == 0
+    assert call_depth(_CHAIN) == 4
+
+
+def test_call_depth_ignores_recursion_cycles():
+    src = "int f0(int a) { return f0(a); }\nint main() { return f0(1); }\n"
+    assert call_depth(src) == 1
+
+
+def test_pointer_and_branch_predicates_reject_flat_code():
+    assert pointer_op_count(_FLAT) == 0
+    assert branch_count(_FLAT) == 0
+    assert float_op_count(_FLAT) == 0
+
+
+def test_float_predicate_ignores_decls_and_checksum():
+    src = (
+        "double gd0;\n"
+        "gd0 = 1.5;\n"          # deterministic init — excluded
+        "int chk0; chk0 = (gd0 > 1.0);\n"  # checksum — excluded
+    )
+    assert float_op_count(src) == 0
+    assert float_op_count("gd0 = gd0 * 2.5;\n" * 3) == 3

@@ -1,0 +1,87 @@
+"""Registry reproducibility: pinned seeds must regenerate identical bytes.
+
+The committed manifest (``repro/bench/manifest_data.py``) is the
+contract: every named set, rebuilt from its registered seeds, must hash
+to exactly the digests recorded there.  An intentional workload change
+therefore requires a version bump plus ``python -m repro.bench.registry
+--write-manifests`` in the same commit — and an accidental generator
+change fails here before it can silently invalidate TRAJECTORY history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import registry
+from repro.bench.manifest_data import MANIFESTS, SET_DIGESTS
+from repro.workloads.suite import BENCHMARKS
+
+ALL_SETS = registry.set_names()
+
+
+def test_registry_is_nonempty_and_versioned():
+    assert len(ALL_SETS) >= 4, "acceptance floor: at least 4 named sets"
+    for name in ALL_SETS:
+        s = registry.get_set(name)
+        assert s.full_name == f"{s.name}-v{s.version}" == name
+
+
+@pytest.mark.parametrize("name", ALL_SETS)
+def test_manifest_reproducible(name):
+    problems = registry.verify_manifest(name)
+    assert problems == [], f"{name}: {problems}"
+
+
+@pytest.mark.parametrize("name", ALL_SETS)
+def test_manifest_committed_for_every_set(name):
+    assert name in MANIFESTS
+    assert name in SET_DIGESTS
+    progs = registry.materialize(name)
+    assert set(MANIFESTS[name]) == {p.name for p in progs}
+
+
+def test_digests_deterministic_across_materializations():
+    # bypass the lru_cache: two independent builds of the same set must
+    # agree byte for byte (digest covers filename + source of each unit)
+    name = "quick-v1"
+    first = {p.name: p.digest() for p in registry.get_set(name).builder()}
+    second = {p.name: p.digest() for p in registry.get_set(name).builder()}
+    assert first == second
+    assert first == registry.program_digests(name)
+
+
+def test_set_digest_covers_program_order_and_content():
+    digest = registry.set_digest("quick-v1")
+    assert digest == SET_DIGESTS["quick-v1"]
+    assert len(digest) == 64  # sha256 hex
+
+
+def test_suite_set_mirrors_benchmark_suite():
+    progs = registry.materialize("suite-v1")
+    assert {p.name for p in progs} == {b.name for b in BENCHMARKS}
+    by_name = {b.name: b for b in BENCHMARKS}
+    for p in progs:
+        assert p.source == by_name[p.name].source
+
+
+def test_suite_specs_hook_returns_benchmarks():
+    assert registry.suite_specs() == list(BENCHMARKS)
+
+
+def test_program_names_unique_within_each_set():
+    for name in ALL_SETS:
+        progs = registry.materialize(name)
+        assert len({p.name for p in progs}) == len(progs), name
+
+
+def test_unknown_set_raises_keyerror_with_choices():
+    with pytest.raises(KeyError) as exc:
+        registry.get_set("no-such-set-v9")
+    assert "no-such-set-v9" in str(exc.value)
+
+
+def test_multiunit_source_property_guard():
+    progs = [p for p in registry.materialize("gen-multiunit-v1") if p.multi_unit]
+    assert progs, "multiunit set contains no multi-unit programs"
+    with pytest.raises(ValueError):
+        _ = progs[0].source

@@ -1,0 +1,119 @@
+"""Hand-computed fixtures for the shared statistics primitives.
+
+Every number below was computed by hand from the conventions declared
+in :mod:`repro.bench.stats` — midpoint median, *inclusive* quartiles,
+sample standard deviation, linearly-interpolated percentiles — so a
+silent change of convention (e.g. swapping to exclusive quantiles)
+breaks a fixture instead of silently shifting every TRAJECTORY number.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.stats import Summary, geomean, percentile, summarize
+
+
+class TestSummary:
+    def test_four_values_hand_checked(self):
+        # the docstring's canonical example: inclusive quartiles of
+        # [1, 2, 3, 4] are Q1 = 1.75, Q3 = 3.25
+        s = Summary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.q1 == pytest.approx(1.75)
+        assert s.q3 == pytest.approx(3.25)
+        assert s.iqr == pytest.approx(1.5)
+        # sample stddev of 1..4: sqrt(((1.5^2)*2 + (0.5^2)*2) / 3)
+        assert s.stddev == pytest.approx(math.sqrt(5.0 / 3.0))
+        assert s.min == 1.0
+        assert s.max == 4.0
+
+    def test_odd_count_median_is_central_value(self):
+        s = Summary.from_values([9.0, 1.0, 5.0])
+        assert s.median == 5.0
+        assert s.min == 1.0 and s.max == 9.0
+
+    def test_even_count_median_is_midpoint(self):
+        assert Summary.from_values([1.0, 2.0]).median == 1.5
+
+    def test_single_value_degenerates_cleanly(self):
+        s = Summary.from_values([7.25])
+        assert (s.count, s.mean, s.median, s.stddev) == (1, 7.25, 7.25, 0.0)
+        assert (s.min, s.max, s.q1, s.q3) == (7.25, 7.25, 7.25, 7.25)
+        assert s.iqr == 0.0
+
+    def test_constant_sequence_has_zero_spread(self):
+        s = Summary.from_values([3.0] * 5)
+        assert s.stddev == 0.0
+        assert s.iqr == 0.0
+
+    def test_sample_not_population_stddev(self):
+        # population stddev of [2, 4] is 1.0; the sample rule gives
+        # sqrt(2) — the convention every reporter must share
+        assert Summary.from_values([2.0, 4.0]).stddev == pytest.approx(math.sqrt(2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.from_values([])
+
+    def test_dict_round_trip(self):
+        s = Summary.from_values([0.125, 0.5, 0.25, 1.0, 0.75])
+        back = Summary.from_dict(s.to_dict(digits=9))
+        assert back.count == s.count
+        for f in ("mean", "median", "stddev", "min", "max", "q1", "q3"):
+            assert getattr(back, f) == pytest.approx(getattr(s, f), abs=1e-9)
+
+    def test_summarize_is_shorthand(self):
+        vals = [1.0, 2.0, 3.0]
+        assert summarize(vals) == Summary.from_values(vals)
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        vals = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(vals, 0) == 10.0
+        assert percentile(vals, 100) == 40.0
+
+    def test_p50_equals_median(self):
+        for vals in ([1.0, 2.0], [5.0, 1.0, 9.0], [1.0, 2.0, 3.0, 4.0]):
+            assert percentile(vals, 50) == Summary.from_values(vals).median
+
+    def test_linear_interpolation_hand_checked(self):
+        # rank of p75 over 4 values is 0.75 * 3 = 2.25:
+        # 30 + 0.25 * (40 - 30) = 32.5
+        assert percentile([10.0, 20.0, 30.0, 40.0], 75) == pytest.approx(32.5)
+
+    def test_unsorted_input(self):
+        assert percentile([40.0, 10.0, 30.0, 20.0], 75) == pytest.approx(32.5)
+
+    def test_single_value(self):
+        assert percentile([3.5], 99) == 3.5
+
+    def test_domain_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestGeomean:
+    def test_hand_checked(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([1.0, 10.0, 100.0]) == pytest.approx(10.0)
+
+    def test_identity(self):
+        assert geomean([5.0]) == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_and_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
