@@ -171,7 +171,7 @@ class RefModAnalysis:
         The adapter ships name-keyed :class:`ForeignObject` markers —
         :class:`Symbol` identity does not survive a re-parse, and the
         driver parses each unit once for linking and once for code
-        generation (or restores a pickled table from the session cache).
+        generation (or restores a cached table from the session cache).
         Names that denote this unit's own storage — bare globals,
         ``{this unit}::…`` qualified spellings, heap sites — become the
         matching objects of the *current* parse, so direct equivalence

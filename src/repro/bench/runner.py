@@ -21,6 +21,10 @@ iterations after W discarded warmup iterations:
   :class:`~repro.serve.client.RemoteSession` (a live ``repro-serve``
   daemon when ``server`` is given, the in-process fallback otherwise,
   so the path always completes).
+* **decode** — codec throughput per blob kind: the hand-packed RTL
+  function codec, the generic :mod:`repro.binfmt` object graph (the
+  serve wire payload), and the linker's persisted summary table, each
+  verified on every decode (the ``decode-v1`` microbenchmark).
 
 Everything lands in a :class:`~repro.bench.report.Report`; regression
 gates from a committed baseline file are evaluated by the CLI.
@@ -40,7 +44,7 @@ from .report import Report
 
 __all__ = ["PATHS", "run_set"]
 
-PATHS = ("session", "incremental", "serve")
+PATHS = ("session", "incremental", "serve", "decode")
 
 #: the deterministic, line-count-preserving edit the incremental path
 #: applies: an unused declaration at the head of ``main``'s body, so
@@ -225,6 +229,84 @@ def _serve(
 
 
 # ---------------------------------------------------------------------------
+# decode path
+# ---------------------------------------------------------------------------
+
+def _decode(report: Report, progs: list[WorkloadProgram], n: int, w: int) -> dict:
+    """Codec throughput per blob kind (the ``decode-v1`` microbenchmark).
+
+    Measures, for every single-unit program, the encode and decode cost
+    of the two blob kinds the warm path lives on — the hand-packed RTL
+    function codec (per-function cache blobs) and the generic
+    :mod:`repro.binfmt` object graph (the serve wire's full
+    ``Compilation`` payload) — plus, for multi-unit programs, the
+    linker's persisted summary table.  Each observation covers the whole
+    program (all functions), so medians track suite-shaped work, not
+    single-blob micronoise.  Every decode is verified against the
+    encoded original's shape; a mismatch fails the run via the
+    ``decode.roundtrip_ok`` fact.
+    """
+    from .. import binfmt
+    from ..binfmt.rtlcodec import decode_rtl_function, encode_rtl_function
+    from ..driver.compile import compile_source
+    from ..frontend import parse_and_check
+    from ..linker import analyze_unit, compute_summaries
+    from ..linker.persist import decode_summaries, encode_summaries
+
+    ok = True
+    total_blob_bytes = 0
+    for prog in progs:
+        if prog.multi_unit:
+            units = []
+            for fname, source in prog.units:
+                program, table = parse_and_check(source, fname)
+                units.append(analyze_unit(program, table, filename=fname))
+            result = compute_summaries(units)
+            enc_secs, blob = _observe(lambda: encode_summaries(result, "bench"), n, w)
+            dec_secs, back = _observe(lambda: decode_summaries(blob), n, w)
+            ok &= sorted(back[1].summaries) == sorted(result.summaries)
+            total_blob_bytes += len(blob)
+            report.add(
+                "decode", prog.name, prog.profile, "summary_encode_seconds", enc_secs
+            )
+            report.add(
+                "decode", prog.name, prog.profile, "summary_decode_seconds", dec_secs
+            )
+            continue
+
+        comp = compile_source(prog.source, prog.units[0][0], _options())
+        fns = list(comp.rtl.functions.values())
+
+        def rtl_encode():
+            return [encode_rtl_function(fn) for fn in fns]
+
+        enc_secs, blobs = _observe(rtl_encode, n, w)
+        dec_secs, decoded = _observe(
+            lambda: [decode_rtl_function(b) for b in blobs], n, w
+        )
+        ok &= [f.name for f in decoded] == [f.name for f in fns]
+        ok &= all(
+            len(a.insns) == len(b.insns) for a, b in zip(decoded, fns)
+        )
+        total_blob_bytes += sum(len(b) for b in blobs)
+        report.add("decode", prog.name, prog.profile, "rtl_encode_seconds", enc_secs)
+        report.add("decode", prog.name, prog.profile, "rtl_decode_seconds", dec_secs)
+
+        obj_enc_secs, obj_blob = _observe(lambda: binfmt.encode(comp), n, w)
+        obj_dec_secs, obj_back = _observe(lambda: binfmt.decode(obj_blob), n, w)
+        ok &= sorted(obj_back.rtl.functions) == sorted(comp.rtl.functions)
+        total_blob_bytes += len(obj_blob)
+        report.add(
+            "decode", prog.name, prog.profile, "object_encode_seconds", obj_enc_secs
+        )
+        report.add(
+            "decode", prog.name, prog.profile, "object_decode_seconds", obj_dec_secs
+        )
+    metrics.inc("bench.compiles", "decode", len(progs))
+    return {"roundtrip_ok": ok, "blob_bytes": total_blob_bytes}
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -291,6 +373,12 @@ def run_set(
         report.facts["serve.remote_compiles"] = facts["remote_compiles"]
         report.facts["serve.fallback_compiles"] = facts["fallback_compiles"]
         report.facts["serve.using_remote"] = facts["using_remote"]
+
+    if "decode" in paths:
+        say("decode: all programs")
+        facts = _decode(report, progs, iterations, warmup)
+        report.facts["decode.roundtrip_ok"] = float(facts["roundtrip_ok"])
+        report.facts["decode.blob_bytes"] = facts["blob_bytes"]
 
     report.facts["programs"] = len(progs)
     metrics.add("bench.programs_measured", len(progs))

@@ -7,8 +7,12 @@ story end-to-end — and, since the HLI is a *per-unit* format (one entry
 per function), the cache is keyed at **function granularity**:
 
 * a **manifest** blob per (source, filename, front-end fingerprint) —
-  the whole file's pristine front-end artifacts, so an unchanged file
-  skips parse/HLI-build/lowering entirely (the fast path);
+  a fixed-layout key table (function name, front-end key, frame layout)
+  plus the file-level leftovers (globals layout, init data) and the
+  whole-file front-end info as one *lazily decoded* chunk.  The
+  manifest holds **no function bodies**: a warm compile restores every
+  function straight from its per-function blob, so the manifest decode
+  is a few key-table reads, not a whole-program deserialization;
 * a **front-end blob** per function, keyed by the chained dependency
   fingerprint of :mod:`repro.driver.incremental` (own span + referenced
   symbol facts + transitive callee REF/MOD), holding the function's HLI
@@ -16,23 +20,33 @@ per function), the cache is keyed at **function granularity**:
   pristine RTL;
 * a **back-end blob** per function, keyed by the front-end key plus the
   back-end pass fingerprint and scheduling knobs, holding the
-  optimized+scheduled RTL, the maintained HLI entry, and the mapping /
-  scheduling statistics — so a warm function skips the back end too.
+  optimized+scheduled RTL, the maintained HLI entry, the mapping /
+  scheduling statistics, **and the function's analysis unit** — so a
+  warm function skips the back end *without ever touching the
+  front-end tier*.
+
+All payloads beyond the raw binio tables ride the self-describing
+:mod:`repro.binfmt` codec — **no pickle anywhere**: a corrupted or
+malicious blob can only ever produce registered types or a clean
+:class:`CacheCorruption`.  The codec registry's fingerprint is stamped
+into every frame header *and* folded into every cache key, so a codec
+change retires stale blobs by eviction instead of decode errors.
 
 On a manifest miss the session parses, fingerprints every function, and
-splices cached functions around the edited ones: only the invalidated
-set (the edited functions plus their transitive callers) is re-built and
-re-optimized.  ``Compilation.cache_state`` reports ``"incremental"`` for
-such mixed compiles and ``Compilation.fn_cache_states`` breaks the
-story down per function.
+splices cached functions around the edited ones — probing the back-end
+tier *first* (a function whose fingerprint and knobs both match needs
+no front-end restore at all), then the front-end tier, rebuilding only
+the invalidated rest.  ``Compilation.cache_state`` reports
+``"incremental"`` for such mixed compiles and
+``Compilation.fn_cache_states`` breaks the story down per function.
 
 Cache entries are **verified, not trusted**: a checksum guards every
 blob, HLI payloads must decode through the real binio reader, and any
-failure (truncation, bit-flips, version skew) degrades to a cold build —
-never a crash, never wrong code.  The disk tier shards entries
-git-object style (``ab/cdef….hlic``), migrates legacy flat files on
-first touch, and enforces an optional size budget by least-recently-used
-eviction (``max_disk_bytes``).
+failure (truncation, bit-flips, version skew, codec-fingerprint skew)
+degrades to a cold build — never a crash, never wrong code.  The disk
+tier shards entries git-object style (``ab/cdef….hlic``), migrates
+legacy flat files on first touch, and enforces an optional size budget
+by least-recently-used eviction (``max_disk_bytes``).
 
 ``compile_many`` fans a batch out over a
 :class:`~concurrent.futures.ProcessPoolExecutor`.  With more files than
@@ -48,7 +62,6 @@ import hashlib
 import io
 import itertools
 import os
-import pickle
 import struct
 import threading
 from collections import OrderedDict
@@ -56,8 +69,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .. import binfmt as _binfmt
 from ..analysis.builder import FrontEndInfo, UnitInfo
-from ..backend import rtl as _rtl
 from ..backend.ddg import DepStats
 from ..backend.lowering import lower_program
 from ..backend.mapping import MapStats
@@ -68,8 +81,8 @@ from ..backend.pm import (
     pipeline_fingerprint,
     split_frontend,
 )
-from ..backend.rtl import Reg, RTLFunction, RTLProgram
-from ..hli.binio import decode_entry, decode_hli, encode_entry, encode_hli
+from ..backend.rtl import RTLFunction, RTLProgram
+from ..hli.binio import decode_entry, encode_entry
 from ..hli.query import HLIQuery
 from ..hli.tables import HLIEntry, HLIFile
 from ..obs import enabled_scope
@@ -91,7 +104,15 @@ __all__ = [
 
 #: Bumped whenever the blob layout or any serialized artifact changes.
 CACHE_MAGIC = b"HLIC"
-CACHE_VERSION = 3  # 3: Symbol grew ``is_extern`` (pickled shape changed)
+CACHE_VERSION = 4  # 4: zero-pickle binfmt payloads, key-table manifest
+
+#: First 8 bytes of the binfmt registry fingerprint, stamped into every
+#: frame header: a codec change (new field, reordered type) makes every
+#: existing blob *evict* instead of mis-decoding.  The full fingerprint
+#: is also folded into the cache keys, so skew normally shows up as a
+#: clean miss; the header check catches key-less probes and hand-edited
+#: stores.
+_CODEC_FP = bytes.fromhex(_binfmt.fingerprint()[:16])
 
 #: Blob kind tags (part of the frame, so a key collision across kinds
 #: can never deserialize through the wrong decoder).
@@ -110,10 +131,16 @@ class SessionStats:
 
     The first six counters are **file-level** (manifest tier), keeping
     PR-4 semantics: one compile is one hit or one miss.  The ``fn_*``
-    and ``be_*`` counters are **function-level** and only move on a
-    manifest miss, when the session falls back to per-function lookups:
-    ``fn_*`` counts front-end entries (HLI + pristine RTL), ``be_*``
-    counts back-end entries (optimized + scheduled RTL).
+    and ``be_*`` counters are **function-level**: ``fn_*`` counts
+    front-end entries (HLI + pristine RTL), ``be_*`` counts back-end
+    entries (optimized + scheduled RTL).  Function-level counters move
+    on *every* compile — a manifest hit restores each function from the
+    back-end tier first, so a fully warm compile shows one manifest hit
+    plus one ``be_hits_*`` per function (and no ``fn_*`` traffic at
+    all).  The ``*_decodes`` counters count successful payload decodes:
+    ``frontend_decodes`` in particular stays **zero** on the warm path —
+    the manifest's front-end chunk only decodes when a consumer actually
+    reads ``Compilation.frontend``.
     """
 
     hits_memory: int = 0
@@ -134,6 +161,11 @@ class SessionStats:
     be_stores: int = 0
     #: disk-tier entries removed by the ``max_disk_bytes`` LRU budget
     disk_evictions: int = 0
+    # -- decode-level (how much deserialization actually happened) --
+    fe_decodes: int = 0
+    be_decodes: int = 0
+    #: lazy manifest front-end chunks materialized on attribute access
+    frontend_decodes: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -163,7 +195,9 @@ def cache_key(
     are deliberately absent: the front-end artifacts do not depend on
     them, which is exactly what lets ``timing``'s gcc-vs-hli double
     compile share one parse.  Bumping any front-end pass's ``version``
-    changes the fingerprint and retires stale entries automatically.
+    changes the fingerprint and retires stale entries automatically —
+    and so does any change to the binfmt codec registry, whose
+    fingerprint is folded in here.
 
     ``salt`` folds external state the source cannot express into the
     key — the whole-program driver passes a fingerprint of the linked
@@ -173,6 +207,8 @@ def cache_key(
     h = hashlib.sha256()
     h.update(b"repro-hli-cache\x00")
     h.update(struct.pack("<H", CACHE_VERSION))
+    h.update(_binfmt.fingerprint().encode("ascii"))
+    h.update(b"\x00")
     h.update(frontend_fingerprint(passes).encode("ascii"))
     h.update(b"\x00")
     h.update(salt.encode("utf-8", "surrogatepass"))
@@ -185,7 +221,10 @@ def cache_key(
 
 def _fe_salt(prefix: Sequence[Pass], filename: str, salt: str = "") -> str:
     """Function-independent part of every per-function front-end key."""
-    return f"{CACHE_VERSION}:{pipeline_fingerprint(prefix)}:{filename}:{salt}"
+    return (
+        f"{CACHE_VERSION}:{_binfmt.fingerprint()}:"
+        f"{pipeline_fingerprint(prefix)}:{filename}:{salt}"
+    )
 
 
 def _be_key(fe_key: str, opts: CompileOptions, backend_fp: str) -> str:
@@ -198,6 +237,8 @@ def _be_key(fe_key: str, opts: CompileOptions, backend_fp: str) -> str:
     h = hashlib.sha256()
     h.update(b"repro-fn-be\x00")
     h.update(struct.pack("<H", CACHE_VERSION))
+    h.update(_binfmt.fingerprint().encode("ascii"))
+    h.update(b"\x00")
     h.update(fe_key.encode("ascii"))
     h.update(b"\x00")
     h.update(backend_fp.encode("ascii"))
@@ -215,11 +256,31 @@ def _backend_fp(suffix: Sequence[Pass]) -> str:
 
 
 # -- blob framing / verified decode -------------------------------------------
+#
+# Frame layout (48-byte header, everything little-endian):
+#
+#   offset  size  field
+#        0     4  magic ``HLIC``
+#        4     2  CACHE_VERSION (``<H``)
+#        6     8  binfmt registry fingerprint (first 8 raw bytes)
+#       14     2  kind tag (``MF`` / ``FE`` / ``BE``)
+#       16    32  SHA-256 of the payload
+#       48     …  payload
+#
+# The fingerprint sits *outside* the checksum-covered payload: a codec
+# mismatch is detected before any payload bytes are interpreted.
 
 
 def _frame(tag: bytes, payload: bytes) -> bytes:
     digest = hashlib.sha256(payload).digest()
-    return CACHE_MAGIC + struct.pack("<H", CACHE_VERSION) + tag + digest + payload
+    return (
+        CACHE_MAGIC
+        + struct.pack("<H", CACHE_VERSION)
+        + _CODEC_FP
+        + tag
+        + digest
+        + payload
+    )
 
 
 def _unframe(tag: bytes, data: bytes) -> bytes:
@@ -228,9 +289,11 @@ def _unframe(tag: bytes, data: bytes) -> bytes:
     (version,) = struct.unpack("<H", data[4:6])
     if version != CACHE_VERSION:
         raise CacheCorruption(f"cache version {version} != {CACHE_VERSION}")
-    if data[6:8] != tag:
-        raise CacheCorruption(f"blob kind {data[6:8]!r} != {tag!r}")
-    digest, payload = data[8:40], data[40:]
+    if data[6:14] != _CODEC_FP:
+        raise CacheCorruption("codec fingerprint mismatch")
+    if data[14:16] != tag:
+        raise CacheCorruption(f"blob kind {data[14:16]!r} != {tag!r}")
+    digest, payload = data[16:48], data[48:]
     if hashlib.sha256(payload).digest() != digest:
         raise CacheCorruption("checksum mismatch")
     return payload
@@ -250,59 +313,173 @@ def _r_chunk(payload: bytes, pos: int) -> tuple[bytes, int]:
     return chunk, pos + n
 
 
+class _LazyFrontEnd(FrontEndInfo):
+    """A :class:`FrontEndInfo` that decodes itself on first field access.
+
+    The manifest carries the whole-file front-end info as one encoded
+    chunk; nothing on the warm path reads it (the per-function blobs
+    carry everything the back end needs), so the decode cost — the
+    single largest deserialization in the old manifest format — is
+    deferred until a consumer (the serve wire, reports, whole-program
+    linking) actually touches ``program`` / ``table`` / ``units`` / ….
+    """
+
+    def __getstate__(self):
+        # Compilations cross process-pool boundaries (file-granularity
+        # fan-out); the stats callback must not travel — the blob does,
+        # so the receiver stays lazy.
+        state = dict(self.__dict__)
+        state.pop("_lazy_notify", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        blob = self.__dict__.pop("_lazy_blob", None)
+        if blob is None:
+            raise AttributeError(name)
+        notify = self.__dict__.pop("_lazy_notify", None)
+        real = _binfmt.decode(blob)
+        if not isinstance(real, FrontEndInfo):
+            raise CacheCorruption("manifest front-end chunk has the wrong type")
+        self.__dict__.update(real.__dict__)
+        if notify is not None:
+            notify()
+        try:
+            return self.__dict__[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+def _lazy_frontend(blob: bytes, notify) -> FrontEndInfo:
+    fe = FrontEndInfo.__new__(_LazyFrontEnd)
+    fe.__dict__["_lazy_blob"] = blob
+    fe.__dict__["_lazy_notify"] = notify
+    return fe
+
+
 @dataclass
 class _Manifest:
-    """Decoded file-level cache entry: the whole pristine front end."""
+    """Decoded file-level cache entry: the per-function key table.
 
-    hli: HLIFile
-    frontend: FrontEndInfo
-    rtl: RTLProgram
-    #: function name -> its per-function front-end key (for be lookups)
+    No function bodies live here — every function restores from its own
+    per-function blob.  The manifest contributes what those blobs cannot
+    know: the file-level globals layout / init data, each function's
+    frame layout *in this file* (per-function blobs are shared across
+    files, so their recorded frames may belong to a different program
+    order), and the front-end info chunk, kept encoded until someone
+    reads it.
+    """
+
+    source_filename: str
+    #: function name -> its per-function front-end key (hex)
     fe_keys: dict[str, str]
+    #: function name -> frame slot name -> (address, raw size)
+    frames: dict[str, dict[str, tuple[int, int]]]
+    frame_sizes: dict[str, int]
+    globals_layout: dict[str, tuple[int, int]]
+    init_data: dict[int, object]
+    #: encoded :class:`FrontEndInfo`, decoded lazily via :class:`_LazyFrontEnd`
+    frontend_blob: bytes
 
 
-def _encode_blob(comp: Compilation, fe_keys: Optional[dict[str, str]] = None) -> bytes:
-    """Serialize the pristine front-end artifacts of ``comp`` (manifest).
+def _encode_manifest(comp: Compilation, fe_keys: dict[str, str]) -> bytes:
+    """Serialize the file-level manifest for ``comp``.
 
     Must be called right after the front end ran, *before* any back-end
-    pass mutates the HLI tables or the RTL.
+    pass mutates the RTL frames.
     """
-    hli_bytes = encode_hli(comp.hli)
-    # One pickle for (frontend, rtl, fe_keys) so Symbol/AST objects shared
-    # between them keep their identity on reload.
-    rest = pickle.dumps(
-        (comp.frontend, comp.rtl, dict(fe_keys or {})),
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
+    kt = io.BytesIO()
+    fns = comp.rtl.functions
+    kt.write(struct.pack("<I", len(fns)))
+    for name, fn in fns.items():
+        nb = name.encode("utf-8")
+        kt.write(struct.pack("<H", len(nb)))
+        kt.write(nb)
+        kt.write(bytes.fromhex(fe_keys[name]))
+        kt.write(struct.pack("<IH", fn.frame_size, len(fn.frame)))
+        for slot, (addr, size) in fn.frame.items():
+            sb = slot.encode("utf-8")
+            kt.write(struct.pack("<H", len(sb)))
+            kt.write(sb)
+            kt.write(struct.pack("<qI", addr, size))
     body = io.BytesIO()
-    _w_chunk(body, hli_bytes)
-    _w_chunk(body, rest)
+    _w_chunk(body, kt.getvalue())
+    _w_chunk(
+        body,
+        _binfmt.encode(
+            (comp.hli.source_filename, comp.rtl.globals_layout, comp.rtl.init_data)
+        ),
+    )
+    _w_chunk(body, _binfmt.encode(comp.frontend))
     return _frame(_TAG_MANIFEST, body.getvalue())
 
 
-def _decode_blob(data: bytes) -> _Manifest:
-    """Verified decode of :func:`_encode_blob` output.
+def _decode_manifest(data: bytes) -> _Manifest:
+    """Verified decode of :func:`_encode_manifest` output.
 
-    Raises :class:`CacheCorruption` on *any* defect; never returns a
-    partially valid artifact.
+    Parses the fixed-layout key table and the small file-level chunk;
+    the front-end chunk is *not* decoded here — it rides along encoded.
+    Raises :class:`CacheCorruption` on any defect.
     """
     try:
         payload = _unframe(_TAG_MANIFEST, data)
-        hli_bytes, pos = _r_chunk(payload, 0)
-        rest, _ = _r_chunk(payload, pos)
-        hli = decode_hli(bytes(hli_bytes))
-        frontend, rtl, fe_keys = pickle.loads(bytes(rest))
-        if not isinstance(hli, HLIFile) or not isinstance(rtl, RTLProgram):
-            raise CacheCorruption("decoded artifacts have the wrong types")
-        if not isinstance(frontend, FrontEndInfo):
-            raise CacheCorruption("decoded front-end info has the wrong type")
-        if not isinstance(fe_keys, dict) or set(fe_keys) != set(rtl.functions):
-            raise CacheCorruption("function key table does not match the RTL")
-        _reserve_foreign_ids(rtl.functions.values())
-        return _Manifest(hli=hli, frontend=frontend, rtl=rtl, fe_keys=fe_keys)
+        kt, pos = _r_chunk(payload, 0)
+        file_chunk, pos = _r_chunk(payload, pos)
+        frontend_blob, pos = _r_chunk(payload, pos)
+        if pos != len(payload):
+            raise CacheCorruption("trailing bytes after manifest chunks")
+        fe_keys: dict[str, str] = {}
+        frames: dict[str, dict[str, tuple[int, int]]] = {}
+        frame_sizes: dict[str, int] = {}
+        kpos = 0
+        (count,) = struct.unpack_from("<I", kt, kpos)
+        kpos += 4
+        for _ in range(count):
+            (nlen,) = struct.unpack_from("<H", kt, kpos)
+            kpos += 2
+            name = kt[kpos : kpos + nlen].decode("utf-8")
+            kpos += nlen
+            raw_key = kt[kpos : kpos + 32]
+            if len(raw_key) != 32:
+                raise CacheCorruption("truncated key table")
+            kpos += 32
+            frame_size, nslots = struct.unpack_from("<IH", kt, kpos)
+            kpos += 6
+            frame: dict[str, tuple[int, int]] = {}
+            for _ in range(nslots):
+                (slen,) = struct.unpack_from("<H", kt, kpos)
+                kpos += 2
+                slot = kt[kpos : kpos + slen].decode("utf-8")
+                kpos += slen
+                addr, size = struct.unpack_from("<qI", kt, kpos)
+                kpos += 12
+                frame[slot] = (addr, size)
+            fe_keys[name] = raw_key.hex()
+            frames[name] = frame
+            frame_sizes[name] = frame_size
+        if kpos != len(kt):
+            raise CacheCorruption("trailing bytes after key table")
+        source_filename, globals_layout, init_data = _binfmt.decode(bytes(file_chunk))
+        if not isinstance(source_filename, str) or not isinstance(
+            globals_layout, dict
+        ) or not isinstance(init_data, dict):
+            raise CacheCorruption("manifest file chunk has the wrong shape")
+        return _Manifest(
+            source_filename=source_filename,
+            fe_keys=fe_keys,
+            frames=frames,
+            frame_sizes=frame_sizes,
+            globals_layout=globals_layout,
+            init_data=init_data,
+            frontend_blob=bytes(frontend_blob),
+        )
     except CacheCorruption:
         raise
-    except Exception as exc:  # struct errors, pickle errors, binio errors, ...
+    except Exception as exc:  # struct errors, binfmt errors, unicode errors, ...
         raise CacheCorruption(f"{type(exc).__name__}: {exc}") from exc
 
 
@@ -310,7 +487,7 @@ def _encode_fn_fe(entry: HLIEntry, unit: UnitInfo, fn_rtl: RTLFunction) -> bytes
     """Serialize one function's pristine front-end artifacts."""
     body = io.BytesIO()
     _w_chunk(body, encode_entry(entry))
-    _w_chunk(body, pickle.dumps((unit, fn_rtl), protocol=pickle.HIGHEST_PROTOCOL))
+    _w_chunk(body, _binfmt.encode((unit, fn_rtl)))
     return _frame(_TAG_FE, body.getvalue())
 
 
@@ -320,12 +497,11 @@ def _decode_fn_fe(data: bytes) -> tuple[HLIEntry, UnitInfo, RTLFunction]:
         entry_bytes, pos = _r_chunk(payload, 0)
         rest, _ = _r_chunk(payload, pos)
         entry = decode_entry(bytes(entry_bytes))
-        unit, fn_rtl = pickle.loads(bytes(rest))
+        unit, fn_rtl = _binfmt.decode(bytes(rest))
         if not isinstance(unit, UnitInfo) or not isinstance(fn_rtl, RTLFunction):
             raise CacheCorruption("decoded unit artifacts have the wrong types")
         if entry.unit_name != fn_rtl.name:
             raise CacheCorruption("entry / RTL unit-name mismatch")
-        _reserve_foreign_ids([fn_rtl])
         return entry, unit, fn_rtl
     except CacheCorruption:
         raise
@@ -339,32 +515,44 @@ def _encode_fn_be(
     map_stats: Optional[MapStats],
     dep_stats: Optional[DepStats],
     opt_frag,
+    unit: Optional[UnitInfo] = None,
 ) -> bytes:
     """Serialize one function's finished back-end artifacts.
 
     The entry is the *maintained* one (post unroll/cse/licm table
     updates); its generation counter rides alongside so a restored query
-    sees exactly the state an in-process compile would have left.
+    sees exactly the state an in-process compile would have left.  The
+    analysis ``unit`` rides in its own chunk: the back end never mutates
+    it, so storing it here lets a warm restore skip the front-end tier
+    entirely (decoders that do not need it leave the chunk untouched).
     """
     body = io.BytesIO()
     _w_chunk(body, encode_entry(entry))
     _w_chunk(
         body,
-        pickle.dumps(
-            (fn_rtl, entry.generation, map_stats, dep_stats, opt_frag),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        ),
+        _binfmt.encode((fn_rtl, entry.generation, map_stats, dep_stats, opt_frag)),
     )
+    _w_chunk(body, _binfmt.encode(unit))
     return _frame(_TAG_BE, body.getvalue())
 
 
-def _decode_fn_be(data: bytes):
+def _decode_fn_be(data: bytes, want_unit: bool = False):
+    """Verified decode of :func:`_encode_fn_be` output.
+
+    Returns ``(fn_rtl, entry, map_stats, dep_stats, opt_frag, unit)``;
+    ``unit`` is ``None`` unless ``want_unit`` — the unit chunk is only
+    deserialized when the caller (the manifest-miss path, which may need
+    to re-store the function) asks for it.
+    """
     try:
         payload = _unframe(_TAG_BE, data)
         entry_bytes, pos = _r_chunk(payload, 0)
-        rest, _ = _r_chunk(payload, pos)
+        rest, pos = _r_chunk(payload, pos)
+        unit_bytes, _ = _r_chunk(payload, pos)
         entry = decode_entry(bytes(entry_bytes))
-        fn_rtl, generation, map_stats, dep_stats, opt_frag = pickle.loads(bytes(rest))
+        fn_rtl, generation, map_stats, dep_stats, opt_frag = _binfmt.decode(
+            bytes(rest)
+        )
         if not isinstance(fn_rtl, RTLFunction) or entry.unit_name != fn_rtl.name:
             raise CacheCorruption("decoded back-end RTL has the wrong shape")
         if not isinstance(generation, int) or generation < 0:
@@ -379,33 +567,16 @@ def _decode_fn_be(data: bytes):
             if not isinstance(opt_frag, OptStats):
                 raise CacheCorruption("decoded opt stats have the wrong type")
         entry.generation = generation
-        _reserve_foreign_ids([fn_rtl])
-        return fn_rtl, entry, map_stats, dep_stats, opt_frag
+        unit = None
+        if want_unit:
+            unit = _binfmt.decode(bytes(unit_bytes))
+            if unit is not None and not isinstance(unit, UnitInfo):
+                raise CacheCorruption("decoded unit has the wrong type")
+        return fn_rtl, entry, map_stats, dep_stats, opt_frag, unit
     except CacheCorruption:
         raise
     except Exception as exc:
         raise CacheCorruption(f"{type(exc).__name__}: {exc}") from exc
-
-
-def _reserve_foreign_ids(fns) -> None:
-    """Keep fresh reg/insn IDs from colliding with deserialized ones."""
-    max_reg = 0
-    max_uid = 0
-    for fn in fns:
-        for reg in fn.param_regs:
-            max_reg = max(max_reg, reg.rid)
-        if fn.ret_reg is not None:
-            max_reg = max(max_reg, fn.ret_reg.rid)
-        for insn in fn.insns:
-            max_uid = max(max_uid, insn.uid)
-            if insn.dst is not None:
-                max_reg = max(max_reg, insn.dst.rid)
-            for src in insn.srcs:
-                if isinstance(src, Reg):
-                    max_reg = max(max_reg, src.rid)
-            if insn.mem is not None:
-                max_reg = max(max_reg, insn.mem.addr.rid)
-    _rtl.reserve_ids(max_reg, max_uid)
 
 
 # -- one prepared compile ------------------------------------------------------
@@ -423,6 +594,8 @@ class _Prepared:
     fe_keys: dict[str, str]
     #: functions the back-end passes must actually run over
     active: list[str]
+    #: analysis units for the active functions (feeds back-end stores)
+    units: dict[str, UnitInfo] = field(default_factory=dict)
 
 
 # -- the session ---------------------------------------------------------------
@@ -658,47 +831,45 @@ class CompilationSession:
         external_effects=None,
         extra_salt="",
     ) -> _Prepared:
-        """Resolve the front end (cache or compile) and splice the back end."""
+        """Resolve the front end (cache or compile), back-end tier first."""
         blob, tier = self._lookup(key)
         man = None
         if blob is not None:
             try:
-                man = _decode_blob(blob)
+                man = _decode_manifest(blob)
             except CacheCorruption as exc:
                 self._evict_corrupt(key, tier, str(exc))
+        restored = None
         if man is not None:
-            if tier == "memory":
-                self._bump("hits_memory")
-            else:
-                self._bump("hits_disk")
-                self._remember(key, blob)
-            _metrics.inc("session.cache.hit", tier)
-            comp = Compilation(
-                source=source,
-                filename=filename,
-                hli=man.hli,
-                frontend=man.frontend,
-                rtl=man.rtl,
-                options=opts,
-                cache_state=tier,
-                external_effects=external_effects,
-            )
-            stats = PipelineStats(cached_prefix=tuple(p.name for p in prefix))
-            fe_keys = man.fe_keys
-            fn_states = {name: f"fe:{tier}" for name in man.rtl.functions}
-        else:
-            self._bump("misses")
-            _metrics.inc("session.cache.miss")
-            comp, stats, fe_keys, fn_states = self._frontend_incremental(
+            restored = self._restore_manifest(
+                man,
                 key,
+                tier,
+                blob,
                 source,
                 filename,
                 opts,
                 prefix,
-                external_effects=external_effects,
-                extra_salt=extra_salt,
+                suffix,
+                external_effects,
             )
-        active = self._splice_backend(comp, fe_keys, opts, suffix, fn_states)
+        if restored is not None:
+            comp, stats, fe_keys, fn_states, active, units = restored
+        else:
+            self._bump("misses")
+            _metrics.inc("session.cache.miss")
+            comp, stats, fe_keys, fn_states, active, units = (
+                self._frontend_incremental(
+                    key,
+                    source,
+                    filename,
+                    opts,
+                    prefix,
+                    suffix,
+                    external_effects=external_effects,
+                    extra_salt=extra_salt,
+                )
+            )
         comp.fn_cache_states = fn_states
         return _Prepared(
             comp=comp,
@@ -708,7 +879,112 @@ class CompilationSession:
             stats=stats,
             fe_keys=fe_keys,
             active=active,
+            units=units,
         )
+
+    def _restore_manifest(
+        self,
+        man: _Manifest,
+        key: str,
+        tier: str,
+        blob: bytes,
+        source,
+        filename,
+        opts,
+        prefix,
+        suffix,
+        external_effects,
+    ):
+        """Rebuild a compilation purely from cached blobs, or ``None``.
+
+        Every function restores from its back-end blob when the knobs
+        match (zero front-end traffic), else from its front-end blob.
+        A function with *neither* blob (LRU-evicted, corrupted) fails
+        the whole restore: the manifest is evicted (counted under
+        ``corrupt``) and the caller falls back to the incremental path,
+        which re-stores everything.  ``be_*``/``fn_*`` counters bumped
+        before such a failure stand — the partial restores did happen.
+        """
+        comp = Compilation(
+            source=source,
+            filename=filename,
+            hli=HLIFile(source_filename=man.source_filename),
+            frontend=_lazy_frontend(
+                man.frontend_blob, lambda: self._bump("frontend_decodes")
+            ),
+            rtl=RTLProgram(
+                globals_layout=man.globals_layout, init_data=man.init_data
+            ),
+            options=opts,
+            cache_state=tier,
+            external_effects=external_effects,
+        )
+        use_be = self.reuse_backend and any(p.per_function for p in suffix)
+        backend_fp = _backend_fp(suffix) if use_be else ""
+        fn_states: dict[str, str] = {}
+        active: list[str] = []
+        units: dict[str, UnitInfo] = {}
+        for name, fe_key in man.fe_keys.items():
+            frame = (man.frames[name], man.frame_sizes[name])
+            decoded = None
+            btier = ""
+            if use_be:
+                bkey = _be_key(fe_key, opts, backend_fp)
+                bblob, btier = self._lookup(bkey)
+                if bblob is not None:
+                    try:
+                        decoded = _decode_fn_be(bblob)
+                    except CacheCorruption as exc:
+                        self._evict_corrupt(bkey, btier, str(exc))
+            if decoded is not None:
+                if btier == "memory":
+                    self._bump("be_hits_memory")
+                else:
+                    self._bump("be_hits_disk")
+                    self._remember(bkey, bblob)
+                self._bump("be_decodes")
+                _metrics.inc("session.cache.be_hit", btier)
+                self._install_be(comp, name, decoded, frame=frame)
+                fn_states[name] = f"be:{btier}"
+                continue
+            if use_be:
+                self._bump("be_misses")
+                _metrics.inc("session.cache.be_miss")
+            fblob, ftier = self._lookup(fe_key)
+            fdec = None
+            if fblob is not None:
+                try:
+                    fdec = _decode_fn_fe(fblob)
+                except CacheCorruption as exc:
+                    self._evict_corrupt(fe_key, ftier, str(exc))
+            if fdec is None:
+                self._evict_corrupt(key, tier, f"function blob missing: {name}")
+                return None
+            entry, unit, fn_rtl = fdec
+            if ftier == "memory":
+                self._bump("fn_hits_memory")
+            else:
+                self._bump("fn_hits_disk")
+                self._remember(fe_key, fblob)
+            self._bump("fe_decodes")
+            _metrics.inc("session.cache.fn_hit", ftier)
+            fmap, fsize = frame
+            fn_rtl.frame = dict(fmap)
+            fn_rtl.frame_size = fsize
+            entry.filename = man.source_filename or filename
+            comp.rtl.functions[name] = fn_rtl
+            comp.hli.add(entry)
+            units[name] = unit
+            fn_states[name] = f"fe:{ftier}"
+            active.append(name)
+        if tier == "memory":
+            self._bump("hits_memory")
+        else:
+            self._bump("hits_disk")
+            self._remember(key, blob)
+        _metrics.inc("session.cache.hit", tier)
+        stats = PipelineStats(cached_prefix=tuple(p.name for p in prefix))
+        return comp, stats, dict(man.fe_keys), fn_states, active, units
 
     def _frontend_incremental(
         self,
@@ -717,17 +993,19 @@ class CompilationSession:
         filename,
         opts,
         prefix,
+        suffix,
         external_effects=None,
         extra_salt="",
     ):
         """Manifest miss: rebuild only the functions whose keys changed.
 
         Parses (unavoidable — fingerprints need the checked AST), then
-        serves each function's HLI entry + pristine RTL from the
-        per-function tier where the chained fingerprint still matches,
-        building only the invalidated rest.  Pristine artifacts are
-        stored *before* the back end runs, so later edits can splice
-        around this compile's functions.
+        serves each function from the *back-end* tier first (fingerprint
+        and knobs both unchanged: splice the finished RTL, done), else
+        from the front-end tier (HLI entry + pristine RTL, back end
+        re-runs), building only the invalidated rest.  Pristine
+        artifacts are stored *before* the back end runs, so later edits
+        can splice around this compile's functions.
         """
         from ..analysis.builder import HLIBuilder
         from ..frontend import parse_and_check
@@ -751,15 +1029,50 @@ class CompilationSession:
             builder.refmod,
             salt=_fe_salt(prefix, filename, extra_salt),
         )
+        use_be = self.reuse_backend and any(p.per_function for p in suffix)
+        backend_fp = _backend_fp(suffix) if use_be else ""
         hli = HLIFile(source_filename=program.filename)
         frontend = builder.frontend_info()
         cached_rtl: dict[str, RTLFunction] = {}
+        be_installs: dict[str, tuple] = {}
+        units: dict[str, UnitInfo] = {}
         fn_states: dict[str, str] = {}
         fresh: list[str] = []
         any_hit = False
         with _trace.span("analysis.build_hli", file=filename):
             for fn in program.functions:
                 fe_key = keys.fe[fn.name]
+                if use_be:
+                    bkey = _be_key(fe_key, opts, backend_fp)
+                    bblob, btier = self._lookup(bkey)
+                    bdec = None
+                    if bblob is not None:
+                        try:
+                            bdec = _decode_fn_be(bblob, want_unit=True)
+                        except CacheCorruption as exc:
+                            self._evict_corrupt(bkey, btier, str(exc))
+                    if bdec is not None:
+                        entry = bdec[1]
+                        entry.filename = program.filename
+                        if btier == "memory":
+                            self._bump("be_hits_memory")
+                        else:
+                            self._bump("be_hits_disk")
+                            self._remember(bkey, bblob)
+                        self._bump("be_decodes")
+                        _metrics.inc("session.cache.be_hit", btier)
+                        # The be-final RTL splices like a pristine one:
+                        # frames re-lay in program order either way.
+                        cached_rtl[fn.name] = bdec[0]
+                        be_installs[fn.name] = bdec
+                        hli.add(entry)
+                        if bdec[5] is not None:
+                            frontend.units[fn.name] = bdec[5]
+                        fn_states[fn.name] = f"be:{btier}"
+                        any_hit = True
+                        continue
+                    self._bump("be_misses")
+                    _metrics.inc("session.cache.be_miss")
                 blob, tier = self._lookup(fe_key)
                 decoded = None
                 if blob is not None:
@@ -775,6 +1088,7 @@ class CompilationSession:
                     else:
                         self._bump("fn_hits_disk")
                         self._remember(fe_key, blob)
+                    self._bump("fe_decodes")
                     _metrics.inc("session.cache.fn_hit", tier)
                     cached_rtl[fn.name] = fn_rtl
                     fn_states[fn.name] = f"fe:{tier}"
@@ -787,11 +1101,16 @@ class CompilationSession:
                     fresh.append(fn.name)
                 hli.add(entry)
                 frontend.units[fn.name] = unit
+                units[fn.name] = unit
         stats.passes_run.append("hli-build")
         rtl = lower_program(program, table, cached=cached_rtl)
         stats.passes_run.append("lower")
         comp.hli, comp.frontend, comp.rtl = hli, frontend, rtl
+        for name, bdec in be_installs.items():
+            # Lowering already replayed the frame on the spliced RTL.
+            self._install_be(comp, name, bdec, frame=None)
         comp.cache_state = "incremental" if any_hit else "cold"
+        active = [n for n in rtl.functions if n not in be_installs]
         # Store pristine artifacts before any back-end pass mutates them.
         with _trace.span("session.cache.store", fresh=len(fresh)):
             for name in fresh:
@@ -801,55 +1120,26 @@ class CompilationSession:
                                   rtl.functions[name]),
                     kind="fe",
                 )
-            self._store(key, _encode_blob(comp, keys.fe), kind="manifest")
-        return comp, stats, dict(keys.fe), fn_states
+            self._store(key, _encode_manifest(comp, keys.fe), kind="manifest")
+        return comp, stats, dict(keys.fe), fn_states, active, units
 
-    def _splice_backend(self, comp, fe_keys, opts, suffix, fn_states) -> list[str]:
-        """Restore finished back-end artifacts; return the still-active set."""
-        order = list(comp.rtl.functions)
-        if not self.reuse_backend or not any(p.per_function for p in suffix):
-            return order
-        backend_fp = _backend_fp(suffix)
-        active: list[str] = []
-        for name in order:
-            fe_key = fe_keys.get(name)
-            bkey = _be_key(fe_key, opts, backend_fp) if fe_key is not None else None
-            decoded = None
-            tier = ""
-            if bkey is not None:
-                blob, tier = self._lookup(bkey)
-                if blob is not None:
-                    try:
-                        decoded = _decode_fn_be(blob)
-                    except CacheCorruption as exc:
-                        self._evict_corrupt(bkey, tier, str(exc))
-            if decoded is None:
-                self._bump("be_misses")
-                _metrics.inc("session.cache.be_miss")
-                active.append(name)
-                continue
-            if tier == "memory":
-                self._bump("be_hits_memory")
-            else:
-                self._bump("be_hits_disk")
-                self._remember(bkey, blob)
-            _metrics.inc("session.cache.be_hit", tier)
-            self._install_be(comp, name, decoded)
-            fn_states[name] = f"be:{tier}"
-        return active
-
-    def _install_be(self, comp: Compilation, name: str, decoded) -> None:
+    def _install_be(
+        self, comp: Compilation, name: str, decoded, frame=None
+    ) -> None:
         """Splice one function's finished back-end artifacts into ``comp``.
 
-        The frame metadata is taken from the *current* pristine function
-        — the lowering splice already laid it out for this program, and
-        deterministic storage naming guarantees slot-for-slot agreement
-        — so the restored RTL is consistent with the rest of the file.
+        ``frame`` carries the manifest's recorded ``(slots, size)`` for
+        this function *in this file* — per-function blobs are shared
+        across files, so their stored frames may reflect a different
+        program order.  ``None`` means the frame is already correct
+        (the lowering splice replayed it, or the blob was produced by
+        this very compile).
         """
-        fn_rtl, entry, map_stats, dep_stats, opt_frag = decoded
-        pristine = comp.rtl.functions[name]
-        fn_rtl.frame = dict(pristine.frame)
-        fn_rtl.frame_size = pristine.frame_size
+        fn_rtl, entry, map_stats, dep_stats, opt_frag, _unit = decoded
+        if frame is not None:
+            fmap, fsize = frame
+            fn_rtl.frame = dict(fmap)
+            fn_rtl.frame_size = fsize
         comp.rtl.functions[name] = fn_rtl
         entry.filename = comp.hli.source_filename or comp.filename
         comp.hli.entries[name] = entry
@@ -894,6 +1184,7 @@ class CompilationSession:
                 comp.map_stats.get(name),
                 comp.dep_stats.get(name),
                 ctx.fn_opt_stats.get(name),
+                unit=prep.units.get(name),
             )
             self._store(_be_key(fe_key, prep.opts, backend_fp), blob, kind="be")
 
@@ -1002,12 +1293,17 @@ class CompilationSession:
                 blobs = []
             for (idx, name), blob in zip(tasks, blobs):
                 prep = preps[idx]
-                self._install_be(prep.comp, name, _decode_fn_be(blob))
+                decoded = _decode_fn_be(blob)
+                self._install_be(prep.comp, name, decoded)
                 if self.reuse_backend:
+                    # Workers do not carry analysis units; re-encode with
+                    # ours so the stored blob can serve the want_unit path.
+                    fn_rtl, entry, ms, ds, of, _ = decoded
                     self._store(
                         _be_key(prep.fe_keys[name], prep.opts,
                                 _backend_fp(prep.suffix)),
-                        blob,
+                        _encode_fn_be(fn_rtl, entry, ms, ds, of,
+                                      unit=prep.units.get(name)),
                         kind="be",
                     )
             for idx, prep in enumerate(preps):
@@ -1039,15 +1335,14 @@ def _normalize_job(job: tuple) -> tuple[str, str, Optional[CompileOptions]]:
 
 def _encode_fn_task(comp: Compilation, name: str, opts: CompileOptions) -> bytes:
     """Self-contained payload for one function's back-end pool task."""
-    return pickle.dumps(
+    return _binfmt.encode(
         (
             comp.filename,
             name,
             comp.rtl.functions[name],
-            encode_entry(comp.hli.entries[name]),
+            comp.hli.entries[name],
             opts,
-        ),
-        protocol=pickle.HIGHEST_PROTOCOL,
+        )
     )
 
 
@@ -1055,12 +1350,11 @@ def _backend_fn_worker(payload: bytes) -> bytes:
     """Run the per-function back-end passes for one function, standalone.
 
     The result is a verified back-end blob — the parent both splices it
-    into the compilation and stores it in the cache byte-for-byte.
+    into the compilation and stores it in the cache (after re-attaching
+    the analysis unit, which never crosses the pool boundary).
     """
-    fname, name, fn_rtl, entry_bytes, opts = pickle.loads(payload)
-    entry = decode_entry(entry_bytes)
+    fname, name, fn_rtl, entry, opts = _binfmt.decode(payload)
     entry.filename = fname
-    _reserve_foreign_ids([fn_rtl])
     hli = HLIFile(source_filename=fname)
     hli.add(entry)
     comp = Compilation(

@@ -105,6 +105,7 @@ def compile_whole_program(
     options: Optional[CompileOptions] = None,
     whole_program: bool = True,
     session: Optional["CompilationSession"] = None,
+    summary_cache: Optional[str] = None,
 ) -> WholeProgramResult:
     """Compile ``(filename, source)`` units as one linked program.
 
@@ -112,6 +113,10 @@ def compile_whole_program(
     diagnostics are always produced) but phase 2 compiles every unit
     with the conservative per-file defaults — the baseline the
     whole-program mode is measured against.
+
+    ``summary_cache`` names a file persisting the linked cross-module
+    summary table (:mod:`repro.linker.persist`): an unchanged program
+    restores it instead of re-running the interprocedural fixpoint.
     """
     opts = options or CompileOptions()
     result = WholeProgramResult(options=opts, whole_program=whole_program)
@@ -121,7 +126,7 @@ def compile_whole_program(
             for filename, source in sources:
                 program, table = parse_and_check(source, filename)
                 analyses.append(analyze_unit(program, table, filename=filename))
-            result.link = link_units(analyses)
+            result.link = link_units(analyses, summary_cache=summary_cache)
 
             for (filename, source), unit in zip(sources, analyses):
                 if whole_program:

@@ -19,7 +19,7 @@ Conversion rules:
   that denote the unit's own storage (bare globals, own-unit qualified
   names, heap sites) to the abstract objects of **its** parse.  Effect
   sets cross a process/parse boundary (the driver re-parses each unit in
-  phase 2, and the session cache restores pickled tables), and
+  phase 2, and the session cache restores binfmt-decoded tables), and
   :class:`~repro.frontend.symbols.Symbol` identity does not survive
   that — a summary resolved against the link-time parse would silently
   match nothing downstream;

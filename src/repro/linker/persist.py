@@ -1,0 +1,303 @@
+"""Persisted cross-module summaries: the linker's on-disk artifact.
+
+The bottom-up SCC fixpoint (:func:`repro.linker.summary.compute_summaries`)
+is the only whole-program-sized computation in the link step, and its
+input is fully captured by the units' *local* summaries — so its result
+can be cached across builds: if no function's local effects or call
+sites changed, the linked program's cross-module summaries are
+byte-for-byte the same.
+
+The format is a hand-packed, self-contained binary table — the same
+zero-pickle discipline as the session cache: length-prefixed strings,
+fixed-width counts, a SHA-256 checksum over the payload, and a version
+byte pair that retires old layouts.  A corrupt, truncated, or stale
+file yields ``None`` from :func:`load_summaries` (and is unlinked), so
+the caller recomputes — never crashes, never links stale facts.
+
+Layout (little-endian)::
+
+    offset  size  field
+         0     4  magic ``HLIS``
+         4     2  FORMAT_VERSION (``<H``)
+         6    32  SHA-256 of the payload
+        38     …  payload
+
+    payload := key
+               <I count, FnSummary...
+               <I count, scc (<I count, name...)...
+               <I count, iterations (<I)...
+               <I count, (name, <I count, callee...)...  # call graph
+
+    FnSummary := name unit flags:<B(ref_any|mod_any<<1) scc_id:<i
+                 names(ref) names(mod) ints(param_ref) ints(param_mod)
+    key/name   := <H len + utf-8 bytes
+    names      := <I count + name...
+    ints       := <I count + <I...
+
+``key`` is the caller's link-state fingerprint (derived from the local
+summaries via :func:`local_fingerprint`); :func:`load_summaries` treats
+a key mismatch exactly like corruption — evict and recompute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from pathlib import Path
+from typing import Optional, Union
+
+from .summary import FnSummary, SummaryResult
+from .unit import UnitAnalysis
+
+__all__ = [
+    "SummaryFormatError",
+    "decode_summaries",
+    "encode_summaries",
+    "load_summaries",
+    "local_fingerprint",
+    "save_summaries",
+]
+
+_MAGIC = b"HLIS"
+FORMAT_VERSION = 1
+
+
+class SummaryFormatError(Exception):
+    """A persisted summary table failed verification."""
+
+
+def local_fingerprint(units: list[UnitAnalysis]) -> str:
+    """Fingerprint of every unit's local summaries and call sites.
+
+    This is the complete input of the cross-module fixpoint: two builds
+    with equal fingerprints are guaranteed equal linked summaries.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-link-locals\x00")
+    for unit in units:
+        h.update(unit.filename.encode("utf-8", "surrogatepass"))
+        h.update(b"\x00")
+        for name in sorted(unit.locals):
+            loc = unit.locals[name]
+            h.update(
+                (
+                    f"{loc.name}@{loc.unit}"
+                    f" ref={'*' if loc.ref_any else ','.join(sorted(loc.ref_names))}"
+                    f" mod={'*' if loc.mod_any else ','.join(sorted(loc.mod_names))}"
+                    f" pref={','.join(map(str, sorted(loc.param_ref)))}"
+                    f" pmod={','.join(map(str, sorted(loc.param_mod)))}"
+                ).encode("utf-8", "surrogatepass")
+            )
+            for call in loc.calls:
+                h.update(
+                    f"|{call.callee}@{call.line}:{call.bindings!r}".encode(
+                        "utf-8", "surrogatepass"
+                    )
+                )
+            h.update(b"\n")
+    return h.hexdigest()
+
+
+# -- primitive writers/readers -------------------------------------------------
+
+
+def _w_str(out: bytearray, s: str) -> None:
+    b = s.encode("utf-8", "surrogatepass")
+    out += struct.pack("<H", len(b))
+    out += b
+
+
+def _w_names(out: bytearray, names: set[str]) -> None:
+    out += struct.pack("<I", len(names))
+    for n in sorted(names):
+        _w_str(out, n)
+
+
+def _w_ints(out: bytearray, ints: set[int]) -> None:
+    out += struct.pack("<I", len(ints))
+    for i in sorted(ints):
+        out += struct.pack("<I", i)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        chunk = self.data[self.pos : self.pos + n]
+        if len(chunk) != n:
+            raise SummaryFormatError("truncated summary table")
+        self.pos += n
+        return chunk
+
+    def u16(self) -> int:
+        return int(struct.unpack("<H", self._take(2))[0])
+
+    def u32(self) -> int:
+        n = int(struct.unpack("<I", self._take(4))[0])
+        if n > len(self.data) - self.pos:
+            raise SummaryFormatError("count exceeds remaining bytes")
+        return n
+
+    def i32(self) -> int:
+        return int(struct.unpack("<i", self._take(4))[0])
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def string(self) -> str:
+        try:
+            return self._take(self.u16()).decode("utf-8", "surrogatepass")
+        except UnicodeDecodeError as exc:
+            raise SummaryFormatError(f"bad string: {exc}") from exc
+
+    def names(self) -> set[str]:
+        return {self.string() for _ in range(self.u32())}
+
+    def ints(self) -> set[int]:
+        return {int(struct.unpack("<I", self._take(4))[0]) for _ in range(self.u32())}
+
+    def done(self) -> bool:
+        return self.pos == len(self.data)
+
+
+# -- encode / decode -----------------------------------------------------------
+
+
+def encode_summaries(result: SummaryResult, key: str) -> bytes:
+    """Serialize ``result`` under link-state fingerprint ``key``."""
+    out = bytearray()
+    _w_str(out, key)
+    out += struct.pack("<I", len(result.summaries))
+    for name in sorted(result.summaries):
+        s = result.summaries[name]
+        _w_str(out, s.name)
+        _w_str(out, s.unit)
+        out += struct.pack("<Bi", int(s.ref_any) | int(s.mod_any) << 1, s.scc_id)
+        _w_names(out, s.ref_names)
+        _w_names(out, s.mod_names)
+        _w_ints(out, s.param_ref)
+        _w_ints(out, s.param_mod)
+    out += struct.pack("<I", len(result.sccs))
+    for scc in result.sccs:
+        out += struct.pack("<I", len(scc))
+        for member in scc:
+            _w_str(out, member)
+    out += struct.pack("<I", len(result.iterations))
+    for it in result.iterations:
+        out += struct.pack("<I", it)
+    out += struct.pack("<I", len(result.call_graph))
+    for name in sorted(result.call_graph):
+        _w_str(out, name)
+        _w_names(out, result.call_graph[name])
+    payload = bytes(out)
+    digest = hashlib.sha256(payload).digest()
+    return _MAGIC + struct.pack("<H", FORMAT_VERSION) + digest + payload
+
+
+def decode_summaries(data: bytes) -> tuple[str, SummaryResult]:
+    """Verified decode: returns ``(key, result)`` or raises
+    :class:`SummaryFormatError` — never a partially valid table."""
+    try:
+        if data[:4] != _MAGIC:
+            raise SummaryFormatError("bad magic")
+        (version,) = struct.unpack("<H", data[4:6])
+        if version != FORMAT_VERSION:
+            raise SummaryFormatError(
+                f"summary format {version} != {FORMAT_VERSION}"
+            )
+        digest, payload = data[6:38], data[38:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise SummaryFormatError("checksum mismatch")
+        r = _Reader(payload)
+        key = r.string()
+        result = SummaryResult()
+        for _ in range(r.u32()):
+            name = r.string()
+            unit = r.string()
+            flags = r.u8()
+            scc_id = r.i32()
+            result.summaries[name] = FnSummary(
+                name=name,
+                unit=unit,
+                ref_any=bool(flags & 1),
+                mod_any=bool(flags & 2),
+                scc_id=scc_id,
+                ref_names=r.names(),
+                mod_names=r.names(),
+                param_ref=r.ints(),
+                param_mod=r.ints(),
+            )
+        result.sccs = [
+            [r.string() for _ in range(r.u32())] for _ in range(r.u32())
+        ]
+        result.iterations = [
+            int(struct.unpack("<I", r._take(4))[0]) for _ in range(r.u32())
+        ]
+        for _ in range(r.u32()):
+            name = r.string()
+            result.call_graph[name] = r.names()
+        if not r.done():
+            raise SummaryFormatError("trailing bytes")
+        if len(result.sccs) != len(result.iterations):
+            raise SummaryFormatError("scc / iteration table length mismatch")
+        return key, result
+    except SummaryFormatError:
+        raise
+    except Exception as exc:  # struct errors, slicing, ...
+        raise SummaryFormatError(f"{type(exc).__name__}: {exc}") from exc
+
+
+# -- file-level API ------------------------------------------------------------
+
+
+def save_summaries(
+    path: Union[str, os.PathLike[str]], result: SummaryResult, key: str
+) -> None:
+    """Atomically persist ``result``; I/O failures are swallowed (a
+    read-only cache location must never fail the link)."""
+    p = Path(path)
+    blob = encode_summaries(result, key)
+    tmp = p.with_name(p.name + f".tmp{os.getpid()}")
+    try:
+        p.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(blob)
+        os.replace(tmp, p)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+
+def load_summaries(
+    path: Union[str, os.PathLike[str]], key: str
+) -> Optional[SummaryResult]:
+    """Load a persisted table if it exists, verifies, and matches ``key``.
+
+    Any defect — missing file, corruption, version skew, or a key from a
+    different link state — returns ``None`` and removes the file so the
+    recomputed table can take its place.
+    """
+    p = Path(path)
+    try:
+        data = p.read_bytes()
+    except OSError:
+        return None
+    try:
+        stored_key, result = decode_summaries(data)
+    except SummaryFormatError:
+        try:
+            p.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return None
+    if stored_key != key:
+        try:
+            p.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return None
+    return result

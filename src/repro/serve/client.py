@@ -9,19 +9,20 @@ Two layers:
 * :class:`RemoteSession` — a :class:`~repro.driver.session.
   CompilationSession`-shaped façade whose ``compile`` routes through a
   daemon and returns a full :class:`~repro.driver.compile.Compilation`
-  (the server pickles it over the wire), **falling back to in-process
-  compilation** when the daemon is unreachable.  ``validate`` and
-  ``repro-fuzz --server`` plug this in where a session is expected.
+  (the server ships it over the wire via :mod:`repro.binfmt`),
+  **falling back to in-process compilation** when the daemon is
+  unreachable.  ``validate`` and ``repro-fuzz --server`` plug this in
+  where a session is expected.
 
-The pickled-object wire mode deserializes server-produced payloads, so
-point a client only at daemons you trust — the same trust boundary as
-the on-disk artifact cache (see docs/SERVING.md).
+The object wire mode decodes server payloads through the self-describing
+binfmt codec — never pickle — so a hostile or corrupted daemon response
+can only ever produce registered compiler types or a clean decode error,
+exactly like the on-disk artifact cache (see docs/SERVING.md).
 """
 
 from __future__ import annotations
 
 import base64
-import pickle
 import socket
 import threading
 from typing import Optional
@@ -211,9 +212,14 @@ class ServeClient:
         options: Optional[CompileOptions] = None,
     ) -> Compilation:
         """Compile remotely and reconstruct the full :class:`Compilation`."""
+        from .. import binfmt
+
         result = self.compile(source, filename, options, want="object")
-        blob = base64.b64decode(result["pickle_b64"])
-        comp = pickle.loads(blob)
+        blob = base64.b64decode(result["object_b64"])
+        try:
+            comp = binfmt.decode(blob)
+        except binfmt.BinFormatError as exc:
+            raise ServerError(f"undecodable object payload: {exc}") from exc
         if not isinstance(comp, Compilation):
             raise ServerError("server returned a non-Compilation object payload")
         return comp

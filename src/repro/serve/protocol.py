@@ -21,7 +21,10 @@ client pipelines).  Responses carry ``status``:
 
 :class:`~repro.driver.compile.CompileOptions` crosses the wire as a
 plain dict of its JSON-able knobs (:func:`options_to_wire` /
-:func:`options_from_wire`); the latency callable is named, not pickled.
+:func:`options_from_wire`); the latency callable is named, never
+serialized as code.  Full compilations cross as base64-wrapped
+:mod:`repro.binfmt` payloads (``object_b64``) — the wire carries no
+pickle anywhere.
 """
 
 from __future__ import annotations
@@ -55,7 +58,7 @@ __all__ = [
 DEFAULT_PORT = 8454
 
 #: Default cap on one frame's payload (requests carry whole source files,
-#: responses may carry pickled compilations; 16 MiB is generous for both).
+#: responses may carry binfmt-encoded compilations; 16 MiB covers both).
 MAX_FRAME_BYTES = 16 << 20
 
 _HEADER = struct.Struct(">I")

@@ -47,7 +47,6 @@ from __future__ import annotations
 
 import asyncio
 import base64
-import pickle
 import signal
 import time
 from dataclasses import dataclass, field
@@ -445,8 +444,10 @@ class CompileServer:
         summary, comp = result
         payload = dict(summary)
         if want == "object":
-            payload["pickle_b64"] = base64.b64encode(
-                pickle.dumps(comp, protocol=pickle.HIGHEST_PROTOCOL)
+            from .. import binfmt
+
+            payload["object_b64"] = base64.b64encode(
+                binfmt.encode(comp)
             ).decode("ascii")
         elapsed = time.monotonic() - t0
         self.limiter.observe_service_time(elapsed)

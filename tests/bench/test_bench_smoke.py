@@ -82,6 +82,23 @@ class TestStandaloneHarnesses:
         assert doc["failures"] == []
         assert doc["daemon_exit_code"] == 0
 
+    def test_decode_path_gates(self, tmp_path):
+        # one-iteration decode-v1 run through the real CLI, gated
+        # against the committed ceiling baselines
+        from repro.bench.cli import main as bench_main
+
+        out = tmp_path / "decode.json"
+        rc = bench_main([
+            "--set", "quick-v1", "--paths", "decode",
+            "--iterations", "1", "--warmup", "0", "--quiet",
+            "--gate", str(REPO_ROOT / "benchmarks/baselines/decode-v1.json"),
+            "--out", str(out),
+        ])
+        assert rc == 0
+        doc = _json_at(out)
+        assert doc["facts"]["decode.roundtrip_ok"] == 1.0
+        assert doc["facts"]["decode.blob_bytes"] > 0
+
 
 _PYTEST_SELECTIONS = {
     "bench_ablations.py": "test_merge_rules_shrink_hli and tomcatv",

@@ -152,14 +152,32 @@ class TestIncrementalSession:
         edited = CHAIN_SOURCE.replace("a - b", "a - b - 1")  # edits `other`
         sess.compile(edited, "chain.c", self.OPTS)
         # file-level: one miss per distinct source; function-level: the
-        # second compile reused leaf/mid's fe entries
+        # second compile served unchanged functions straight from the
+        # back-end tier (be-first probing), so the front-end tier was
+        # never touched for them
         assert sess.stats.misses == 2
         assert sess.stats.hits == 0
-        assert sess.stats.fn_hits >= 2
         assert sess.stats.be_hits >= 2
+        assert sess.stats.be_decodes == sess.stats.be_hits
+        assert sess.stats.fn_hits == 0
+        assert sess.stats.fe_decodes == 0
         d = sess.stats.to_dict()
         assert d["fn_hits_memory"] == sess.stats.fn_hits_memory
         assert d["be_hits_memory"] == sess.stats.be_hits_memory
+
+    def test_knob_change_falls_back_to_fe_tier(self):
+        # Unseen back-end knobs: be keys miss, fe entries satisfy the
+        # front end, and the back end re-runs over every function.
+        sess = CompilationSession()
+        sess.compile(CHAIN_SOURCE, "chain.c", self.OPTS)
+        from repro.backend.ddg import DDGMode
+
+        comp = sess.compile(
+            CHAIN_SOURCE, "chain.c", CompileOptions(mode=DDGMode.GCC, cse=True)
+        )
+        assert all(v == "fe:memory" for v in comp.fn_cache_states.values())
+        assert sess.stats.fn_hits == len(comp.rtl.functions)
+        assert sess.stats.fe_decodes == sess.stats.fn_hits
 
 
 class TestOracle:

@@ -10,9 +10,10 @@ from repro.difftest.diff import build_matrix
 from repro.driver.session import (
     CacheCorruption,
     CompilationSession,
-    _decode_blob,
-    _encode_blob,
+    _decode_manifest,
+    _encode_manifest,
 )
+from repro.machine.executor import execute
 from repro.obs import trace
 from tests.conftest import FIG2_SOURCE, SIMPLE_MAIN
 
@@ -190,29 +191,97 @@ class TestCorruption:
         )
         assert comp.cache_state == "disk"
 
+    def _fake_keys(self, comp) -> dict:
+        import hashlib
+
+        return {
+            n: hashlib.sha256(n.encode()).hexdigest() for n in comp.rtl.functions
+        }
+
     def test_truncated_blob_raises_corruption(self):
         comp = compile_source(SIMPLE_MAIN, "simple.c")
-        blob = _encode_blob(comp, {n: "x" for n in comp.rtl.functions})
+        blob = _encode_manifest(comp, self._fake_keys(comp))
         for cut in (0, 3, 10, len(blob) // 2, len(blob) - 1):
             with pytest.raises(CacheCorruption):
-                _decode_blob(blob[:cut])
+                _decode_manifest(blob[:cut])
 
     def test_blob_round_trip(self):
-        comp = compile_source(SIMPLE_MAIN, "simple.c")
-        fe_keys = {n: f"key-{n}" for n in comp.rtl.functions}
-        man = _decode_blob(_encode_blob(comp, fe_keys))
-        assert set(man.hli.entries) == set(comp.hli.entries)
-        assert set(man.rtl.functions) == set(comp.rtl.functions)
-        assert man.fe_keys == fe_keys
-        for name, fn in comp.rtl.functions.items():
-            assert [i.op for i in fn.insns] == [
-                i.op for i in man.rtl.functions[name].insns
-            ]
+        from repro.analysis.builder import FrontEndInfo
+        from repro import binfmt
 
-    def test_fn_key_table_mismatch_is_corruption(self):
         comp = compile_source(SIMPLE_MAIN, "simple.c")
-        with pytest.raises(CacheCorruption):
-            _decode_blob(_encode_blob(comp))  # no fe_keys at all
+        fe_keys = self._fake_keys(comp)
+        man = _decode_manifest(_encode_manifest(comp, fe_keys))
+        assert man.fe_keys == fe_keys
+        assert man.source_filename == comp.hli.source_filename
+        assert man.globals_layout == comp.rtl.globals_layout
+        assert man.init_data == comp.rtl.init_data
+        for name, fn in comp.rtl.functions.items():
+            assert man.frames[name] == fn.frame
+            assert man.frame_sizes[name] == fn.frame_size
+        # the front-end chunk rides along encoded; it must still decode
+        frontend = binfmt.decode(man.frontend_blob)
+        assert isinstance(frontend, FrontEndInfo)
+        assert set(frontend.units) == set(comp.rtl.functions)
+
+    def test_codec_fingerprint_mismatch_is_corruption(self):
+        comp = compile_source(SIMPLE_MAIN, "simple.c")
+        blob = bytearray(_encode_manifest(comp, self._fake_keys(comp)))
+        # bytes 6:14 hold the binfmt registry fingerprint — outside the
+        # payload checksum, so skew is caught before any decode
+        blob[6:14] = bytes(8)
+        with pytest.raises(CacheCorruption, match="fingerprint"):
+            _decode_manifest(bytes(blob))
+
+
+class TestZeroPickleWarmPath:
+    """The warm path must never unpickle — blobs and wire are binfmt-only."""
+
+    def _poison(self, monkeypatch):
+        import pickle
+
+        def boom(*a, **k):  # pragma: no cover - raising is the assertion
+            raise AssertionError("pickle.loads called on the warm path")
+
+        monkeypatch.setattr(pickle, "loads", boom)
+        monkeypatch.setattr(pickle, "load", boom)
+
+    def test_warm_disk_restore_never_unpickles(self, tmp_path, monkeypatch):
+        d = tmp_path / "cache"
+        CompilationSession(cache_dir=d).compile(SIMPLE_MAIN, "simple.c")
+        self._poison(monkeypatch)
+        sess = CompilationSession(cache_dir=d)
+        comp = sess.compile(SIMPLE_MAIN, "simple.c")
+        assert comp.cache_state == "disk"
+        assert all(v == "be:disk" for v in comp.fn_cache_states.values())
+        assert execute(comp.rtl, collect_trace=False).ret is not None
+
+    def test_full_warm_hit_never_decodes_the_frontend(self, tmp_path):
+        d = tmp_path / "cache"
+        CompilationSession(cache_dir=d).compile(SIMPLE_MAIN, "simple.c")
+        sess = CompilationSession(cache_dir=d)
+        comp = sess.compile(SIMPLE_MAIN, "simple.c")
+        # every function came from the finished back-end tier: the fe
+        # blobs were never read, the manifest's frontend chunk never
+        # decoded — a warm be hit touches exactly one fe-side artifact
+        # (the manifest itself)
+        assert sess.stats.fe_decodes == 0
+        assert sess.stats.frontend_decodes == 0
+        assert sess.stats.be_decodes == len(comp.rtl.functions)
+        # first attribute access materializes the lazy frontend
+        assert comp.frontend.units
+        assert sess.stats.frontend_decodes == 1
+
+    def test_lazy_frontend_survives_warm_execution(self, tmp_path, monkeypatch):
+        d = tmp_path / "cache"
+        cold = CompilationSession(cache_dir=d).compile(SIMPLE_MAIN, "simple.c")
+        self._poison(monkeypatch)
+        sess = CompilationSession(cache_dir=d)
+        warm = sess.compile(SIMPLE_MAIN, "simple.c")
+        assert _opcodes(warm) == _opcodes(cold)
+        assert warm.rtl.globals_layout == cold.rtl.globals_layout
+        # materializing the frontend is also pickle-free
+        assert sorted(warm.frontend.units) == sorted(cold.frontend.units)
 
 
 class TestShardedDisk:

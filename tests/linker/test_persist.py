@@ -1,0 +1,122 @@
+"""Persisted summary tables: round-trip, keying, and corruption recovery."""
+
+from __future__ import annotations
+
+from repro.difftest.gen import generate_units
+from repro.driver.wpa import compile_whole_program
+from repro.frontend import parse_and_check
+from repro.linker import analyze_unit, compute_summaries, link_units
+from repro.linker.persist import (
+    load_summaries,
+    local_fingerprint,
+    save_summaries,
+)
+from repro import obs
+from repro.obs import metrics as _metrics
+
+MATH_C = """\
+int gcount;
+int bump(int x) { gcount = gcount + x; return gcount; }
+"""
+
+MAIN_C = """\
+extern int bump(int x);
+int main() { return bump(3) + bump(4); }
+"""
+
+
+def _units(*pairs):
+    out = []
+    for filename, source in pairs:
+        program, table = parse_and_check(source, filename)
+        out.append(analyze_unit(program, table, filename=filename))
+    return out
+
+
+class TestFileRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        units = _units(("math.c", MATH_C), ("main.c", MAIN_C))
+        result = compute_summaries(units)
+        key = local_fingerprint(units)
+        path = tmp_path / "link.hlis"
+        save_summaries(path, result, key)
+        back = load_summaries(path, key)
+        assert back is not None
+        assert sorted(back.summaries) == sorted(result.summaries)
+        assert back.sccs == result.sccs
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_summaries(tmp_path / "absent.hlis", "k") is None
+
+    def test_key_mismatch_evicts(self, tmp_path):
+        units = _units(("math.c", MATH_C), ("main.c", MAIN_C))
+        path = tmp_path / "link.hlis"
+        save_summaries(path, compute_summaries(units), local_fingerprint(units))
+        assert load_summaries(path, "some-other-link-state") is None
+        assert not path.exists()  # stale table removed, recompute will overwrite
+
+    def test_corruption_evicts(self, tmp_path):
+        units = _units(("math.c", MATH_C), ("main.c", MAIN_C))
+        key = local_fingerprint(units)
+        path = tmp_path / "link.hlis"
+        save_summaries(path, compute_summaries(units), key)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        assert load_summaries(path, key) is None
+        assert not path.exists()
+
+
+class TestLinkUnitsCache:
+    def test_second_link_restores(self, tmp_path):
+        path = tmp_path / "link.hlis"
+        first = link_units(_units(("math.c", MATH_C), ("main.c", MAIN_C)), path)
+        obs.reset()
+        with obs.enabled_scope():
+            second = link_units(
+                _units(("math.c", MATH_C), ("main.c", MAIN_C)), path
+            )
+            snap = _metrics.counters()
+        assert snap.get("linker.summaries_restored") == 1
+        assert sorted(second.summaries) == sorted(first.summaries)
+        for name, s in first.summaries.items():
+            got = second.summaries[name]
+            assert got.ref_names == s.ref_names
+            assert got.mod_names == s.mod_names
+            assert (got.ref_any, got.mod_any) == (s.ref_any, s.mod_any)
+
+    def test_edit_recomputes_and_overwrites(self, tmp_path):
+        path = tmp_path / "link.hlis"
+        link_units(_units(("math.c", MATH_C), ("main.c", MAIN_C)), path)
+        # the key is the local-summary fingerprint, so the edit must
+        # change observable effects (a new modified global), not just
+        # arithmetic
+        edited = MATH_C.replace(
+            "int gcount;", "int gcount;\nint gextra;"
+        ).replace("return gcount;", "gextra = x; return gcount;")
+        obs.reset()
+        with obs.enabled_scope():
+            link_units(_units(("math.c", edited), ("main.c", MAIN_C)), path)
+            snap = _metrics.counters()
+        assert "linker.summaries_restored" not in snap
+        # the overwritten table serves the *edited* program next time
+        obs.reset()
+        with obs.enabled_scope():
+            link_units(_units(("math.c", edited), ("main.c", MAIN_C)), path)
+            snap = _metrics.counters()
+        assert snap.get("linker.summaries_restored") == 1
+
+
+class TestWholeProgramCache:
+    def test_wpa_links_identically_from_cache(self, tmp_path):
+        sources = generate_units(11, n_units=3)
+        path = str(tmp_path / "link.hlis")
+        cold = compile_whole_program(sources, summary_cache=path)
+        warm = compile_whole_program(sources, summary_cache=path)
+        assert sorted(warm.link.summaries) == sorted(cold.link.summaries)
+        assert warm.link.fingerprint() == cold.link.fingerprint()
+        for fname, comp in cold.units.items():
+            wf = warm.units[fname]
+            assert {n: [i.op for i in f.insns] for n, f in wf.rtl.functions.items()} == {
+                n: [i.op for i in f.insns] for n, f in comp.rtl.functions.items()
+            }

@@ -46,6 +46,44 @@ class TestCompileObject:
         got = execute(comp.rtl, collect_trace=False)
         assert (got.ret, got.output) == (want.ret, want.output)
 
+    def test_wire_carries_no_pickle(self, server, monkeypatch):
+        # the object wire is binfmt, end to end: a client must never
+        # deserialize daemon output with pickle (that would hand the
+        # daemon arbitrary code execution in the client).  Poison
+        # pickle.loads process-wide — the server thread shares it, so
+        # this proves *neither* side unpickles during the round-trip.
+        import pickle
+
+        def boom(*a, **k):  # pragma: no cover - raising is the assertion
+            raise AssertionError("pickle.loads called on the serve wire")
+
+        monkeypatch.setattr(pickle, "loads", boom)
+        monkeypatch.setattr(pickle, "load", boom)
+        host, port = server.address
+        with ServeClient(host, port) as c:
+            comp = c.compile_object(SIMPLE_MAIN, "simple.c")
+        assert isinstance(comp, Compilation)
+        assert execute(comp.rtl, collect_trace=False).ret is not None
+
+    def test_undecodable_object_payload_raises_server_error(self, server, monkeypatch):
+        import base64
+
+        from repro.serve.client import ServerError
+
+        host, port = server.address
+        with ServeClient(host, port) as c:
+            real = c.compile
+
+            def tamper(*args, **kwargs):
+                result = real(*args, **kwargs)
+                if "object_b64" in result:
+                    result["object_b64"] = base64.b64encode(b"garbage").decode("ascii")
+                return result
+
+            monkeypatch.setattr(c, "compile", tamper)
+            with pytest.raises(ServerError, match="undecodable object payload"):
+                c.compile_object(SIMPLE_MAIN, "simple.c")
+
 
 class TestRemoteSession:
     def test_routes_remotely_and_counts_stats(self, server):
