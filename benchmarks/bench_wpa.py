@@ -11,7 +11,14 @@ effects) and whole-program (linked summaries) and writes
 * semantic agreement of the two linked images (hard assertion — the
   benchmark refuses to report numbers for an unsound configuration);
 * link-step overhead: wall time of per-file vs whole-program
-  compilation and the linker phases' share of it.
+  compilation and the linker phases' share of it;
+* **partitioned back end** (``--jobs N --partition balanced``): for a
+  band of 8-16-unit generated programs, cold ``jobs=1`` vs cold
+  ``jobs=N`` wall time (the ``parallel_speedup`` column), a hard parity
+  oracle (alpha-equivalent per-unit RTL and merged image, equal
+  DepStats), and a warm partitioned rerun against the shared disk cache
+  — every unit must come back as a parent-side cache hit with zero new
+  misses, proving partition boundaries do not fragment the cache.
 
 Standalone script (no pytest-benchmark) so CI can run it bare, same as
 ``bench_pipeline.py``.
@@ -106,6 +113,117 @@ def bench_workloads(generated_seeds: int = 5, repeats: int = 1) -> dict:
     }
 
 
+def bench_partitioned(
+    jobs: int,
+    partition: str,
+    seeds: int = 4,
+    repeats: int = 1,
+) -> dict:
+    """Cold jobs=1 vs cold jobs=N on 8-16-unit programs, plus parity."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.difftest.gen import GenConfig, generate_units
+    from repro.difftest.incremental import canonical_rtl
+    from repro.driver.compile import CompileOptions
+    from repro.driver.session import CompilationSession
+    from repro.driver.wpa import compile_whole_program
+
+    # same recipe as the registry's multiunit-large profile: seeds from
+    # 150_000 land on 8-16 units of ~15 functions each
+    config = GenConfig(functions=15, structs=False, prints=False)
+    cases = []
+    for i in range(seeds):
+        seed = 150_000 + i
+        n_units = 8 + seed % 9
+        cases.append((f"gen-large-{seed}", generate_units(seed, config, n_units)))
+
+    opts = CompileOptions()
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-wpa-") as tmp:
+        for name, sources in cases:
+            cache_dir = Path(tmp) / name
+
+            serial_samples, serial_res = [], None
+            for _ in range(repeats):
+                sess = CompilationSession()  # memory-only: every repeat cold
+                t0 = perf_counter()
+                serial_res = compile_whole_program(sources, opts, session=sess)
+                serial_samples.append(perf_counter() - t0)
+
+            par_samples, par_res, par_sess = [], None, None
+            for r in range(repeats):
+                # last repeat keeps the shared disk cache for the warm rerun
+                par_sess = CompilationSession(
+                    cache_dir=cache_dir if r == repeats - 1 else None
+                )
+                t0 = perf_counter()
+                par_res = compile_whole_program(
+                    sources, opts, session=par_sess,
+                    jobs=jobs, partition=partition,
+                )
+                par_samples.append(perf_counter() - t0)
+
+            parity = (
+                list(serial_res.units) == list(par_res.units)
+                and all(
+                    canonical_rtl(serial_res.units[f].rtl)
+                    == canonical_rtl(par_res.units[f].rtl)
+                    for f in serial_res.units
+                )
+                and serial_res.total_dep_stats() == par_res.total_dep_stats()
+                and canonical_rtl(serial_res.image) == canonical_rtl(par_res.image)
+            )
+            assert parity, f"{name}: partitioned output diverges from jobs=1"
+
+            # warm partitioned rerun: a fresh session over the same disk
+            # cache must satisfy every unit from the shared store
+            # (parent-side hits, no worker spawn, no duplicated decodes)
+            warm_sess = CompilationSession(cache_dir=cache_dir)
+            t0 = perf_counter()
+            compile_whole_program(
+                sources, opts, session=warm_sess, jobs=jobs, partition=partition
+            )
+            warm_seconds = perf_counter() - t0
+            warm = warm_sess.stats
+
+            t_serial, t_par = min(serial_samples), min(par_samples)
+            plan = par_res.partition_plan
+            rows.append(
+                {
+                    "workload": name,
+                    "units": len(sources),
+                    "partitions": plan.n_partitions if plan else 1,
+                    "partition_skew": round(plan.skew, 4) if plan else 1.0,
+                    "cross_edges": plan.cross_edges if plan else 0,
+                    "jobs1_seconds": round(t_serial, 6),
+                    "jobsN_seconds": round(t_par, 6),
+                    "parallel_speedup": round(t_serial / t_par, 4) if t_par else None,
+                    "jobs1_summary": Summary.from_values(serial_samples).to_dict(),
+                    "jobsN_summary": Summary.from_values(par_samples).to_dict(),
+                    "parity_ok": parity,
+                    "warm_seconds": round(warm_seconds, 6),
+                    "warm_hits": warm.hits_memory + warm.hits_disk,
+                    "warm_misses": warm.misses,
+                    "warm_fe_decodes": warm.fe_decodes,
+                }
+            )
+
+    speedups = [r["parallel_speedup"] for r in rows if r["parallel_speedup"]]
+    return {
+        "jobs": jobs,
+        "partition": partition,
+        "workloads": rows,
+        "parity_ok": all(r["parity_ok"] for r in rows),
+        "median_parallel_speedup": Summary.from_values(speedups).median
+        if speedups
+        else None,
+        "warm_all_hits": all(
+            r["warm_misses"] == 0 and r["warm_hits"] == r["units"] for r in rows
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_wpa.json", help="output JSON path")
@@ -120,9 +238,38 @@ def main(argv: list[str] | None = None) -> int:
         help="time each compile N times; reports keep fastest plus the "
         "full distribution summary (default: 1)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the partitioned back-end section; "
+        "1 (default) skips that section",
+    )
+    parser.add_argument(
+        "--partition",
+        default="balanced",
+        choices=("1to1", "balanced"),
+        help="partition mode for the parallel section (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--large-seeds",
+        type=int,
+        default=4,
+        metavar="N",
+        help="number of 8-16-unit generated programs for the partitioned "
+        "section (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     doc = bench_workloads(generated_seeds=args.seeds, repeats=max(1, args.repeats))
+    if args.jobs > 1:
+        doc["partitioned"] = bench_partitioned(
+            jobs=args.jobs,
+            partition=args.partition,
+            seeds=args.large_seeds,
+            repeats=max(1, args.repeats),
+        )
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2)
 
@@ -137,6 +284,28 @@ def main(argv: list[str] | None = None) -> int:
         f"call edges deleted ({doc['deletion_ratio']:.1%}), "
         f"wp {doc['total_wp_seconds']:.3f}s vs pf {doc['total_pf_seconds']:.3f}s"
     )
+    if "partitioned" in doc:
+        part = doc["partitioned"]
+        jobs_col = f"jobs={part['jobs']}"
+        print(
+            f"\n{'workload':<18} {'units':>5} {'parts':>5} {'skew':>6} "
+            f"{'jobs=1':>8} {jobs_col:>8} {'speedup':>8} "
+            f"{'warm hit/miss':>13}"
+        )
+        for r in part["workloads"]:
+            print(
+                f"{r['workload']:<18} {r['units']:>5} {r['partitions']:>5} "
+                f"{r['partition_skew']:>6.2f} {r['jobs1_seconds']:>8.3f} "
+                f"{r['jobsN_seconds']:>8.3f} {r['parallel_speedup']:>8.2f} "
+                f"{r['warm_hits']:>8}/{r['warm_misses']}"
+            )
+        print(
+            f"partitioned ({part['partition']}, jobs={part['jobs']}): "
+            f"parity {'OK' if part['parity_ok'] else 'FAILED'}, "
+            f"median speedup {part['median_parallel_speedup']:.2f}x, "
+            f"warm cross-partition hits "
+            f"{'all shared' if part['warm_all_hits'] else 'FRAGMENTED'}"
+        )
     return 0
 
 

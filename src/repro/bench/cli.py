@@ -22,7 +22,7 @@ from typing import Optional
 
 from . import gates as gates_mod
 from . import registry
-from .runner import PATHS, run_set
+from .runner import PATHS, WPA_BENCH_JOBS, run_set
 
 #: default location of committed baseline files, relative to the
 #: repository root (where CI invokes the CLI from)
@@ -54,6 +54,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--paths", default=",".join(PATHS), metavar="P1,P2",
                         help="comma-separated compilation paths to exercise "
                         f"(default: %(default)s; choices: {', '.join(PATHS)})")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the wpa path's partitioned "
+                        "arm (default: 4, clamped to the machine)")
     parser.add_argument("--server", default=None, metavar="HOST:PORT",
                         help="route the serve path through a live repro-serve "
                         "daemon (default: in-process fallback)")
@@ -112,6 +115,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             paths=paths,
             server=args.server,
             progress=progress,
+            wpa_jobs=args.jobs if args.jobs is not None else WPA_BENCH_JOBS,
         )
     except (ValueError, RuntimeError) as exc:
         print(f"repro-bench: {exc}", file=sys.stderr)

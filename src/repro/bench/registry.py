@@ -230,6 +230,13 @@ PROFILES: dict[str, Profile] = {
         GenConfig(functions=4, structs=False, prints=False),
         lambda p: p.multi_unit,
     ),
+    "multiunit-large": Profile(
+        "multiunit-large",
+        "8-16 translation units with cross-unit calls and extern globals "
+        "(partitioner-scale whole programs)",
+        GenConfig(functions=15, structs=False, prints=False),
+        lambda p: p.multi_unit and len(p.units) >= 8,
+    ),
     # curated / parametric profiles (no generator config, no filtering)
     "int": Profile("int", "curated integer suite programs", None, _always),
     "fp": Profile("fp", "curated floating-point suite programs", None, _always),
@@ -275,6 +282,12 @@ def _generated(profile_name: str, count: int, seed_base: int) -> list[WorkloadPr
             )
         if profile_name == "multiunit":
             units = tuple(generate_units(seed, profile.config, n_units=3))
+        elif profile_name == "multiunit-large":
+            # 8-16 units, deterministic in the seed; the generator clamps
+            # at 1 + helper count, so functions=15 admits the full range.
+            units = tuple(
+                generate_units(seed, profile.config, n_units=8 + seed % 9)
+            )
         else:
             units = ((f"{profile_name}_{seed}.c", generate(seed, profile.config)),)
         prog = WorkloadProgram(
@@ -397,8 +410,10 @@ REGISTRY: dict[str, WorkloadSet] = {
         ),
         WorkloadSet(
             "gen-multiunit", 1,
-            "12 seeded 3-unit whole-program workloads",
-            lambda: _generated("multiunit", 12, seed_base=140_000), ("multiunit",),
+            "12 seeded 3-unit + 6 seeded 8-16-unit whole-program workloads",
+            lambda: _generated("multiunit", 12, seed_base=140_000)
+            + _generated("multiunit-large", 6, seed_base=150_000),
+            ("multiunit", "multiunit-large"),
         ),
         WorkloadSet(
             "corpus", 1,

@@ -25,6 +25,12 @@ iterations after W discarded warmup iterations:
   function codec, the generic :mod:`repro.binfmt` object graph (the
   serve wire payload), and the linker's persisted summary table, each
   verified on every decode (the ``decode-v1`` microbenchmark).
+* **wpa** — partitioned parallel whole-program back end: cold serial
+  (``jobs=1``) vs cold partitioned (``jobs=N, partition=balanced``)
+  latency per multi-unit program, the resulting ``parallel_speedup``,
+  and a hard parity oracle — alpha-equivalent per-unit RTL, equal
+  ``DepStats``, and an alpha-equivalent merged image — rolled up into
+  the ``wpa.parity_ok`` fact (the ``wpa-v1`` regression gate).
 
 Everything lands in a :class:`~repro.bench.report.Report`; regression
 gates from a committed baseline file are evaluated by the CLI.
@@ -42,9 +48,9 @@ from ..obs import metrics
 from .registry import WorkloadProgram, get_set, materialize, program_digests, set_digest
 from .report import Report
 
-__all__ = ["PATHS", "run_set"]
+__all__ = ["PATHS", "WPA_BENCH_JOBS", "run_set"]
 
-PATHS = ("session", "incremental", "serve", "decode")
+PATHS = ("session", "incremental", "serve", "decode", "wpa")
 
 #: the deterministic, line-count-preserving edit the incremental path
 #: applies: an unused declaration at the head of ``main``'s body, so
@@ -307,6 +313,73 @@ def _decode(report: Report, progs: list[WorkloadProgram], n: int, w: int) -> dic
 
 
 # ---------------------------------------------------------------------------
+# wpa path
+# ---------------------------------------------------------------------------
+
+#: worker count the partitioned observation requests; on a small CI box
+#: :func:`~repro.driver.session.resolve_workers` clamps this to the
+#: machine, so the measurement stays honest rather than oversubscribed
+WPA_BENCH_JOBS = 4
+
+
+def _wpa(report: Report, prog: WorkloadProgram, n: int, w: int, jobs: int) -> dict:
+    """Cold serial vs cold partitioned whole-program compile + parity oracle."""
+    from ..difftest.incremental import canonical_rtl
+    from ..driver.wpa import compile_whole_program
+
+    sources = list(prog.units)
+    opts = _options()
+
+    # a fresh memory-only session per observation keeps both arms cold;
+    # the partitioned arm still exercises the cross-partition cache path
+    # because workers share nothing and ship results back to the parent
+    def serial():
+        return compile_whole_program(
+            sources, opts, session=CompilationSession(), jobs=1, partition="none"
+        )
+
+    def partitioned():
+        return compile_whole_program(
+            sources, opts, session=CompilationSession(),
+            jobs=jobs, partition="balanced",
+        )
+
+    serial_secs, s_res = _observe(serial, n, w)
+    par_secs, p_res = _observe(partitioned, n, w)
+    metrics.inc("bench.compiles", "wpa", 2 * (n + w))
+
+    parity = (
+        list(s_res.units) == list(p_res.units)
+        and all(
+            canonical_rtl(s_res.units[f].rtl) == canonical_rtl(p_res.units[f].rtl)
+            for f in s_res.units
+        )
+        and s_res.total_dep_stats() == p_res.total_dep_stats()
+        and canonical_rtl(s_res.image) == canonical_rtl(p_res.image)
+    )
+
+    from .stats import Summary
+
+    s_med = Summary.from_values(serial_secs).median
+    p_med = Summary.from_values(par_secs).median
+    plan = p_res.partition_plan
+    report.add("wpa", prog.name, prog.profile, "serial_seconds", serial_secs)
+    report.add("wpa", prog.name, prog.profile, "partitioned_seconds", par_secs)
+    report.add(
+        "wpa", prog.name, prog.profile, "parallel_speedup",
+        [s_med / p_med if p_med > 0 else float("inf")],
+    )
+    report.add(
+        "wpa", prog.name, prog.profile, "partition_skew",
+        [plan.skew if plan is not None else 1.0],
+    )
+    return {
+        "parity": parity,
+        "partitions": plan.n_partitions if plan is not None else 1,
+    }
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -317,6 +390,7 @@ def run_set(
     paths: tuple[str, ...] = PATHS,
     server: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    wpa_jobs: int = WPA_BENCH_JOBS,
 ) -> Report:
     """Run workload set ``name`` and return the populated report."""
     unknown = [p for p in paths if p not in PATHS]
@@ -379,6 +453,22 @@ def run_set(
         facts = _decode(report, progs, iterations, warmup)
         report.facts["decode.roundtrip_ok"] = float(facts["roundtrip_ok"])
         report.facts["decode.blob_bytes"] = facts["blob_bytes"]
+
+    if "wpa" in paths:
+        parity_ok = 0
+        wpa_total = 0
+        partitions = 0
+        for prog in progs:
+            if not prog.multi_unit:
+                continue
+            say(f"wpa: {prog.name}")
+            facts = _wpa(report, prog, iterations, warmup, wpa_jobs)
+            wpa_total += 1
+            parity_ok += bool(facts["parity"])
+            partitions += facts["partitions"]
+        if wpa_total:
+            report.facts["wpa.parity_ok"] = parity_ok / wpa_total
+            report.facts["wpa.partitions"] = partitions
 
     report.facts["programs"] = len(progs)
     metrics.add("bench.programs_measured", len(progs))

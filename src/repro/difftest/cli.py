@@ -74,7 +74,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan the fuzz batch out over N worker processes"
                         " (0 = one per core; default 1, serial; normal"
-                        " mode only)")
+                        " mode) or, with --wp, the whole-program back"
+                        " end within each seeded program")
+    p.add_argument("--partition", choices=["none", "1to1", "balanced"],
+                   default="none", metavar="MODE",
+                   help="partition mode for the whole-program back end"
+                        " (--wp only): none (serial), 1to1, or balanced;"
+                        " every seed then doubles as a partitioned-vs-"
+                        "serial parity probe (default none)")
     p.add_argument("--server", metavar="HOST:PORT",
                    help="route matrix compiles through a running repro-serve"
                         " daemon, sharing its hot cache (normal serial mode"
@@ -312,9 +319,13 @@ def run_wp_fuzz(args: argparse.Namespace, out=None) -> int:
 
     out = out if out is not None else sys.stdout
     deadline = time.monotonic() + args.time_budget if args.time_budget else None
+    jobs = getattr(args, "jobs", 1)
+    partition = getattr(args, "partition", "none")
     ran = 0
     failing = 0
     deleted = 0
+    partitions = 0
+    max_skew = 1.0
     with _trace.span("difftest.wp.fuzz", count=args.count):
         for k in range(args.count):
             if deadline is not None and time.monotonic() > deadline:
@@ -323,10 +334,16 @@ def run_wp_fuzz(args: argparse.Namespace, out=None) -> int:
                 break
             seed = args.seed + k
             res = run_wp_differential(
-                seed, _config_for(args, k), n_units=2 + k % 3
+                seed,
+                _config_for(args, k),
+                n_units=2 + k % 3,
+                jobs=jobs,
+                partition=partition,
             )
             ran += 1
             deleted += max(0, res.edges_deleted)
+            partitions += res.partitions
+            max_skew = max(max_skew, res.partition_skew)
             if not res.ok:
                 failing += 1
                 print(f"  seed {seed} ({res.n_units} units): FAIL", file=out)
@@ -338,9 +355,15 @@ def run_wp_fuzz(args: argparse.Namespace, out=None) -> int:
             elif not args.quiet and ran % 50 == 0:
                 print(f"  {ran}/{args.count} programs clean", file=out)
     verdict = "FAIL" if failing else "ok"
+    sched = ""
+    if partition != "none":
+        sched = (
+            f" [{partition} partitioning, {partitions} partitions,"
+            f" max skew {max_skew:.2f}]"
+        )
     print(
         f"repro-fuzz --wp: {ran} linked-vs-per-file checks"
-        f" ({deleted} extra call edges deleted by linking):"
+        f" ({deleted} extra call edges deleted by linking){sched}:"
         f" {failing} failing -> {verdict}",
         file=out,
     )
@@ -439,6 +462,9 @@ def main(argv: Optional[list[str]] = None) -> int:
             " (not --inject/--incremental/--wp/--jobs)",
             file=sys.stderr,
         )
+        return 2
+    if args.partition != "none" and not args.wp:
+        print("--partition requires --wp", file=sys.stderr)
         return 2
     with obs.enabled_scope(True):
         if args.inject:

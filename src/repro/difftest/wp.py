@@ -47,6 +47,9 @@ class WpDiffResult:
     pf_stats: DepStats = field(default_factory=DepStats)
     #: rule IDs the whole-program lint raised (empty when clean)
     wp_lint_rules: list[str] = field(default_factory=list)
+    #: back-end scheduling of the whole-program compile (serial = 1 / 1.0)
+    partitions: int = 1
+    partition_skew: float = 1.0
 
     @property
     def ok(self) -> bool:
@@ -66,14 +69,26 @@ def run_wp_differential(
     config: Optional[GenConfig] = None,
     n_units: int = 3,
     options: Optional[CompileOptions] = None,
+    jobs: int = 1,
+    partition: str = "none",
 ) -> WpDiffResult:
-    """Compile one seeded multi-file program both ways and compare."""
+    """Compile one seeded multi-file program both ways and compare.
+
+    ``jobs``/``partition`` schedule the whole-program compile's parallel
+    back end; since partitioning must never change output, fuzzing with
+    a partition mode turns every seed into a parity probe as well.
+    """
     sources = generate_units(seed, config, n_units=n_units)
     res = WpDiffResult(seed=seed, n_units=len(sources))
     opts = options or CompileOptions(lint=True)
     with _trace.span("difftest.wp", seed=seed, units=len(sources)):
-        wp = compile_whole_program(sources, opts, whole_program=True)
+        wp = compile_whole_program(
+            sources, opts, whole_program=True, jobs=jobs, partition=partition
+        )
         pf = compile_whole_program(sources, opts, whole_program=False)
+        if wp.partition_plan is not None:
+            res.partitions = wp.partition_plan.n_partitions
+            res.partition_skew = wp.partition_plan.skew
         res.wp_stats = wp.total_dep_stats()
         res.pf_stats = pf.total_dep_stats()
 

@@ -3,6 +3,7 @@
 from .compile import Compilation, CompileOptions, compile_source
 from .session import (
     CompilationSession,
+    CompileJob,
     SessionStats,
     compile_many,
     default_session,
@@ -14,6 +15,7 @@ from .wpa import WholeProgramResult, compile_whole_program
 __all__ = [
     "Compilation",
     "CompilationSession",
+    "CompileJob",
     "CompileOptions",
     "SessionStats",
     "WholeProgramResult",

@@ -94,6 +94,7 @@ from .passes import PassContext, build_pipeline, make_manager
 __all__ = [
     "CacheCorruption",
     "CompilationSession",
+    "CompileJob",
     "SessionStats",
     "cache_key",
     "compile_many",
@@ -101,6 +102,26 @@ __all__ = [
     "parallel_map",
     "resolve_workers",
 ]
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One ``compile_many`` / ``compile_partitions`` work item.
+
+    The bare-tuple contract ``(source, filename[, options])`` predates
+    whole-program mode and cannot carry the linker's ``external_effects``
+    or the link-salted ``extra_salt`` — this dataclass is the typed
+    replacement (tuples are still accepted for backward compatibility).
+    Effect sets contain only :class:`~repro.analysis.refmod.ForeignObject`
+    markers and the interned ``TOP`` string by adapter construction, so a
+    job crosses process-pool boundaries intact.
+    """
+
+    source: str
+    filename: str = "<input>"
+    options: Optional[CompileOptions] = None
+    external_effects: Optional[dict] = None
+    extra_salt: str = ""
 
 #: Bumped whenever the blob layout or any serialized artifact changes.
 CACHE_MAGIC = b"HLIC"
@@ -1222,30 +1243,146 @@ class CompilationSession:
         if granularity == "auto":
             granularity = "function" if len(normalized) < cap else "file"
         if cap <= 1:
-            return [self.compile(*job) for job in normalized]
+            return [self._compile_job(job) for job in normalized]
         if granularity == "function":
             return self._compile_many_functions(normalized, cap)
         workers = min(cap, len(normalized))
         if workers <= 1:
-            return [self.compile(*job) for job in normalized]
+            return [self._compile_job(job) for job in normalized]
         from concurrent.futures import ProcessPoolExecutor
 
         cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
         with _trace.span("session.compile_many", jobs=len(normalized), workers=workers):
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(_compile_worker, cache_dir, src, fname, opts)
-                    for src, fname, opts in normalized
+                    pool.submit(_compile_worker, cache_dir, job)
+                    for job in normalized
                 ]
                 results = [f.result() for f in futures]
         for comp in results:
-            if comp.cache_state == "memory":
-                self._bump("hits_memory")
-            elif comp.cache_state == "disk":
-                self._bump("hits_disk")
-            else:
-                self._bump("misses")
-            _metrics.inc("session.cache.fanout", comp.cache_state or "cold")
+            self._absorb_remote(comp)
+        return results
+
+    def _compile_job(self, job: CompileJob) -> Compilation:
+        """Compile one normalized job through this session's cache."""
+        return self.compile(
+            job.source,
+            job.filename,
+            job.options,
+            external_effects=job.external_effects,
+            extra_salt=job.extra_salt,
+        )
+
+    def _absorb_remote(self, comp: Compilation) -> None:
+        """Fold a worker-process compilation into this session's counters."""
+        if comp.cache_state == "memory":
+            self._bump("hits_memory")
+        elif comp.cache_state == "disk":
+            self._bump("hits_disk")
+        else:
+            self._bump("misses")
+        _metrics.inc("session.cache.fanout", comp.cache_state or "cold")
+
+    def _probe_warm(self, job: CompileJob) -> bool:
+        """True if ``job``'s manifest is already in this session's cache.
+
+        Used by :meth:`compile_partitions` to keep warm jobs in the
+        parent process: the front-end decode then happens once against
+        the shared tiers instead of once per worker process.
+        """
+        opts = job.options or CompileOptions()
+        passes = build_pipeline(opts)
+        prefix, _ = split_frontend(passes)
+        if not prefix:
+            return False
+        blob, _tier = self._lookup(
+            cache_key(job.source, job.filename, passes, salt=job.extra_salt)
+        )
+        return blob is not None
+
+    def compile_partitions(
+        self,
+        partitions: Sequence[Sequence],
+        max_workers: Optional[int] = None,
+    ) -> list[list[Compilation]]:
+        """Compile partitions of jobs: one pool task per partition.
+
+        Each partition's jobs compile serially *inside* one worker
+        process (they share that worker's in-memory tier and the
+        session-wide disk tier), while distinct partitions run
+        concurrently — the LTO "ltrans" shape.  Results come back in
+        partition order, job order within each partition.
+
+        Two resilience properties:
+
+        * **warm short-circuit** — jobs whose manifest already sits in
+          this session's cache compile in the parent process, so a warm
+          run decodes shared artifacts once instead of once per worker;
+        * **in-process fallback** — if a worker dies (OOM kill, crash),
+          the affected partitions recompile in the parent; the batch
+          always completes.
+        """
+        norm = [[_normalize_job(j) for j in part] for part in partitions]
+        results: list[list[Optional[Compilation]]] = [
+            [None] * len(part) for part in norm
+        ]
+        live = [pi for pi, part in enumerate(norm) if part]
+        if not live:
+            return [list(part) for part in results]
+        workers = resolve_workers(max_workers, len(live))
+        if workers <= 1 or len(live) <= 1:
+            for pi in live:
+                for ji, job in enumerate(norm[pi]):
+                    results[pi][ji] = self._compile_job(job)
+            return results
+        remote: list[tuple[int, list[tuple[int, CompileJob]]]] = []
+        for pi in live:
+            pending: list[tuple[int, CompileJob]] = []
+            for ji, job in enumerate(norm[pi]):
+                if self._probe_warm(job):
+                    results[pi][ji] = self._compile_job(job)
+                else:
+                    pending.append((ji, job))
+            if pending:
+                remote.append((pi, pending))
+        if remote:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+            workers = min(workers, len(remote))
+            fallback: list[tuple[int, list[tuple[int, CompileJob]]]] = []
+            with _trace.span(
+                "session.compile_partitions",
+                partitions=len(remote),
+                workers=workers,
+            ):
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        (
+                            pool.submit(
+                                _compile_partition_worker,
+                                cache_dir,
+                                [job for _, job in pending],
+                            ),
+                            pi,
+                            pending,
+                        )
+                        for pi, pending in remote
+                    ]
+                    for fut, pi, pending in futures:
+                        try:
+                            comps = fut.result()
+                        except (BrokenProcessPool, OSError):
+                            fallback.append((pi, pending))
+                            continue
+                        for (ji, _job), comp in zip(pending, comps):
+                            results[pi][ji] = comp
+                            self._absorb_remote(comp)
+            for pi, pending in fallback:
+                _metrics.inc("session.partition.fallback")
+                for ji, job in pending:
+                    results[pi][ji] = self._compile_job(job)
         return results
 
     def _compile_many_functions(self, normalized, cap: int) -> list[Compilation]:
@@ -1260,16 +1397,29 @@ class CompilationSession:
             workers=cap,
             granularity="function",
         ):
-            for idx, (src, fname, options) in enumerate(normalized):
-                opts = options or CompileOptions()
+            for idx, job in enumerate(normalized):
+                opts = job.options or CompileOptions()
                 passes = build_pipeline(opts)
                 prefix, suffix = split_frontend(passes)
                 if not prefix:
-                    results[idx] = compile_source(src, fname, opts)
+                    results[idx] = compile_source(
+                        job.source, job.filename, opts, job.external_effects
+                    )
                     preps.append(None)
                     continue
-                key = cache_key(src, fname, passes)
-                preps.append(self._prepare(key, src, fname, opts, prefix, suffix))
+                key = cache_key(job.source, job.filename, passes, salt=job.extra_salt)
+                preps.append(
+                    self._prepare(
+                        key,
+                        job.source,
+                        job.filename,
+                        opts,
+                        prefix,
+                        suffix,
+                        external_effects=job.external_effects,
+                        extra_salt=job.extra_salt,
+                    )
+                )
             tasks: list[tuple[int, str]] = []
             payloads: list[bytes] = []
             for idx, prep in enumerate(preps):
@@ -1325,12 +1475,22 @@ class CompilationSession:
         return results
 
 
-def _normalize_job(job: tuple) -> tuple[str, str, Optional[CompileOptions]]:
-    if len(job) == 2:
-        return (job[0], job[1], None)
-    if len(job) == 3:
-        return (job[0], job[1], job[2])
-    raise ValueError("compile_many job must be (source, filename[, options])")
+def _normalize_job(job) -> CompileJob:
+    if isinstance(job, CompileJob):
+        return job
+    if isinstance(job, (tuple, list)):
+        if len(job) == 2:
+            return CompileJob(source=job[0], filename=job[1])
+        if len(job) == 3:
+            return CompileJob(source=job[0], filename=job[1], options=job[2])
+        raise ValueError(
+            "compile_many job tuple must be (source, filename[, options]); "
+            f"got {len(job)} elements — use CompileJob to carry "
+            "external_effects/extra_salt"
+        )
+    raise ValueError(
+        f"compile_many job must be a CompileJob or a tuple, got {type(job).__name__}"
+    )
 
 
 def _encode_fn_task(comp: Compilation, name: str, opts: CompileOptions) -> bytes:
@@ -1389,13 +1549,20 @@ def _worker_session(cache_dir: Optional[str]) -> CompilationSession:
     return sess
 
 
-def _compile_worker(
-    cache_dir: Optional[str],
-    source: str,
-    filename: str,
-    options: Optional[CompileOptions],
-) -> Compilation:
-    return _worker_session(cache_dir).compile(source, filename, options)
+def _compile_worker(cache_dir: Optional[str], job: CompileJob) -> Compilation:
+    return _worker_session(cache_dir)._compile_job(job)
+
+
+def _compile_partition_worker(
+    cache_dir: Optional[str], jobs: Sequence[CompileJob]
+) -> list[Compilation]:
+    """Compile one partition's jobs serially inside a worker process."""
+    if os.environ.get("REPRO_TEST_KILL_WORKER"):
+        # Deterministic crash hook for the worker-death fallback test:
+        # die without unwinding, like an OOM kill would.
+        os._exit(17)
+    sess = _worker_session(cache_dir)
+    return [sess._compile_job(job) for job in jobs]
 
 
 # -- generic fan-out -----------------------------------------------------------

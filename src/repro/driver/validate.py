@@ -148,7 +148,9 @@ def _collect_difftest(report: ValidationReport) -> None:
     report.add_claim(build)
 
 
-def _collect_whole_program(report: ValidationReport) -> None:
+def _collect_whole_program(
+    report: ValidationReport, jobs: int = 1, partition: str = "none"
+) -> None:
     """Whole-program linking gate over the multi-file workloads.
 
     For every workload in
@@ -157,6 +159,10 @@ def _collect_whole_program(report: ValidationReport) -> None:
     linked (cross-module summaries) — and three claims are checked:
     identical execution, a *strict* reduction in call-ordering edges,
     and a clean whole-program lint (HLI009–HLI012).
+
+    ``jobs``/``partition`` schedule the linked compile's phases (see
+    :func:`~repro.driver.wpa.compile_whole_program`); the partition
+    count and weight skew of each workload land in the report rows.
     """
     from ..workloads.multifile import WHOLE_PROGRAM_WORKLOADS
     from .wpa import compile_whole_program
@@ -164,12 +170,15 @@ def _collect_whole_program(report: ValidationReport) -> None:
     rows: list[dict] = []
     opts = CompileOptions(lint=True)
     for w in WHOLE_PROGRAM_WORKLOADS:
-        wp = compile_whole_program(w.sources(), opts, whole_program=True)
+        wp = compile_whole_program(
+            w.sources(), opts, whole_program=True, jobs=jobs, partition=partition
+        )
         pf = compile_whole_program(w.sources(), opts, whole_program=False)
         r_wp = execute(wp.image, collect_trace=False)
         r_pf = execute(pf.image, collect_trace=False)
         s_wp, s_pf = wp.total_dep_stats(), pf.total_dep_stats()
         lint = wp.lint_report()
+        plan = wp.partition_plan
         rows.append(
             {
                 "workload": w.name,
@@ -184,6 +193,8 @@ def _collect_whole_program(report: ValidationReport) -> None:
                 "call_dep_wp": s_wp.call_dep,
                 "lint_findings": len(lint.diagnostics),
                 "lint_claims": sum(lint.claims_checked.values()),
+                "partitions": plan.n_partitions if plan is not None else 1,
+                "partition_skew": round(plan.skew, 4) if plan is not None else 1.0,
             }
         )
     report.whole_program = rows
@@ -384,6 +395,7 @@ def validate(
     cache_max_bytes: int | None = None,
     include_whole_program: bool = False,
     server: str | None = None,
+    partition: str = "none",
 ) -> ValidationReport:
     """Run the full validation; writes ``RESULTS.json`` and returns the report.
 
@@ -395,7 +407,9 @@ def validate(
     (optionally disk-backed via ``cache_dir``), so the tables, lint, and
     timing phases share front-end artifacts instead of re-parsing each
     benchmark up to seven times.  ``jobs`` fans the speedup phase out
-    over a process pool (``0`` = one worker per core).
+    over a process pool (``0`` = one worker per core) and, together
+    with ``partition``, schedules the whole-program phase's parallel
+    back end.
 
     ``server`` (``HOST:PORT``) routes compilations through a running
     ``repro-serve`` daemon instead, sharing its hot cache with every
@@ -440,7 +454,10 @@ def validate(
                     "linking multi-file workloads (whole-program vs per-file) ...",
                     flush=True,
                 )
-                phase("whole_program", lambda: _collect_whole_program(report))
+                phase(
+                    "whole_program",
+                    lambda: _collect_whole_program(report, jobs, partition),
+                )
     payload = {
         "table1": report.table1,
         "table2": report.table2,
@@ -514,8 +531,18 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="fan the speedup phase out over N worker processes "
+        help="fan the speedup phase (and, with --partition, the "
+        "whole-program back end) out over N worker processes "
         "(0 = one per core; default: %(default)s, serial)",
+    )
+    parser.add_argument(
+        "--partition",
+        choices=("none", "1to1", "balanced"),
+        default="none",
+        metavar="MODE",
+        help="partition mode for the whole-program phase's parallel "
+        "back end: none (serial), 1to1, or balanced "
+        "(default: %(default)s; needs --whole-program and --jobs > 1)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -552,6 +579,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_max_bytes=args.cache_max_bytes,
         include_whole_program=args.whole_program,
         server=args.server,
+        partition=args.partition,
     )
     return 0 if report.all_passed else 1
 

@@ -38,23 +38,40 @@ from ..backend.rtl import RTLProgram
 from ..frontend import parse_and_check
 from ..hli import faults
 from ..linker import (
+    PARTITION_MODES,
     LinkResult,
+    PartitionPlan,
+    UnitAnalysis,
     analyze_unit,
     effects_fingerprint,
     effects_for_unit,
     link_image,
     link_units,
+    partition_program,
 )
 from ..linker.table import LinkDiagnostic
 from ..obs import enabled_scope
 from ..obs import trace as _trace
 from .compile import Compilation, CompileOptions, compile_source
+from .session import CompileJob, parallel_map, resolve_workers
 
 if TYPE_CHECKING:
     from ..checker.rules import LintReport
     from .session import CompilationSession
 
 __all__ = ["WholeProgramResult", "compile_whole_program"]
+
+
+def _analyze_source(item: tuple[str, str]) -> UnitAnalysis:
+    """Phase-1 worker: parse + check + summarize one unit.
+
+    Module-level so :func:`~repro.driver.session.parallel_map` can ship
+    it to a process pool; the returned :class:`UnitAnalysis` crosses the
+    boundary via pickle (plain dataclasses end to end).
+    """
+    filename, source = item
+    program, table = parse_and_check(source, filename)
+    return analyze_unit(program, table, filename=filename)
 
 
 @dataclass
@@ -75,6 +92,8 @@ class WholeProgramResult:
     options: Optional[CompileOptions] = None
     #: whether phase 2 consumed the linked summaries
     whole_program: bool = True
+    #: how phase 2 was scheduled (None when the serial default ran)
+    partition_plan: Optional[PartitionPlan] = None
 
     def total_dep_stats(self) -> DepStats:
         """Scheduling statistics summed over every unit."""
@@ -106,6 +125,8 @@ def compile_whole_program(
     whole_program: bool = True,
     session: Optional["CompilationSession"] = None,
     summary_cache: Optional[str] = None,
+    jobs: Optional[int] = 1,
+    partition: str = "none",
 ) -> WholeProgramResult:
     """Compile ``(filename, source)`` units as one linked program.
 
@@ -117,34 +138,95 @@ def compile_whole_program(
     ``summary_cache`` names a file persisting the linked cross-module
     summary table (:mod:`repro.linker.persist`): an unchanged program
     restores it instead of re-running the interprocedural fixpoint.
+
+    ``jobs``/``partition`` schedule the two phases.  ``jobs=1`` +
+    ``partition="none"`` (the default) is today's fully serial path;
+    with more jobs, phase 1 fans units out over
+    :func:`~repro.driver.session.parallel_map` and phase 2 groups them
+    by :func:`~repro.linker.partition.partition_program` and dispatches
+    each partition as one
+    :meth:`~repro.driver.session.CompilationSession.compile_partitions`
+    pool task (``jobs=0`` means one per core).  Scheduling never changes
+    output: the compiled units, merged image, DepStats, and lint
+    verdicts are identical across every ``jobs``/``partition`` choice.
     """
+    if partition not in PARTITION_MODES:
+        raise ValueError(
+            f"partition mode must be one of {PARTITION_MODES}, got {partition!r}"
+        )
     opts = options or CompileOptions()
+    n_jobs = resolve_workers(jobs, len(sources))
     result = WholeProgramResult(options=opts, whole_program=whole_program)
     with enabled_scope(opts.trace):
-        with _trace.span("driver.wpa", units=len(sources), wp=whole_program):
-            analyses = []
-            for filename, source in sources:
-                program, table = parse_and_check(source, filename)
-                analyses.append(analyze_unit(program, table, filename=filename))
+        with _trace.span(
+            "driver.wpa",
+            units=len(sources),
+            wp=whole_program,
+            jobs=n_jobs,
+            partition=partition,
+        ):
+            if n_jobs > 1:
+                analyses = parallel_map(_analyze_source, sources, max_workers=n_jobs)
+            else:
+                analyses = [_analyze_source(item) for item in sources]
             result.link = link_units(analyses, summary_cache=summary_cache)
 
-            for (filename, source), unit in zip(sources, analyses):
+            def job_for(filename: str, source: str, unit) -> CompileJob:
                 if whole_program:
                     effects = effects_for_unit(unit, result.link.summaries)
                     salt = _link_salt(result.link, effects)
                 else:
                     effects, salt = None, ""
-                if session is not None:
-                    comp = session.compile(
-                        source,
-                        filename,
-                        opts,
-                        external_effects=effects,
-                        extra_salt=salt,
-                    )
-                else:
-                    comp = compile_source(source, filename, opts, effects)
-                result.units[filename] = comp
+                return CompileJob(
+                    source=source,
+                    filename=filename,
+                    options=opts,
+                    external_effects=effects,
+                    extra_salt=salt,
+                )
+
+            if partition != "none" and n_jobs > 1 and len(sources) > 1:
+                result.partition_plan = plan = partition_program(
+                    analyses, mode=partition, jobs=n_jobs
+                )
+                by_name = {
+                    fname: (src, unit)
+                    for (fname, src), unit in zip(sources, analyses)
+                }
+                batches = [
+                    [job_for(f, by_name[f][0], by_name[f][1]) for f in part]
+                    for part in plan.partitions
+                ]
+                sess = session
+                if sess is None:
+                    from .session import CompilationSession
+
+                    sess = CompilationSession(cache_dir=None)
+                compiled = sess.compile_partitions(batches, max_workers=n_jobs)
+                flat: dict[str, Compilation] = {}
+                for part, comps in zip(plan.partitions, compiled):
+                    for fname, comp in zip(part, comps):
+                        flat[fname] = comp
+                # Reassemble in source order so the merged image layout
+                # is independent of the partitioning.
+                for filename, _src in sources:
+                    result.units[filename] = flat[filename]
+            else:
+                for (filename, source), unit in zip(sources, analyses):
+                    job = job_for(filename, source, unit)
+                    if session is not None:
+                        comp = session.compile(
+                            job.source,
+                            job.filename,
+                            opts,
+                            external_effects=job.external_effects,
+                            extra_salt=job.extra_salt,
+                        )
+                    else:
+                        comp = compile_source(
+                            job.source, job.filename, opts, job.external_effects
+                        )
+                    result.units[filename] = comp
 
             result.image, result.image_diagnostics = link_image(
                 [(fname, comp.rtl) for fname, comp in result.units.items()]

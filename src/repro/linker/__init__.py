@@ -30,6 +30,7 @@ from ..hli import faults
 from ..obs import metrics, trace
 from .adapter import effects_fingerprint, effects_for_unit
 from .image import link_image
+from .partition import PARTITION_MODES, PartitionPlan, partition_program, unit_weight
 from .summary import (
     FnSummary,
     SummaryResult,
@@ -50,6 +51,8 @@ __all__ = [
     "LinkSymbol",
     "LinkTable",
     "LocalSummary",
+    "PARTITION_MODES",
+    "PartitionPlan",
     "SummaryResult",
     "UnitAnalysis",
     "analyze_unit",
@@ -60,8 +63,10 @@ __all__ = [
     "effects_for_unit",
     "link_image",
     "link_units",
+    "partition_program",
     "tarjan_sccs",
     "transfer",
+    "unit_weight",
 ]
 
 

@@ -23,9 +23,20 @@ Conversion rules:
   :class:`~repro.frontend.symbols.Symbol` identity does not survive
   that — a summary resolved against the link-time parse would silently
   match nothing downstream;
-* ``ref_any``/``mod_any`` flags and (conservatively) parameter effects
-  fold to :data:`~repro.analysis.alias.TOP`, which is never worse than
-  the per-file default of TOP on both sets.
+* ``ref_any``/``mod_any`` flags fold to
+  :data:`~repro.analysis.alias.TOP`, which is never worse than the
+  per-file default of TOP on both sets;
+* **parameter effects** (``param_ref``/``param_mod`` — the callee reads
+  or writes through parameter ``i``) instantiate over the consuming
+  unit's own direct call sites, mirroring the linker's
+  :func:`~repro.linker.summary.transfer` step: a frozenset argument
+  binding yields one ForeignObject per bound name, while an
+  unanalyzable binding (``ANY``/``None``) or a caller-parameter
+  indirection — which a per-name :class:`EffectSet` cannot express —
+  folds that side to TOP.  A unit with no call site for the function
+  keeps the conservative TOP (its effect set is never consulted).
+  Because the effect set is keyed per callee *name*, bindings union
+  over every call site in the unit.
 """
 
 from __future__ import annotations
@@ -33,23 +44,51 @@ from __future__ import annotations
 from ..analysis.alias import TOP
 from ..analysis.refmod import EffectSet, ForeignObject
 from .summary import FnSummary
-from .unit import UnitAnalysis
+from .unit import ANY, CallSite, UnitAnalysis
 
 __all__ = ["effects_for_unit", "effects_fingerprint"]
 
 
-def _convert(summary: FnSummary) -> EffectSet:
+def _instantiate_params(
+    eff_side: set, indices: set[int], calls: list[CallSite]
+) -> None:
+    """Bind parameter effect indices through the unit's call sites.
+
+    The binding forms and their meanings are exactly those of
+    ``summary.transfer``'s ``instantiate``; the only divergence is that
+    a ``("param", j)`` binding — an effect flowing through the *caller's*
+    parameter — degrades to TOP here, because the unit-local effect
+    vocabulary has no symbol for "whatever my caller passed".
+    """
+    if not calls:
+        eff_side.add(TOP)
+        return
+    for call in calls:
+        for i in sorted(indices):
+            bind = call.bindings[i] if i < len(call.bindings) else ANY
+            if isinstance(bind, frozenset):
+                for name in bind:
+                    eff_side.add(ForeignObject(name))
+            else:  # ANY, None, ("param", j), future variants
+                eff_side.add(TOP)
+
+
+def _convert(summary: FnSummary, calls: list[CallSite]) -> EffectSet:
     eff = EffectSet()
-    if summary.ref_any or summary.param_ref:
+    if summary.ref_any:
         eff.ref.add(TOP)
     else:
         for name in summary.ref_names:
             eff.ref.add(ForeignObject(name))
-    if summary.mod_any or summary.param_mod:
+        if summary.param_ref:
+            _instantiate_params(eff.ref, summary.param_ref, calls)
+    if summary.mod_any:
         eff.mod.add(TOP)
     else:
         for name in summary.mod_names:
             eff.mod.add(ForeignObject(name))
+        if summary.param_mod:
+            _instantiate_params(eff.mod, summary.param_mod, calls)
     return eff
 
 
@@ -59,9 +98,16 @@ def effects_for_unit(
     """External-function effects for rebuilding one unit's HLI.
 
     Covers every function the unit declares but does not define whose
-    definition the linker found in another unit.
+    definition the linker found in another unit.  Parameter effects are
+    bound at the unit's direct call sites (see module docstring), so
+    the converted sets carry argument-position precision instead of the
+    old fold-to-TOP default.
     """
     defined = set(unit.defined_functions())
+    sites: dict[str, list[CallSite]] = {}
+    for local in unit.locals.values():
+        for call in local.calls:
+            sites.setdefault(call.callee, []).append(call)
     out: dict[str, EffectSet] = {}
     for name, fsym in unit.table.functions.items():
         if name in defined or not fsym.external:
@@ -69,7 +115,7 @@ def effects_for_unit(
         summary = summaries.get(name)
         if summary is None or summary.unit == unit.filename:
             continue
-        out[name] = _convert(summary)
+        out[name] = _convert(summary, sites.get(name, []))
     return out
 
 

@@ -205,6 +205,27 @@ class ServeClient:
             options=options_to_wire(options),
         )
 
+    def compile_wp(
+        self,
+        units: list,
+        options: Optional[CompileOptions] = None,
+        jobs: int = 1,
+        partition: str = "none",
+    ) -> dict:
+        """Whole-program compile of ``[(filename, source), ...]`` units.
+
+        ``jobs``/``partition`` schedule the server-side parallel back
+        end; the summary reports per-unit cache states, the merged
+        image's alpha-equivalent digest, and the partition plan.
+        """
+        return self.request(
+            "compile-wp",
+            units=[[f, s] for f, s in units],
+            options=options_to_wire(options),
+            jobs=jobs,
+            partition=partition,
+        )
+
     def compile_object(
         self,
         source: str,

@@ -74,7 +74,7 @@ from .protocol import (
 __all__ = ["ServeConfig", "CompileServer", "rtl_digest", "compile_summary"]
 
 #: Ops that run the pipeline (admitted, coalesced, pooled).
-PIPELINE_OPS = ("compile", "lint", "validate-claims")
+PIPELINE_OPS = ("compile", "lint", "validate-claims", "compile-wp")
 #: Ops answered inline on the event loop (cheap, never queued).
 CONTROL_OPS = ("stats", "ping", "shutdown")
 
@@ -122,6 +122,20 @@ class _ServerCounters:
     pipeline_runs: int = 0
 
 
+def program_digest(rtl) -> str:
+    """Alpha-equivalent content digest of one RTL program."""
+    from ..difftest.incremental import canonical_rtl
+
+    h = sha256()
+    for name, lines in sorted(canonical_rtl(rtl).items()):
+        h.update(name.encode())
+        h.update(b"\x00")
+        for line in lines:
+            h.update(line.encode())
+            h.update(b"\n")
+    return h.hexdigest()
+
+
 def rtl_digest(comp: Compilation) -> str:
     """Content digest of the compiled code, stable across id renaming.
 
@@ -130,16 +144,7 @@ def rtl_digest(comp: Compilation) -> str:
     though their raw register ids differ — the load harness's
     correctness oracle.
     """
-    from ..difftest.incremental import canonical_rtl
-
-    h = sha256()
-    for name, lines in sorted(canonical_rtl(comp.rtl).items()):
-        h.update(name.encode())
-        h.update(b"\x00")
-        for line in lines:
-            h.update(line.encode())
-            h.update(b"\n")
-    return h.hexdigest()
+    return program_digest(comp.rtl)
 
 
 def compile_summary(comp: Compilation) -> dict:
@@ -370,6 +375,9 @@ class CompileServer:
             )
 
     async def _serve_pipeline_op(self, op, rid, req, send, t0) -> None:
+        if op == "compile-wp":
+            await self._serve_wp_op(rid, req, send, t0)
+            return
         source = req.get("source")
         filename = req.get("filename", "<serve>")
         if not isinstance(source, str) or not isinstance(filename, str):
@@ -455,6 +463,197 @@ class CompileServer:
         _metrics.observe(f"serve.latency_ms.{op}", elapsed * 1e3)
         self.counters.ok += 1
         await send({"id": rid, "status": "ok", "result": payload})
+
+    async def _serve_wp_op(self, rid, req, send, t0) -> None:
+        """``compile-wp``: link + compile a multi-unit program.
+
+        The request carries ``units`` — ``[[filename, source], ...]`` —
+        plus optional ``jobs``/``partition`` scheduling knobs; the
+        compile rides :func:`~repro.driver.wpa.compile_whole_program`
+        against the daemon's shared session, so whole-program artifacts
+        land in (and warm from) the same cache as single-file requests.
+        """
+        import json as _json
+
+        from ..linker import PARTITION_MODES
+
+        op = "compile-wp"
+        units = req.get("units")
+        well_formed = (
+            isinstance(units, list)
+            and units
+            and all(
+                isinstance(u, (list, tuple))
+                and len(u) == 2
+                and isinstance(u[0], str)
+                and isinstance(u[1], str)
+                for u in units
+            )
+        )
+        jobs = req.get("jobs", 1)
+        partition = req.get("partition", "none")
+        if not well_formed:
+            self.counters.errors += 1
+            await send(
+                {
+                    "id": rid,
+                    "status": "error",
+                    "code": "bad-request",
+                    "error": "compile-wp requests need 'units': "
+                    "[[filename, source], ...]",
+                }
+            )
+            return
+        if (
+            not isinstance(jobs, int)
+            or isinstance(jobs, bool)
+            or not 0 <= jobs <= 64
+            or partition not in PARTITION_MODES
+        ):
+            self.counters.errors += 1
+            await send(
+                {
+                    "id": rid,
+                    "status": "error",
+                    "code": "bad-request",
+                    "error": "compile-wp 'jobs' must be an int in [0, 64] and "
+                    f"'partition' one of {', '.join(PARTITION_MODES)}",
+                }
+            )
+            return
+        wire_opts = req.get("options") or {}
+        try:
+            opts = options_from_wire(wire_opts)
+        except ProtocolError as exc:
+            self.counters.errors += 1
+            await send(
+                {"id": rid, "status": "error", "code": "bad-request", "error": str(exc)}
+            )
+            return
+        try:
+            slot = self.limiter.admit()
+        except Rejected as exc:
+            self.counters.rejected += 1
+            _metrics.inc("serve.rejected")
+            await send(
+                {
+                    "id": rid,
+                    "status": "rejected",
+                    "error": exc.reason,
+                    "retry_after": exc.retry_after,
+                }
+            )
+            return
+        # The unit list is the "source" of this request; jobs/partition
+        # fold into the coalescing key so only byte-identical schedules
+        # coalesce (their results are identical either way, but their
+        # reported partition stats are not).
+        blob = _json.dumps(
+            [[f, s] for f, s in units], ensure_ascii=False, separators=(",", ":")
+        )
+        key = request_key(
+            op, blob, "<wp>", dict(wire_opts, _jobs=jobs, _partition=partition)
+        )
+        async def run() -> dict:
+            # Leader-only body (the coalescer deduplicates followers).
+            self.counters.pipeline_runs += 1
+            _metrics.inc("serve.pipeline_run", op)
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._pool,
+                self._execute_wp,
+                [(f, s) for f, s in units],
+                opts,
+                jobs,
+                partition,
+            )
+
+        try:
+            async with slot:
+                timeout = self.config.request_timeout or None
+                result = await asyncio.wait_for(
+                    self.coalescer.run(key, run),
+                    timeout=timeout,
+                )
+        except asyncio.TimeoutError:
+            self.counters.timeouts += 1
+            _metrics.inc("serve.timeout")
+            await send(
+                {
+                    "id": rid,
+                    "status": "error",
+                    "code": "timeout",
+                    "error": f"request exceeded {self.config.request_timeout}s",
+                }
+            )
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.counters.errors += 1
+            _metrics.inc("serve.error", "compile")
+            await send(
+                {
+                    "id": rid,
+                    "status": "error",
+                    "code": "compile-error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        elapsed = time.monotonic() - t0
+        self.limiter.observe_service_time(elapsed)
+        self.latency.setdefault(op, Histogram()).observe(elapsed * 1e3)
+        _metrics.observe(f"serve.latency_ms.{op}", elapsed * 1e3)
+        self.counters.ok += 1
+        await send({"id": rid, "status": "ok", "result": result})
+
+    def _execute_wp(self, units, opts: CompileOptions, jobs: int, partition: str):
+        """Worker-thread body: whole-program compile on the shared session."""
+        from ..driver.wpa import compile_whole_program
+
+        with _trace.span("serve.execute", op="compile-wp", units=len(units)):
+            wp = compile_whole_program(
+                units,
+                opts,
+                whole_program=True,
+                session=self.session,
+                jobs=jobs,
+                partition=partition,
+            )
+            stats = wp.total_dep_stats()
+            plan = wp.partition_plan
+            return {
+                "units": {
+                    fname: comp.cache_state or "cold"
+                    for fname, comp in wp.units.items()
+                },
+                "image_functions": (
+                    sorted(wp.image.functions) if wp.image is not None else []
+                ),
+                "image_sha256": (
+                    program_digest(wp.image) if wp.image is not None else None
+                ),
+                "link_diagnostics": len(wp.link.diagnostics),
+                "image_diagnostics": len(wp.image_diagnostics),
+                "partition": (
+                    plan.to_dict()
+                    if plan is not None
+                    else {
+                        "mode": "none",
+                        "partitions": 1,
+                        "units": len(wp.units),
+                        "skew": 1.0,
+                        "cross_edges": 0,
+                    }
+                ),
+                "dep_stats": {
+                    "total_tests": stats.total_tests,
+                    "gcc_yes": stats.gcc_yes,
+                    "hli_yes": stats.hli_yes,
+                    "combined_yes": stats.combined_yes,
+                },
+            }
 
     async def _run_in_pool(self, op, source, filename, opts):
         """Hand the CPU-bound pipeline to a worker thread."""

@@ -58,9 +58,18 @@ def test_deepcall_sets_exceed_depth_floor(set_name):
 
 
 def test_multiunit_sets_are_multi_unit():
+    by_profile = {"multiunit": [], "multiunit-large": []}
     for prog in materialize("gen-multiunit-v1"):
         assert prog.multi_unit
-        assert len(prog.units) == 3
+        by_profile[prog.profile].append(len(prog.units))
+    # small band: 3-unit programs; large band: 8-16 units for the
+    # partitioned back end to spread across workers
+    assert by_profile["multiunit"] and all(
+        n == 3 for n in by_profile["multiunit"]
+    )
+    assert by_profile["multiunit-large"] and all(
+        8 <= n <= 16 for n in by_profile["multiunit-large"]
+    )
 
 
 def test_quick_set_spans_profiles():

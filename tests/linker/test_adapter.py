@@ -69,7 +69,7 @@ class TestEffectsForUnit:
         assert eff.ref == {TOP}
         assert eff.mod == {TOP}
 
-    def test_param_effects_fold_to_top(self, make_units):
+    def test_param_effects_bind_at_call_sites(self, make_units):
         units = make_units(
             (
                 "a.c",
@@ -82,8 +82,39 @@ class TestEffectsForUnit:
         summaries = compute_summaries(units).summaries
         assert summaries["fill"].param_mod == {0}
         eff = effects_for_unit(units[0], summaries)["fill"]
-        # conservative: a through-parameter write may land anywhere the
-        # caller can point, so it folds to TOP rather than a name
+        # argument-position binding: the through-parameter write lands
+        # exactly in what main's call site passes — buf, not TOP
+        assert TOP not in eff.mod
+        assert {o.name for o in eff.mod} == {"buf"}
+
+    def test_param_effects_fold_to_top_without_call_sites(self, make_units):
+        units = make_units(
+            (
+                "a.c",
+                "extern int fill(int *p);\n"
+                "int main() { return 0; }\n",
+            ),
+            ("b.c", "int fill(int *p) { p[0] = 1; return 0; }\n"),
+        )
+        summaries = compute_summaries(units).summaries
+        eff = effects_for_unit(units[0], summaries)["fill"]
+        # no call site to bind against: stay conservative
+        assert TOP in eff.mod
+
+    def test_param_indirection_folds_to_top(self, make_units):
+        units = make_units(
+            (
+                "a.c",
+                "extern int fill(int *p);\n"
+                "int relay(int *q) { return fill(q); }\n"
+                "int main() { return 0; }\n",
+            ),
+            ("b.c", "int fill(int *p) { p[0] = 1; return 0; }\n"),
+        )
+        summaries = compute_summaries(units).summaries
+        eff = effects_for_unit(units[0], summaries)["fill"]
+        # the argument is relay's own parameter — "whatever my caller
+        # passed" has no unit-local object, so the side degrades to TOP
         assert TOP in eff.mod
 
 

@@ -63,6 +63,39 @@ class TestBasicOps:
         assert result["lint"]["findings"] == []
         assert sum(result["lint"]["claims_checked"].values()) > 0
 
+    def test_compile_wp_partitioned_and_coherent(self, server):
+        units = [
+            ("u0.c", "int inc(int x) { return x + 1; }"),
+            ("u1.c", "int twice(int x) { return x + x; }"),
+            ("main.c", "int inc(int x); int twice(int x);"
+                       " int main() { return twice(inc(3)); }"),
+        ]
+        with _client(server) as c:
+            serial = c.compile_wp(units, jobs=1, partition="none")
+            part = c.compile_wp(units, jobs=2, partition="balanced")
+        assert serial["image_functions"] == part["image_functions"]
+        # partitioning must not change the alpha-equivalent image
+        assert serial["image_sha256"] == part["image_sha256"]
+        assert serial["dep_stats"] == part["dep_stats"]
+        assert serial["partition"]["partitions"] == 1
+        assert part["partition"]["mode"] == "balanced"
+        assert part["partition"]["partitions"] == 2
+        assert part["partition"]["units"] == 3
+        assert serial["link_diagnostics"] == 0
+        assert serial["image_diagnostics"] == 0
+
+    def test_compile_wp_rejects_bad_shapes(self, server):
+        with _client(server) as c:
+            with pytest.raises(ServerError):
+                c.request("compile-wp", units=[], jobs=1, partition="none")
+            with pytest.raises(ServerError):
+                c.request(
+                    "compile-wp",
+                    units=[["u0.c", "int main() { return 0; }"]],
+                    jobs=1,
+                    partition="zigzag",
+                )
+
     def test_stats_endpoint_shape(self, server):
         with _client(server) as c:
             c.compile(SIMPLE_MAIN, "simple.c")
